@@ -1,0 +1,33 @@
+"""Figure 14 (Exp-1.3) — run-time impact of the optimisation techniques."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.experiments import fig14_optimization_efficiency
+
+from conftest import write_result
+
+PAIR_ALGORITHMS = ("raw-operb", "operb", "raw-operb-a", "operb-a")
+
+
+@pytest.mark.parametrize("algorithm", PAIR_ALGORITHMS)
+def test_fig14_raw_vs_optimised_running_time(benchmark, taxi_trajectory, algorithm):
+    function = get_algorithm(algorithm)
+    benchmark.group = "fig14 Taxi zeta=40"
+    representation = benchmark(function, taxi_trajectory, 40.0)
+    assert representation.n_segments >= 1
+
+
+def test_fig14_table(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig14_optimization_efficiency.run(bench_datasets, epsilons=(40.0,)),
+        rounds=1,
+        iterations=1,
+    )
+    # The paper finds the optimisations have a limited run-time impact: raw
+    # and optimised run times stay within a factor of ~3 of each other.
+    for row in result.rows:
+        assert 20.0 <= row["raw / optimised (%)"] <= 500.0
+    write_result(results_dir, "fig14_optimization_efficiency", result.to_text())

@@ -1,0 +1,46 @@
+"""Figure 15 (Exp-2.1) — compression ratio vs. the error bound zeta."""
+
+from __future__ import annotations
+
+from repro.experiments import fig15_compression_epsilon
+
+from conftest import write_result
+
+
+def test_fig15_compression_ratio_table(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig15_compression_epsilon.run(
+            bench_datasets, epsilons=(5.0, 10.0, 20.0, 40.0, 100.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "fig15_compression_epsilon", result.to_text())
+
+    for dataset in bench_datasets:
+        # Ratios decrease as the error bound grows.
+        dp_tight = result.filter_rows(dataset=dataset, algorithm="dp", epsilon=5.0)[0]
+        dp_loose = result.filter_rows(dataset=dataset, algorithm="dp", epsilon=100.0)[0]
+        assert dp_loose["compression ratio"] <= dp_tight["compression ratio"]
+        for epsilon in (40.0, 100.0):
+            rows = {
+                row["algorithm"]: row["compression ratio"]
+                for row in result.filter_rows(dataset=dataset, epsilon=epsilon)
+            }
+            # OPERB-A achieves the best (lowest) compression ratio, and OPERB
+            # stays comparable with DP (the paper reports roughly 100-115%).
+            assert rows["operb-a"] <= rows["operb"] + 1e-9
+            assert rows["operb"] <= 1.6 * rows["dp"]
+
+
+def test_fig15_taxi_has_highest_ratio_geolife_lowest(benchmark, bench_datasets):
+    result = benchmark.pedantic(
+        lambda: fig15_compression_epsilon.run(
+            bench_datasets, epsilons=(40.0,), algorithms=("dp",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    ratios = {row["dataset"]: row["compression ratio"] for row in result.rows}
+    assert ratios["Taxi"] == max(ratios.values())
+    assert ratios["GeoLife"] <= 2.0 * min(ratios.values())

@@ -1,0 +1,22 @@
+"""Figure 16 (Exp-2.2) — compression-ratio impact of the optimisations."""
+
+from __future__ import annotations
+
+from repro.experiments import fig16_optimization_compression
+
+from conftest import write_result
+
+
+def test_fig16_optimisations_improve_compression(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig16_optimization_compression.run(bench_datasets, epsilons=(10.0, 40.0, 100.0)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "fig16_optimization_compression", result.to_text())
+    for row in result.rows:
+        # The optimised variants never compress worse than the raw ones, and
+        # on these workloads they are substantially better (paper: 58-93%).
+        assert row["optimised / raw (%)"] <= 100.0 + 1e-6
+    operb_rows = [row for row in result.rows if row["pair"].startswith("operb vs")]
+    assert min(row["optimised / raw (%)"] for row in operb_rows) < 90.0

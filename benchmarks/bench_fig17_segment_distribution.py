@@ -1,0 +1,33 @@
+"""Figure 17 (Exp-2.3) — distribution Z(k) of points per line segment."""
+
+from __future__ import annotations
+
+from repro.experiments import fig17_segment_distribution
+
+from conftest import write_result
+
+
+def test_fig17_segment_size_distribution(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig17_segment_distribution.run(bench_datasets, epsilon=40.0, max_k=20),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "fig17_segment_distribution", result.to_text())
+
+    def anomalous(dataset: str, algorithm: str) -> int:
+        rows = result.filter_rows(dataset=dataset, algorithm=algorithm, k=2)
+        return int(rows[0]["Z(k)"]) if rows else 0
+
+    def heavy(dataset: str, algorithm: str) -> int:
+        return sum(
+            int(row["Z(k)"])
+            for row in result.filter_rows(dataset=dataset, algorithm=algorithm)
+            if int(row["k"]) >= 10
+        )
+
+    # OPERB-A removes anomalous segments relative to OPERB, and produces at
+    # least as many heavy segments (this is what drives its better ratio).
+    for dataset in ("Taxi", "Truck"):
+        assert anomalous(dataset, "operb-a") <= anomalous(dataset, "operb")
+        assert heavy(dataset, "operb-a") >= heavy(dataset, "operb") - 1

@@ -1,0 +1,37 @@
+"""Figure 18 (Exp-3) — average error vs. the error bound zeta."""
+
+from __future__ import annotations
+
+from repro.experiments import fig18_average_error
+
+from conftest import write_result
+
+
+def test_fig18_average_error_table(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig18_average_error.run(bench_datasets, epsilons=(5.0, 20.0, 40.0, 100.0)),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "fig18_average_error", result.to_text())
+
+    for row in result.rows:
+        # Every algorithm respects its error bound and the average error is
+        # well below the bound.
+        assert row["bound satisfied"]
+        assert row["average error"] <= row["epsilon"]
+
+    for dataset in bench_datasets:
+        for algorithm in ("dp", "operb", "operb-a"):
+            tight = result.filter_rows(dataset=dataset, algorithm=algorithm, epsilon=5.0)[0]
+            loose = result.filter_rows(dataset=dataset, algorithm=algorithm, epsilon=100.0)[0]
+            # Average error grows with the error bound.
+            assert loose["average error"] >= tight["average error"]
+
+    # OPERB and OPERB-A have essentially the same error (patching adds none).
+    for dataset in bench_datasets:
+        operb_row = result.filter_rows(dataset=dataset, algorithm="operb", epsilon=40.0)[0]
+        operb_a_row = result.filter_rows(dataset=dataset, algorithm="operb-a", epsilon=40.0)[0]
+        assert abs(operb_row["average error"] - operb_a_row["average error"]) <= 0.35 * max(
+            operb_row["average error"], 1e-9
+        )

@@ -1,0 +1,42 @@
+"""Figure 19 (Exp-4.1 / Exp-4.2) — patching ratios of OPERB-A."""
+
+from __future__ import annotations
+
+from repro.experiments import fig19_patching
+
+from conftest import write_result
+
+
+def test_fig19_patching_vs_epsilon(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig19_patching.run_patching_vs_epsilon(
+            bench_datasets, epsilons=(10.0, 40.0, 100.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "fig19_patching_vs_epsilon", result.to_text())
+    for row in result.rows:
+        assert 0.0 <= row["patching ratio (%)"] <= 100.0
+        assert row["patched (Np)"] <= row["anomalous (Na)"]
+    # The urban sparse-sampling workload (Taxi) exhibits substantial patching,
+    # as in the paper's Exp-4.1.
+    taxi_rows = result.filter_rows(dataset="Taxi", epsilon=40.0)
+    assert taxi_rows[0]["patching ratio (%)"] >= 30.0
+
+
+def test_fig19_patching_vs_gamma(benchmark, bench_datasets, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig19_patching.run_patching_vs_gamma(
+            bench_datasets, gammas_deg=(0.0, 60.0, 90.0, 120.0, 180.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "fig19_patching_vs_gamma", result.to_text())
+    for dataset in bench_datasets:
+        rows = result.filter_rows(dataset=dataset)
+        ratios = [row["patching ratio (%)"] for row in rows]
+        # The patching ratio decreases as gamma_m grows and vanishes at pi.
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] == 0.0

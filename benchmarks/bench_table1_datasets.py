@@ -1,0 +1,17 @@
+"""Table 1 — dataset statistics of the synthetic stand-in workload."""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+from conftest import write_result
+
+
+def test_table1_dataset_statistics(benchmark, bench_datasets, results_dir):
+    """Regenerate Table 1 and record the statistics of the bench workload."""
+    result = benchmark.pedantic(
+        lambda: table1.run(bench_datasets), rounds=1, iterations=1
+    )
+    assert [row["dataset"] for row in result.rows] == ["Taxi", "Truck", "SerCar", "GeoLife"]
+    assert all(row["total points"] > 0 for row in result.rows)
+    write_result(results_dir, "table1", result.to_text())

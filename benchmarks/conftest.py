@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark works on the same small-scale synthetic workload (seeded), so
+pytest-benchmark's comparison tables directly reproduce the *relative*
+behaviour reported in the paper's figures.  Experiment result tables are also
+written to ``benchmarks/results/`` so they can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_trajectory
+from repro.experiments import WorkloadScale, standard_datasets
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = WorkloadScale("bench", n_trajectories=2, points_per_trajectory=2_000)
+
+
+@pytest.fixture(scope="session")
+def bench_datasets():
+    """The four synthetic datasets at benchmark scale (seeded)."""
+    return standard_datasets(BENCH_SCALE, seed=2017)
+
+
+@pytest.fixture(scope="session")
+def taxi_trajectory():
+    """One Taxi-profile trajectory used by the per-algorithm timing benches."""
+    return generate_trajectory("taxi", 4_000, seed=2017)
+
+
+@pytest.fixture(scope="session")
+def sercar_trajectory():
+    """One SerCar-profile trajectory used by the per-algorithm timing benches."""
+    return generate_trajectory("sercar", 4_000, seed=2017)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where experiment tables produced by the benches are stored."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment table produced during a benchmark run."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,42 @@
+"""Quickstart: compress a GPS trajectory with OPERB and inspect the result.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import evaluate, generate_trajectory, simplify
+
+
+def main() -> None:
+    # 1. Get a trajectory.  Here we synthesise a service-car trajectory
+    #    (3-5 s sampling on an urban road network); with real data you would
+    #    use repro.trajectory.read_csv / read_plt or Trajectory.from_latlon.
+    trajectory = generate_trajectory("sercar", 5_000, seed=7)
+    print(f"input: {len(trajectory)} points, {trajectory.path_length() / 1000:.1f} km")
+
+    # 2. Compress it with an error bound of 40 metres.
+    epsilon = 40.0
+    for algorithm in ("operb", "operb-a", "dp", "fbqs"):
+        compressed = simplify(trajectory, epsilon, algorithm=algorithm)
+        report = evaluate(trajectory, compressed, epsilon)
+        print(
+            f"{algorithm:>8}: {compressed.n_segments:5d} segments  "
+            f"ratio {report.compression_ratio:6.4f}  "
+            f"avg error {report.average_error:5.2f} m  "
+            f"max error {report.max_error:5.2f} m  "
+            f"bound {'ok' if report.error_bound_satisfied else 'VIOLATED'}"
+        )
+
+    # 3. The retained vertices are ordinary points you can store or transmit.
+    compressed = simplify(trajectory, epsilon, algorithm="operb-a")
+    vertices = compressed.retained_points
+    print(f"\nOPERB-A keeps {len(vertices)} vertices; the first three are:")
+    for point in vertices[:3]:
+        print(f"  x={point.x:10.1f}  y={point.y:10.1f}  t={point.t:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

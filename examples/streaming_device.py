@@ -1,0 +1,83 @@
+"""Online compression on a (simulated) GPS device.
+
+This example mirrors the deployment scenario that motivates the paper: a
+vehicle-mounted sensor produces one fix at a time, has O(1) memory, and must
+decide immediately which line segments to transmit to the cloud.  The raw
+feed is messy — duplicate fixes and occasional out-of-order points — so the
+example also shows the clean-up step in front of the simplifier.
+
+Run with::
+
+    python examples/streaming_device.py
+"""
+
+from __future__ import annotations
+
+from repro import OperbAConfig, Point
+from repro.core import OPERBASimplifier
+from repro.datasets import generate_trajectory, inject_duplicates, inject_out_of_order
+from repro.metrics import check_error_bound
+from repro.trajectory import Trajectory, drop_duplicate_points, sort_by_time
+
+EPSILON = 30.0
+
+
+def device_feed(trajectory: Trajectory):
+    """Yield fixes one at a time, as the device's GPS chip would."""
+    for point in trajectory:
+        yield point
+
+
+def main() -> None:
+    # A taxi shift: 60-second sampling on an urban road network, with the
+    # transmission defects the paper's introduction describes.
+    clean = generate_trajectory("taxi", 4_000, seed=13)
+    messy = inject_out_of_order(inject_duplicates(clean, fraction=0.03, seed=13), swaps=20, seed=13)
+    feed = drop_duplicate_points(sort_by_time(messy))
+    print(f"device feed: {len(feed)} fixes after de-duplication")
+
+    # The on-device simplifier: OPERB-A with the default gamma_m = pi/3.
+    simplifier = OPERBASimplifier(OperbAConfig.optimized(EPSILON))
+
+    transmitted = 0
+    uplink_log: list[str] = []
+    for fix in device_feed(feed):
+        for segment in simplifier.push(fix):
+            transmitted += 1
+            if transmitted <= 5:
+                uplink_log.append(
+                    f"segment {transmitted}: ({segment.start.x:9.1f},{segment.start.y:9.1f})"
+                    f" -> ({segment.end.x:9.1f},{segment.end.y:9.1f})"
+                    f"  covering {segment.point_count} fixes"
+                )
+    tail = simplifier.finish()
+    transmitted += len(tail)
+
+    print("\nfirst transmitted segments:")
+    for line in uplink_log:
+        print("  " + line)
+
+    ratio = transmitted / len(feed)
+    stats = simplifier.stats
+    print(f"\ntransmitted {transmitted} segments for {len(feed)} fixes (ratio {ratio:.3f})")
+    print(
+        f"anomalous segments: {stats.anomalous_segments}, patched: {stats.patches_applied} "
+        f"(patching ratio {100 * stats.patching_ratio:.1f}%)"
+    )
+
+    # Verify on the device's behalf that the uplink respects the error bound.
+    from repro.trajectory import PiecewiseRepresentation
+
+    segments = []
+    verifier = OPERBASimplifier(OperbAConfig.optimized(EPSILON))
+    for fix in feed:
+        segments.extend(verifier.push(fix))
+    segments.extend(verifier.finish())
+    representation = PiecewiseRepresentation(
+        segments=segments, source_size=len(feed), algorithm="operb-a"
+    )
+    print(f"error bound satisfied: {check_error_bound(feed, representation, EPSILON)}")
+
+
+if __name__ == "__main__":
+    main()

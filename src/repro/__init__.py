@@ -1,0 +1,138 @@
+"""repro — One-Pass Error Bounded Trajectory Simplification (OPERB / OPERB-A).
+
+A from-scratch Python reproduction of Lin et al., *One-Pass Error Bounded
+Trajectory Simplification*, PVLDB 10(7), 2017, together with every baseline
+and substrate the paper's evaluation depends on: the Douglas–Peucker family,
+open-window algorithms, BQS/FBQS, trajectory containers and I/O, synthetic
+GPS workload generators, quality metrics and an experiment harness that
+regenerates every table and figure of the paper's Section 6.
+
+Quick start
+-----------
+>>> from repro import generate_trajectory, simplify, evaluate
+>>> trajectory = generate_trajectory("sercar", 5_000, seed=7)
+>>> compressed = simplify(trajectory, epsilon=40.0, algorithm="operb")
+>>> report = evaluate(trajectory, compressed, epsilon=40.0)
+>>> report.error_bound_satisfied
+True
+"""
+
+from ._version import __version__
+from .algorithms import (
+    ALGORITHMS,
+    bqs,
+    dead_reckoning,
+    douglas_peucker,
+    douglas_peucker_sed,
+    fbqs,
+    get_algorithm,
+    list_algorithms,
+    opw,
+    opw_tr,
+    simplify,
+    uniform_sampling,
+)
+from .core import (
+    OPERBASimplifier,
+    OPERBSimplifier,
+    OperbAConfig,
+    OperbConfig,
+    operb,
+    operb_a,
+    raw_operb,
+    raw_operb_a,
+)
+from .datasets import (
+    GEOLIFE,
+    PROFILES,
+    SERCAR,
+    TAXI,
+    TRUCK,
+    DatasetProfile,
+    generate_dataset,
+    generate_trajectory,
+    get_profile,
+    load_geolife,
+)
+from .exceptions import (
+    DatasetError,
+    ExperimentError,
+    InvalidParameterError,
+    InvalidTrajectoryError,
+    ReproError,
+    SimplificationError,
+    UnknownAlgorithmError,
+)
+from .geometry import DirectedSegment, LocalProjection, Point
+from .metrics import (
+    EvaluationReport,
+    average_error,
+    check_error_bound,
+    compression_ratio,
+    evaluate,
+    evaluate_fleet,
+    fleet_compression_ratio,
+    max_error,
+    segment_size_distribution,
+)
+from .streaming import StreamingPipeline, make_streaming_simplifier, run_pipeline
+from .trajectory import PiecewiseRepresentation, SegmentRecord, Trajectory
+
+__all__ = [
+    "ALGORITHMS",
+    "DatasetError",
+    "DatasetProfile",
+    "DirectedSegment",
+    "EvaluationReport",
+    "ExperimentError",
+    "GEOLIFE",
+    "InvalidParameterError",
+    "InvalidTrajectoryError",
+    "LocalProjection",
+    "OPERBASimplifier",
+    "OPERBSimplifier",
+    "OperbAConfig",
+    "OperbConfig",
+    "PROFILES",
+    "PiecewiseRepresentation",
+    "Point",
+    "ReproError",
+    "SERCAR",
+    "SegmentRecord",
+    "SimplificationError",
+    "StreamingPipeline",
+    "TAXI",
+    "TRUCK",
+    "Trajectory",
+    "UnknownAlgorithmError",
+    "__version__",
+    "average_error",
+    "bqs",
+    "check_error_bound",
+    "compression_ratio",
+    "dead_reckoning",
+    "douglas_peucker",
+    "douglas_peucker_sed",
+    "evaluate",
+    "evaluate_fleet",
+    "fbqs",
+    "fleet_compression_ratio",
+    "generate_dataset",
+    "generate_trajectory",
+    "get_algorithm",
+    "get_profile",
+    "list_algorithms",
+    "load_geolife",
+    "make_streaming_simplifier",
+    "max_error",
+    "operb",
+    "operb_a",
+    "opw",
+    "opw_tr",
+    "raw_operb",
+    "raw_operb_a",
+    "run_pipeline",
+    "segment_size_distribution",
+    "simplify",
+    "uniform_sampling",
+]

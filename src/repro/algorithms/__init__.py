@@ -1,0 +1,33 @@
+"""Line-simplification baselines and the shared algorithm registry."""
+
+from .base import SimplificationFunction, StreamingSimplifier, validate_epsilon
+from .bqs import BoundedQuadrantWindow, QuadrantBound, bqs
+from .dead_reckoning import DeadReckoningSimplifier, dead_reckoning
+from .douglas_peucker import douglas_peucker, douglas_peucker_sed, dp_retained_indices
+from .fbqs import FBQSSimplifier, fbqs
+from .opw import opw, opw_tr
+from .registry import ALGORITHMS, get_algorithm, list_algorithms, simplify
+from .uniform import uniform_sampling
+
+__all__ = [
+    "ALGORITHMS",
+    "BoundedQuadrantWindow",
+    "DeadReckoningSimplifier",
+    "FBQSSimplifier",
+    "QuadrantBound",
+    "SimplificationFunction",
+    "StreamingSimplifier",
+    "bqs",
+    "dead_reckoning",
+    "douglas_peucker",
+    "douglas_peucker_sed",
+    "dp_retained_indices",
+    "fbqs",
+    "get_algorithm",
+    "list_algorithms",
+    "opw",
+    "opw_tr",
+    "simplify",
+    "uniform_sampling",
+    "validate_epsilon",
+]

@@ -1,0 +1,69 @@
+"""Common interfaces shared by all line-simplification algorithms.
+
+Every algorithm in this package — the paper's OPERB/OPERB-A and the
+baselines it is compared against — consumes a
+:class:`~repro.trajectory.model.Trajectory` and an error bound and produces a
+:class:`~repro.trajectory.piecewise.PiecewiseRepresentation`.  Batch
+algorithms are exposed as plain functions with that signature; streaming
+algorithms additionally implement the :class:`StreamingSimplifier` protocol
+(``push`` / ``finish``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import InvalidParameterError
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+
+__all__ = ["SimplificationFunction", "StreamingSimplifier", "validate_epsilon", "trivial_representation"]
+
+
+@runtime_checkable
+class SimplificationFunction(Protocol):
+    """A batch simplification callable ``(trajectory, epsilon, **kwargs)``."""
+
+    def __call__(
+        self, trajectory: Trajectory, epsilon: float, **kwargs
+    ) -> PiecewiseRepresentation:  # pragma: no cover - protocol signature only
+        ...
+
+
+@runtime_checkable
+class StreamingSimplifier(Protocol):
+    """A push-based simplifier (OPERB, OPERB-A, and the streaming adapters)."""
+
+    def push(self, point: Point) -> list[SegmentRecord]:  # pragma: no cover
+        ...
+
+    def finish(self) -> list[SegmentRecord]:  # pragma: no cover
+        ...
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Validate and return a positive error bound."""
+    if not epsilon > 0.0:
+        raise InvalidParameterError(f"error bound must be positive, got {epsilon!r}")
+    return float(epsilon)
+
+
+def trivial_representation(
+    trajectory: Trajectory, *, algorithm: str
+) -> PiecewiseRepresentation | None:
+    """Handle trajectories too small to simplify.
+
+    Returns a finished representation for trajectories with fewer than three
+    points, or ``None`` when the caller should run its real algorithm.
+    """
+    n = len(trajectory)
+    if n >= 3:
+        return None
+    if n < 2:
+        return PiecewiseRepresentation(segments=[], source_size=n, algorithm=algorithm)
+    return PiecewiseRepresentation(
+        segments=[SegmentRecord.from_indices(trajectory, 0, n - 1)],
+        source_size=n,
+        algorithm=algorithm,
+    )

@@ -1,0 +1,219 @@
+"""Bounded Quadrant System (BQS) and its fast variant FBQS (Liu et al., ICDE 2015).
+
+BQS is the strongest *existing* online baseline in the paper.  For the open
+window anchored at ``Ps`` it splits the plane into four quadrants; per
+quadrant it maintains a bounding box and two bounding lines (the buffered
+points with the largest and smallest angle seen from ``Ps``).  The convex
+region obtained by clipping the box with the angular wedge has at most eight
+vertices — the *significant points* — and the distance from any buffered
+point to a candidate line is bounded above by the maximum distance over those
+vertices, and below by the distances of the actual extreme points.
+
+* **BQS** uses both bounds; when they are inconclusive it falls back to an
+  exact scan of the buffered window, hence ``O(n^2)`` worst-case time.
+* **FBQS** (implemented in :mod:`repro.algorithms.fbqs`) skips the fallback:
+  as soon as the upper bound exceeds the error bound, the window is closed.
+  This makes it linear time and is the fastest existing baseline the paper
+  compares OPERB against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.clipping import bounding_box_polygon, clip_box_with_wedge
+from ..geometry.distance import point_to_line_distance, points_to_line_distance
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .base import trivial_representation, validate_epsilon
+
+__all__ = ["QuadrantBound", "BoundedQuadrantWindow", "bqs"]
+
+
+@dataclass
+class QuadrantBound:
+    """Bounding structures of one quadrant of the open window."""
+
+    anchor: Point
+    min_x: float = math.inf
+    max_x: float = -math.inf
+    min_y: float = math.inf
+    max_y: float = -math.inf
+    low_angle: float = math.inf
+    high_angle: float = -math.inf
+    low_point: Point | None = None
+    high_point: Point | None = None
+    point_min_x: Point | None = None
+    point_max_x: Point | None = None
+    point_min_y: Point | None = None
+    point_max_y: Point | None = None
+    count: int = 0
+
+    def add(self, point: Point) -> None:
+        """Fold a buffered point into the quadrant's bounds."""
+        self.count += 1
+        if point.x < self.min_x:
+            self.min_x = point.x
+            self.point_min_x = point
+        if point.x > self.max_x:
+            self.max_x = point.x
+            self.point_max_x = point
+        if point.y < self.min_y:
+            self.min_y = point.y
+            self.point_min_y = point
+        if point.y > self.max_y:
+            self.max_y = point.y
+            self.point_max_y = point
+        dx = point.x - self.anchor.x
+        dy = point.y - self.anchor.y
+        angle = math.atan2(dy, dx)
+        if angle < 0.0:
+            angle += 2.0 * math.pi
+        if angle < self.low_angle:
+            self.low_angle = angle
+            self.low_point = point
+        if angle > self.high_angle:
+            self.high_angle = angle
+            self.high_point = point
+
+    def significant_vertices(self) -> list[Point]:
+        """The (at most eight) vertices bounding every buffered point."""
+        if self.count == 0:
+            return []
+        box = bounding_box_polygon(self.min_x, self.min_y, self.max_x, self.max_y)
+        if self.count == 1 or self.low_point is None or self.high_point is None:
+            return box
+        low_dx = math.cos(self.low_angle)
+        low_dy = math.sin(self.low_angle)
+        high_dx = math.cos(self.high_angle)
+        high_dy = math.sin(self.high_angle)
+        clipped = clip_box_with_wedge(box, self.anchor, low_dx, low_dy, high_dx, high_dy)
+        return clipped if clipped else box
+
+    def witness_points(self) -> list[Point]:
+        """Actual trajectory points usable as a lower bound on the max distance."""
+        witnesses = [
+            self.low_point,
+            self.high_point,
+            self.point_min_x,
+            self.point_max_x,
+            self.point_min_y,
+            self.point_max_y,
+        ]
+        return [p for p in witnesses if p is not None]
+
+
+class BoundedQuadrantWindow:
+    """The per-window bounding state shared by BQS and FBQS."""
+
+    def __init__(self, anchor: Point) -> None:
+        self.anchor = anchor
+        self.quadrants = [QuadrantBound(anchor) for _ in range(4)]
+        self.buffered = 0
+
+    def _quadrant_of(self, point: Point) -> QuadrantBound:
+        dx = point.x - self.anchor.x
+        dy = point.y - self.anchor.y
+        if dx >= 0.0 and dy >= 0.0:
+            return self.quadrants[0]
+        if dx < 0.0 and dy >= 0.0:
+            return self.quadrants[1]
+        if dx < 0.0 and dy < 0.0:
+            return self.quadrants[2]
+        return self.quadrants[3]
+
+    def add(self, point: Point) -> None:
+        """Buffer ``point`` (it becomes part of the window's bounded set)."""
+        self.buffered += 1
+        self._quadrant_of(point).add(point)
+
+    def distance_bounds(self, candidate: Point) -> tuple[float, float]:
+        """Lower and upper bounds on the max distance of buffered points.
+
+        The bounds refer to the distance from any buffered point to the line
+        ``anchor -> candidate``.
+        """
+        if self.buffered == 0:
+            return 0.0, 0.0
+        if candidate.x == self.anchor.x and candidate.y == self.anchor.y:
+            # Degenerate candidate line: treat as unbounded uncertainty.
+            upper = 0.0
+            lower = 0.0
+            for quadrant in self.quadrants:
+                for witness in quadrant.witness_points():
+                    d = witness.distance_to(self.anchor)
+                    lower = max(lower, d)
+                    upper = max(upper, d)
+            return lower, upper
+        lower = 0.0
+        upper = 0.0
+        for quadrant in self.quadrants:
+            if quadrant.count == 0:
+                continue
+            for vertex in quadrant.significant_vertices():
+                upper = max(
+                    upper, point_to_line_distance(vertex, self.anchor, candidate)
+                )
+            for witness in quadrant.witness_points():
+                lower = max(
+                    lower, point_to_line_distance(witness, self.anchor, candidate)
+                )
+        return lower, upper
+
+
+def _exact_window_max(
+    trajectory: Trajectory, anchor: int, candidate: int
+) -> float:
+    """Exact maximum distance of the buffered points to the candidate line."""
+    if candidate - anchor < 2:
+        return 0.0
+    xs = trajectory.xs[anchor + 1 : candidate]
+    ys = trajectory.ys[anchor + 1 : candidate]
+    a = trajectory[anchor]
+    b = trajectory[candidate]
+    return float(np.max(points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y)))
+
+
+def bqs(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with the (exact) Bounded Quadrant System.
+
+    The significant-point bounds answer most distance checks in constant
+    time; inconclusive cases fall back to an exact scan of the buffered
+    window, so the output matches the open-window decision procedure while
+    being much faster in practice.
+    """
+    validate_epsilon(epsilon)
+    trivial = trivial_representation(trajectory, algorithm="bqs")
+    if trivial is not None:
+        return trivial
+
+    n = len(trajectory)
+    retained = [0]
+    anchor = 0
+    window = BoundedQuadrantWindow(trajectory[0])
+    k = 1
+    while k < n:
+        candidate = trajectory[k]
+        lower, upper = window.distance_bounds(candidate)
+        if upper <= epsilon:
+            window.add(candidate)
+            k += 1
+            continue
+        if lower <= epsilon:
+            # Inconclusive: fall back to the exact window scan (the BQS "case 2").
+            if _exact_window_max(trajectory, anchor, k) <= epsilon:
+                window.add(candidate)
+                k += 1
+                continue
+        close_at = max(anchor + 1, k - 1)
+        retained.append(close_at)
+        anchor = close_at
+        window = BoundedQuadrantWindow(trajectory[anchor])
+        k = anchor + 1
+    if retained[-1] != n - 1:
+        retained.append(n - 1)
+    return PiecewiseRepresentation.from_retained_indices(trajectory, retained, algorithm="bqs")

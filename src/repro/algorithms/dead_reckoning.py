@@ -1,0 +1,117 @@
+"""Dead-reckoning online simplification.
+
+A classic online sampling scheme used by tracking systems: the sender keeps
+the last transmitted point and its velocity, predicts the current position by
+linear extrapolation, and transmits a new point only when the prediction
+error exceeds the threshold.  It is one-pass and O(1)-space like OPERB but
+bounds the *prediction* error rather than the distance to the reconstructed
+line, so its output quality on sharp turns is noticeably worse.  Included as
+an extension baseline for the examples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import SimplificationError
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from .base import trivial_representation, validate_epsilon
+
+__all__ = ["DeadReckoningSimplifier", "dead_reckoning"]
+
+
+class DeadReckoningSimplifier:
+    """Streaming dead-reckoning simplifier (push/finish interface)."""
+
+    name = "dead-reckoning"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = validate_epsilon(epsilon)
+        self._last_kept: Point | None = None
+        self._last_kept_index = -1
+        self._velocity = (0.0, 0.0)
+        self._previous: Point | None = None
+        self._index = -1
+        self._finished = False
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Feed the next point; return the segment closed by it, if any."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        self._index += 1
+        emitted: list[SegmentRecord] = []
+
+        if self._last_kept is None:
+            self._last_kept = point
+            self._last_kept_index = self._index
+            self._previous = point
+            return emitted
+
+        dt = point.t - self._last_kept.t
+        predicted_x = self._last_kept.x + self._velocity[0] * dt
+        predicted_y = self._last_kept.y + self._velocity[1] * dt
+        error = math.hypot(point.x - predicted_x, point.y - predicted_y)
+        if error > self.epsilon:
+            emitted.append(
+                SegmentRecord(
+                    start=self._last_kept,
+                    end=point,
+                    first_index=self._last_kept_index,
+                    last_index=self._index,
+                )
+            )
+            previous = self._previous if self._previous is not None else self._last_kept
+            step_dt = point.t - previous.t
+            if step_dt > 0.0:
+                self._velocity = (
+                    (point.x - previous.x) / step_dt,
+                    (point.y - previous.y) / step_dt,
+                )
+            else:
+                self._velocity = (0.0, 0.0)
+            self._last_kept = point
+            self._last_kept_index = self._index
+        self._previous = point
+        return emitted
+
+    def finish(self) -> list[SegmentRecord]:
+        """Flush the final segment up to the last seen point."""
+        if self._finished:
+            return []
+        self._finished = True
+        if (
+            self._last_kept is None
+            or self._previous is None
+            or self._index <= self._last_kept_index
+        ):
+            return []
+        return [
+            SegmentRecord(
+                start=self._last_kept,
+                end=self._previous,
+                first_index=self._last_kept_index,
+                last_index=self._index,
+            )
+        ]
+
+    def simplify(self, trajectory: Trajectory) -> PiecewiseRepresentation:
+        """Simplify a whole trajectory with this (fresh) simplifier instance."""
+        if self._index >= 0 or self._finished:
+            raise SimplificationError("simplify() requires a fresh simplifier instance")
+        segments: list[SegmentRecord] = []
+        for point in trajectory:
+            segments.extend(self.push(point))
+        segments.extend(self.finish())
+        return PiecewiseRepresentation(
+            segments=segments, source_size=len(trajectory), algorithm=self.name
+        )
+
+
+def dead_reckoning(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with dead reckoning (prediction-error threshold)."""
+    trivial = trivial_representation(trajectory, algorithm="dead-reckoning")
+    if trivial is not None:
+        return trivial
+    return DeadReckoningSimplifier(epsilon).simplify(trajectory)

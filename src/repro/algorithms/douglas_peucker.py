@@ -1,0 +1,97 @@
+"""The Douglas–Peucker family of batch simplification algorithms.
+
+``DP`` (Douglas & Peucker, 1973) is the classic top-down batch algorithm and
+the paper's reference point for compression quality: it recursively splits a
+trajectory at the point farthest from the line joining the first and last
+points until every point is within the error bound.  Worst-case time is
+``O(n^2)``; the recursion is implemented iteratively (explicit stack) and the
+inner distance computations are vectorised with NumPy.
+
+``DP-SED`` (a.k.a. TD-TR, Meratnia & de By 2004) is the same algorithm with
+the synchronised Euclidean distance, provided as an extension baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.distance import points_sed_distance, points_to_line_distance
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .base import trivial_representation, validate_epsilon
+
+__all__ = ["douglas_peucker", "douglas_peucker_sed", "dp_retained_indices"]
+
+
+def _range_distances(
+    trajectory: Trajectory, first: int, last: int, *, use_sed: bool
+) -> np.ndarray:
+    """Distances of the points strictly inside ``(first, last)`` to the chord."""
+    xs = trajectory.xs[first + 1 : last]
+    ys = trajectory.ys[first + 1 : last]
+    if use_sed:
+        ts = trajectory.ts[first + 1 : last]
+        return points_sed_distance(xs, ys, ts, trajectory[first], trajectory[last])
+    a = trajectory[first]
+    b = trajectory[last]
+    return points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y)
+
+
+def dp_retained_indices(
+    trajectory: Trajectory, epsilon: float, *, use_sed: bool = False
+) -> list[int]:
+    """Indices of the points Douglas–Peucker retains for ``trajectory``.
+
+    The first and last indices are always retained.  The function is the
+    shared core of :func:`douglas_peucker` and :func:`douglas_peucker_sed`.
+    """
+    validate_epsilon(epsilon)
+    n = len(trajectory)
+    if n < 3:
+        return list(range(n))
+    retained = {0, n - 1}
+    stack: list[tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        if last - first < 2:
+            continue
+        distances = _range_distances(trajectory, first, last, use_sed=use_sed)
+        split_offset = int(np.argmax(distances))
+        max_distance = float(distances[split_offset])
+        if max_distance <= epsilon:
+            continue
+        split = first + 1 + split_offset
+        retained.add(split)
+        stack.append((first, split))
+        stack.append((split, last))
+    return sorted(retained)
+
+
+def douglas_peucker(
+    trajectory: Trajectory, epsilon: float, *, use_sed: bool = False
+) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with the Douglas–Peucker algorithm.
+
+    Parameters
+    ----------
+    trajectory:
+        The trajectory to compress.
+    epsilon:
+        The error bound ``zeta``.
+    use_sed:
+        Use the synchronised Euclidean distance instead of the perpendicular
+        distance (this yields the TD-TR variant).
+    """
+    algorithm = "dp-sed" if use_sed else "dp"
+    trivial = trivial_representation(trajectory, algorithm=algorithm)
+    if trivial is not None:
+        return trivial
+    indices = dp_retained_indices(trajectory, epsilon, use_sed=use_sed)
+    return PiecewiseRepresentation.from_retained_indices(
+        trajectory, indices, algorithm=algorithm
+    )
+
+
+def douglas_peucker_sed(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:
+    """TD-TR: Douglas–Peucker with the synchronised Euclidean distance."""
+    return douglas_peucker(trajectory, epsilon, use_sed=True)

@@ -1,0 +1,121 @@
+"""FBQS — the fast (linear-time) variant of the Bounded Quadrant System.
+
+FBQS is the strongest efficiency baseline in the paper: it keeps BQS's
+per-quadrant bounding structures but never falls back to an exact window
+scan.  Whenever the conservative upper bound derived from the significant
+points exceeds the error bound, the current window is closed at the previous
+point and a new window starts.  Each point is therefore examined against a
+constant number of significant points, giving ``O(n)`` time.
+
+The implementation is push-based (:class:`FBQSSimplifier`) so that it can be
+used in the same streaming pipelines as OPERB; :func:`fbqs` is the batch
+wrapper used by the experiments.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SimplificationError
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from .base import trivial_representation, validate_epsilon
+from .bqs import BoundedQuadrantWindow
+
+__all__ = ["FBQSSimplifier", "fbqs"]
+
+
+class FBQSSimplifier:
+    """Streaming FBQS simplifier (push/finish interface)."""
+
+    name = "fbqs"
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = validate_epsilon(epsilon)
+        self._window: BoundedQuadrantWindow | None = None
+        self._anchor: Point | None = None
+        self._anchor_index = -1
+        self._previous: Point | None = None
+        self._previous_index = -1
+        self._index = -1
+        self._finished = False
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Feed the next point; return the segment closed by it, if any."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        self._index += 1
+        emitted: list[SegmentRecord] = []
+
+        if self._anchor is None:
+            self._anchor = point
+            self._anchor_index = self._index
+            self._window = BoundedQuadrantWindow(point)
+            self._previous = point
+            self._previous_index = self._index
+            return emitted
+
+        assert self._window is not None
+        _, upper = self._window.distance_bounds(point)
+        if upper <= self.epsilon:
+            self._window.add(point)
+            self._previous = point
+            self._previous_index = self._index
+            return emitted
+
+        # Close the window at the previous point and restart from there.
+        close_point = self._previous if self._previous is not None else self._anchor
+        close_index = self._previous_index if self._previous_index >= 0 else self._anchor_index
+        if close_index > self._anchor_index:
+            emitted.append(
+                SegmentRecord(
+                    start=self._anchor,
+                    end=close_point,
+                    first_index=self._anchor_index,
+                    last_index=close_index,
+                )
+            )
+            self._anchor = close_point
+            self._anchor_index = close_index
+        self._window = BoundedQuadrantWindow(self._anchor)
+        self._window.add(point)
+        self._previous = point
+        self._previous_index = self._index
+        return emitted
+
+    def finish(self) -> list[SegmentRecord]:
+        """Flush the final open window."""
+        if self._finished:
+            return []
+        self._finished = True
+        if self._anchor is None or self._previous is None:
+            return []
+        if self._previous_index <= self._anchor_index:
+            return []
+        return [
+            SegmentRecord(
+                start=self._anchor,
+                end=self._previous,
+                first_index=self._anchor_index,
+                last_index=self._previous_index,
+            )
+        ]
+
+    def simplify(self, trajectory: Trajectory) -> PiecewiseRepresentation:
+        """Simplify a whole trajectory with this (fresh) simplifier instance."""
+        if self._index >= 0 or self._finished:
+            raise SimplificationError("simplify() requires a fresh simplifier instance")
+        segments: list[SegmentRecord] = []
+        for point in trajectory:
+            segments.extend(self.push(point))
+        segments.extend(self.finish())
+        return PiecewiseRepresentation(
+            segments=segments, source_size=len(trajectory), algorithm=self.name
+        )
+
+
+def fbqs(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with FBQS (linear-time bounded quadrant system)."""
+    trivial = trivial_representation(trajectory, algorithm="fbqs")
+    if trivial is not None:
+        return trivial
+    return FBQSSimplifier(epsilon).simplify(trajectory)

@@ -1,0 +1,75 @@
+"""Open-window online simplification (Meratnia & de By, EDBT 2004).
+
+``OPW`` grows a window ``[Ps, ..., Pk]`` one point at a time and checks all
+buffered points against the line ``Ps -> Pk``; when a point violates the
+bound, the segment ``Ps -> P_{k-1}`` is emitted and a new window starts at
+``P_{k-1}``.  Because the whole window is re-checked for every new point, the
+worst-case running time is ``O(n^2)`` — this is exactly the behaviour OPERB's
+local distance checking is designed to avoid.
+
+``OPW-TR`` is the same algorithm with the synchronised Euclidean distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.distance import points_sed_distance, points_to_line_distance
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .base import trivial_representation, validate_epsilon
+
+__all__ = ["opw", "opw_tr"]
+
+
+def _window_ok(
+    trajectory: Trajectory, anchor: int, candidate: int, epsilon: float, *, use_sed: bool
+) -> bool:
+    """Whether every point strictly inside ``(anchor, candidate)`` fits the chord."""
+    if candidate - anchor < 2:
+        return True
+    xs = trajectory.xs[anchor + 1 : candidate]
+    ys = trajectory.ys[anchor + 1 : candidate]
+    if use_sed:
+        ts = trajectory.ts[anchor + 1 : candidate]
+        distances = points_sed_distance(xs, ys, ts, trajectory[anchor], trajectory[candidate])
+    else:
+        a = trajectory[anchor]
+        b = trajectory[candidate]
+        distances = points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y)
+    return bool(np.all(distances <= epsilon))
+
+
+def opw(
+    trajectory: Trajectory, epsilon: float, *, use_sed: bool = False
+) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with the normal opening-window algorithm."""
+    validate_epsilon(epsilon)
+    algorithm = "opw-tr" if use_sed else "opw"
+    trivial = trivial_representation(trajectory, algorithm=algorithm)
+    if trivial is not None:
+        return trivial
+
+    n = len(trajectory)
+    retained = [0]
+    anchor = 0
+    k = anchor + 1
+    while k < n:
+        if _window_ok(trajectory, anchor, k, epsilon, use_sed=use_sed):
+            k += 1
+            continue
+        # The window broke at k: close the segment at the previous point.
+        close_at = max(anchor + 1, k - 1)
+        retained.append(close_at)
+        anchor = close_at
+        k = anchor + 1
+    if retained[-1] != n - 1:
+        retained.append(n - 1)
+    return PiecewiseRepresentation.from_retained_indices(
+        trajectory, retained, algorithm=algorithm
+    )
+
+
+def opw_tr(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:
+    """OPW with the synchronised Euclidean distance (time-ratio variant)."""
+    return opw(trajectory, epsilon, use_sed=True)

@@ -1,0 +1,77 @@
+"""Name-based registry of every simplification algorithm in the package.
+
+The experiment harness, the CLI and downstream users select algorithms by the
+names the paper uses ("dp", "fbqs", "operb", "operb-a", ...).  Each entry is a
+callable ``(trajectory, epsilon, **kwargs) -> PiecewiseRepresentation``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.operb import operb, raw_operb
+from ..core.operb_a import operb_a, raw_operb_a
+from ..exceptions import UnknownAlgorithmError
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .bqs import bqs
+from .dead_reckoning import dead_reckoning
+from .douglas_peucker import douglas_peucker, douglas_peucker_sed
+from .fbqs import fbqs
+from .opw import opw, opw_tr
+from .uniform import uniform_sampling
+
+__all__ = ["ALGORITHMS", "list_algorithms", "get_algorithm", "simplify"]
+
+AlgorithmFunction = Callable[..., PiecewiseRepresentation]
+
+ALGORITHMS: dict[str, AlgorithmFunction] = {
+    "dp": douglas_peucker,
+    "dp-sed": douglas_peucker_sed,
+    "opw": opw,
+    "opw-tr": opw_tr,
+    "bqs": bqs,
+    "fbqs": fbqs,
+    "uniform": uniform_sampling,
+    "dead-reckoning": dead_reckoning,
+    "operb": operb,
+    "raw-operb": raw_operb,
+    "operb-a": operb_a,
+    "raw-operb-a": raw_operb_a,
+}
+"""Mapping from algorithm name (as used in the paper/experiments) to callable."""
+
+
+def list_algorithms() -> list[str]:
+    """Names of all registered algorithms, sorted alphabetically."""
+    return sorted(ALGORITHMS)
+
+
+def get_algorithm(name: str) -> AlgorithmFunction:
+    """Look up an algorithm by name.
+
+    Raises
+    ------
+    UnknownAlgorithmError
+        If ``name`` is not registered.
+    """
+    key = name.strip().lower()
+    if key not in ALGORITHMS:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: {', '.join(list_algorithms())}"
+        )
+    return ALGORITHMS[key]
+
+
+def simplify(
+    trajectory: Trajectory, epsilon: float, *, algorithm: str = "operb", **kwargs
+) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with the named algorithm.
+
+    This is the main one-call entry point of the library::
+
+        from repro import simplify
+        compressed = simplify(trajectory, epsilon=40.0, algorithm="operb-a")
+    """
+    function = get_algorithm(algorithm)
+    return function(trajectory, epsilon, **kwargs)

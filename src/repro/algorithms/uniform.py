@@ -1,0 +1,44 @@
+"""Uniform (nth-point) sampling — the simplest possible baseline.
+
+Uniform sampling keeps every ``k``-th point regardless of geometry.  It has no
+error bound at all, which is precisely why error-bounded line simplification
+exists; it is included so examples and tests can show what an error-bounded
+method buys over naive decimation at the same compression ratio.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .base import trivial_representation
+
+__all__ = ["uniform_sampling"]
+
+
+def uniform_sampling(
+    trajectory: Trajectory, epsilon: float = 0.0, *, step: int = 10
+) -> PiecewiseRepresentation:
+    """Keep every ``step``-th point (plus the first and the last).
+
+    Parameters
+    ----------
+    trajectory:
+        The trajectory to decimate.
+    epsilon:
+        Ignored; accepted so uniform sampling can be called through the same
+        registry interface as the error-bounded algorithms.
+    step:
+        Sampling stride; ``step=10`` keeps roughly 10% of the points.
+    """
+    if step < 1:
+        raise InvalidParameterError(f"step must be at least 1, got {step}")
+    trivial = trivial_representation(trajectory, algorithm="uniform")
+    if trivial is not None:
+        return trivial
+    indices = list(range(0, len(trajectory), step))
+    if indices[-1] != len(trajectory) - 1:
+        indices.append(len(trajectory) - 1)
+    return PiecewiseRepresentation.from_retained_indices(
+        trajectory, indices, algorithm="uniform"
+    )

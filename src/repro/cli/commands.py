@@ -1,0 +1,133 @@
+"""Implementations of the ``repro-traj`` sub-commands.
+
+Each function receives the parsed :mod:`argparse` namespace and returns a
+process exit code.  They are kept separate from the argument-parser wiring in
+:mod:`repro.cli.main` so they can be unit-tested directly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from ..algorithms.registry import get_algorithm, list_algorithms
+from ..datasets.generator import generate_dataset
+from ..datasets.profiles import PROFILES, get_profile
+from ..exceptions import ReproError
+from ..experiments import EXPERIMENTS, SMALL_SCALE, WorkloadScale, standard_datasets
+from ..metrics.summary import evaluate
+from ..trajectory.io import read_csv, read_plt, write_csv, write_jsonl, write_piecewise_csv
+from ..trajectory.model import Trajectory
+
+__all__ = [
+    "cmd_list_algorithms",
+    "cmd_compress",
+    "cmd_evaluate",
+    "cmd_generate",
+    "cmd_experiment",
+    "load_trajectory",
+]
+
+
+def load_trajectory(path: str) -> Trajectory:
+    """Load a trajectory from a ``.csv`` or GeoLife ``.plt`` file."""
+    file_path = Path(path)
+    if file_path.suffix.lower() == ".plt":
+        return read_plt(file_path)
+    return read_csv(file_path, trajectory_id=file_path.stem)
+
+
+def cmd_list_algorithms(_args) -> int:
+    """``repro-traj algorithms`` — print every registered algorithm."""
+    for name in list_algorithms():
+        print(name)
+    return 0
+
+
+def cmd_compress(args) -> int:
+    """``repro-traj compress`` — simplify one trajectory file."""
+    trajectory = load_trajectory(args.input)
+    function = get_algorithm(args.algorithm)
+    representation = function(trajectory, args.epsilon)
+    if args.output:
+        write_piecewise_csv(representation, args.output)
+    report = evaluate(trajectory, representation, args.epsilon)
+    print(
+        f"{args.algorithm}: {len(trajectory)} points -> {representation.n_segments} segments "
+        f"(ratio {report.compression_ratio:.4f}, avg error {report.average_error:.2f}, "
+        f"max error {report.max_error:.2f}, bound "
+        f"{'satisfied' if report.error_bound_satisfied else 'VIOLATED'})"
+    )
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """``repro-traj evaluate`` — compare several algorithms on one file."""
+    trajectory = load_trajectory(args.input)
+    algorithms = args.algorithms or ["dp", "fbqs", "operb", "operb-a"]
+    rows = []
+    for name in algorithms:
+        function = get_algorithm(name)
+        representation = function(trajectory, args.epsilon)
+        report = evaluate(trajectory, representation, args.epsilon)
+        rows.append(report.as_dict())
+        print(
+            f"{name:>12}: segments {representation.n_segments:>6} "
+            f"ratio {report.compression_ratio:.4f} "
+            f"avg err {report.average_error:8.3f} max err {report.max_error:8.3f} "
+            f"bound {'ok' if report.error_bound_satisfied else 'VIOLATED'}"
+        )
+    if args.json:
+        Path(args.json).write_text(json.dumps(rows, indent=2))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """``repro-traj generate`` — synthesise a dataset to CSV/JSONL files."""
+    profile = get_profile(args.profile)
+    fleet = generate_dataset(
+        profile,
+        n_trajectories=args.trajectories,
+        points_per_trajectory=args.points,
+        seed=args.seed,
+    )
+    output = Path(args.output)
+    if output.suffix.lower() == ".jsonl":
+        write_jsonl(fleet, output)
+        print(f"wrote {len(fleet)} trajectories to {output}")
+        return 0
+    output.mkdir(parents=True, exist_ok=True)
+    for trajectory in fleet:
+        write_csv(trajectory, output / f"{trajectory.trajectory_id}.csv")
+    print(f"wrote {len(fleet)} trajectories to {output}/")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    """``repro-traj experiment`` — run one (or all) paper experiments."""
+    scale = WorkloadScale("cli", args.trajectories, args.points)
+    datasets = standard_datasets(scale, seed=args.seed)
+    identifiers = list(EXPERIMENTS) if args.id == "all" else [args.id]
+    unknown = [identifier for identifier in identifiers if identifier not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    outputs = []
+    for identifier in identifiers:
+        run = EXPERIMENTS[identifier]
+        if identifier == "fig12":
+            # Figure 12 generates its own per-size workload.
+            result = run(seed=args.seed, sizes=(args.points // 2, args.points))
+        else:
+            result = run(datasets, seed=args.seed)
+        results = result if isinstance(result, list) else [result]
+        for item in results:
+            print(item.to_text())
+            print()
+            outputs.append(item)
+    if args.markdown:
+        Path(args.markdown).write_text("\n\n".join(item.to_markdown() for item in outputs))
+        print(f"wrote markdown report to {args.markdown}")
+    return 0

@@ -1,0 +1,93 @@
+"""``repro-traj`` — command-line interface to the OPERB reproduction.
+
+Sub-commands
+------------
+``algorithms``
+    List every registered simplification algorithm.
+``compress``
+    Simplify one trajectory file (CSV or GeoLife PLT) with a chosen algorithm.
+``evaluate``
+    Compare several algorithms on one trajectory file.
+``generate``
+    Synthesise a dataset following one of the paper's profiles.
+``experiment``
+    Re-run one (or all) of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .._version import __version__
+from ..exceptions import ReproError
+from . import commands
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-traj",
+        description="One-pass error bounded trajectory simplification (OPERB/OPERB-A)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("algorithms", help="list registered algorithms")
+    list_parser.set_defaults(handler=commands.cmd_list_algorithms)
+
+    compress = subparsers.add_parser("compress", help="simplify one trajectory file")
+    compress.add_argument("input", help="input trajectory (.csv with x,y,t columns or .plt)")
+    compress.add_argument("--epsilon", type=float, default=40.0, help="error bound in metres")
+    compress.add_argument("--algorithm", default="operb", help="algorithm name (see 'algorithms')")
+    compress.add_argument("--output", help="write the retained vertices to this CSV file")
+    compress.set_defaults(handler=commands.cmd_compress)
+
+    evaluate = subparsers.add_parser("evaluate", help="compare algorithms on one trajectory file")
+    evaluate.add_argument("input", help="input trajectory (.csv or .plt)")
+    evaluate.add_argument("--epsilon", type=float, default=40.0, help="error bound in metres")
+    evaluate.add_argument(
+        "--algorithms", nargs="*", default=None, help="algorithms to compare (default: paper set)"
+    )
+    evaluate.add_argument("--json", help="also write the reports to this JSON file")
+    evaluate.set_defaults(handler=commands.cmd_evaluate)
+
+    generate = subparsers.add_parser("generate", help="synthesise a dataset")
+    generate.add_argument("profile", help="dataset profile: taxi, truck, sercar or geolife")
+    generate.add_argument("output", help="output directory (CSV per trajectory) or .jsonl file")
+    generate.add_argument("--trajectories", type=int, default=10, help="number of trajectories")
+    generate.add_argument("--points", type=int, default=5000, help="points per trajectory")
+    generate.add_argument("--seed", type=int, default=2017, help="random seed")
+    generate.set_defaults(handler=commands.cmd_generate)
+
+    experiment = subparsers.add_parser("experiment", help="re-run paper experiments")
+    experiment.add_argument(
+        "--id",
+        default="all",
+        help="experiment id (table1, fig12 ... fig19-2) or 'all'",
+    )
+    experiment.add_argument("--trajectories", type=int, default=2, help="trajectories per dataset")
+    experiment.add_argument("--points", type=int, default=2000, help="points per trajectory")
+    experiment.add_argument("--seed", type=int, default=2017, help="random seed")
+    experiment.add_argument("--markdown", help="write a markdown report to this path")
+    experiment.set_defaults(handler=commands.cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

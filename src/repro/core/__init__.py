@@ -1,0 +1,28 @@
+"""The paper's primary contribution: OPERB, OPERB-A and the fitting function."""
+
+from .config import DEFAULT_MAX_POINTS_PER_SEGMENT, OperbAConfig, OperbConfig
+from .fitting import FittingState, PointOutcome, rotation_sign, zone_index
+from .operb import OPERBSimplifier, OperbStatistics, operb, raw_operb
+from .operb_a import OPERBASimplifier, OperbAStatistics, operb_a, raw_operb_a
+from .patching import PatchDecision, compute_patch_point, turn_angle_between
+
+__all__ = [
+    "DEFAULT_MAX_POINTS_PER_SEGMENT",
+    "FittingState",
+    "OPERBASimplifier",
+    "OPERBSimplifier",
+    "OperbAConfig",
+    "OperbAStatistics",
+    "OperbConfig",
+    "OperbStatistics",
+    "PatchDecision",
+    "PointOutcome",
+    "compute_patch_point",
+    "operb",
+    "operb_a",
+    "raw_operb",
+    "raw_operb_a",
+    "rotation_sign",
+    "turn_angle_between",
+    "zone_index",
+]

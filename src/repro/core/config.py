@@ -1,0 +1,159 @@
+"""Configuration objects for OPERB and OPERB-A.
+
+The paper describes a basic algorithm (Raw-OPERB, Figure 7), five optimisation
+techniques (Section 4.4) whose combination is called OPERB, and an aggressive
+extension OPERB-A (Section 5) parameterised by the patch-angle threshold
+``gamma_m``.  Each optimisation is an independent flag here so the ablation
+experiments (Exp-1.3 and Exp-2.2) can toggle them exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["OperbConfig", "OperbAConfig", "DEFAULT_MAX_POINTS_PER_SEGMENT"]
+
+DEFAULT_MAX_POINTS_PER_SEGMENT = 400_000
+"""Per-segment point cap ``4 x 10^5`` from Theorem 2 / Figure 7 of the paper."""
+
+
+@dataclass(frozen=True, slots=True)
+class OperbConfig:
+    """Parameters of the OPERB simplifier.
+
+    Attributes
+    ----------
+    epsilon:
+        The error bound ``zeta`` (same length unit as the coordinates,
+        typically metres).
+    opt_first_active_threshold:
+        Optimisation 1 — choose the first active point after ``Ps`` as the
+        first point farther than ``zeta`` (instead of ``zeta / 4``).
+    opt_two_sided_deviation:
+        Optimisation 2 — replace the per-point condition
+        ``d(P, L) <= zeta / 2`` with ``d_plus_max + d_minus_max <= zeta``.
+    opt_aggressive_rotation:
+        Optimisation 3 — rotate the fitted segment using the running
+        one-sided maximum deviation instead of the current point's deviation,
+        capped so the rotation never exceeds ``arcsin(d / (j * zeta / 2))``.
+    opt_missing_zone_compensation:
+        Optimisation 4 — scale the rotation by the number of zones skipped
+        between consecutive active points.
+    opt_absorb_trailing_points:
+        Optimisation 5 — after a segment is finalised, keep absorbing
+        subsequent points that stay within ``zeta`` of the finalised segment
+        line before starting the next segment.
+    max_points_per_segment:
+        Safety cap on the number of points represented by a single segment
+        (the paper's ``4 x 10^5`` restriction).
+    """
+
+    epsilon: float
+    opt_first_active_threshold: bool = True
+    opt_two_sided_deviation: bool = True
+    opt_aggressive_rotation: bool = True
+    opt_missing_zone_compensation: bool = True
+    opt_absorb_trailing_points: bool = True
+    max_points_per_segment: int = DEFAULT_MAX_POINTS_PER_SEGMENT
+
+    def __post_init__(self) -> None:
+        if not (self.epsilon > 0.0 and math.isfinite(self.epsilon)):
+            raise InvalidParameterError(
+                f"error bound epsilon must be a positive finite number, got {self.epsilon!r}"
+            )
+        if self.max_points_per_segment < 2:
+            raise InvalidParameterError("max_points_per_segment must be at least 2")
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors mirroring the paper's algorithm names
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def optimized(cls, epsilon: float, **overrides) -> "OperbConfig":
+        """The full OPERB configuration (all five optimisations enabled)."""
+        return cls(epsilon=epsilon, **overrides)
+
+    @classmethod
+    def raw(cls, epsilon: float, **overrides) -> "OperbConfig":
+        """The Raw-OPERB configuration (no optimisations, Figure 7 only)."""
+        defaults = dict(
+            opt_first_active_threshold=False,
+            opt_two_sided_deviation=False,
+            opt_aggressive_rotation=False,
+            opt_missing_zone_compensation=False,
+            opt_absorb_trailing_points=False,
+        )
+        defaults.update(overrides)
+        return cls(epsilon=epsilon, **defaults)
+
+    @property
+    def half_epsilon(self) -> float:
+        """``zeta / 2`` — the step length of the fitting function."""
+        return 0.5 * self.epsilon
+
+    @property
+    def quarter_epsilon(self) -> float:
+        """``zeta / 4`` — the active-point threshold of the fitting function."""
+        return 0.25 * self.epsilon
+
+    @property
+    def first_active_threshold(self) -> float:
+        """Distance from ``Ps`` beyond which a first active point is accepted."""
+        return self.epsilon if self.opt_first_active_threshold else self.quarter_epsilon
+
+    def with_epsilon(self, epsilon: float) -> "OperbConfig":
+        """Copy of this configuration with a different error bound."""
+        return replace(self, epsilon=epsilon)
+
+    def optimization_flags(self) -> dict[str, bool]:
+        """Mapping of optimisation name to enabled flag (for reporting)."""
+        return {
+            "first_active_threshold": self.opt_first_active_threshold,
+            "two_sided_deviation": self.opt_two_sided_deviation,
+            "aggressive_rotation": self.opt_aggressive_rotation,
+            "missing_zone_compensation": self.opt_missing_zone_compensation,
+            "absorb_trailing_points": self.opt_absorb_trailing_points,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class OperbAConfig:
+    """Parameters of the aggressive OPERB-A simplifier.
+
+    OPERB-A runs OPERB underneath (``base`` configuration) and additionally
+    interpolates patch points at the intersection of the segments surrounding
+    an anomalous segment, provided the direction change does not exceed
+    ``pi - gamma_max`` (Section 5.1, condition 3; the paper's ``gamma_m``).
+    """
+
+    base: OperbConfig
+    gamma_max: float = math.pi / 3.0
+    enable_patching: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.gamma_max <= math.pi):
+            raise InvalidParameterError(
+                f"gamma_max must lie in [0, pi], got {self.gamma_max!r}"
+            )
+
+    @classmethod
+    def optimized(cls, epsilon: float, *, gamma_max: float = math.pi / 3.0) -> "OperbAConfig":
+        """The full OPERB-A configuration (all optimisations + patching)."""
+        return cls(base=OperbConfig.optimized(epsilon), gamma_max=gamma_max)
+
+    @classmethod
+    def raw(cls, epsilon: float, *, gamma_max: float = math.pi / 3.0) -> "OperbAConfig":
+        """Raw-OPERB-A: no OPERB optimisations, patching still enabled."""
+        return cls(base=OperbConfig.raw(epsilon), gamma_max=gamma_max)
+
+    @property
+    def epsilon(self) -> float:
+        """The error bound ``zeta`` of the underlying OPERB configuration."""
+        return self.base.epsilon
+
+    @property
+    def max_turn_angle(self) -> float:
+        """Largest allowed direction change ``pi - gamma_max`` for patching."""
+        return math.pi - self.gamma_max

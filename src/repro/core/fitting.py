@@ -1,0 +1,261 @@
+"""The fitting function ``F`` and its per-segment state (paper Section 4.1).
+
+For the sub-trajectory starting at the anchor ``Ps``, the fitting function
+maintains a single directed line segment ``L = (Ps, |L|, L.theta)`` that fits
+all previously processed points.  Each incoming point ``P`` is compared with
+``L`` (and with the line to the last active point) exactly once, which is what
+makes OPERB one-pass:
+
+* **inactive points** — ``|R| - |L| <= zeta / 4`` — leave ``L`` unchanged
+  (case 1 of ``F``) and only need a distance check;
+* **active points** — the remaining points — move ``L`` into the zone
+  ``Z_j`` with ``j = ceil(2 |R| / zeta - 0.5)`` and rotate it towards the
+  point by ``arcsin(d / (j zeta / 2)) / j`` (cases 2 and 3 of ``F``).
+
+The five optimisations of Section 4.4 plug into this state: the first-active
+threshold (opt. 1), the two-sided deviation budget (opt. 2), the aggressive
+rotation (opt. 3) and the missing-zone compensation (opt. 4).  Optimisation 5
+lives in the OPERB driver because it concerns already-finalised segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from ..geometry.angles import normalize_angle
+from ..geometry.point import Point
+
+__all__ = ["PointOutcome", "FittingState", "zone_index", "rotation_sign"]
+
+
+class PointOutcome(Enum):
+    """What happened when a point was offered to the fitting state."""
+
+    ABSORBED = "absorbed"
+    """The point is inactive and representable by the current segment."""
+
+    ACTIVE = "active"
+    """The point became the segment's new last active point."""
+
+    VIOLATION = "violation"
+    """The point cannot be represented; the current segment must be closed."""
+
+
+def zone_index(r_len: float, epsilon: float) -> int:
+    """Zone index ``j = ceil(2 |R| / zeta - 0.5)`` of a point at distance ``|R|``.
+
+    Zone ``Z_j`` contains the points whose distance to the anchor lies in
+    ``(j zeta/2 - zeta/4, j zeta/2 + zeta/4]``.
+    """
+    j = math.ceil(2.0 * r_len / epsilon - 0.5)
+    return max(0, j)
+
+
+def rotation_sign(r_theta: float, line_theta: float) -> int:
+    """The paper's sign function ``f(R_i, L_{i-1})``.
+
+    Returns ``+1`` when the included angle ``R_i.theta - L_{i-1}.theta`` falls
+    in ``(-2pi, -3pi/2] U [-pi, -pi/2] U [0, pi/2] U [pi, 3pi/2)`` and ``-1``
+    otherwise.  Geometrically this rotates the fitted *line* towards the line
+    through the anchor and the new point by the smaller of the two possible
+    rotations.
+    """
+    delta = normalize_angle(r_theta) - normalize_angle(line_theta)
+    delta = normalize_angle(delta)  # fold into [0, 2*pi)
+    half_pi = 0.5 * math.pi
+    if 0.0 <= delta <= half_pi or math.pi <= delta < 1.5 * math.pi:
+        return 1
+    return -1
+
+
+@dataclass
+class FittingStatistics:
+    """Counters describing how a fitting state processed its points."""
+
+    points_observed: int = 0
+    active_points: int = 0
+    inactive_points: int = 0
+    violations: int = 0
+    distance_computations: int = 0
+
+
+class FittingState:
+    """Mutable per-segment state of the fitting function ``F``.
+
+    Parameters
+    ----------
+    anchor:
+        The segment start point ``Ps``.
+    config:
+        The OPERB configuration (error bound and optimisation flags).
+    """
+
+    __slots__ = (
+        "anchor",
+        "config",
+        "length",
+        "theta",
+        "has_direction",
+        "last_active_point",
+        "last_active_theta",
+        "last_active_zone",
+        "d_plus_max",
+        "d_minus_max",
+        "stats",
+    )
+
+    def __init__(self, anchor: Point, config) -> None:
+        self.anchor = anchor
+        self.config = config
+        self.length = 0.0
+        self.theta = 0.0
+        self.has_direction = False
+        self.last_active_point: Point | None = None
+        self.last_active_theta = 0.0
+        self.last_active_zone = 0
+        self.d_plus_max = 0.0
+        self.d_minus_max = 0.0
+        self.stats = FittingStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+    def _distance_to_fitted_line(self, point: Point) -> float:
+        """Distance from ``point`` to the line through the anchor along ``theta``."""
+        self.stats.distance_computations += 1
+        dx = point.x - self.anchor.x
+        dy = point.y - self.anchor.y
+        return abs(math.cos(self.theta) * dy - math.sin(self.theta) * dx)
+
+    def _distance_to_last_active_line(self, point: Point) -> float:
+        """Distance from ``point`` to the line anchor -> last active point (``R_a``)."""
+        self.stats.distance_computations += 1
+        dx = point.x - self.anchor.x
+        dy = point.y - self.anchor.y
+        theta = self.last_active_theta
+        return abs(math.cos(theta) * dy - math.sin(theta) * dx)
+
+    def _deviation_acceptable(self, deviation: float, sign: int) -> bool:
+        """Check the per-point deviation budget (plain or optimisation 2)."""
+        if self.config.opt_two_sided_deviation:
+            plus = self.d_plus_max
+            minus = self.d_minus_max
+            if sign > 0:
+                plus = max(plus, deviation)
+            else:
+                minus = max(minus, deviation)
+            return plus + minus <= self.config.epsilon
+        return deviation <= self.config.half_epsilon
+
+    def _record_deviation(self, deviation: float, sign: int) -> None:
+        """Update the running one-sided maxima used by optimisations 2 and 3."""
+        if sign > 0:
+            if deviation > self.d_plus_max:
+                self.d_plus_max = deviation
+        else:
+            if deviation > self.d_minus_max:
+                self.d_minus_max = deviation
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def observe(self, point: Point) -> PointOutcome:
+        """Offer ``point`` to the fitting state and report the outcome.
+
+        The point is examined exactly once; at most three scalar distance
+        computations are performed, which is what gives OPERB its ``O(n)``
+        time and ``O(1)`` space behaviour.
+        """
+        self.stats.points_observed += 1
+        dx = point.x - self.anchor.x
+        dy = point.y - self.anchor.y
+        r_len = math.hypot(dx, dy)
+        r_theta = math.atan2(dy, dx) if (dx != 0.0 or dy != 0.0) else 0.0
+        if r_theta < 0.0:
+            r_theta += 2.0 * math.pi
+
+        if not self.has_direction:
+            # No active point yet: L is still the zero-length segment at Ps.
+            if r_len > self.config.first_active_threshold:
+                self._become_first_active(point, r_len, r_theta)
+                self.stats.active_points += 1
+                return PointOutcome.ACTIVE
+            # Every line through Ps is within r_len <= threshold <= zeta of P.
+            self.stats.inactive_points += 1
+            return PointOutcome.ABSORBED
+
+        is_active = (r_len - self.length) > self.config.quarter_epsilon
+        deviation = self._distance_to_fitted_line(point)
+        sign = rotation_sign(r_theta, self.theta)
+
+        if not is_active:
+            if not self._deviation_acceptable(deviation, sign):
+                self.stats.violations += 1
+                return PointOutcome.VIOLATION
+            if self._distance_to_last_active_line(point) > self.config.epsilon:
+                self.stats.violations += 1
+                return PointOutcome.VIOLATION
+            self._record_deviation(deviation, sign)
+            self.stats.inactive_points += 1
+            return PointOutcome.ABSORBED
+
+        if not self._deviation_acceptable(deviation, sign):
+            self.stats.violations += 1
+            return PointOutcome.VIOLATION
+        self._record_deviation(deviation, sign)
+        self._advance_active(point, r_len, r_theta, deviation, sign)
+        self.stats.active_points += 1
+        return PointOutcome.ACTIVE
+
+    # ------------------------------------------------------------------ #
+    # Fitting function cases
+    # ------------------------------------------------------------------ #
+    def _become_first_active(self, point: Point, r_len: float, r_theta: float) -> None:
+        """Case 2 of ``F``: the first active point fixes the initial direction."""
+        j = max(1, zone_index(r_len, self.config.epsilon))
+        self.length = j * self.config.half_epsilon
+        self.theta = r_theta
+        self.has_direction = True
+        self.last_active_point = point
+        self.last_active_theta = r_theta
+        self.last_active_zone = j
+
+    def _advance_active(
+        self, point: Point, r_len: float, r_theta: float, deviation: float, sign: int
+    ) -> None:
+        """Case 3 of ``F``: rotate ``L`` towards the new active point.
+
+        The rotation is ``arcsin(d / (j zeta/2)) / j`` in the raw algorithm;
+        optimisation 3 may substitute the running one-sided maximum deviation
+        (never rotating further than ``arcsin(d / (j zeta/2))``), and
+        optimisation 4 multiplies by the number of zones skipped since the
+        previous active point.
+        """
+        j = max(1, zone_index(r_len, self.config.epsilon))
+        half_len = j * self.config.half_epsilon
+
+        if self.config.opt_missing_zone_compensation:
+            delta_zones = max(1, j - self.last_active_zone)
+        else:
+            delta_zones = 1
+
+        if self.config.opt_aggressive_rotation:
+            side_max = self.d_plus_max if sign > 0 else self.d_minus_max
+            rotation_deviation = max(deviation, side_max)
+        else:
+            rotation_deviation = deviation
+
+        ratio = min(1.0, rotation_deviation / half_len)
+        base_ratio = min(1.0, deviation / half_len)
+        rotation = math.asin(ratio) * (delta_zones / j)
+        # Optimisation 3's cap: never rotate past the undivided arcsin of the
+        # actual deviation of the current point.
+        rotation = min(rotation, math.asin(base_ratio))
+
+        self.theta = normalize_angle(self.theta + sign * rotation)
+        self.length = half_len
+        self.last_active_point = point
+        self.last_active_theta = r_theta
+        self.last_active_zone = j

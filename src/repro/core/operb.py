@@ -1,0 +1,360 @@
+"""OPERB — the one-pass error bounded trajectory simplifier (paper Section 4).
+
+:class:`OPERBSimplifier` is a push-based state machine: points are fed one at
+a time through :meth:`~OPERBSimplifier.push`, finalised line segments are
+returned as soon as they are determined, and :meth:`~OPERBSimplifier.finish`
+flushes the trailing segment(s).  This is the natural realisation of the
+paper's one-pass claim — every data point is examined once, against a state of
+constant size — and also what a sensor on a mobile device would run.
+
+The batch convenience function :func:`operb` wraps the streaming machine for
+whole :class:`~repro.trajectory.model.Trajectory` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SimplificationError
+from ..geometry.distance import point_to_line_distance
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from .config import OperbConfig
+from .fitting import FittingState, PointOutcome
+
+__all__ = ["OperbStatistics", "OPERBSimplifier", "operb", "raw_operb"]
+
+
+@dataclass
+class OperbStatistics:
+    """Aggregate counters of a simplification run."""
+
+    points_processed: int = 0
+    segments_emitted: int = 0
+    anomalous_segments: int = 0
+    absorbed_points: int = 0
+    forced_breaks: int = 0
+    distance_computations: int = 0
+
+    def merge_fitting(self, fitting: FittingState) -> None:
+        """Fold the distance-computation counter of a finished fitting state."""
+        self.distance_computations += fitting.stats.distance_computations
+
+
+@dataclass
+class _SegmentInProgress:
+    """Book-keeping for the segment currently being grown."""
+
+    anchor: Point
+    anchor_index: int
+    fitting: FittingState
+    last_active: Point | None = None
+    last_active_index: int = -1
+    points_in_segment: int = 1
+
+
+@dataclass
+class _AbsorptionState:
+    """Book-keeping for optimisation 5 (absorbing points after a break)."""
+
+    segment: SegmentRecord
+    absorbed: int = 0
+
+
+class OPERBSimplifier:
+    """Streaming OPERB simplifier.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.core.config.OperbConfig`.  Use
+        ``OperbConfig.optimized(epsilon)`` for the paper's OPERB and
+        ``OperbConfig.raw(epsilon)`` for Raw-OPERB.
+
+    Examples
+    --------
+    >>> from repro import OperbConfig, OPERBSimplifier, Point
+    >>> simplifier = OPERBSimplifier(OperbConfig.optimized(10.0))
+    >>> emitted = []
+    >>> for i in range(100):
+    ...     emitted.extend(simplifier.push(Point(float(i), 0.0, float(i))))
+    >>> emitted.extend(simplifier.finish())
+    >>> len(emitted)
+    1
+    """
+
+    name = "operb"
+
+    def __init__(self, config: OperbConfig) -> None:
+        self.config = config
+        self.stats = OperbStatistics()
+        self._segment: _SegmentInProgress | None = None
+        self._absorption: _AbsorptionState | None = None
+        self._index = -1
+        self._previous_point: Point | None = None
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Public streaming API
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> float:
+        """The error bound this simplifier enforces."""
+        return self.config.epsilon
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Feed the next trajectory point; return any finalised segments."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        self._index += 1
+        index = self._index
+        self.stats.points_processed += 1
+        emitted: list[SegmentRecord] = []
+
+        if self._segment is None and self._absorption is None:
+            # Very first point of the stream.
+            self._start_segment(point, index)
+            self._previous_point = point
+            return emitted
+
+        if self._absorption is not None:
+            if self._try_absorb(point, index):
+                self._previous_point = point
+                return emitted
+            emitted.append(self._end_absorption())
+            # Fall through: the point is processed in the fresh segment below.
+
+        assert self._segment is not None  # for type-checkers; guaranteed above
+        self._process_in_segment(point, index, emitted)
+        self._previous_point = point
+        return emitted
+
+    def finish(self) -> list[SegmentRecord]:
+        """Flush and return the remaining segment(s); further pushes are rejected."""
+        if self._finished:
+            return []
+        self._finished = True
+        emitted: list[SegmentRecord] = []
+
+        if self._absorption is not None:
+            segment = self._absorption.segment
+            emitted.append(self._register(segment))
+            if self._index > segment.last_index and self._previous_point is not None:
+                emitted.append(
+                    self._register(
+                        SegmentRecord(
+                            start=segment.end,
+                            end=self._previous_point,
+                            first_index=segment.last_index,
+                            last_index=self._index,
+                            point_count=2,
+                        )
+                    )
+                )
+            self._absorption = None
+            return emitted
+
+        segment = self._segment
+        if segment is None:
+            return emitted
+        self.stats.merge_fitting(segment.fitting)
+        if segment.last_active is not None:
+            emitted.append(
+                self._register(
+                    SegmentRecord(
+                        start=segment.anchor,
+                        end=segment.last_active,
+                        first_index=segment.anchor_index,
+                        last_index=segment.last_active_index,
+                        # Trailing inactive points were checked against this
+                        # segment's lines, so they remain covered by it.
+                        covered_last_index=self._index,
+                    )
+                )
+            )
+            if self._index > segment.last_active_index and self._previous_point is not None:
+                emitted.append(
+                    self._register(
+                        SegmentRecord(
+                            start=segment.last_active,
+                            end=self._previous_point,
+                            first_index=segment.last_active_index,
+                            last_index=self._index,
+                        )
+                    )
+                )
+        elif self._index > segment.anchor_index and self._previous_point is not None:
+            emitted.append(
+                self._register(
+                    SegmentRecord(
+                        start=segment.anchor,
+                        end=self._previous_point,
+                        first_index=segment.anchor_index,
+                        last_index=self._index,
+                    )
+                )
+            )
+        self._segment = None
+        return emitted
+
+    def simplify(self, trajectory: Trajectory) -> PiecewiseRepresentation:
+        """Simplify a whole trajectory with this (fresh) simplifier instance."""
+        if self._index >= 0 or self._finished:
+            raise SimplificationError("simplify() requires a fresh simplifier instance")
+        segments: list[SegmentRecord] = []
+        for point in trajectory:
+            segments.extend(self.push(point))
+        segments.extend(self.finish())
+        return PiecewiseRepresentation(
+            segments=segments, source_size=len(trajectory), algorithm=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal machinery
+    # ------------------------------------------------------------------ #
+    def _register(self, segment: SegmentRecord) -> SegmentRecord:
+        """Account for an emitted segment in the run statistics."""
+        self.stats.segments_emitted += 1
+        if segment.is_anomalous:
+            self.stats.anomalous_segments += 1
+        return segment
+
+    def _start_segment(self, anchor: Point, anchor_index: int) -> None:
+        """Open a new segment anchored at ``anchor``."""
+        self._segment = _SegmentInProgress(
+            anchor=anchor,
+            anchor_index=anchor_index,
+            fitting=FittingState(anchor, self.config),
+        )
+
+    def _finalize_segment(self) -> SegmentRecord:
+        """Close the current segment, returning its record."""
+        segment = self._segment
+        if segment is None:
+            raise SimplificationError("no open segment to finalise")
+        self.stats.merge_fitting(segment.fitting)
+        if segment.last_active is not None:
+            end_point = segment.last_active
+            end_index = segment.last_active_index
+        elif self._previous_point is not None and self._index - 1 > segment.anchor_index:
+            # Extremely long runs of inactive points can exhaust the per-segment
+            # cap before any active point appears; fall back to the previous point.
+            end_point = self._previous_point
+            end_index = self._index - 1
+        else:
+            end_point = segment.anchor
+            end_index = segment.anchor_index
+        # Inactive points observed after the last active point were checked
+        # against this segment's lines (not the next segment's), so they stay
+        # error-bounded by *this* segment: record them as covered by it.
+        covered_last = max(end_index, self._index - 1)
+        record = SegmentRecord(
+            start=segment.anchor,
+            end=end_point,
+            first_index=segment.anchor_index,
+            last_index=end_index,
+            covered_last_index=covered_last,
+        )
+        self._segment = None
+        return record
+
+    def _process_in_segment(
+        self, point: Point, index: int, emitted: list[SegmentRecord]
+    ) -> None:
+        """Feed ``point`` to the open segment, closing it if necessary."""
+        segment = self._segment
+        assert segment is not None
+        cap_exceeded = segment.points_in_segment >= self.config.max_points_per_segment
+        if cap_exceeded:
+            self.stats.forced_breaks += 1
+            outcome = PointOutcome.VIOLATION
+        else:
+            outcome = segment.fitting.observe(point)
+
+        if outcome is PointOutcome.VIOLATION:
+            record = self._finalize_segment()
+            if self.config.opt_absorb_trailing_points:
+                self._absorption = _AbsorptionState(segment=record)
+                if self._try_absorb(point, index):
+                    return
+                emitted.append(self._end_absorption())
+            else:
+                emitted.append(self._register(record))
+                self._start_segment(record.end, record.last_index)
+            # The breaking point is the first point of the fresh segment; a
+            # fresh fitting state can never report a violation for it.
+            fresh = self._segment
+            assert fresh is not None
+            fresh_outcome = fresh.fitting.observe(point)
+            if fresh_outcome is PointOutcome.VIOLATION:
+                raise SimplificationError(
+                    "fresh segment rejected its first point; this is a bug"
+                )
+            if fresh_outcome is PointOutcome.ACTIVE:
+                fresh.last_active = point
+                fresh.last_active_index = index
+            fresh.points_in_segment += 1
+            return
+
+        if outcome is PointOutcome.ACTIVE:
+            segment.last_active = point
+            segment.last_active_index = index
+        segment.points_in_segment += 1
+
+    def _try_absorb(self, point: Point, index: int) -> bool:
+        """Optimisation 5: try to absorb ``point`` into the pending segment."""
+        absorption = self._absorption
+        assert absorption is not None
+        segment = absorption.segment
+        self.stats.distance_computations += 1
+        distance = point_to_line_distance(point, segment.start, segment.end)
+        if distance > self.config.epsilon:
+            return False
+        absorption.absorbed += 1
+        self.stats.absorbed_points += 1
+        absorption.segment = segment.with_point_count(
+            segment.point_count + 1
+        ).with_covered_last_index(index)
+        return True
+
+    def _end_absorption(self) -> SegmentRecord:
+        """Stop absorbing, emit the pending segment, and open the next one."""
+        absorption = self._absorption
+        assert absorption is not None
+        record = absorption.segment
+        self._absorption = None
+        self._start_segment(record.end, record.last_index)
+        return self._register(record)
+
+
+def operb(
+    trajectory: Trajectory, epsilon: float, *, config: OperbConfig | None = None
+) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with OPERB (all optimisations enabled).
+
+    Parameters
+    ----------
+    trajectory:
+        The trajectory to compress.
+    epsilon:
+        The error bound ``zeta``.
+    config:
+        Optional fully-specified configuration; when provided, ``epsilon`` is
+        ignored in favour of ``config.epsilon``.
+    """
+    if config is None:
+        config = OperbConfig.optimized(epsilon)
+    return OPERBSimplifier(config).simplify(trajectory)
+
+
+def raw_operb(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with Raw-OPERB (no optimisations, Figure 7 only)."""
+    representation = OPERBSimplifier(OperbConfig.raw(epsilon)).simplify(trajectory)
+    representation.algorithm = "raw-operb"
+    return representation

@@ -1,0 +1,197 @@
+"""OPERB-A — the aggressive one-pass simplifier with patch points (Section 5).
+
+OPERB-A runs the OPERB engine underneath and post-processes its finalised
+segments with the paper's *lazy output policy*: a segment is held back until
+it is known whether the following segment is anomalous and, if so, whether
+the anomaly can be removed by interpolating a patch point at the intersection
+of the surrounding segment lines.  Because patching never changes the line of
+any segment, OPERB-A keeps OPERB's error bound, one-pass behaviour and O(1)
+space (the buffer holds at most two segments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..exceptions import SimplificationError
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from .config import OperbAConfig, OperbConfig
+from .operb import OPERBSimplifier, OperbStatistics
+from .patching import compute_patch_point
+
+__all__ = ["OperbAStatistics", "OPERBASimplifier", "operb_a", "raw_operb_a"]
+
+
+@dataclass
+class OperbAStatistics:
+    """Patch-related counters of an OPERB-A run."""
+
+    anomalous_segments: int = 0
+    patches_applied: int = 0
+    patches_rejected: int = 0
+    rejection_reasons: dict[str, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.rejection_reasons is None:
+            self.rejection_reasons = {}
+
+    @property
+    def patching_ratio(self) -> float:
+        """``Np / Na`` — patched over encountered anomalous segments (Exp-4.1)."""
+        if self.anomalous_segments == 0:
+            return 0.0
+        return self.patches_applied / self.anomalous_segments
+
+
+class OPERBASimplifier:
+    """Streaming OPERB-A simplifier.
+
+    Parameters
+    ----------
+    config:
+        An :class:`~repro.core.config.OperbAConfig`; use
+        ``OperbAConfig.optimized(epsilon)`` for the paper's OPERB-A and
+        ``OperbAConfig.raw(epsilon)`` for Raw-OPERB-A.
+    """
+
+    name = "operb-a"
+
+    def __init__(self, config: OperbAConfig) -> None:
+        self.config = config
+        self._engine = OPERBSimplifier(config.base)
+        self._pending: list[SegmentRecord] = []
+        self.stats = OperbAStatistics()
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # Public streaming API
+    # ------------------------------------------------------------------ #
+    @property
+    def epsilon(self) -> float:
+        """The error bound this simplifier enforces."""
+        return self.config.epsilon
+
+    @property
+    def engine_stats(self) -> OperbStatistics:
+        """Statistics of the underlying OPERB engine."""
+        return self._engine.stats
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Feed the next trajectory point; return any finalised segments."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        emitted: list[SegmentRecord] = []
+        for segment in self._engine.push(point):
+            emitted.extend(self._accept(segment))
+        return emitted
+
+    def finish(self) -> list[SegmentRecord]:
+        """Flush the engine and the lazy buffer."""
+        if self._finished:
+            return []
+        emitted: list[SegmentRecord] = []
+        for segment in self._engine.finish():
+            emitted.extend(self._accept(segment))
+        emitted.extend(self._pending)
+        self._pending = []
+        self._finished = True
+        return emitted
+
+    def simplify(self, trajectory: Trajectory) -> PiecewiseRepresentation:
+        """Simplify a whole trajectory with this (fresh) simplifier instance."""
+        if self._finished or self._pending or self._engine.stats.points_processed:
+            raise SimplificationError("simplify() requires a fresh simplifier instance")
+        segments: list[SegmentRecord] = []
+        for point in trajectory:
+            segments.extend(self.push(point))
+        segments.extend(self.finish())
+        return PiecewiseRepresentation(
+            segments=segments, source_size=len(trajectory), algorithm=self.name
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lazy output policy
+    # ------------------------------------------------------------------ #
+    def _accept(self, segment: SegmentRecord) -> list[SegmentRecord]:
+        """Run one finalised segment through the lazy buffer."""
+        if segment.is_anomalous:
+            self.stats.anomalous_segments += 1
+
+        if not self._pending:
+            self._pending = [segment]
+            return []
+
+        if len(self._pending) == 1:
+            previous = self._pending[0]
+            # A segment may only be patched away when no other point relies on
+            # it for its error bound: it must represent exactly its own two
+            # endpoints and must not have absorbed any trailing points.
+            patchable = (
+                segment.is_anomalous
+                and segment.covered_last_index == segment.last_index
+                and self.config.enable_patching
+            )
+            if patchable:
+                # Hold both: the patch decision needs the *next* segment too.
+                self._pending = [previous, segment]
+                return []
+            self._pending = [segment]
+            return [previous]
+
+        previous, anomalous = self._pending
+        decision = compute_patch_point(
+            previous, segment, epsilon=self.config.epsilon, gamma_max=self.config.gamma_max
+        )
+        if decision.accepted:
+            patch = decision.patch_point
+            assert patch is not None
+            patched_previous = replace(previous, end=patch, patched_end=True)
+            patched_next = replace(segment, start=patch, patched_start=True)
+            self.stats.patches_applied += 1
+            self._pending = [patched_next]
+            return [patched_previous]
+
+        self.stats.patches_rejected += 1
+        assert self.stats.rejection_reasons is not None
+        self.stats.rejection_reasons[decision.reason] = (
+            self.stats.rejection_reasons.get(decision.reason, 0) + 1
+        )
+        self._pending = [segment]
+        return [previous, anomalous]
+
+
+def operb_a(
+    trajectory: Trajectory,
+    epsilon: float,
+    *,
+    gamma_max: float | None = None,
+    config: OperbAConfig | None = None,
+) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with OPERB-A (all optimisations + patching)."""
+    if config is None:
+        if gamma_max is None:
+            config = OperbAConfig.optimized(epsilon)
+        else:
+            config = OperbAConfig.optimized(epsilon, gamma_max=gamma_max)
+    return OPERBASimplifier(config).simplify(trajectory)
+
+
+def raw_operb_a(
+    trajectory: Trajectory, epsilon: float, *, gamma_max: float | None = None
+) -> PiecewiseRepresentation:
+    """Simplify ``trajectory`` with Raw-OPERB-A (no optimisations, patching on)."""
+    base = OperbConfig.raw(epsilon)
+    if gamma_max is None:
+        config = OperbAConfig(base=base)
+    else:
+        config = OperbAConfig(base=base, gamma_max=gamma_max)
+    representation = OPERBASimplifier(config).simplify(trajectory)
+    representation.algorithm = "raw-operb-a"
+    return representation

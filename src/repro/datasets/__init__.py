@@ -1,0 +1,34 @@
+"""Workload generation: dataset profiles, synthetic generators, GeoLife loader."""
+
+from .generator import dataset_statistics, generate_dataset, generate_trajectory
+from .geolife import geolife_available, iter_geolife_files, load_geolife, load_geolife_user
+from .noise import add_gps_noise, inject_duplicates, inject_out_of_order, inject_outliers
+from .profiles import GEOLIFE, PROFILES, SERCAR, TAXI, TRUCK, DatasetProfile, get_profile
+from .roadnet import GridRoadNetwork, road_network_trajectory
+from .synthetic import correlated_random_walk, straight_line_trajectory, waypoint_trajectory
+
+__all__ = [
+    "GEOLIFE",
+    "PROFILES",
+    "SERCAR",
+    "TAXI",
+    "TRUCK",
+    "DatasetProfile",
+    "GridRoadNetwork",
+    "add_gps_noise",
+    "correlated_random_walk",
+    "dataset_statistics",
+    "generate_dataset",
+    "generate_trajectory",
+    "geolife_available",
+    "get_profile",
+    "inject_duplicates",
+    "inject_out_of_order",
+    "inject_outliers",
+    "iter_geolife_files",
+    "load_geolife",
+    "load_geolife_user",
+    "road_network_trajectory",
+    "straight_line_trajectory",
+    "waypoint_trajectory",
+]

@@ -1,0 +1,80 @@
+"""Loading the real GeoLife corpus (when available).
+
+GeoLife (Zheng et al.) is the only public dataset in the paper's evaluation.
+It is organised as ``Data/<user-id>/Trajectory/<timestamp>.plt``.  This
+module walks that directory layout and yields projected
+:class:`~repro.trajectory.model.Trajectory` objects, so every experiment in
+:mod:`repro.experiments` can be re-run on the genuine data simply by passing
+the loaded trajectories instead of the synthetic ones.  No network access is
+performed; the corpus must already be on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from ..exceptions import DatasetError
+from ..trajectory.io import read_plt
+from ..trajectory.model import Trajectory
+
+__all__ = ["iter_geolife_files", "load_geolife_user", "load_geolife", "geolife_available"]
+
+
+def geolife_available(root: str | Path) -> bool:
+    """Whether ``root`` looks like an extracted GeoLife ``Data`` directory."""
+    root = Path(root)
+    return root.is_dir() and any(root.glob("*/Trajectory/*.plt"))
+
+
+def iter_geolife_files(root: str | Path) -> Iterator[Path]:
+    """Yield every ``.plt`` file under a GeoLife ``Data`` directory, sorted."""
+    root = Path(root)
+    if not root.is_dir():
+        raise DatasetError(f"GeoLife root directory not found: {root}")
+    yield from sorted(root.glob("*/Trajectory/*.plt"))
+
+
+def load_geolife_user(
+    root: str | Path, user_id: str, *, max_trajectories: int | None = None
+) -> list[Trajectory]:
+    """Load the trajectories of a single GeoLife user."""
+    root = Path(root)
+    user_dir = root / user_id / "Trajectory"
+    if not user_dir.is_dir():
+        raise DatasetError(f"GeoLife user directory not found: {user_dir}")
+    trajectories: list[Trajectory] = []
+    for path in sorted(user_dir.glob("*.plt")):
+        trajectories.append(read_plt(path, trajectory_id=f"{user_id}/{path.stem}"))
+        if max_trajectories is not None and len(trajectories) >= max_trajectories:
+            break
+    return trajectories
+
+
+def load_geolife(
+    root: str | Path,
+    *,
+    max_trajectories: int | None = None,
+    min_points: int = 10,
+) -> list[Trajectory]:
+    """Load GeoLife trajectories from an extracted corpus.
+
+    Parameters
+    ----------
+    root:
+        The ``Data`` directory of the extracted GeoLife archive.
+    max_trajectories:
+        Stop after this many trajectories (``None`` loads everything —
+        roughly 24 million points, so budget memory accordingly).
+    min_points:
+        Skip trajectories shorter than this.
+    """
+    trajectories: list[Trajectory] = []
+    for path in iter_geolife_files(root):
+        trajectory = read_plt(path, trajectory_id=str(path.relative_to(Path(root))))
+        if len(trajectory) < min_points:
+            continue
+        trajectories.append(trajectory)
+        if max_trajectories is not None and len(trajectories) >= max_trajectories:
+            break
+    return trajectories

@@ -1,0 +1,157 @@
+"""Imperfection injection for raw sensor feeds.
+
+The paper's introduction motivates online simplification partly by the
+messiness of raw vehicle-to-cloud feeds: duplicated points, out-of-order
+points and positioning outliers.  These helpers inject exactly those defects
+into clean synthetic trajectories so the clean-up operations in
+:mod:`repro.trajectory.operations` (and the streaming pipeline as a whole)
+can be exercised realistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..trajectory.model import Trajectory
+
+__all__ = [
+    "add_gps_noise",
+    "inject_duplicates",
+    "inject_dropouts",
+    "inject_out_of_order",
+    "inject_outliers",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def add_gps_noise(
+    trajectory: Trajectory, *, noise_std: float, seed: int | np.random.Generator | None = None
+) -> Trajectory:
+    """Add isotropic Gaussian positioning noise of ``noise_std`` metres."""
+    if noise_std < 0.0:
+        raise InvalidParameterError("noise_std must be non-negative")
+    if noise_std == 0.0 or len(trajectory) == 0:
+        return trajectory
+    rng = _rng(seed)
+    return Trajectory(
+        trajectory.xs + rng.normal(0.0, noise_std, size=len(trajectory)),
+        trajectory.ys + rng.normal(0.0, noise_std, size=len(trajectory)),
+        trajectory.ts,
+        trajectory_id=trajectory.trajectory_id,
+    )
+
+
+def inject_duplicates(
+    trajectory: Trajectory, *, fraction: float = 0.05, seed: int | np.random.Generator | None = None
+) -> Trajectory:
+    """Duplicate a random ``fraction`` of points (same position and timestamp)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError("fraction must lie in [0, 1]")
+    n = len(trajectory)
+    if n == 0 or fraction == 0.0:
+        return trajectory
+    rng = _rng(seed)
+    count = max(1, int(round(fraction * n)))
+    positions = np.sort(rng.choice(n, size=count, replace=False))
+    xs = trajectory.xs.tolist()
+    ys = trajectory.ys.tolist()
+    ts = trajectory.ts.tolist()
+    for offset, position in enumerate(positions):
+        insert_at = int(position) + offset + 1
+        xs.insert(insert_at, xs[insert_at - 1])
+        ys.insert(insert_at, ys[insert_at - 1])
+        ts.insert(insert_at, ts[insert_at - 1])
+    return Trajectory(xs, ys, ts, trajectory_id=trajectory.trajectory_id)
+
+
+def inject_out_of_order(
+    trajectory: Trajectory, *, swaps: int = 5, seed: int | np.random.Generator | None = None
+) -> Trajectory:
+    """Swap ``swaps`` random adjacent pairs so timestamps are locally out of order."""
+    if swaps < 0:
+        raise InvalidParameterError("swaps must be non-negative")
+    n = len(trajectory)
+    if n < 2 or swaps == 0:
+        return trajectory
+    rng = _rng(seed)
+    xs = trajectory.xs.copy()
+    ys = trajectory.ys.copy()
+    ts = trajectory.ts.copy()
+    for _ in range(swaps):
+        index = int(rng.integers(0, n - 1))
+        xs[[index, index + 1]] = xs[[index + 1, index]]
+        ys[[index, index + 1]] = ys[[index + 1, index]]
+        ts[[index, index + 1]] = ts[[index + 1, index]]
+    return Trajectory(xs, ys, ts, trajectory_id=trajectory.trajectory_id, require_monotonic_time=False)
+
+
+def inject_dropouts(
+    trajectory: Trajectory,
+    *,
+    rate: float = 0.01,
+    min_length: int = 3,
+    max_length: int = 15,
+    seed: int | np.random.Generator | None = None,
+) -> Trajectory:
+    """Remove random runs of points, emulating GPS signal loss.
+
+    Real fleet data loses fixes in tunnels and urban canyons, which leaves
+    long jumps between otherwise densely sampled points; those jumps are a
+    major source of the anomalous line segments OPERB-A patches.  ``rate`` is
+    the per-point probability of *starting* a dropout of ``min_length`` to
+    ``max_length`` samples.  The first and last points are always kept.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise InvalidParameterError("rate must lie in [0, 1]")
+    if min_length < 1 or max_length < min_length:
+        raise InvalidParameterError("dropout lengths must satisfy 1 <= min <= max")
+    n = len(trajectory)
+    if n < 3 or rate == 0.0:
+        return trajectory
+    rng = _rng(seed)
+    keep = np.ones(n, dtype=bool)
+    index = 1
+    while index < n - 1:
+        if rng.random() < rate:
+            length = int(rng.integers(min_length, max_length + 1))
+            keep[index : min(index + length, n - 1)] = False
+            index += length
+        index += 1
+    return Trajectory(
+        trajectory.xs[keep],
+        trajectory.ys[keep],
+        trajectory.ts[keep],
+        trajectory_id=trajectory.trajectory_id,
+    )
+
+
+def inject_outliers(
+    trajectory: Trajectory,
+    *,
+    fraction: float = 0.01,
+    magnitude: float = 500.0,
+    seed: int | np.random.Generator | None = None,
+) -> Trajectory:
+    """Displace a random ``fraction`` of points by roughly ``magnitude`` metres."""
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParameterError("fraction must lie in [0, 1]")
+    if magnitude < 0.0:
+        raise InvalidParameterError("magnitude must be non-negative")
+    n = len(trajectory)
+    if n == 0 or fraction == 0.0 or magnitude == 0.0:
+        return trajectory
+    rng = _rng(seed)
+    count = max(1, int(round(fraction * n)))
+    indices = rng.choice(n, size=count, replace=False)
+    xs = trajectory.xs.copy()
+    ys = trajectory.ys.copy()
+    angles = rng.uniform(0.0, 2.0 * np.pi, size=count)
+    xs[indices] += magnitude * np.cos(angles)
+    ys[indices] += magnitude * np.sin(angles)
+    return Trajectory(xs, ys, trajectory.ts, trajectory_id=trajectory.trajectory_id)

@@ -1,0 +1,212 @@
+"""Synthetic trajectory generators.
+
+Two building blocks are provided:
+
+* :func:`correlated_random_walk` — a Gauss–Markov style mobility model with a
+  persistent heading, speed jitter and occasional sharp turns.  This captures
+  free movement (GeoLife walking segments, highway driving).
+* :func:`waypoint_trajectory` — movement along an explicit sequence of
+  waypoints at piecewise-constant speed, used by the road-network simulator.
+
+Both return :class:`~repro.trajectory.model.Trajectory` objects in metres
+with realistic timestamps, and both accept a seeded NumPy generator so that
+every experiment in this repository is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..trajectory.model import Trajectory
+
+__all__ = ["correlated_random_walk", "waypoint_trajectory", "straight_line_trajectory"]
+
+
+def _as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed or generator into a NumPy generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def correlated_random_walk(
+    n_points: int,
+    *,
+    sampling_interval: float | tuple[float, float] = 5.0,
+    speed_range: tuple[float, float] = (2.0, 15.0),
+    heading_volatility: float = 0.08,
+    turn_probability: float = 0.02,
+    turn_magnitude: float = math.pi / 2.0,
+    noise_std: float = 3.0,
+    start: tuple[float, float] = (0.0, 0.0),
+    seed: int | np.random.Generator | None = None,
+    trajectory_id: str = "",
+) -> Trajectory:
+    """Generate a correlated-random-walk trajectory.
+
+    Parameters
+    ----------
+    n_points:
+        Number of samples to produce (must be >= 1).
+    sampling_interval:
+        Either a fixed interval in seconds or a ``(low, high)`` range sampled
+        uniformly per step, mirroring the variable sampling rates of the
+        paper's datasets.
+    speed_range:
+        ``(low, high)`` speed range in metres/second; the speed follows a
+        mean-reverting walk inside this range.
+    heading_volatility:
+        Standard deviation (radians) of the per-step heading perturbation.
+    turn_probability:
+        Per-step probability of a sharp turn (e.g. a junction).
+    turn_magnitude:
+        Maximum magnitude of a sharp turn in radians.
+    noise_std:
+        Standard deviation of the additive GPS noise in metres.
+    """
+    if n_points < 1:
+        raise InvalidParameterError("n_points must be at least 1")
+    rng = _as_rng(seed)
+    if isinstance(sampling_interval, tuple):
+        low, high = sampling_interval
+        intervals = rng.uniform(low, high, size=max(0, n_points - 1))
+    else:
+        intervals = np.full(max(0, n_points - 1), float(sampling_interval))
+
+    speed_low, speed_high = speed_range
+    if speed_low <= 0.0 or speed_high < speed_low:
+        raise InvalidParameterError("speed_range must satisfy 0 < low <= high")
+
+    xs = np.empty(n_points)
+    ys = np.empty(n_points)
+    ts = np.empty(n_points)
+    xs[0], ys[0] = start
+    ts[0] = 0.0
+
+    heading = rng.uniform(0.0, 2.0 * math.pi)
+    speed = rng.uniform(speed_low, speed_high)
+    mid_speed = 0.5 * (speed_low + speed_high)
+
+    for index in range(1, n_points):
+        dt = intervals[index - 1]
+        heading += rng.normal(0.0, heading_volatility)
+        if rng.random() < turn_probability:
+            heading += rng.uniform(-turn_magnitude, turn_magnitude)
+        # Mean-reverting speed walk clipped to the admissible range.
+        speed += 0.2 * (mid_speed - speed) + rng.normal(0.0, 0.1 * (speed_high - speed_low))
+        speed = float(np.clip(speed, speed_low, speed_high))
+        xs[index] = xs[index - 1] + speed * dt * math.cos(heading)
+        ys[index] = ys[index - 1] + speed * dt * math.sin(heading)
+        ts[index] = ts[index - 1] + dt
+
+    if noise_std > 0.0:
+        xs += rng.normal(0.0, noise_std, size=n_points)
+        ys += rng.normal(0.0, noise_std, size=n_points)
+
+    return Trajectory(xs, ys, ts, trajectory_id=trajectory_id)
+
+
+def waypoint_trajectory(
+    waypoints: Sequence[tuple[float, float]],
+    *,
+    sampling_interval: float | tuple[float, float] = 5.0,
+    speed_range: tuple[float, float] = (5.0, 15.0),
+    noise_std: float = 3.0,
+    n_points: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    trajectory_id: str = "",
+) -> Trajectory:
+    """Generate a trajectory travelling through ``waypoints`` in order.
+
+    The object moves along the polyline at a speed redrawn per leg from
+    ``speed_range``; samples are taken every ``sampling_interval`` seconds
+    *in time*, so a sample generally does **not** fall exactly on a corner —
+    which is what makes line simplification of such routes non-trivial.  When
+    ``n_points`` is given, sampling stops once that many points were produced
+    (the route may be truncated); otherwise sampling continues to the final
+    waypoint.
+    """
+    if len(waypoints) < 2:
+        raise InvalidParameterError("waypoint_trajectory needs at least two waypoints")
+    rng = _as_rng(seed)
+    speed_low, speed_high = speed_range
+    if speed_low <= 0.0 or speed_high < speed_low:
+        raise InvalidParameterError("speed_range must satisfy 0 < low <= high")
+
+    xs: list[float] = []
+    ys: list[float] = []
+    ts: list[float] = []
+
+    def next_interval() -> float:
+        if isinstance(sampling_interval, tuple):
+            return float(rng.uniform(sampling_interval[0], sampling_interval[1]))
+        return float(sampling_interval)
+
+    position = np.array(waypoints[0], dtype=float)
+    clock = 0.0
+    xs.append(float(position[0]))
+    ys.append(float(position[1]))
+    ts.append(clock)
+
+    leg_index = 0
+    leg_speed = float(rng.uniform(speed_low, speed_high))
+    route_finished = False
+    while not route_finished and (n_points is None or len(xs) < n_points):
+        dt = next_interval()
+        clock += dt
+        travel = leg_speed * dt
+        # Advance along the polyline, possibly crossing one or more corners
+        # within a single sampling step.
+        while travel > 0.0:
+            if leg_index >= len(waypoints) - 1:
+                route_finished = True
+                break
+            target = np.array(waypoints[leg_index + 1], dtype=float)
+            remaining_vec = target - position
+            remaining = float(np.hypot(remaining_vec[0], remaining_vec[1]))
+            if travel >= remaining:
+                position = target
+                travel -= remaining
+                leg_index += 1
+                leg_speed = float(rng.uniform(speed_low, speed_high))
+            else:
+                position = position + remaining_vec / remaining * travel
+                travel = 0.0
+        xs.append(float(position[0]))
+        ys.append(float(position[1]))
+        ts.append(clock)
+
+    xs_arr = np.array(xs)
+    ys_arr = np.array(ys)
+    ts_arr = np.array(ts)
+    if n_points is not None:
+        xs_arr = xs_arr[:n_points]
+        ys_arr = ys_arr[:n_points]
+        ts_arr = ts_arr[:n_points]
+    if noise_std > 0.0:
+        xs_arr = xs_arr + rng.normal(0.0, noise_std, size=xs_arr.shape[0])
+        ys_arr = ys_arr + rng.normal(0.0, noise_std, size=ys_arr.shape[0])
+    return Trajectory(xs_arr, ys_arr, ts_arr, trajectory_id=trajectory_id)
+
+
+def straight_line_trajectory(
+    n_points: int,
+    *,
+    spacing: float = 10.0,
+    sampling_interval: float = 1.0,
+    heading: float = 0.0,
+    start: tuple[float, float] = (0.0, 0.0),
+    trajectory_id: str = "",
+) -> Trajectory:
+    """A noiseless straight-line trajectory (handy for tests and examples)."""
+    if n_points < 1:
+        raise InvalidParameterError("n_points must be at least 1")
+    steps = np.arange(n_points, dtype=float)
+    xs = start[0] + steps * spacing * math.cos(heading)
+    ys = start[1] + steps * spacing * math.sin(heading)
+    ts = steps * sampling_interval
+    return Trajectory(xs, ys, ts, trajectory_id=trajectory_id)

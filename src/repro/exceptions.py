@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+everything raised by this package with a single ``except`` clause while still
+being able to distinguish finer-grained failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidTrajectoryError",
+    "InvalidParameterError",
+    "SimplificationError",
+    "DatasetError",
+    "ExperimentError",
+    "UnknownAlgorithmError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidTrajectoryError(ReproError, ValueError):
+    """A trajectory violates a structural requirement.
+
+    Raised, for example, when coordinate arrays have mismatched lengths,
+    contain non-finite values, or timestamps are not monotonically
+    non-decreasing where monotonicity is required.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain.
+
+    Typical causes are a non-positive error bound ``zeta`` or an angle
+    parameter outside ``[0, pi]``.
+    """
+
+
+class SimplificationError(ReproError, RuntimeError):
+    """An algorithm reached an internally inconsistent state.
+
+    This signals a bug in the library rather than bad user input; it should
+    never be raised during normal operation.
+    """
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run failed."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """The requested algorithm name is not present in the registry."""

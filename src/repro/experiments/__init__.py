@@ -1,0 +1,69 @@
+"""Experiment harness: one module per table/figure of the paper's Section 6.
+
+``EXPERIMENTS`` maps experiment identifiers to their ``run`` callables; the
+CLI (``repro-traj experiment``) and ``examples/reproduce_paper.py`` drive the
+whole suite through this registry.
+"""
+
+from typing import Callable
+
+from . import (
+    fig12_efficiency_size,
+    fig13_efficiency_epsilon,
+    fig14_optimization_efficiency,
+    fig15_compression_epsilon,
+    fig16_optimization_compression,
+    fig17_segment_distribution,
+    fig18_average_error,
+    fig19_patching,
+    table1,
+)
+from .runner import (
+    DATASET_ORDER,
+    OPTIMIZATION_PAIRS,
+    PAPER_ALGORITHMS,
+    ExperimentResult,
+    TimedRun,
+    run_algorithm,
+    time_algorithm,
+)
+from .workloads import DEFAULT_SCALE, LARGE_SCALE, SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = [
+    "DATASET_ORDER",
+    "DEFAULT_SCALE",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "LARGE_SCALE",
+    "OPTIMIZATION_PAIRS",
+    "PAPER_ALGORITHMS",
+    "SMALL_SCALE",
+    "TimedRun",
+    "WorkloadScale",
+    "fig12_efficiency_size",
+    "fig13_efficiency_epsilon",
+    "fig14_optimization_efficiency",
+    "fig15_compression_epsilon",
+    "fig16_optimization_compression",
+    "fig17_segment_distribution",
+    "fig18_average_error",
+    "fig19_patching",
+    "run_algorithm",
+    "standard_datasets",
+    "table1",
+    "time_algorithm",
+]
+
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "table1": table1.run,
+    "fig12": fig12_efficiency_size.run,
+    "fig13": fig13_efficiency_epsilon.run,
+    "fig14": fig14_optimization_efficiency.run,
+    "fig15": fig15_compression_epsilon.run,
+    "fig16": fig16_optimization_compression.run,
+    "fig17": fig17_segment_distribution.run,
+    "fig18": fig18_average_error.run,
+    "fig19-1": fig19_patching.run_patching_vs_epsilon,
+    "fig19-2": fig19_patching.run_patching_vs_gamma,
+}
+"""Registry of every reproducible table/figure, keyed by experiment id."""

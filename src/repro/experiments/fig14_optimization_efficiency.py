@@ -1,0 +1,66 @@
+"""Figure 14 (Exp-1.3) — run-time impact of the optimisation techniques.
+
+The paper compares OPERB against Raw-OPERB and OPERB-A against Raw-OPERB-A
+while varying ``zeta``, and finds the optimisations have only a limited
+impact on running time (within tens of percent either way).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..trajectory.model import Trajectory
+from .runner import OPTIMIZATION_PAIRS, ExperimentResult, time_algorithm
+from .workloads import SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig14"
+TITLE = "Run-time impact of the optimisation techniques"
+
+DEFAULT_EPSILONS = (10.0, 40.0, 100.0)
+
+
+def run(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+    repeats: int = 1,
+) -> ExperimentResult:
+    """Measure raw vs. optimised running times."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "dataset",
+            "epsilon",
+            "pair",
+            "raw seconds",
+            "optimised seconds",
+            "raw / optimised (%)",
+        ],
+        parameters={"epsilons": list(epsilons), "seed": seed},
+    )
+    for dataset, fleet in datasets.items():
+        for epsilon in epsilons:
+            for raw_name, optimised_name in OPTIMIZATION_PAIRS:
+                raw = time_algorithm(raw_name, fleet, epsilon, repeats=repeats)
+                optimised = time_algorithm(optimised_name, fleet, epsilon, repeats=repeats)
+                ratio = (
+                    100.0 * raw.seconds / optimised.seconds if optimised.seconds > 0.0 else 0.0
+                )
+                result.add_row(
+                    dataset=dataset,
+                    epsilon=epsilon,
+                    pair=f"{raw_name} vs {optimised_name}",
+                    **{
+                        "raw seconds": round(raw.seconds, 4),
+                        "optimised seconds": round(optimised.seconds, 4),
+                        "raw / optimised (%)": round(ratio, 1),
+                    },
+                )
+    return result

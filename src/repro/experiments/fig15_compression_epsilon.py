@@ -1,0 +1,72 @@
+"""Figure 15 (Exp-2.1) — compression ratio versus the error bound.
+
+The paper varies ``zeta`` from 5 m to 100 m and reports the compression
+ratio (segments / points, lower is better) of DP, FBQS, OPERB and OPERB-A.
+Expected shape: ratios drop as ``zeta`` grows; Taxi compresses worst (lowest
+sampling rate) and GeoLife best; OPERB is comparable with DP and FBQS;
+OPERB-A has the best (lowest) ratio almost everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.compression import fleet_compression_ratio
+from ..trajectory.model import Trajectory
+from .runner import PAPER_ALGORITHMS, ExperimentResult, run_algorithm
+from .workloads import SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig15"
+TITLE = "Compression ratio vs. error bound zeta"
+
+DEFAULT_EPSILONS = (5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+
+
+def run(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> ExperimentResult:
+    """Measure compression ratios as a function of the error bound."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "dataset",
+            "epsilon",
+            "algorithm",
+            "segments",
+            "compression ratio",
+            "ratio vs dp (%)",
+        ],
+        parameters={"epsilons": list(epsilons), "seed": seed},
+    )
+    for dataset, fleet in datasets.items():
+        for epsilon in epsilons:
+            ratios: dict[str, float] = {}
+            for algorithm in algorithms:
+                representations = run_algorithm(algorithm, fleet, epsilon)
+                ratio = fleet_compression_ratio(representations)
+                ratios[algorithm] = ratio
+                result.add_row(
+                    dataset=dataset,
+                    epsilon=epsilon,
+                    algorithm=algorithm,
+                    segments=sum(r.n_segments for r in representations),
+                    **{"compression ratio": round(ratio, 5), "ratio vs dp (%)": None},
+                )
+            dp_ratio = ratios.get("dp")
+            if dp_ratio:
+                for row in result.rows:
+                    if row["dataset"] == dataset and row["epsilon"] == epsilon:
+                        algorithm_ratio = ratios.get(str(row["algorithm"]))
+                        if algorithm_ratio is not None:
+                            row["ratio vs dp (%)"] = round(100.0 * algorithm_ratio / dp_ratio, 1)
+    return result

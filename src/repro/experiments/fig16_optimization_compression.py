@@ -1,0 +1,67 @@
+"""Figure 16 (Exp-2.2) — compression-ratio impact of the optimisations.
+
+The paper compares OPERB with Raw-OPERB and OPERB-A with Raw-OPERB-A over
+``zeta`` in 5–100 m.  Expected shape: the optimisations improve (lower) the
+compression ratio substantially — OPERB reaches roughly 58–88% of Raw-OPERB
+depending on the dataset — and their impact grows with ``zeta``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.compression import fleet_compression_ratio
+from ..trajectory.model import Trajectory
+from .runner import OPTIMIZATION_PAIRS, ExperimentResult, run_algorithm
+from .workloads import SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig16"
+TITLE = "Compression-ratio impact of the optimisation techniques"
+
+DEFAULT_EPSILONS = (5.0, 10.0, 40.0, 100.0)
+
+
+def run(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> ExperimentResult:
+    """Measure raw vs. optimised compression ratios."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "dataset",
+            "epsilon",
+            "pair",
+            "raw ratio",
+            "optimised ratio",
+            "optimised / raw (%)",
+        ],
+        parameters={"epsilons": list(epsilons), "seed": seed},
+    )
+    for dataset, fleet in datasets.items():
+        for epsilon in epsilons:
+            for raw_name, optimised_name in OPTIMIZATION_PAIRS:
+                raw_ratio = fleet_compression_ratio(run_algorithm(raw_name, fleet, epsilon))
+                optimised_ratio = fleet_compression_ratio(
+                    run_algorithm(optimised_name, fleet, epsilon)
+                )
+                relative = 100.0 * optimised_ratio / raw_ratio if raw_ratio > 0.0 else 0.0
+                result.add_row(
+                    dataset=dataset,
+                    epsilon=epsilon,
+                    pair=f"{optimised_name} vs {raw_name}",
+                    **{
+                        "raw ratio": round(raw_ratio, 5),
+                        "optimised ratio": round(optimised_ratio, 5),
+                        "optimised / raw (%)": round(relative, 1),
+                    },
+                )
+    return result

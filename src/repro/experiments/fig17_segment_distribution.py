@@ -1,0 +1,54 @@
+"""Figure 17 (Exp-2.3) — distribution of points per line segment.
+
+For a fixed ``zeta`` of 40 m, the paper counts, for every algorithm, how many
+output segments contain exactly ``k`` original points (``Z(k)``).  Expected
+shape: DP and OPERB-A produce more heavy segments (large ``k``) than FBQS and
+OPERB; OPERB produces the largest number of anomalous (two-point) segments,
+most of which OPERB-A removes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.distribution import distribution_to_rows, merge_distributions, segment_size_distribution
+from ..trajectory.model import Trajectory
+from .runner import PAPER_ALGORITHMS, ExperimentResult, run_algorithm
+from .workloads import SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig17"
+TITLE = "Distribution Z(k) of points per line segment (zeta = 40 m)"
+
+DEFAULT_MAX_K = 20
+
+
+def run(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    epsilon: float = 40.0,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    max_k: int = DEFAULT_MAX_K,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> ExperimentResult:
+    """Compute the Z(k) histogram per dataset and algorithm."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=["dataset", "algorithm", "k", "Z(k)"],
+        parameters={"epsilon": epsilon, "max_k": max_k, "seed": seed},
+        notes=f"The final bucket (k = {max_k}) accumulates all heavier segments.",
+    )
+    for dataset, fleet in datasets.items():
+        for algorithm in algorithms:
+            representations = run_algorithm(algorithm, fleet, epsilon)
+            distribution = merge_distributions(
+                segment_size_distribution(representation) for representation in representations
+            )
+            for k, count in distribution_to_rows(distribution, max_k=max_k):
+                result.add_row(dataset=dataset, algorithm=algorithm, k=k, **{"Z(k)": count})
+    return result

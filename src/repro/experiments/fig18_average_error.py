@@ -1,0 +1,66 @@
+"""Figure 18 (Exp-3) — average error versus the error bound.
+
+For ``zeta`` from 5 m to 100 m the paper reports the average distance of each
+original point to the line segment that represents it.  Expected shape: the
+average error grows with ``zeta`` and always stays well below it; datasets
+with better compression ratios (Taxi) show lower average errors; OPERB and
+OPERB-A have essentially identical errors (patching adds none).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..metrics.summary import evaluate_fleet
+from ..trajectory.model import Trajectory
+from .runner import PAPER_ALGORITHMS, ExperimentResult, run_algorithm
+from .workloads import SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig18"
+TITLE = "Average error vs. error bound zeta"
+
+DEFAULT_EPSILONS = (5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+
+
+def run(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    algorithms: Sequence[str] = PAPER_ALGORITHMS,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> ExperimentResult:
+    """Measure the average (and maximum) error as a function of ``zeta``."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=[
+            "dataset",
+            "epsilon",
+            "algorithm",
+            "average error",
+            "max error",
+            "bound satisfied",
+        ],
+        parameters={"epsilons": list(epsilons), "seed": seed},
+    )
+    for dataset, fleet in datasets.items():
+        for epsilon in epsilons:
+            for algorithm in algorithms:
+                representations = run_algorithm(algorithm, fleet, epsilon)
+                report = evaluate_fleet(fleet, representations, epsilon)
+                result.add_row(
+                    dataset=dataset,
+                    epsilon=epsilon,
+                    algorithm=algorithm,
+                    **{
+                        "average error": round(report.average_error, 3),
+                        "max error": round(report.max_error, 3),
+                        "bound satisfied": report.error_bound_satisfied,
+                    },
+                )
+    return result

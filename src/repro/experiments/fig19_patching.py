@@ -1,0 +1,121 @@
+"""Figure 19 (Exp-4.1 / Exp-4.2) — trajectory interpolation (patching).
+
+Two sweeps:
+
+* **Exp-4.1** varies ``zeta`` (10–100 m) at the default ``gamma_m = pi/3``
+  and reports the patching ratio ``Np / Na`` — the fraction of anomalous
+  segments OPERB-A successfully removes with a patch point.
+* **Exp-4.2** varies ``gamma_m`` from 0 to 180 degrees at ``zeta = 40 m``.
+  Expected shape: the patching ratio decreases as ``gamma_m`` grows (a larger
+  ``gamma_m`` forbids larger direction changes), with the steepest drop once
+  ``gamma_m`` passes the typical street-corner angle of the dataset.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..core.config import OperbAConfig
+from ..core.operb_a import OPERBASimplifier
+from ..metrics.patching import aggregate_patching
+from ..trajectory.model import Trajectory
+from .runner import ExperimentResult
+from .workloads import SMALL_SCALE, WorkloadScale, standard_datasets
+
+__all__ = ["run_patching_vs_epsilon", "run_patching_vs_gamma", "run"]
+
+EXPERIMENT_ID_EPSILON = "fig19-1"
+EXPERIMENT_ID_GAMMA = "fig19-2"
+
+DEFAULT_EPSILONS = (10.0, 20.0, 40.0, 60.0, 80.0, 100.0)
+DEFAULT_GAMMAS_DEG = (0.0, 30.0, 60.0, 75.0, 90.0, 105.0, 120.0, 145.0, 180.0)
+
+
+def _fleet_patching(fleet: Sequence[Trajectory], epsilon: float, gamma_max: float):
+    """Run OPERB-A over a fleet and aggregate its patch statistics."""
+    stats = []
+    for trajectory in fleet:
+        simplifier = OPERBASimplifier(OperbAConfig.optimized(epsilon, gamma_max=gamma_max))
+        simplifier.simplify(trajectory)
+        stats.append(simplifier.stats)
+    return aggregate_patching(stats)
+
+
+def run_patching_vs_epsilon(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    gamma_max: float = math.pi / 3.0,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> ExperimentResult:
+    """Exp-4.1: patching ratio as a function of the error bound."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID_EPSILON,
+        title="Patching ratio vs. error bound (gamma_m = pi/3)",
+        columns=["dataset", "epsilon", "anomalous (Na)", "patched (Np)", "patching ratio (%)"],
+        parameters={"gamma_max_deg": round(math.degrees(gamma_max), 1), "seed": seed},
+    )
+    for dataset, fleet in datasets.items():
+        for epsilon in epsilons:
+            summary = _fleet_patching(fleet, epsilon, gamma_max)
+            result.add_row(
+                dataset=dataset,
+                epsilon=epsilon,
+                **{
+                    "anomalous (Na)": summary.anomalous_segments,
+                    "patched (Np)": summary.patches_applied,
+                    "patching ratio (%)": round(100.0 * summary.patching_ratio, 1),
+                },
+            )
+    return result
+
+
+def run_patching_vs_gamma(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    gammas_deg: Sequence[float] = DEFAULT_GAMMAS_DEG,
+    epsilon: float = 40.0,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> ExperimentResult:
+    """Exp-4.2: patching ratio as a function of ``gamma_m``."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID_GAMMA,
+        title="Patching ratio vs. gamma_m (zeta = 40 m)",
+        columns=["dataset", "gamma_m (deg)", "anomalous (Na)", "patched (Np)", "patching ratio (%)"],
+        parameters={"epsilon": epsilon, "seed": seed},
+    )
+    for dataset, fleet in datasets.items():
+        for gamma_deg in gammas_deg:
+            summary = _fleet_patching(fleet, epsilon, math.radians(gamma_deg))
+            result.add_row(
+                dataset=dataset,
+                **{
+                    "gamma_m (deg)": gamma_deg,
+                    "anomalous (Na)": summary.anomalous_segments,
+                    "patched (Np)": summary.patches_applied,
+                    "patching ratio (%)": round(100.0 * summary.patching_ratio, 1),
+                },
+            )
+    return result
+
+
+def run(
+    datasets: dict[str, list[Trajectory]] | None = None,
+    *,
+    scale: WorkloadScale = SMALL_SCALE,
+    seed: int = 2017,
+) -> list[ExperimentResult]:
+    """Run both patching sweeps (Exp-4.1 and Exp-4.2)."""
+    if datasets is None:
+        datasets = standard_datasets(scale, seed=seed)
+    return [
+        run_patching_vs_epsilon(datasets, seed=seed),
+        run_patching_vs_gamma(datasets, seed=seed),
+    ]

@@ -1,0 +1,51 @@
+"""Rendering helpers for experiment results (plain text and markdown)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_cell", "format_text_table", "format_markdown_table"]
+
+
+def format_cell(value: object) -> str:
+    """Human-friendly formatting of one table cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000.0:
+            return f"{value:,.0f}"
+        if magnitude >= 1.0:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_text_table(columns: Sequence[str], rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as an aligned, pipe-free plain-text table."""
+    rendered = [[format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered)) if rendered else len(str(column))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = [
+        "  ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def format_markdown_table(columns: Sequence[str], rows: Sequence[Mapping[str, object]]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    header = "| " + " | ".join(str(column) for column in columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = [
+        "| " + " | ".join(format_cell(row.get(column)) for column in columns) + " |"
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])

@@ -1,0 +1,65 @@
+"""Workload construction shared by every experiment.
+
+The paper runs its evaluation over four GPS corpora; this module synthesises
+laptop-scale stand-ins for them (see ``DESIGN.md`` for the substitution
+rationale).  A :class:`WorkloadScale` bundles the fleet size so benchmarks can
+run a small scale quickly while ``examples/reproduce_paper.py`` runs a larger
+one.  Users with the real GeoLife corpus can build the same mapping from
+:func:`repro.datasets.load_geolife` and pass it to any experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.generator import generate_dataset
+from ..datasets.profiles import PROFILES
+from ..trajectory.model import Trajectory
+from .runner import DATASET_ORDER
+
+__all__ = ["WorkloadScale", "SMALL_SCALE", "DEFAULT_SCALE", "LARGE_SCALE", "standard_datasets"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadScale:
+    """Size of the synthetic evaluation workload."""
+
+    name: str
+    n_trajectories: int
+    points_per_trajectory: int
+
+    @property
+    def total_points(self) -> int:
+        """Total number of points per dataset at this scale."""
+        return self.n_trajectories * self.points_per_trajectory
+
+
+SMALL_SCALE = WorkloadScale("small", n_trajectories=2, points_per_trajectory=2_000)
+"""Fast scale used by the pytest benchmarks (seconds per experiment)."""
+
+DEFAULT_SCALE = WorkloadScale("default", n_trajectories=5, points_per_trajectory=5_000)
+"""Scale used by ``examples/reproduce_paper.py`` (a few minutes in total)."""
+
+LARGE_SCALE = WorkloadScale("large", n_trajectories=20, points_per_trajectory=10_000)
+"""Closer-to-paper scale for users who want to let the sweep run longer."""
+
+
+def standard_datasets(
+    scale: WorkloadScale = SMALL_SCALE, *, seed: int = 2017
+) -> dict[str, list[Trajectory]]:
+    """Synthesise the four evaluation datasets at the requested scale.
+
+    Returns a mapping ``{"Taxi": [...], "Truck": [...], ...}`` in the paper's
+    presentation order.  The seed defaults to the paper's publication year so
+    every experiment in the repository shares one reproducible workload.
+    """
+    datasets: dict[str, list[Trajectory]] = {}
+    for offset, name in enumerate(DATASET_ORDER):
+        profile = PROFILES[name.lower()]
+        datasets[name] = generate_dataset(
+            profile,
+            n_trajectories=scale.n_trajectories,
+            points_per_trajectory=scale.points_per_trajectory,
+            seed=seed + offset,
+        )
+    return datasets

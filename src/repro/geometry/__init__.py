@@ -1,0 +1,64 @@
+"""Planar and geodetic geometry primitives used by every other subsystem.
+
+The public surface mirrors the notation of the paper (Section 3.1): points,
+directed line segments ``(Ps, |L|, L.theta)``, included angles and the
+point-to-line distance ``d(P, L)``.
+"""
+
+from .angles import (
+    TWO_PI,
+    angle_between_directions,
+    angle_of,
+    degrees_to_radians,
+    included_angle,
+    normalize_angle,
+    normalize_signed_angle,
+    opposite_angle,
+    radians_to_degrees,
+)
+from .clipping import bounding_box_polygon, clip_box_with_wedge, clip_polygon_halfplane
+from .distance import (
+    max_distance_to_line,
+    point_to_anchored_line_distance,
+    point_to_line_distance,
+    point_to_segment_distance,
+    points_sed_distance,
+    points_to_line_distance,
+    points_to_segment_distance,
+    synchronized_euclidean_distance,
+)
+from .intersection import intersect_lines, intersect_point_directions, project_onto_direction
+from .point import Point
+from .projection import EARTH_RADIUS_M, LocalProjection, haversine_distance
+from .segment import DirectedSegment
+
+__all__ = [
+    "TWO_PI",
+    "EARTH_RADIUS_M",
+    "Point",
+    "DirectedSegment",
+    "LocalProjection",
+    "angle_of",
+    "angle_between_directions",
+    "bounding_box_polygon",
+    "clip_box_with_wedge",
+    "clip_polygon_halfplane",
+    "degrees_to_radians",
+    "haversine_distance",
+    "included_angle",
+    "intersect_lines",
+    "intersect_point_directions",
+    "max_distance_to_line",
+    "normalize_angle",
+    "normalize_signed_angle",
+    "opposite_angle",
+    "point_to_anchored_line_distance",
+    "point_to_line_distance",
+    "point_to_segment_distance",
+    "points_sed_distance",
+    "points_to_line_distance",
+    "points_to_segment_distance",
+    "project_onto_direction",
+    "radians_to_degrees",
+    "synchronized_euclidean_distance",
+]

@@ -1,0 +1,110 @@
+"""Angle arithmetic used throughout the line-simplification algorithms.
+
+The paper (Section 3.1) represents a directed line segment as the triple
+``(Ps, |L|, L.theta)`` where ``L.theta`` is the angle of the segment with the
+x-axis, taken in ``[0, 2*pi)``.  Included angles between two segments sharing
+a start point live in ``(-2*pi, 2*pi)``.  The helpers in this module keep
+those conventions in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "TWO_PI",
+    "normalize_angle",
+    "normalize_signed_angle",
+    "included_angle",
+    "angle_of",
+    "angle_between_directions",
+    "opposite_angle",
+    "degrees_to_radians",
+    "radians_to_degrees",
+]
+
+TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Normalize an angle to the interval ``[0, 2*pi)``.
+
+    Parameters
+    ----------
+    theta:
+        Angle in radians, any finite value.
+
+    Returns
+    -------
+    float
+        The equivalent angle in ``[0, 2*pi)``.
+    """
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    # Guard against the fmod result landing exactly on 2*pi after the add.
+    if theta >= TWO_PI:
+        theta -= TWO_PI
+    return theta
+
+
+def normalize_signed_angle(theta: float) -> float:
+    """Normalize an angle to the symmetric interval ``(-pi, pi]``.
+
+    This form is convenient for reasoning about turns: a positive value is a
+    counter-clockwise turn, a negative value a clockwise turn.
+    """
+    theta = math.fmod(theta, TWO_PI)
+    if theta > math.pi:
+        theta -= TWO_PI
+    elif theta <= -math.pi:
+        theta += TWO_PI
+    return theta
+
+
+def included_angle(theta_from: float, theta_to: float) -> float:
+    """Included angle from one direction to another, as used in the paper.
+
+    Both inputs are expected in ``[0, 2*pi)`` (they are normalized anyway),
+    and the result ``theta_to - theta_from`` lies in ``(-2*pi, 2*pi)``; this
+    mirrors the paper's definition of ``angle(L1, L2) = L2.theta - L1.theta``.
+    """
+    return normalize_angle(theta_to) - normalize_angle(theta_from)
+
+
+def angle_of(dx: float, dy: float) -> float:
+    """Angle of the vector ``(dx, dy)`` with the x-axis, in ``[0, 2*pi)``.
+
+    A zero vector maps to ``0.0`` by convention.
+    """
+    if dx == 0.0 and dy == 0.0:
+        return 0.0
+    return normalize_angle(math.atan2(dy, dx))
+
+
+def angle_between_directions(theta_a: float, theta_b: float) -> float:
+    """Smallest absolute angle between two undirected lines, in ``[0, pi/2]``.
+
+    Useful when two directed segments should be compared as infinite lines
+    (direction-insensitive), e.g. when deciding whether two lines are close
+    to parallel before intersecting them.
+    """
+    delta = abs(normalize_signed_angle(theta_b - theta_a))
+    if delta > math.pi / 2.0:
+        delta = math.pi - delta
+    return delta
+
+
+def opposite_angle(theta: float) -> float:
+    """Direction opposite to ``theta``, normalized to ``[0, 2*pi)``."""
+    return normalize_angle(theta + math.pi)
+
+
+def degrees_to_radians(degrees: float) -> float:
+    """Convert degrees to radians (thin wrapper kept for API symmetry)."""
+    return math.radians(degrees)
+
+
+def radians_to_degrees(radians: float) -> float:
+    """Convert radians to degrees (thin wrapper kept for API symmetry)."""
+    return math.degrees(radians)

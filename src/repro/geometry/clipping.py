@@ -1,0 +1,106 @@
+"""Convex polygon clipping used by the BQS / FBQS bounding structures.
+
+BQS (Liu et al., ICDE 2015) bounds the points buffered in a quadrant with the
+intersection of (a) their axis-aligned bounding box and (b) the angular wedge
+between the two bounding lines anchored at the window start point.  The
+result is a convex polygon with at most eight vertices (the paper's
+"significant points"); the maximum distance from any buffered point to a
+candidate line is bounded above by the maximum distance over these vertices.
+
+This module provides a small Sutherland–Hodgman style clipper specialised to
+half-planes, which is all BQS needs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .point import Point
+
+__all__ = ["clip_polygon_halfplane", "bounding_box_polygon", "clip_box_with_wedge"]
+
+
+def _side(p: Point, anchor: Point, nx: float, ny: float) -> float:
+    """Signed distance of ``p`` from the half-plane boundary.
+
+    The half-plane is ``{q : (q - anchor) . (nx, ny) >= 0}``.
+    """
+    return (p.x - anchor.x) * nx + (p.y - anchor.y) * ny
+
+
+def _intersection_on_boundary(
+    p: Point, q: Point, anchor: Point, nx: float, ny: float
+) -> Point:
+    """Intersection of segment ``p-q`` with the half-plane boundary line."""
+    sp = _side(p, anchor, nx, ny)
+    sq = _side(q, anchor, nx, ny)
+    denom = sp - sq
+    if denom == 0.0:
+        return p
+    t = sp / denom
+    return Point(p.x + t * (q.x - p.x), p.y + t * (q.y - p.y), p.t + t * (q.t - p.t))
+
+
+def clip_polygon_halfplane(
+    polygon: Sequence[Point], anchor: Point, nx: float, ny: float
+) -> list[Point]:
+    """Clip a convex polygon against the half-plane ``(q - anchor).(nx, ny) >= 0``.
+
+    Returns the (possibly empty) clipped polygon.  Vertices lying exactly on
+    the boundary are kept.
+    """
+    if not polygon:
+        return []
+    result: list[Point] = []
+    count = len(polygon)
+    for index in range(count):
+        current = polygon[index]
+        nxt = polygon[(index + 1) % count]
+        current_in = _side(current, anchor, nx, ny) >= 0.0
+        next_in = _side(nxt, anchor, nx, ny) >= 0.0
+        if current_in:
+            result.append(current)
+            if not next_in:
+                result.append(_intersection_on_boundary(current, nxt, anchor, nx, ny))
+        elif next_in:
+            result.append(_intersection_on_boundary(current, nxt, anchor, nx, ny))
+    return result
+
+
+def bounding_box_polygon(
+    min_x: float, min_y: float, max_x: float, max_y: float
+) -> list[Point]:
+    """Counter-clockwise rectangle polygon for a bounding box."""
+    return [
+        Point(min_x, min_y),
+        Point(max_x, min_y),
+        Point(max_x, max_y),
+        Point(min_x, max_y),
+    ]
+
+
+def clip_box_with_wedge(
+    box: Sequence[Point],
+    apex: Point,
+    low_dx: float,
+    low_dy: float,
+    high_dx: float,
+    high_dy: float,
+) -> list[Point]:
+    """Clip a bounding-box polygon with the wedge between two rays from ``apex``.
+
+    ``(low_dx, low_dy)`` is the direction of the lower bounding line and
+    ``(high_dx, high_dy)`` the direction of the upper bounding line, in the
+    sense that every buffered point ``p`` satisfies::
+
+        cross(low, p - apex)  >= 0   (p is counter-clockwise of the low ray)
+        cross(high, p - apex) <= 0   (p is clockwise of the high ray)
+
+    The returned polygon has at most eight vertices and contains every point
+    that lies both in the box and in the wedge.
+    """
+    # Half-plane 1: cross(low, q - apex) >= 0  <=>  (q - apex) . (-low_dy, low_dx) >= 0
+    clipped = clip_polygon_halfplane(box, apex, -low_dy, low_dx)
+    # Half-plane 2: cross(high, q - apex) <= 0 <=>  (q - apex) . (high_dy, -high_dx) >= 0
+    clipped = clip_polygon_halfplane(clipped, apex, high_dy, -high_dx)
+    return clipped

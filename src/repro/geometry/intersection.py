@@ -1,0 +1,60 @@
+"""Line intersection helpers.
+
+OPERB-A's patch point ``G`` is the intersection of two infinite lines: the
+line carrying the segment before an anomalous segment and the line carrying
+the segment after it (Section 5.1 of the paper).  Both lines are naturally
+expressed as an anchor point plus a direction angle.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .point import Point
+
+__all__ = ["intersect_lines", "intersect_point_directions", "project_onto_direction"]
+
+# Two direction vectors whose cross product magnitude is below this threshold
+# are treated as parallel; the patch-point computation then fails gracefully.
+_PARALLEL_EPS = 1e-12
+
+
+def intersect_lines(a1: Point, a2: Point, b1: Point, b2: Point) -> Optional[Point]:
+    """Intersection of line ``a1-a2`` with line ``b1-b2``.
+
+    Returns ``None`` when the lines are parallel (or either is degenerate).
+    The timestamp of the returned point is interpolated along the first line
+    when possible, otherwise copied from ``a1``.
+    """
+    dax = a2.x - a1.x
+    day = a2.y - a1.y
+    dbx = b2.x - b1.x
+    dby = b2.y - b1.y
+    denom = dax * dby - day * dbx
+    scale = max(abs(dax), abs(day), abs(dbx), abs(dby), 1.0)
+    if abs(denom) <= _PARALLEL_EPS * scale * scale:
+        return None
+    t = ((b1.x - a1.x) * dby - (b1.y - a1.y) * dbx) / denom
+    x = a1.x + t * dax
+    y = a1.y + t * day
+    ts = a1.t + t * (a2.t - a1.t)
+    return Point(x, y, ts)
+
+
+def intersect_point_directions(
+    anchor_a: Point, theta_a: float, anchor_b: Point, theta_b: float
+) -> Optional[Point]:
+    """Intersection of two lines given as (anchor, direction angle)."""
+    a2 = Point(anchor_a.x + math.cos(theta_a), anchor_a.y + math.sin(theta_a), anchor_a.t)
+    b2 = Point(anchor_b.x + math.cos(theta_b), anchor_b.y + math.sin(theta_b), anchor_b.t)
+    return intersect_lines(anchor_a, a2, anchor_b, b2)
+
+
+def project_onto_direction(p: Point, anchor: Point, theta: float) -> float:
+    """Signed distance of ``p``'s projection onto the ray ``(anchor, theta)``.
+
+    A positive value means the projection falls in front of the anchor (in
+    the direction of ``theta``); a negative value means it falls behind.
+    """
+    return (p.x - anchor.x) * math.cos(theta) + (p.y - anchor.y) * math.sin(theta)

@@ -1,0 +1,89 @@
+"""Geodetic helpers: projecting GPS latitude/longitude onto a local plane.
+
+The algorithms in this package operate on planar coordinates in metres, so
+that an error bound ``zeta`` of, say, 40 m has its intended meaning.  GPS
+trajectories (e.g. GeoLife ``.plt`` files) store WGS-84 latitude/longitude;
+this module provides a simple local equirectangular projection which is
+accurate to well below a metre over the extent of a single trajectory, plus
+the haversine distance used for sanity checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EARTH_RADIUS_M", "LocalProjection", "haversine_distance"]
+
+EARTH_RADIUS_M = 6_371_008.8
+"""Mean Earth radius in metres (IUGG)."""
+
+
+@dataclass(frozen=True, slots=True)
+class LocalProjection:
+    """Equirectangular projection around a reference latitude/longitude.
+
+    Longitude differences are scaled by ``cos(reference latitude)`` so that x
+    and y are both in metres.  Suitable for trajectory-scale extents (tens of
+    kilometres); not suitable for continental-scale data.
+    """
+
+    ref_lat: float
+    ref_lon: float
+
+    @classmethod
+    def for_origin(cls, lat: float, lon: float) -> "LocalProjection":
+        """Projection centred at ``(lat, lon)`` in degrees."""
+        return cls(ref_lat=lat, ref_lon=lon)
+
+    @property
+    def _cos_ref(self) -> float:
+        return math.cos(math.radians(self.ref_lat))
+
+    def to_xy(self, lat: float, lon: float) -> tuple[float, float]:
+        """Project a single latitude/longitude pair to local metres."""
+        x = math.radians(lon - self.ref_lon) * EARTH_RADIUS_M * self._cos_ref
+        y = math.radians(lat - self.ref_lat) * EARTH_RADIUS_M
+        return x, y
+
+    def to_latlon(self, x: float, y: float) -> tuple[float, float]:
+        """Inverse projection from local metres back to latitude/longitude."""
+        lat = self.ref_lat + math.degrees(y / EARTH_RADIUS_M)
+        cos_ref = self._cos_ref
+        if cos_ref == 0.0:
+            lon = self.ref_lon
+        else:
+            lon = self.ref_lon + math.degrees(x / (EARTH_RADIUS_M * cos_ref))
+        return lat, lon
+
+    def arrays_to_xy(self, lats: np.ndarray, lons: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised projection of latitude/longitude arrays."""
+        lats = np.asarray(lats, dtype=float)
+        lons = np.asarray(lons, dtype=float)
+        x = np.radians(lons - self.ref_lon) * EARTH_RADIUS_M * self._cos_ref
+        y = np.radians(lats - self.ref_lat) * EARTH_RADIUS_M
+        return x, y
+
+    def arrays_to_latlon(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised inverse projection."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        lats = self.ref_lat + np.degrees(ys / EARTH_RADIUS_M)
+        cos_ref = self._cos_ref
+        if cos_ref == 0.0:
+            lons = np.full_like(xs, self.ref_lon)
+        else:
+            lons = self.ref_lon + np.degrees(xs / (EARTH_RADIUS_M * cos_ref))
+        return lats, lons
+
+
+def haversine_distance(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in metres between two latitude/longitude pairs."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))

@@ -1,0 +1,93 @@
+"""Directed line segments.
+
+The paper treats a directed line segment ``L = Ps -> Pe`` interchangeably as
+the pair of endpoints or as the triple ``(Ps, |L|, L.theta)``.  The class in
+this module supports both views: it stores the start point, length and angle,
+and derives the end point on demand.  The fitting function of OPERB operates
+directly on the ``(start, length, theta)`` representation, because the end
+point it maintains is *virtual* (not necessarily a trajectory point).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .angles import angle_of, included_angle, normalize_angle
+from .point import Point
+
+__all__ = ["DirectedSegment"]
+
+
+@dataclass(frozen=True, slots=True)
+class DirectedSegment:
+    """A directed line segment ``(start, length, theta)``.
+
+    Attributes
+    ----------
+    start:
+        The fixed start point ``Ps``.
+    length:
+        Segment length ``|L| >= 0``.
+    theta:
+        Angle with the x-axis in ``[0, 2*pi)``.  For a zero-length segment
+        the angle is conventionally ``0.0``.
+    """
+
+    start: Point
+    length: float
+    theta: float
+
+    @classmethod
+    def from_points(cls, start: Point, end: Point) -> "DirectedSegment":
+        """Build the directed segment joining two points."""
+        dx = end.x - start.x
+        dy = end.y - start.y
+        return cls(start=start, length=math.hypot(dx, dy), theta=angle_of(dx, dy))
+
+    @classmethod
+    def zero(cls, start: Point) -> "DirectedSegment":
+        """The degenerate segment ``start -> start`` (used as ``L0 = R0``)."""
+        return cls(start=start, length=0.0, theta=0.0)
+
+    @property
+    def end(self) -> Point:
+        """The end point implied by ``(start, length, theta)``."""
+        return Point(
+            self.start.x + self.length * math.cos(self.theta),
+            self.start.y + self.length * math.sin(self.theta),
+            self.start.t,
+        )
+
+    @property
+    def direction(self) -> tuple[float, float]:
+        """Unit direction vector ``(cos(theta), sin(theta))``."""
+        return (math.cos(self.theta), math.sin(self.theta))
+
+    def is_degenerate(self) -> bool:
+        """Whether the segment has (numerically) zero length."""
+        return self.length <= 0.0
+
+    def with_length(self, length: float) -> "DirectedSegment":
+        """Copy of this segment with a different length."""
+        return DirectedSegment(self.start, length, self.theta)
+
+    def with_theta(self, theta: float) -> "DirectedSegment":
+        """Copy of this segment with a different (normalized) angle."""
+        return DirectedSegment(self.start, self.length, normalize_angle(theta))
+
+    def rotated(self, delta: float) -> "DirectedSegment":
+        """Copy of this segment rotated around its start point by ``delta``."""
+        return DirectedSegment(self.start, self.length, normalize_angle(self.theta + delta))
+
+    def included_angle_to(self, other: "DirectedSegment") -> float:
+        """Included angle from this segment to ``other`` (paper Section 3.1)."""
+        return included_angle(self.theta, other.theta)
+
+    def point_at(self, distance: float) -> Point:
+        """Point located ``distance`` from the start along the direction."""
+        return Point(
+            self.start.x + distance * math.cos(self.theta),
+            self.start.y + distance * math.sin(self.theta),
+            self.start.t,
+        )

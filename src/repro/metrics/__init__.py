@@ -1,0 +1,46 @@
+"""Quality metrics: compression ratios, errors, distributions, patching."""
+
+from .compression import compression_ratio, fleet_compression_ratio, retained_point_ratio
+from .distribution import (
+    anomalous_segment_count,
+    distribution_to_rows,
+    heavy_segment_count,
+    merge_distributions,
+    segment_size_distribution,
+)
+from .error import (
+    ErrorSummary,
+    average_error,
+    check_error_bound,
+    error_bound_violations,
+    max_error,
+    per_point_errors,
+    summarize_errors,
+)
+from .patching import PatchingSummary, aggregate_patching, patched_vertex_count, patching_summary
+from .summary import EvaluationReport, evaluate, evaluate_fleet
+
+__all__ = [
+    "ErrorSummary",
+    "EvaluationReport",
+    "PatchingSummary",
+    "aggregate_patching",
+    "anomalous_segment_count",
+    "average_error",
+    "check_error_bound",
+    "compression_ratio",
+    "distribution_to_rows",
+    "error_bound_violations",
+    "evaluate",
+    "evaluate_fleet",
+    "fleet_compression_ratio",
+    "heavy_segment_count",
+    "max_error",
+    "merge_distributions",
+    "patched_vertex_count",
+    "patching_summary",
+    "per_point_errors",
+    "retained_point_ratio",
+    "segment_size_distribution",
+    "summarize_errors",
+]

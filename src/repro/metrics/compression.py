@@ -1,0 +1,52 @@
+"""Compression-ratio metrics (paper Section 6.2.2).
+
+Given trajectories ``T_1 ... T_M`` and their piecewise representations
+``T'_1 ... T'_M``, the compression ratio is ``sum |T'_j| / sum |T_j|`` where
+``|T'_j|`` is the number of line segments and ``|T_j|`` the number of data
+points.  Lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..trajectory.piecewise import PiecewiseRepresentation
+
+__all__ = ["compression_ratio", "fleet_compression_ratio", "retained_point_ratio"]
+
+
+def compression_ratio(representation: PiecewiseRepresentation) -> float:
+    """Compression ratio (segments / original points) of one trajectory."""
+    if representation.source_size == 0:
+        return 0.0
+    return representation.n_segments / representation.source_size
+
+
+def fleet_compression_ratio(
+    representations: Iterable[PiecewiseRepresentation],
+) -> float:
+    """Aggregate compression ratio over a fleet of trajectories.
+
+    This matches the paper's definition: total segments over total points,
+    not the mean of the per-trajectory ratios.
+    """
+    total_segments = 0
+    total_points = 0
+    for representation in representations:
+        total_segments += representation.n_segments
+        total_points += representation.source_size
+    if total_points == 0:
+        return 0.0
+    return total_segments / total_points
+
+
+def retained_point_ratio(representation: PiecewiseRepresentation) -> float:
+    """Fraction of original points retained as polyline vertices.
+
+    For representations without patch points this is ``(segments + 1) /
+    points``; with patch points the synthetic vertices still count, as they
+    must be stored/transmitted just like retained points.
+    """
+    if representation.source_size == 0:
+        return 0.0
+    return len(representation.retained_points) / representation.source_size

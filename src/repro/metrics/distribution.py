@@ -1,0 +1,71 @@
+"""Segment-size distribution metrics (paper Exp-2.3).
+
+For a compressed trajectory ``T = (L_1, ..., L_M)`` with ``C_i`` original
+points credited to segment ``L_i`` (shared endpoints counted for both
+neighbours), ``Z(k) = |{C_i : C_i = k}|`` is the number of segments containing
+exactly ``k`` points.  Heavy segments (large ``k``) drive good compression
+ratios; anomalous segments (``k = 2``) are the target of OPERB-A's patching.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from ..trajectory.piecewise import PiecewiseRepresentation
+
+__all__ = [
+    "segment_size_distribution",
+    "merge_distributions",
+    "anomalous_segment_count",
+    "heavy_segment_count",
+    "distribution_to_rows",
+]
+
+
+def segment_size_distribution(representation: PiecewiseRepresentation) -> dict[int, int]:
+    """The ``Z(k)`` histogram of one representation."""
+    return dict(Counter(segment.point_count for segment in representation.segments))
+
+
+def merge_distributions(distributions: Iterable[dict[int, int]]) -> dict[int, int]:
+    """Sum several ``Z(k)`` histograms (e.g. over a fleet of trajectories)."""
+    merged: Counter[int] = Counter()
+    for distribution in distributions:
+        merged.update(distribution)
+    return dict(merged)
+
+
+def anomalous_segment_count(representation: PiecewiseRepresentation) -> int:
+    """Number of anomalous segments (at most two credited points)."""
+    return sum(1 for segment in representation.segments if segment.is_anomalous)
+
+
+def heavy_segment_count(representation: PiecewiseRepresentation, *, threshold: int = 10) -> int:
+    """Number of segments credited with at least ``threshold`` points."""
+    return sum(1 for segment in representation.segments if segment.point_count >= threshold)
+
+
+def distribution_to_rows(
+    distribution: dict[int, int], *, max_k: int | None = None
+) -> list[tuple[int, int]]:
+    """Sorted ``(k, Z(k))`` rows, optionally clipping the tail at ``max_k``.
+
+    When ``max_k`` is given, all heavier segments are accumulated into the
+    final row, mirroring how the paper's Figure 17 is typically binned.
+    """
+    if not distribution:
+        return []
+    rows: list[tuple[int, int]] = []
+    if max_k is None:
+        for k in sorted(distribution):
+            rows.append((k, distribution[k]))
+        return rows
+    tail = 0
+    for k in sorted(distribution):
+        if k < max_k:
+            rows.append((k, distribution[k]))
+        else:
+            tail += distribution[k]
+    rows.append((max_k, tail))
+    return rows

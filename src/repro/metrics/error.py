@@ -1,0 +1,191 @@
+"""Error metrics for piecewise representations.
+
+Two notions are provided:
+
+* the **per-point error** used by the paper's average-error experiment
+  (Section 6.2.3): the distance of every original point to the line of the
+  segment that *contains* it (by index range);
+* the **error-bound check** from the paper's definition of an error-bounded
+  algorithm (Section 3.2): every original point must be within ``zeta`` of
+  the line of *some* output segment.
+
+Both use the point-to-line distance, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry.distance import points_to_line_distance
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+
+__all__ = [
+    "per_point_errors",
+    "average_error",
+    "max_error",
+    "error_bound_violations",
+    "check_error_bound",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def per_point_errors(
+    trajectory: Trajectory,
+    representation: PiecewiseRepresentation,
+    *,
+    nearest_segment: bool = False,
+) -> np.ndarray:
+    """Distance of every original point to its representative segment line.
+
+    Parameters
+    ----------
+    nearest_segment:
+        When false (default) each point is measured against the segment(s)
+        whose index range covers it, taking the minimum when it lies on a
+        shared boundary — this is the paper's average-error definition.  When
+        true, the minimum over *all* segments is taken, which is the paper's
+        error-bound definition and is what the bound guarantees.
+    """
+    n = len(trajectory)
+    if n == 0 or representation.n_segments == 0:
+        return np.zeros(n, dtype=float)
+
+    xs = trajectory.xs
+    ys = trajectory.ys
+    segments = representation.segments
+
+    if nearest_segment:
+        errors = np.full(n, np.inf)
+        for segment in segments:
+            distances = points_to_line_distance(
+                xs, ys, segment.start.x, segment.start.y, segment.end.x, segment.end.y
+            )
+            np.minimum(errors, distances, out=errors)
+        return errors
+
+    # Each point is measured against the segment(s) covering its index range;
+    # covered ranges overlap at shared endpoints (and where trailing points
+    # were absorbed), in which case the minimum is taken.
+    errors = np.full(n, np.inf)
+    for segment in segments:
+        low = max(0, segment.first_index)
+        high = min(n - 1, segment.covered_last_index)
+        if high < low:
+            continue
+        distances = points_to_line_distance(
+            xs[low : high + 1],
+            ys[low : high + 1],
+            segment.start.x,
+            segment.start.y,
+            segment.end.x,
+            segment.end.y,
+        )
+        np.minimum(errors[low : high + 1], distances, out=errors[low : high + 1])
+
+    uncovered = ~np.isfinite(errors)
+    if np.any(uncovered):
+        # Points outside every declared range (possible only for malformed
+        # representations) fall back to the nearest segment.
+        fallback = np.full(int(uncovered.sum()), np.inf)
+        sub_xs = xs[uncovered]
+        sub_ys = ys[uncovered]
+        for segment in segments:
+            distances = points_to_line_distance(
+                sub_xs, sub_ys, segment.start.x, segment.start.y, segment.end.x, segment.end.y
+            )
+            np.minimum(fallback, distances, out=fallback)
+        errors[uncovered] = fallback
+    return errors
+
+
+def average_error(trajectory: Trajectory, representation: PiecewiseRepresentation) -> float:
+    """Mean per-point error (the paper's average-error metric)."""
+    errors = per_point_errors(trajectory, representation)
+    if errors.size == 0:
+        return 0.0
+    return float(errors.mean())
+
+
+def max_error(
+    trajectory: Trajectory,
+    representation: PiecewiseRepresentation,
+    *,
+    nearest_segment: bool = False,
+) -> float:
+    """Maximum per-point error."""
+    errors = per_point_errors(trajectory, representation, nearest_segment=nearest_segment)
+    if errors.size == 0:
+        return 0.0
+    return float(errors.max())
+
+
+def error_bound_violations(
+    trajectory: Trajectory,
+    representation: PiecewiseRepresentation,
+    epsilon: float,
+    *,
+    tolerance: float = 1e-9,
+) -> list[int]:
+    """Indices of points violating the paper's error-bound definition.
+
+    A point violates the bound when its distance to the line of *every*
+    output segment exceeds ``epsilon`` (plus a numerical tolerance).
+    """
+    errors = per_point_errors(trajectory, representation, nearest_segment=True)
+    threshold = epsilon * (1.0 + tolerance) + tolerance
+    return [int(i) for i in np.nonzero(errors > threshold)[0]]
+
+
+def check_error_bound(
+    trajectory: Trajectory,
+    representation: PiecewiseRepresentation,
+    epsilon: float,
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether the representation satisfies the paper's error bound."""
+    return not error_bound_violations(trajectory, representation, epsilon, tolerance=tolerance)
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorSummary:
+    """Summary statistics of the per-point errors of one representation."""
+
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    bound_satisfied: bool
+
+    def as_dict(self) -> dict[str, float | bool]:
+        """Plain-dict view (for reports and JSON serialisation)."""
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+            "bound_satisfied": self.bound_satisfied,
+        }
+
+
+def summarize_errors(
+    trajectory: Trajectory,
+    representation: PiecewiseRepresentation,
+    epsilon: float,
+) -> ErrorSummary:
+    """Compute an :class:`ErrorSummary` for one trajectory/representation pair."""
+    errors = per_point_errors(trajectory, representation)
+    if errors.size == 0:
+        return ErrorSummary(0.0, 0.0, 0.0, 0.0, True)
+    bound_ok = check_error_bound(trajectory, representation, epsilon)
+    return ErrorSummary(
+        mean=float(errors.mean()),
+        median=float(np.median(errors)),
+        p95=float(np.percentile(errors, 95)),
+        maximum=float(errors.max()),
+        bound_satisfied=bound_ok,
+    )

@@ -1,0 +1,65 @@
+"""Patching metrics for OPERB-A (paper Exp-4.1 / Exp-4.2).
+
+The patching ratio is ``Np / Na`` where ``Na`` is the number of anomalous
+line segments the underlying OPERB process produced and ``Np`` the number of
+them successfully replaced by a patch point.  The simplifier tracks both; the
+helpers here aggregate them over fleets and expose the interpolated-vertex
+count of a finished representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.operb_a import OPERBASimplifier, OperbAStatistics
+from ..trajectory.piecewise import PiecewiseRepresentation
+
+__all__ = ["PatchingSummary", "patching_summary", "aggregate_patching", "patched_vertex_count"]
+
+
+@dataclass(frozen=True, slots=True)
+class PatchingSummary:
+    """Aggregated patch statistics over one or more OPERB-A runs."""
+
+    anomalous_segments: int
+    patches_applied: int
+
+    @property
+    def patching_ratio(self) -> float:
+        """``Np / Na``; ``0.0`` when no anomalous segment was encountered."""
+        if self.anomalous_segments == 0:
+            return 0.0
+        return self.patches_applied / self.anomalous_segments
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Plain-dict view (for reports and JSON serialisation)."""
+        return {
+            "anomalous_segments": self.anomalous_segments,
+            "patches_applied": self.patches_applied,
+            "patching_ratio": self.patching_ratio,
+        }
+
+
+def patching_summary(simplifier: OPERBASimplifier) -> PatchingSummary:
+    """Patch statistics of a finished OPERB-A simplifier."""
+    stats = simplifier.stats
+    return PatchingSummary(
+        anomalous_segments=stats.anomalous_segments,
+        patches_applied=stats.patches_applied,
+    )
+
+
+def aggregate_patching(stats: Iterable[OperbAStatistics]) -> PatchingSummary:
+    """Aggregate :class:`OperbAStatistics` from several OPERB-A runs."""
+    anomalous = 0
+    patched = 0
+    for item in stats:
+        anomalous += item.anomalous_segments
+        patched += item.patches_applied
+    return PatchingSummary(anomalous_segments=anomalous, patches_applied=patched)
+
+
+def patched_vertex_count(representation: PiecewiseRepresentation) -> int:
+    """Number of interpolated (patch-point) vertices in a representation."""
+    return sum(1 for segment in representation.segments if segment.patched_start)

@@ -1,0 +1,20 @@
+"""Streaming (push-based) simplification pipelines and accounting wrappers."""
+
+from .counting import CountingPointSource, CountingSimplifier
+from .interface import STREAMING_ALGORITHMS, BufferedBatchAdapter, make_streaming_simplifier
+from .pipeline import PipelineResult, StreamingPipeline, run_pipeline
+from .sinks import CollectingSink, CsvSegmentSink, StatisticsSink
+
+__all__ = [
+    "STREAMING_ALGORITHMS",
+    "BufferedBatchAdapter",
+    "CollectingSink",
+    "CountingPointSource",
+    "CountingSimplifier",
+    "CsvSegmentSink",
+    "PipelineResult",
+    "StatisticsSink",
+    "StreamingPipeline",
+    "make_streaming_simplifier",
+    "run_pipeline",
+]

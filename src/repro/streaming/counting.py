@@ -1,0 +1,76 @@
+"""Accounting wrappers that make the one-pass property observable.
+
+The paper's central claim is that OPERB examines each data point once and
+only once.  :class:`CountingPointSource` hands out points while counting how
+many times each one was requested, and :class:`CountingSimplifier` wraps any
+streaming simplifier and counts pushes, emissions and peak pending output.
+Tests and benchmarks use these wrappers to verify (rather than assume) the
+one-pass and O(1)-output-latency behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import SegmentRecord
+
+__all__ = ["CountingPointSource", "CountingSimplifier"]
+
+
+class CountingPointSource:
+    """Iterate over a trajectory while counting per-point accesses."""
+
+    def __init__(self, trajectory: Trajectory) -> None:
+        self._trajectory = trajectory
+        self.access_counts: Counter[int] = Counter()
+
+    def __len__(self) -> int:
+        return len(self._trajectory)
+
+    def __iter__(self) -> Iterator[Point]:
+        for index in range(len(self._trajectory)):
+            yield self.get(index)
+
+    def get(self, index: int) -> Point:
+        """Fetch one point, recording the access."""
+        self.access_counts[index] += 1
+        return self._trajectory[index]
+
+    @property
+    def max_accesses(self) -> int:
+        """The largest number of times any single point was requested."""
+        if not self.access_counts:
+            return 0
+        return max(self.access_counts.values())
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of point fetches."""
+        return sum(self.access_counts.values())
+
+
+class CountingSimplifier:
+    """Wrap a streaming simplifier and record push/emit statistics."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.pushes = 0
+        self.segments_emitted = 0
+        self.max_segments_per_push = 0
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Forward the push, recording how many segments it released."""
+        self.pushes += 1
+        emitted = self.inner.push(point)
+        self.segments_emitted += len(emitted)
+        self.max_segments_per_push = max(self.max_segments_per_push, len(emitted))
+        return emitted
+
+    def finish(self) -> list[SegmentRecord]:
+        """Forward the finish call, recording the flushed segments."""
+        emitted = self.inner.finish()
+        self.segments_emitted += len(emitted)
+        return emitted

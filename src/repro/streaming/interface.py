@@ -1,0 +1,105 @@
+"""Streaming simplification interface and adapters.
+
+OPERB/OPERB-A (and FBQS, dead reckoning) are naturally push-based: points go
+in one at a time, finalised segments come out.  This module defines the small
+protocol they share, a factory that builds a streaming simplifier by name,
+and an adapter that exposes *batch* algorithms behind the same interface for
+apples-to-apples pipeline comparisons (the adapter necessarily buffers the
+whole stream, which is precisely the cost the paper's one-pass algorithms
+avoid).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..algorithms.dead_reckoning import DeadReckoningSimplifier
+from ..algorithms.fbqs import FBQSSimplifier
+from ..algorithms.registry import get_algorithm
+from ..core.config import OperbAConfig, OperbConfig
+from ..core.operb import OPERBSimplifier
+from ..core.operb_a import OPERBASimplifier
+from ..exceptions import UnknownAlgorithmError
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+
+__all__ = ["BufferedBatchAdapter", "make_streaming_simplifier", "STREAMING_ALGORITHMS"]
+
+
+class BufferedBatchAdapter:
+    """Expose a batch algorithm through the push/finish streaming interface.
+
+    The adapter buffers every pushed point and runs the batch algorithm at
+    :meth:`finish`.  It exists so pipelines can swap OPERB for DP (say) and
+    measure what the batch requirement costs in latency and memory.
+    """
+
+    def __init__(self, algorithm: str, epsilon: float, **kwargs) -> None:
+        self.name = algorithm
+        self.epsilon = epsilon
+        self._function = get_algorithm(algorithm)
+        self._kwargs = kwargs
+        self._points: list[Point] = []
+        self._finished = False
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Buffer the point; batch algorithms cannot emit anything early."""
+        self._points.append(point)
+        return []
+
+    def finish(self) -> list[SegmentRecord]:
+        """Run the underlying batch algorithm over the buffered stream."""
+        if self._finished:
+            return []
+        self._finished = True
+        trajectory = Trajectory.from_points(self._points, require_monotonic_time=False)
+        representation = self._function(trajectory, self.epsilon, **self._kwargs)
+        return list(representation.segments)
+
+    @property
+    def buffered_points(self) -> int:
+        """Number of points currently held in memory (the adapter's cost)."""
+        return len(self._points)
+
+
+def _make_operb(epsilon: float, **kwargs) -> OPERBSimplifier:
+    return OPERBSimplifier(OperbConfig.optimized(epsilon, **kwargs))
+
+
+def _make_raw_operb(epsilon: float, **kwargs) -> OPERBSimplifier:
+    return OPERBSimplifier(OperbConfig.raw(epsilon, **kwargs))
+
+
+def _make_operb_a(epsilon: float, **kwargs) -> OPERBASimplifier:
+    return OPERBASimplifier(OperbAConfig.optimized(epsilon, **kwargs))
+
+
+def _make_raw_operb_a(epsilon: float, **kwargs) -> OPERBASimplifier:
+    return OPERBASimplifier(OperbAConfig.raw(epsilon, **kwargs))
+
+
+STREAMING_ALGORITHMS: dict[str, Callable[..., object]] = {
+    "operb": _make_operb,
+    "raw-operb": _make_raw_operb,
+    "operb-a": _make_operb_a,
+    "raw-operb-a": _make_raw_operb_a,
+    "fbqs": FBQSSimplifier,
+    "dead-reckoning": DeadReckoningSimplifier,
+}
+"""Factories for genuinely streaming simplifiers, keyed by algorithm name."""
+
+
+def make_streaming_simplifier(algorithm: str, epsilon: float, **kwargs):
+    """Create a streaming simplifier by name.
+
+    Genuinely streaming algorithms are instantiated directly; batch-only
+    algorithms (``dp``, ``opw``, ``bqs``, ...) are wrapped in a
+    :class:`BufferedBatchAdapter`.
+    """
+    key = algorithm.strip().lower()
+    if key in STREAMING_ALGORITHMS:
+        return STREAMING_ALGORITHMS[key](epsilon, **kwargs)
+    # Fall back to the batch registry (raises UnknownAlgorithmError if absent).
+    get_algorithm(key)
+    return BufferedBatchAdapter(key, epsilon, **kwargs)

@@ -1,0 +1,83 @@
+"""End-to-end streaming pipelines: point source -> simplifier -> sink.
+
+This mirrors how the paper's algorithms are meant to be deployed on a mobile
+device: GPS fixes arrive one at a time, the simplifier keeps O(1) state, and
+every finalised segment is handed to a sink (radio uplink, flash store, ...)
+immediately.  The pipeline also records latency-style statistics: how many
+points were processed, how many segments were emitted before ``finish`` and
+the largest backlog a single push produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .counting import CountingSimplifier
+from .interface import make_streaming_simplifier
+from .sinks import CollectingSink
+
+__all__ = ["PipelineResult", "StreamingPipeline", "run_pipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline run."""
+
+    representation: PiecewiseRepresentation
+    points_processed: int
+    segments_before_finish: int
+    segments_after_finish: int
+    max_segments_per_push: int
+
+    @property
+    def total_segments(self) -> int:
+        """Total number of segments produced by the run."""
+        return self.segments_before_finish + self.segments_after_finish
+
+
+class StreamingPipeline:
+    """Drive a streaming simplifier over an iterable of points."""
+
+    def __init__(self, algorithm: str, epsilon: float, **kwargs) -> None:
+        self.algorithm = algorithm
+        self.epsilon = epsilon
+        self._kwargs = kwargs
+
+    def run(self, points: Iterable[Point], *, source_size: int | None = None) -> PipelineResult:
+        """Process ``points`` and return the pipeline result."""
+        simplifier = CountingSimplifier(
+            make_streaming_simplifier(self.algorithm, self.epsilon, **self._kwargs)
+        )
+        sink = CollectingSink(algorithm=self.algorithm)
+        processed = 0
+        for point in points:
+            processed += 1
+            for segment in simplifier.push(point):
+                sink.accept(segment)
+        before_finish = simplifier.segments_emitted
+        for segment in simplifier.finish():
+            sink.accept(segment)
+        after_finish = simplifier.segments_emitted - before_finish
+        size = source_size if source_size is not None else processed
+        return PipelineResult(
+            representation=sink.as_representation(size),
+            points_processed=processed,
+            segments_before_finish=before_finish,
+            segments_after_finish=after_finish,
+            max_segments_per_push=simplifier.max_segments_per_push,
+        )
+
+    def run_trajectory(self, trajectory: Trajectory) -> PipelineResult:
+        """Convenience wrapper for whole trajectories."""
+        return self.run(iter(trajectory), source_size=len(trajectory))
+
+
+def run_pipeline(
+    trajectory: Trajectory, epsilon: float, *, algorithm: str = "operb", **kwargs
+) -> PipelineResult:
+    """One-call helper: stream ``trajectory`` through ``algorithm``."""
+    return StreamingPipeline(algorithm, epsilon, **kwargs).run_trajectory(trajectory)

@@ -1,0 +1,97 @@
+"""Sinks that consume the segments produced by a streaming simplifier.
+
+A sink receives finalised :class:`~repro.trajectory.piecewise.SegmentRecord`
+objects one at a time (exactly as a radio uplink or an on-device store
+would).  Three sinks are provided: an in-memory collector, a CSV writer for
+the retained vertices and a simple statistics accumulator.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO
+
+from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+
+__all__ = ["CollectingSink", "CsvSegmentSink", "StatisticsSink"]
+
+
+class CollectingSink:
+    """Accumulate segments in memory and expose them as a representation."""
+
+    def __init__(self, *, algorithm: str = "") -> None:
+        self.segments: list[SegmentRecord] = []
+        self.algorithm = algorithm
+
+    def accept(self, segment: SegmentRecord) -> None:
+        """Receive one finalised segment."""
+        self.segments.append(segment)
+
+    def as_representation(self, source_size: int) -> PiecewiseRepresentation:
+        """Wrap the collected segments into a piecewise representation."""
+        return PiecewiseRepresentation(
+            segments=list(self.segments), source_size=source_size, algorithm=self.algorithm
+        )
+
+
+class CsvSegmentSink:
+    """Stream finalised segments to a CSV file as they are produced."""
+
+    def __init__(self, destination: str | Path | TextIO) -> None:
+        if isinstance(destination, (str, Path)):
+            self._handle: TextIO = open(destination, "w", newline="")
+            self._owns_handle = True
+        else:
+            self._handle = destination
+            self._owns_handle = False
+        self._writer = csv.writer(self._handle)
+        self._writer.writerow(
+            ["start_x", "start_y", "start_t", "end_x", "end_y", "end_t", "first_index", "last_index"]
+        )
+        self.rows_written = 0
+
+    def accept(self, segment: SegmentRecord) -> None:
+        """Write one finalised segment as a CSV row."""
+        self._writer.writerow(
+            [
+                repr(segment.start.x),
+                repr(segment.start.y),
+                repr(segment.start.t),
+                repr(segment.end.x),
+                repr(segment.end.y),
+                repr(segment.end.t),
+                segment.first_index,
+                segment.last_index,
+            ]
+        )
+        self.rows_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file if this sink opened it."""
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "CsvSegmentSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StatisticsSink:
+    """Accumulate simple statistics without keeping the segments."""
+
+    def __init__(self) -> None:
+        self.segments_received = 0
+        self.points_covered = 0
+        self.anomalous_segments = 0
+        self.total_length = 0.0
+
+    def accept(self, segment: SegmentRecord) -> None:
+        """Fold one finalised segment into the running statistics."""
+        self.segments_received += 1
+        self.points_covered += segment.point_count
+        self.total_length += segment.length
+        if segment.is_anomalous:
+            self.anomalous_segments += 1

@@ -1,0 +1,44 @@
+"""Trajectory data model, piecewise representations, operations and I/O."""
+
+from .io import (
+    parse_plt,
+    read_csv,
+    read_jsonl,
+    read_plt,
+    write_csv,
+    write_jsonl,
+    write_piecewise_csv,
+)
+from .model import Trajectory
+from .operations import (
+    concatenate,
+    drop_duplicate_points,
+    drop_outliers_by_speed,
+    resample_by_count,
+    resample_by_interval,
+    sort_by_time,
+    split_on_time_gap,
+    translate,
+)
+from .piecewise import PiecewiseRepresentation, SegmentRecord
+
+__all__ = [
+    "Trajectory",
+    "PiecewiseRepresentation",
+    "SegmentRecord",
+    "concatenate",
+    "drop_duplicate_points",
+    "drop_outliers_by_speed",
+    "parse_plt",
+    "read_csv",
+    "read_jsonl",
+    "read_plt",
+    "resample_by_count",
+    "resample_by_interval",
+    "sort_by_time",
+    "split_on_time_gap",
+    "translate",
+    "write_csv",
+    "write_jsonl",
+    "write_piecewise_csv",
+]

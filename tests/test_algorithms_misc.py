@@ -1,0 +1,82 @@
+"""Unit tests for uniform sampling, dead reckoning and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidParameterError, UnknownAlgorithmError
+from repro.algorithms.dead_reckoning import DeadReckoningSimplifier, dead_reckoning
+from repro.algorithms.registry import ALGORITHMS, get_algorithm, list_algorithms, simplify
+from repro.algorithms.uniform import uniform_sampling
+from repro.metrics import check_error_bound
+
+
+class TestUniformSampling:
+    def test_keeps_every_nth_point(self, straight_line):
+        representation = uniform_sampling(straight_line, step=10)
+        assert representation.n_segments == 10
+
+    def test_always_keeps_last_point(self, straight_line):
+        representation = uniform_sampling(straight_line, step=7)
+        assert representation.segments[-1].last_index == len(straight_line) - 1
+
+    def test_step_validation(self, straight_line):
+        with pytest.raises(InvalidParameterError):
+            uniform_sampling(straight_line, step=0)
+
+    def test_not_error_bounded_in_general(self, zigzag):
+        # Decimation ignores geometry: with a large stride the zigzag's
+        # extremes are missed and the bound is violated.
+        representation = uniform_sampling(zigzag, step=10)
+        assert not check_error_bound(zigzag, representation, 20.0)
+
+
+class TestDeadReckoning:
+    def test_straight_line_constant_velocity(self, straight_line):
+        # After the first velocity estimate the prediction is exact.
+        representation = dead_reckoning(straight_line, 5.0)
+        assert representation.n_segments <= 2
+
+    def test_turns_force_updates(self, zigzag):
+        representation = dead_reckoning(zigzag, 20.0)
+        assert representation.n_segments > 2
+
+    def test_streaming_and_batch_agree(self, noisy_walk):
+        batch = dead_reckoning(noisy_walk, 30.0)
+        simplifier = DeadReckoningSimplifier(30.0)
+        segments = []
+        for point in noisy_walk:
+            segments.extend(simplifier.push(point))
+        segments.extend(simplifier.finish())
+        assert len(segments) == batch.n_segments
+
+    def test_trivial_trajectories(self, single_point, two_points):
+        assert dead_reckoning(single_point, 5.0).n_segments == 0
+        assert dead_reckoning(two_points, 5.0).n_segments == 1
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        for name in ("dp", "fbqs", "opw", "bqs", "operb", "operb-a", "raw-operb", "raw-operb-a"):
+            assert name in ALGORITHMS
+
+    def test_list_is_sorted(self):
+        names = list_algorithms()
+        assert names == sorted(names)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_algorithm("DP") is ALGORITHMS["dp"]
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            get_algorithm("does-not-exist")
+
+    def test_simplify_dispatches(self, noisy_walk):
+        representation = simplify(noisy_walk, 25.0, algorithm="fbqs")
+        assert representation.algorithm == "fbqs"
+
+    def test_every_registered_algorithm_runs(self, noisy_walk):
+        for name in list_algorithms():
+            representation = simplify(noisy_walk, 30.0, algorithm=name)
+            assert representation.n_segments >= 1
+            assert representation.source_size == len(noisy_walk)

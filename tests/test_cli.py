@@ -1,0 +1,136 @@
+"""Tests for the ``repro-traj`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.trajectory.io import write_csv
+
+
+@pytest.fixture
+def trajectory_csv(tmp_path, noisy_walk):
+    path = tmp_path / "walk.csv"
+    write_csv(noisy_walk, path)
+    return path
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestAlgorithmsCommand:
+    def test_lists_paper_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        for name in ("dp", "fbqs", "operb", "operb-a"):
+            assert name in output
+
+
+class TestCompressCommand:
+    def test_compress_writes_output(self, trajectory_csv, tmp_path, capsys):
+        output = tmp_path / "compressed.csv"
+        code = main(
+            [
+                "compress",
+                str(trajectory_csv),
+                "--epsilon",
+                "25",
+                "--algorithm",
+                "operb",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "segments" in capsys.readouterr().out
+
+    def test_unknown_algorithm_is_reported(self, trajectory_csv, capsys):
+        code = main(["compress", str(trajectory_csv), "--algorithm", "bogus"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestEvaluateCommand:
+    def test_evaluate_writes_json(self, trajectory_csv, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "evaluate",
+                str(trajectory_csv),
+                "--epsilon",
+                "25",
+                "--algorithms",
+                "dp",
+                "operb",
+                "--json",
+                str(report),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report.read_text())
+        assert {entry["algorithm"] for entry in payload} == {"dp", "operb"}
+
+
+class TestGenerateCommand:
+    def test_generate_csv_directory(self, tmp_path, capsys):
+        output = tmp_path / "fleet"
+        code = main(
+            [
+                "generate",
+                "taxi",
+                str(output),
+                "--trajectories",
+                "2",
+                "--points",
+                "200",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert len(list(output.glob("*.csv"))) == 2
+
+    def test_generate_jsonl(self, tmp_path):
+        output = tmp_path / "fleet.jsonl"
+        code = main(
+            ["generate", "geolife", str(output), "--trajectories", "1", "--points", "150"]
+        )
+        assert code == 0
+        assert output.exists()
+
+
+class TestExperimentCommand:
+    def test_single_experiment_with_markdown(self, tmp_path, capsys):
+        report = tmp_path / "table1.md"
+        code = main(
+            [
+                "experiment",
+                "--id",
+                "table1",
+                "--trajectories",
+                "1",
+                "--points",
+                "300",
+                "--markdown",
+                str(report),
+            ]
+        )
+        assert code == 0
+        assert "table1" in capsys.readouterr().out
+        assert report.exists()
+
+    def test_unknown_experiment_id(self, capsys):
+        code = main(["experiment", "--id", "fig99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err

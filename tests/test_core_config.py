@@ -1,0 +1,67 @@
+"""Unit tests for OPERB / OPERB-A configuration objects."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import InvalidParameterError, OperbAConfig, OperbConfig
+
+
+class TestOperbConfig:
+    def test_optimized_enables_all_flags(self):
+        config = OperbConfig.optimized(40.0)
+        assert all(config.optimization_flags().values())
+
+    def test_raw_disables_all_flags(self):
+        config = OperbConfig.raw(40.0)
+        assert not any(config.optimization_flags().values())
+
+    def test_epsilon_must_be_positive(self):
+        with pytest.raises(InvalidParameterError):
+            OperbConfig(epsilon=0.0)
+        with pytest.raises(InvalidParameterError):
+            OperbConfig(epsilon=-1.0)
+        with pytest.raises(InvalidParameterError):
+            OperbConfig(epsilon=float("inf"))
+
+    def test_derived_thresholds(self):
+        config = OperbConfig.optimized(40.0)
+        assert config.half_epsilon == 20.0
+        assert config.quarter_epsilon == 10.0
+        assert config.first_active_threshold == 40.0
+        assert OperbConfig.raw(40.0).first_active_threshold == 10.0
+
+    def test_with_epsilon_preserves_flags(self):
+        config = OperbConfig.raw(40.0).with_epsilon(10.0)
+        assert config.epsilon == 10.0
+        assert not config.opt_two_sided_deviation
+
+    def test_max_points_cap_validated(self):
+        with pytest.raises(InvalidParameterError):
+            OperbConfig(epsilon=1.0, max_points_per_segment=1)
+
+    def test_paper_default_cap(self):
+        assert OperbConfig.optimized(1.0).max_points_per_segment == 400_000
+
+
+class TestOperbAConfig:
+    def test_default_gamma_is_pi_over_three(self):
+        config = OperbAConfig.optimized(40.0)
+        assert config.gamma_max == pytest.approx(math.pi / 3)
+        assert config.max_turn_angle == pytest.approx(2 * math.pi / 3)
+
+    def test_gamma_bounds_validated(self):
+        with pytest.raises(InvalidParameterError):
+            OperbAConfig.optimized(40.0, gamma_max=-0.1)
+        with pytest.raises(InvalidParameterError):
+            OperbAConfig.optimized(40.0, gamma_max=math.pi + 0.1)
+
+    def test_raw_uses_raw_base(self):
+        config = OperbAConfig.raw(40.0)
+        assert not config.base.opt_absorb_trailing_points
+        assert config.enable_patching
+
+    def test_epsilon_delegates_to_base(self):
+        assert OperbAConfig.optimized(25.0).epsilon == 25.0

@@ -1,0 +1,133 @@
+"""Unit tests for the fitting function F (paper Section 4.1, Example 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import OperbConfig, Point
+from repro.core.fitting import FittingState, PointOutcome, rotation_sign, zone_index
+
+
+class TestZoneIndex:
+    def test_zone_boundaries(self):
+        # Zone Z_j covers (j*eps/2 - eps/4, j*eps/2 + eps/4].
+        eps = 4.0
+        assert zone_index(0.0, eps) == 0
+        assert zone_index(1.0, eps) == 0  # exactly eps/4 -> still zone 0
+        assert zone_index(1.01, eps) == 1
+        assert zone_index(3.0, eps) == 1  # 3 = eps/2 + eps/4 boundary
+        assert zone_index(3.01, eps) == 2
+        assert zone_index(10.0, eps) == 5
+
+    def test_zone_index_never_negative(self):
+        assert zone_index(0.0, 1.0) == 0
+
+
+class TestRotationSign:
+    def test_point_slightly_counterclockwise(self):
+        assert rotation_sign(0.3, 0.0) == 1
+
+    def test_point_slightly_clockwise(self):
+        assert rotation_sign(2 * math.pi - 0.3, 0.0) == -1
+
+    def test_point_behind_but_ccw_of_opposite_ray(self):
+        # delta in [pi, 3*pi/2) -> +1 (rotate the *line* counter-clockwise).
+        assert rotation_sign(math.pi + 0.2, 0.0) == 1
+
+    def test_point_behind_but_cw_of_opposite_ray(self):
+        # delta in (pi/2, pi) -> -1.
+        assert rotation_sign(math.pi - 0.2, 0.0) == -1
+
+    def test_rotation_moves_line_closer_to_point(self):
+        # The sign function must always rotate the fitted line towards the
+        # line through the anchor and the point (paper Section 4.1).
+        anchor = Point(0.0, 0.0)
+        for target_angle in (0.3, 1.2, 2.0, 3.0, 4.0, 5.5):
+            point = Point(10.0 * math.cos(target_angle), 10.0 * math.sin(target_angle))
+            line_theta = 0.0
+            sign = rotation_sign(target_angle, line_theta)
+            before = abs(math.sin(target_angle - line_theta)) * 10.0
+            after_theta = line_theta + sign * 0.05
+            after = abs(
+                math.cos(after_theta) * point.y - math.sin(after_theta) * point.x
+            )
+            assert after < before
+
+
+class TestFittingStateExample4:
+    """Recreate the structure of the paper's Example 4 with a raw config."""
+
+    def setup_method(self):
+        self.eps = 4.0
+        self.config = OperbConfig.raw(self.eps)
+        self.state = FittingState(Point(0.0, 0.0), self.config)
+
+    def test_point_inside_zone_zero_is_inactive(self):
+        outcome = self.state.observe(Point(0.5, 0.0))
+        assert outcome is PointOutcome.ABSORBED
+        assert not self.state.has_direction
+
+    def test_first_active_point_sets_direction(self):
+        self.state.observe(Point(0.5, 0.0))
+        outcome = self.state.observe(Point(2.0, 0.0))  # |R| = 2 > eps/4 -> zone 1
+        assert outcome is PointOutcome.ACTIVE
+        assert self.state.has_direction
+        assert self.state.length == pytest.approx(1 * self.eps / 2)
+        assert self.state.theta == pytest.approx(0.0)
+
+    def test_inactive_point_after_direction_keeps_segment(self):
+        self.state.observe(Point(2.0, 0.0))
+        outcome = self.state.observe(Point(2.2, 0.1))
+        assert outcome is PointOutcome.ABSORBED
+        assert self.state.length == pytest.approx(2.0)
+
+    def test_active_point_advances_zone_and_rotates(self):
+        self.state.observe(Point(2.0, 0.0))
+        outcome = self.state.observe(Point(4.0, 0.5))
+        assert outcome is PointOutcome.ACTIVE
+        assert self.state.length == pytest.approx(2 * self.eps / 2)
+        assert 0.0 < self.state.theta < math.pi / 4
+
+    def test_far_off_line_point_is_violation(self):
+        self.state.observe(Point(2.0, 0.0))
+        self.state.observe(Point(4.0, 0.0))
+        outcome = self.state.observe(Point(6.0, 5.0))  # deviation 5 > eps/2
+        assert outcome is PointOutcome.VIOLATION
+
+    def test_inactive_point_far_from_line_is_violation(self):
+        self.state.observe(Point(10.0, 0.0))
+        outcome = self.state.observe(Point(5.0, 4.0))  # inactive but 4 > eps/2
+        assert outcome is PointOutcome.VIOLATION
+
+    def test_constant_work_per_point(self):
+        for i in range(100):
+            self.state.observe(Point(float(i), 0.0))
+        # At most three distance computations per observed point.
+        assert self.state.stats.distance_computations <= 3 * self.state.stats.points_observed
+
+
+class TestFittingAngleDrift:
+    def test_angle_drift_is_bounded(self):
+        """Lemma 3: total rotation of L is bounded by ~0.8123 rad."""
+        eps = 2.0
+        config = OperbConfig.raw(eps)
+        state = FittingState(Point(0.0, 0.0), config)
+        initial_theta = None
+        # Feed a stepwise spiral-ish trajectory that always deviates by eps/2.
+        radius = 0.0
+        theta = 0.0
+        for i in range(1, 200):
+            radius = i * eps / 2
+            theta += math.asin(min(1.0, (eps / 2) / radius)) * 0.9
+            point = Point(radius * math.cos(theta), radius * math.sin(theta))
+            outcome = state.observe(point)
+            if outcome is PointOutcome.VIOLATION:
+                break
+            if state.has_direction and initial_theta is None:
+                initial_theta = state.theta
+        assert initial_theta is not None
+        drift = abs(state.theta - initial_theta)
+        drift = min(drift, 2 * math.pi - drift)
+        assert drift < 0.8123 + 0.1

@@ -1,0 +1,164 @@
+"""Unit and behavioural tests for the OPERB simplifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import OperbConfig, Point, SimplificationError, Trajectory
+from repro.core.operb import OPERBSimplifier, operb, raw_operb
+from repro.metrics import check_error_bound, per_point_errors
+
+from conftest import build_trajectory
+
+
+class TestBasicBehaviour:
+    def test_straight_line_becomes_single_segment(self, straight_line):
+        representation = operb(straight_line, 10.0)
+        assert representation.n_segments == 1
+        assert representation.segments[0].first_index == 0
+        assert representation.segments[0].last_index == len(straight_line) - 1
+
+    def test_empty_trajectory(self):
+        assert operb(Trajectory.empty(), 10.0).n_segments == 0
+
+    def test_single_point_trajectory(self, single_point):
+        assert operb(single_point, 10.0).n_segments == 0
+
+    def test_two_point_trajectory(self, two_points):
+        representation = operb(two_points, 10.0)
+        assert representation.n_segments == 1
+        assert representation.segments[0].point_count == 2
+
+    def test_l_shape_produces_multiple_segments(self, l_shape):
+        representation = operb(l_shape, 40.0)
+        assert representation.n_segments >= 2
+
+    def test_algorithm_name_recorded(self, straight_line):
+        assert operb(straight_line, 10.0).algorithm == "operb"
+        assert raw_operb(straight_line, 10.0).algorithm == "raw-operb"
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("epsilon", [10.0, 40.0, 100.0])
+    def test_error_bound_on_noisy_walk(self, noisy_walk, epsilon):
+        for representation in (operb(noisy_walk, epsilon), raw_operb(noisy_walk, epsilon)):
+            assert check_error_bound(noisy_walk, representation, epsilon)
+
+    def test_error_bound_on_taxi_profile(self, taxi_trajectory):
+        representation = operb(taxi_trajectory, 40.0)
+        assert check_error_bound(taxi_trajectory, representation, 40.0)
+
+    def test_containing_segment_error_bounded(self, taxi_trajectory):
+        representation = operb(taxi_trajectory, 40.0)
+        errors = per_point_errors(taxi_trajectory, representation)
+        assert errors.max() <= 40.0 * (1.0 + 1e-9)
+
+    def test_zigzag_error_bound(self, zigzag):
+        representation = operb(zigzag, 50.0)
+        assert check_error_bound(zigzag, representation, 50.0)
+
+
+class TestRepresentationStructure:
+    def test_continuity(self, taxi_trajectory):
+        representation = operb(taxi_trajectory, 40.0)
+        representation.validate_continuity(tolerance=1e-6)
+
+    def test_first_and_last_points_are_endpoints(self, taxi_trajectory):
+        representation = operb(taxi_trajectory, 40.0)
+        assert representation.segments[0].start == taxi_trajectory[0]
+        assert representation.segments[-1].end == taxi_trajectory[len(taxi_trajectory) - 1]
+
+    def test_index_ranges_are_monotonic(self, taxi_trajectory):
+        representation = operb(taxi_trajectory, 40.0)
+        for previous, current in zip(representation.segments, representation.segments[1:]):
+            assert current.first_index == previous.last_index
+            assert current.last_index > current.first_index
+
+    def test_every_index_is_covered(self, sercar_trajectory):
+        representation = operb(sercar_trajectory, 40.0)
+        covered = set()
+        for segment in representation.segments:
+            covered.update(range(segment.first_index, segment.covered_last_index + 1))
+        assert covered == set(range(len(sercar_trajectory)))
+
+
+class TestOptimisations:
+    def test_optimized_compresses_better_than_raw(self, taxi_trajectory):
+        optimized = operb(taxi_trajectory, 40.0)
+        raw = raw_operb(taxi_trajectory, 40.0)
+        assert optimized.n_segments <= raw.n_segments
+
+    def test_individual_flags_preserve_error_bound(self, noisy_walk):
+        base = dict(
+            opt_first_active_threshold=False,
+            opt_two_sided_deviation=False,
+            opt_aggressive_rotation=False,
+            opt_missing_zone_compensation=False,
+            opt_absorb_trailing_points=False,
+        )
+        for flag in base:
+            overrides = dict(base)
+            overrides[flag] = True
+            config = OperbConfig(epsilon=25.0, **overrides)
+            representation = OPERBSimplifier(config).simplify(noisy_walk)
+            assert check_error_bound(noisy_walk, representation, 25.0), flag
+
+    def test_absorption_extends_coverage(self, taxi_trajectory):
+        config = OperbConfig.optimized(40.0)
+        representation = OPERBSimplifier(config).simplify(taxi_trajectory)
+        assert any(
+            segment.covered_last_index > segment.last_index
+            for segment in representation.segments
+        ) or representation.n_segments <= 2
+
+
+class TestStreamingContract:
+    def test_push_after_finish_rejected(self):
+        simplifier = OPERBSimplifier(OperbConfig.optimized(10.0))
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        simplifier.finish()
+        with pytest.raises(SimplificationError):
+            simplifier.push(Point(1.0, 0.0, 1.0))
+
+    def test_finish_is_idempotent(self):
+        simplifier = OPERBSimplifier(OperbConfig.optimized(10.0))
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        simplifier.push(Point(100.0, 0.0, 1.0))
+        first = simplifier.finish()
+        assert len(first) == 1
+        assert simplifier.finish() == []
+
+    def test_simplify_requires_fresh_instance(self, two_points):
+        simplifier = OPERBSimplifier(OperbConfig.optimized(10.0))
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        with pytest.raises(SimplificationError):
+            simplifier.simplify(two_points)
+
+    def test_streaming_matches_batch(self, taxi_trajectory):
+        config = OperbConfig.optimized(40.0)
+        batch = OPERBSimplifier(config).simplify(taxi_trajectory)
+        streaming = OPERBSimplifier(config)
+        segments = []
+        for point in taxi_trajectory:
+            segments.extend(streaming.push(point))
+        segments.extend(streaming.finish())
+        assert [
+            (s.first_index, s.last_index) for s in segments
+        ] == [(s.first_index, s.last_index) for s in batch.segments]
+
+    def test_statistics_are_populated(self, taxi_trajectory):
+        simplifier = OPERBSimplifier(OperbConfig.optimized(40.0))
+        simplifier.simplify(taxi_trajectory)
+        stats = simplifier.stats
+        assert stats.points_processed == len(taxi_trajectory)
+        assert stats.segments_emitted > 0
+        assert stats.distance_computations > 0
+
+    def test_per_segment_point_cap_forces_break(self, straight_line):
+        # Use the raw configuration: optimisation 5 would otherwise absorb the
+        # overflow points into the capped segment (they stay on its line).
+        config = OperbConfig.raw(10.0, max_points_per_segment=20)
+        simplifier = OPERBSimplifier(config)
+        representation = simplifier.simplify(straight_line)
+        assert representation.n_segments >= len(straight_line) // 20
+        assert simplifier.stats.forced_breaks > 0

@@ -1,0 +1,131 @@
+"""Unit and behavioural tests for the OPERB-A simplifier."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import OperbAConfig, Point, SimplificationError
+from repro.core.operb import operb
+from repro.core.operb_a import OPERBASimplifier, operb_a, raw_operb_a
+from repro.metrics import check_error_bound, per_point_errors
+
+
+class TestBasicBehaviour:
+    def test_straight_line_single_segment(self, straight_line):
+        assert operb_a(straight_line, 10.0).n_segments == 1
+
+    def test_l_shape_is_patched(self, l_shape):
+        plain = operb(l_shape, 40.0)
+        aggressive = operb_a(l_shape, 40.0)
+        assert aggressive.n_segments <= plain.n_segments
+        assert any(segment.patched_start or segment.patched_end for segment in aggressive.segments)
+
+    def test_patch_point_near_corner_apex(self, l_shape):
+        representation = operb_a(l_shape, 40.0)
+        patched = [s for s in representation.segments if s.patched_end]
+        assert patched
+        corner = patched[0].end
+        assert corner.x == pytest.approx(2000.0, abs=60.0)
+        assert corner.y == pytest.approx(0.0, abs=60.0)
+
+    def test_algorithm_names(self, straight_line):
+        assert operb_a(straight_line, 10.0).algorithm == "operb-a"
+        assert raw_operb_a(straight_line, 10.0).algorithm == "raw-operb-a"
+
+    def test_patching_disabled_matches_operb(self, taxi_trajectory):
+        config = OperbAConfig.optimized(40.0)
+        disabled = OPERBASimplifier(
+            OperbAConfig(base=config.base, gamma_max=config.gamma_max, enable_patching=False)
+        ).simplify(taxi_trajectory)
+        plain = operb(taxi_trajectory, 40.0)
+        assert [(s.first_index, s.last_index) for s in disabled.segments] == [
+            (s.first_index, s.last_index) for s in plain.segments
+        ]
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("epsilon", [10.0, 40.0, 100.0])
+    def test_error_bound_preserved(self, noisy_walk, epsilon):
+        representation = operb_a(noisy_walk, epsilon)
+        assert check_error_bound(noisy_walk, representation, epsilon)
+
+    def test_patching_adds_no_containing_error(self, taxi_trajectory):
+        representation = operb_a(taxi_trajectory, 40.0)
+        errors = per_point_errors(taxi_trajectory, representation)
+        assert errors.max() <= 40.0 * (1.0 + 1e-9)
+
+    def test_error_bound_on_taxi(self, taxi_trajectory):
+        representation = operb_a(taxi_trajectory, 40.0)
+        assert check_error_bound(taxi_trajectory, representation, 40.0)
+
+
+class TestCompressionBehaviour:
+    def test_operb_a_never_worse_than_operb(self, taxi_trajectory, sercar_trajectory):
+        for trajectory in (taxi_trajectory, sercar_trajectory):
+            assert operb_a(trajectory, 40.0).n_segments <= operb(trajectory, 40.0).n_segments
+
+    def test_fewer_anomalous_segments_than_operb(self, taxi_trajectory):
+        plain = operb(taxi_trajectory, 40.0)
+        aggressive = operb_a(taxi_trajectory, 40.0)
+        plain_anomalous = sum(1 for s in plain.segments if s.is_anomalous)
+        aggressive_anomalous = sum(1 for s in aggressive.segments if s.is_anomalous)
+        assert aggressive_anomalous <= plain_anomalous
+
+
+class TestPatchingStatistics:
+    def test_statistics_consistency(self, taxi_trajectory):
+        simplifier = OPERBASimplifier(OperbAConfig.optimized(40.0))
+        simplifier.simplify(taxi_trajectory)
+        stats = simplifier.stats
+        assert stats.patches_applied + stats.patches_rejected <= stats.anomalous_segments
+        assert 0.0 <= stats.patching_ratio <= 1.0
+        assert sum(stats.rejection_reasons.values()) == stats.patches_rejected
+
+    def test_patching_ratio_decreases_with_gamma(self, taxi_trajectory):
+        ratios = []
+        for gamma in (0.0, math.pi / 3, 2 * math.pi / 3, math.pi):
+            simplifier = OPERBASimplifier(OperbAConfig.optimized(40.0, gamma_max=gamma))
+            simplifier.simplify(taxi_trajectory)
+            ratios.append(simplifier.stats.patching_ratio)
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] == 0.0
+
+    def test_gamma_pi_disables_all_patches(self, taxi_trajectory):
+        simplifier = OPERBASimplifier(OperbAConfig.optimized(40.0, gamma_max=math.pi))
+        simplifier.simplify(taxi_trajectory)
+        assert simplifier.stats.patches_applied == 0
+
+    def test_engine_statistics_exposed(self, taxi_trajectory):
+        simplifier = OPERBASimplifier(OperbAConfig.optimized(40.0))
+        simplifier.simplify(taxi_trajectory)
+        assert simplifier.engine_stats.points_processed == len(taxi_trajectory)
+
+
+class TestStreamingContract:
+    def test_push_after_finish_rejected(self):
+        simplifier = OPERBASimplifier(OperbAConfig.optimized(10.0))
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        simplifier.finish()
+        with pytest.raises(SimplificationError):
+            simplifier.push(Point(1.0, 0.0, 1.0))
+
+    def test_streaming_matches_batch(self, taxi_trajectory):
+        batch = OPERBASimplifier(OperbAConfig.optimized(40.0)).simplify(taxi_trajectory)
+        streaming = OPERBASimplifier(OperbAConfig.optimized(40.0))
+        segments = []
+        for point in taxi_trajectory:
+            segments.extend(streaming.push(point))
+        segments.extend(streaming.finish())
+        assert len(segments) == batch.n_segments
+
+    def test_simplify_requires_fresh_instance(self, two_points):
+        simplifier = OPERBASimplifier(OperbAConfig.optimized(10.0))
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        with pytest.raises(SimplificationError):
+            simplifier.simplify(two_points)
+
+    def test_continuity_with_patch_points(self, taxi_trajectory):
+        representation = operb_a(taxi_trajectory, 40.0)
+        representation.validate_continuity(tolerance=1e-6)

@@ -1,0 +1,112 @@
+"""Unit tests for the patch-point computation (paper Section 5.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Point
+from repro.core.patching import compute_patch_point, turn_angle_between
+from repro.trajectory.piecewise import SegmentRecord
+
+
+def make_segment(start, end, first_index=0, last_index=5):
+    return SegmentRecord(
+        start=Point(*start), end=Point(*end), first_index=first_index, last_index=last_index
+    )
+
+
+@pytest.fixture
+def corner_pair():
+    """A classic 90-degree corner cut: along +x, anomalous cut, then along +y."""
+    previous = make_segment((-1500.0, 0.0), (-300.0, 0.0), 0, 4)
+    following = make_segment((0.0, 240.0), (0.0, 1500.0), 5, 9)
+    return previous, following
+
+
+class TestTurnAngle:
+    def test_right_angle(self, corner_pair):
+        previous, following = corner_pair
+        assert turn_angle_between(previous, following) == pytest.approx(math.pi / 2)
+
+    def test_straight_continuation(self):
+        a = make_segment((0.0, 0.0), (10.0, 0.0))
+        b = make_segment((12.0, 0.0), (20.0, 0.0))
+        assert turn_angle_between(a, b) == pytest.approx(0.0)
+
+
+class TestComputePatchPoint:
+    def test_corner_is_patched_at_the_apex(self, corner_pair):
+        previous, following = corner_pair
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=math.pi / 3)
+        assert decision.accepted
+        assert decision.patch_point.x == pytest.approx(0.0, abs=1e-6)
+        assert decision.patch_point.y == pytest.approx(0.0, abs=1e-6)
+
+    def test_turn_angle_condition_rejects_sharp_turns(self, corner_pair):
+        previous, following = corner_pair
+        # gamma_max > pi/2 forbids 90-degree turns.
+        decision = compute_patch_point(
+            previous, following, epsilon=40.0, gamma_max=math.radians(135.0)
+        )
+        assert not decision.accepted
+        assert decision.reason == "turn-angle"
+
+    def test_parallel_lines_rejected(self):
+        previous = make_segment((0.0, 0.0), (100.0, 0.0))
+        following = make_segment((200.0, 50.0), (300.0, 50.0))
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=0.0)
+        assert not decision.accepted
+        assert decision.reason == "parallel-lines"
+
+    def test_patch_point_behind_previous_start_rejected(self):
+        # The following line intersects the previous line behind its start.
+        previous = make_segment((0.0, 0.0), (100.0, 0.0))
+        following = make_segment((-50.0, 10.0), (-50.0, 200.0))
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=0.0)
+        assert not decision.accepted
+        assert decision.reason in {"behind-previous-start", "retreats-too-far"}
+
+    def test_retreat_beyond_half_epsilon_rejected(self):
+        # Intersection falls 60 m before the previous end with epsilon = 40.
+        previous = make_segment((0.0, 0.0), (100.0, 0.0))
+        following = make_segment((40.0, 30.0), (40.0, 300.0))
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=0.0)
+        assert not decision.accepted
+        assert decision.reason == "retreats-too-far"
+
+    def test_small_retreat_within_half_epsilon_accepted(self):
+        # Intersection 15 m before the previous end (within epsilon/2 = 20).
+        previous = make_segment((0.0, 0.0), (100.0, 0.0))
+        following = make_segment((85.0, 30.0), (85.0, 300.0))
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=0.0)
+        assert decision.accepted
+        assert decision.patch_point.x == pytest.approx(85.0)
+
+    def test_following_start_behind_intersection_rejected(self):
+        # The following segment starts *before* (behind) the intersection
+        # along its own direction, so no patch point can be interpolated.
+        previous = make_segment((0.0, 0.0), (100.0, 0.0))
+        following = make_segment((150.0, -50.0), (150.0, 300.0))
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=0.0)
+        assert not decision.accepted
+        assert decision.reason == "beyond-following-start"
+
+    def test_degenerate_neighbour_rejected(self):
+        previous = make_segment((0.0, 0.0), (0.0, 0.0))
+        following = make_segment((10.0, 10.0), (20.0, 10.0))
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=0.0)
+        assert not decision.accepted
+        assert decision.reason == "degenerate-neighbour"
+
+    def test_patch_point_timestamp_between_neighbours(self):
+        previous = SegmentRecord(
+            start=Point(-1500.0, 0.0, 0.0), end=Point(-300.0, 0.0, 100.0), first_index=0, last_index=4
+        )
+        following = SegmentRecord(
+            start=Point(0.0, 240.0, 200.0), end=Point(0.0, 1500.0, 300.0), first_index=5, last_index=9
+        )
+        decision = compute_patch_point(previous, following, epsilon=40.0, gamma_max=math.pi / 3)
+        assert decision.accepted
+        assert decision.patch_point.t == pytest.approx(150.0)

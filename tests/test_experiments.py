@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (small-scale runs of every table/figure)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    DATASET_ORDER,
+    EXPERIMENTS,
+    ExperimentResult,
+    WorkloadScale,
+    fig12_efficiency_size,
+    fig13_efficiency_epsilon,
+    fig14_optimization_efficiency,
+    fig15_compression_epsilon,
+    fig16_optimization_compression,
+    fig17_segment_distribution,
+    fig18_average_error,
+    fig19_patching,
+    standard_datasets,
+    table1,
+    time_algorithm,
+)
+
+TINY = WorkloadScale("tiny", n_trajectories=1, points_per_trajectory=600)
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets():
+    return standard_datasets(TINY, seed=3)
+
+
+class TestInfrastructure:
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19-1",
+            "fig19-2",
+        }
+
+    def test_standard_datasets_structure(self, tiny_datasets):
+        assert list(tiny_datasets) == list(DATASET_ORDER)
+        for fleet in tiny_datasets.values():
+            assert len(fleet) == 1
+            assert len(fleet[0]) == 600
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult("x", "demo", columns=["a", "b"])
+        result.add_row(a=1, b=2.5)
+        result.add_row(a=2, b=None)
+        assert result.column("a") == [1, 2]
+        assert result.filter_rows(a=2) == [{"a": 2, "b": None}]
+        assert "demo" in result.to_text()
+        assert result.to_markdown().count("|") > 0
+
+    def test_time_algorithm_reports_throughput(self, tiny_datasets):
+        timed = time_algorithm("operb", tiny_datasets["Taxi"], 40.0)
+        assert timed.seconds > 0.0
+        assert timed.points_per_second > 0.0
+        assert len(timed.representations) == 1
+
+
+class TestTable1:
+    def test_rows_and_columns(self, tiny_datasets):
+        result = table1.run(tiny_datasets)
+        assert [row["dataset"] for row in result.rows] == list(DATASET_ORDER)
+        assert all(row["total points"] == 600 for row in result.rows)
+
+
+class TestEfficiencyExperiments:
+    def test_fig12_shapes(self):
+        result = fig12_efficiency_size.run(
+            sizes=(300, 600), datasets=("Taxi",), trajectories_per_size=1, seed=3
+        )
+        assert {row["size"] for row in result.rows} == {300, 600}
+        operb_rows = result.filter_rows(algorithm="operb")
+        assert all(row["seconds"] > 0.0 for row in operb_rows)
+
+    def test_fig13_speedup_column(self, tiny_datasets):
+        result = fig13_efficiency_epsilon.run(
+            {"Taxi": tiny_datasets["Taxi"]}, epsilons=(40.0,)
+        )
+        dp_row = result.filter_rows(algorithm="dp")[0]
+        assert dp_row["speedup vs dp"] == pytest.approx(1.0)
+
+    def test_fig14_ratio_positive(self, tiny_datasets):
+        result = fig14_optimization_efficiency.run(
+            {"Taxi": tiny_datasets["Taxi"]}, epsilons=(40.0,)
+        )
+        assert all(row["raw / optimised (%)"] > 0.0 for row in result.rows)
+
+
+class TestEffectivenessExperiments:
+    def test_fig15_ratios_decrease_with_epsilon(self, tiny_datasets):
+        result = fig15_compression_epsilon.run(
+            {"Taxi": tiny_datasets["Taxi"]}, epsilons=(10.0, 80.0), algorithms=("dp", "operb")
+        )
+        tight = result.filter_rows(algorithm="dp", epsilon=10.0)[0]["compression ratio"]
+        loose = result.filter_rows(algorithm="dp", epsilon=80.0)[0]["compression ratio"]
+        assert loose <= tight
+
+    def test_fig16_optimisations_help(self, tiny_datasets):
+        result = fig16_optimization_compression.run(
+            {"Taxi": tiny_datasets["Taxi"]}, epsilons=(40.0,)
+        )
+        for row in result.rows:
+            assert row["optimised ratio"] <= row["raw ratio"] + 1e-9
+
+    def test_fig17_distribution_counts_match_segments(self, tiny_datasets):
+        result = fig17_segment_distribution.run(
+            {"Taxi": tiny_datasets["Taxi"]}, algorithms=("operb",), epsilon=40.0
+        )
+        total = sum(row["Z(k)"] for row in result.rows)
+        assert total > 0
+
+    def test_fig18_errors_below_bound(self, tiny_datasets):
+        result = fig18_average_error.run(
+            {"Taxi": tiny_datasets["Taxi"]}, epsilons=(40.0,), algorithms=("dp", "operb", "operb-a")
+        )
+        for row in result.rows:
+            assert row["average error"] <= 40.0
+            assert row["bound satisfied"]
+
+
+class TestPatchingExperiments:
+    def test_fig19_epsilon_sweep(self, tiny_datasets):
+        result = fig19_patching.run_patching_vs_epsilon(
+            {"Taxi": tiny_datasets["Taxi"]}, epsilons=(40.0,)
+        )
+        row = result.rows[0]
+        assert row["patched (Np)"] <= row["anomalous (Na)"]
+
+    def test_fig19_gamma_sweep_monotone(self, tiny_datasets):
+        result = fig19_patching.run_patching_vs_gamma(
+            {"Taxi": tiny_datasets["Taxi"]}, gammas_deg=(0.0, 90.0, 180.0)
+        )
+        ratios = [row["patching ratio (%)"] for row in result.rows]
+        assert ratios[0] >= ratios[-1]
+        assert ratios[-1] == 0.0
+
+    def test_fig19_run_returns_both(self, tiny_datasets):
+        results = fig19_patching.run({"Taxi": tiny_datasets["Taxi"]})
+        assert len(results) == 2

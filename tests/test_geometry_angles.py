@@ -1,0 +1,95 @@
+"""Unit tests for angle arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry.angles import (
+    TWO_PI,
+    angle_between_directions,
+    angle_of,
+    degrees_to_radians,
+    included_angle,
+    normalize_angle,
+    normalize_signed_angle,
+    opposite_angle,
+    radians_to_degrees,
+)
+
+
+class TestNormalizeAngle:
+    def test_zero_unchanged(self):
+        assert normalize_angle(0.0) == 0.0
+
+    def test_negative_wraps(self):
+        assert normalize_angle(-math.pi / 2) == pytest.approx(1.5 * math.pi)
+
+    def test_full_turn_wraps_to_zero(self):
+        assert normalize_angle(TWO_PI) == pytest.approx(0.0)
+
+    def test_many_turns(self):
+        assert normalize_angle(7 * math.pi) == pytest.approx(math.pi)
+
+    def test_result_in_range(self):
+        for value in (-100.0, -3.2, 0.0, 1.0, 6.28, 9.42, 500.0):
+            result = normalize_angle(value)
+            assert 0.0 <= result < TWO_PI
+
+
+class TestNormalizeSignedAngle:
+    def test_pi_maps_to_pi(self):
+        assert normalize_signed_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_minus_pi_maps_to_pi(self):
+        assert normalize_signed_angle(-math.pi) == pytest.approx(math.pi)
+
+    def test_three_quarters_turn(self):
+        assert normalize_signed_angle(1.5 * math.pi) == pytest.approx(-0.5 * math.pi)
+
+    def test_small_angles_unchanged(self):
+        assert normalize_signed_angle(0.3) == pytest.approx(0.3)
+        assert normalize_signed_angle(-0.3) == pytest.approx(-0.3)
+
+
+class TestIncludedAngle:
+    def test_matches_paper_range(self):
+        # The included angle L2.theta - L1.theta lies in (-2*pi, 2*pi).
+        value = included_angle(1.75 * math.pi, 0.25 * math.pi)
+        assert -TWO_PI < value < TWO_PI
+        assert value == pytest.approx(-1.5 * math.pi)
+
+    def test_same_direction_is_zero(self):
+        assert included_angle(0.7, 0.7) == pytest.approx(0.0)
+
+
+class TestAngleOf:
+    def test_cardinal_directions(self):
+        assert angle_of(1.0, 0.0) == pytest.approx(0.0)
+        assert angle_of(0.0, 1.0) == pytest.approx(math.pi / 2)
+        assert angle_of(-1.0, 0.0) == pytest.approx(math.pi)
+        assert angle_of(0.0, -1.0) == pytest.approx(1.5 * math.pi)
+
+    def test_zero_vector_is_zero(self):
+        assert angle_of(0.0, 0.0) == 0.0
+
+
+class TestAngleBetweenDirections:
+    def test_perpendicular(self):
+        assert angle_between_directions(0.0, math.pi / 2) == pytest.approx(math.pi / 2)
+
+    def test_antiparallel_lines_are_parallel(self):
+        assert angle_between_directions(0.0, math.pi) == pytest.approx(0.0)
+
+    def test_result_at_most_quarter_turn(self):
+        assert angle_between_directions(0.1, 2.0) <= math.pi / 2 + 1e-12
+
+
+class TestConversions:
+    def test_opposite_angle(self):
+        assert opposite_angle(0.0) == pytest.approx(math.pi)
+        assert opposite_angle(1.5 * math.pi) == pytest.approx(0.5 * math.pi)
+
+    def test_degrees_radians_round_trip(self):
+        assert radians_to_degrees(degrees_to_radians(135.0)) == pytest.approx(135.0)

@@ -1,0 +1,87 @@
+"""Unit tests for line intersection and convex clipping (BQS support)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.clipping import bounding_box_polygon, clip_box_with_wedge, clip_polygon_halfplane
+from repro.geometry.intersection import (
+    intersect_lines,
+    intersect_point_directions,
+    project_onto_direction,
+)
+
+
+class TestIntersectLines:
+    def test_perpendicular_lines(self):
+        g = intersect_lines(Point(-5.0, 0.0), Point(5.0, 0.0), Point(2.0, -3.0), Point(2.0, 3.0))
+        assert g is not None
+        assert (g.x, g.y) == (pytest.approx(2.0), pytest.approx(0.0))
+
+    def test_parallel_lines_return_none(self):
+        assert (
+            intersect_lines(Point(0.0, 0.0), Point(1.0, 0.0), Point(0.0, 1.0), Point(1.0, 1.0))
+            is None
+        )
+
+    def test_degenerate_line_returns_none(self):
+        assert (
+            intersect_lines(Point(0.0, 0.0), Point(0.0, 0.0), Point(0.0, 1.0), Point(1.0, 1.0))
+            is None
+        )
+
+    def test_intersection_by_directions(self):
+        g = intersect_point_directions(Point(0.0, 0.0), 0.0, Point(4.0, -4.0), math.pi / 2)
+        assert g is not None
+        assert (g.x, g.y) == (pytest.approx(4.0), pytest.approx(0.0))
+
+    def test_timestamp_is_interpolated_along_first_line(self):
+        g = intersect_lines(
+            Point(0.0, 0.0, 0.0), Point(10.0, 0.0, 10.0), Point(5.0, -1.0, 0.0), Point(5.0, 1.0, 0.0)
+        )
+        assert g is not None
+        assert g.t == pytest.approx(5.0)
+
+
+class TestProjection:
+    def test_forward_projection_positive(self):
+        assert project_onto_direction(Point(3.0, 1.0), Point(0.0, 0.0), 0.0) == pytest.approx(3.0)
+
+    def test_backward_projection_negative(self):
+        assert project_onto_direction(Point(-2.0, 5.0), Point(0.0, 0.0), 0.0) == pytest.approx(-2.0)
+
+
+class TestClipping:
+    def test_halfplane_keeps_inside_vertices(self):
+        box = bounding_box_polygon(0.0, 0.0, 2.0, 2.0)
+        clipped = clip_polygon_halfplane(box, Point(1.0, 0.0), 1.0, 0.0)
+        xs = sorted(round(p.x, 6) for p in clipped)
+        assert min(xs) >= 1.0
+        assert max(xs) == pytest.approx(2.0)
+
+    def test_halfplane_can_empty_polygon(self):
+        box = bounding_box_polygon(0.0, 0.0, 1.0, 1.0)
+        clipped = clip_polygon_halfplane(box, Point(5.0, 0.0), 1.0, 0.0)
+        assert clipped == []
+
+    def test_wedge_clip_produces_at_most_eight_vertices(self):
+        box = bounding_box_polygon(1.0, 1.0, 5.0, 4.0)
+        apex = Point(0.0, 0.0)
+        clipped = clip_box_with_wedge(box, apex, 1.0, 0.2, 0.3, 1.0)
+        assert 3 <= len(clipped) <= 8
+
+    def test_wedge_clip_contains_points_inside_wedge_and_box(self):
+        box = bounding_box_polygon(1.0, 1.0, 5.0, 4.0)
+        apex = Point(0.0, 0.0)
+        low = (1.0, 0.2)
+        high = (0.3, 1.0)
+        clipped = clip_box_with_wedge(box, apex, low[0], low[1], high[0], high[1])
+        # A point well inside both the box and the wedge must lie inside the
+        # clipped polygon's bounding box (cheap necessary condition).
+        xs = [p.x for p in clipped]
+        ys = [p.y for p in clipped]
+        assert min(xs) <= 3.0 <= max(xs)
+        assert min(ys) <= 2.0 <= max(ys)

@@ -1,0 +1,122 @@
+"""Unit tests for distance computations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point
+from repro.geometry.distance import (
+    max_distance_to_line,
+    point_to_anchored_line_distance,
+    point_to_line_distance,
+    point_to_segment_distance,
+    points_sed_distance,
+    points_to_line_distance,
+    points_to_segment_distance,
+    synchronized_euclidean_distance,
+)
+
+
+class TestPointToLine:
+    def test_point_above_horizontal_line(self):
+        d = point_to_line_distance(Point(5.0, 3.0), Point(0.0, 0.0), Point(10.0, 0.0))
+        assert d == pytest.approx(3.0)
+
+    def test_point_beyond_segment_still_uses_infinite_line(self):
+        # The paper's d(P, L) is the distance to the *line*, not the segment.
+        d = point_to_line_distance(Point(100.0, 2.0), Point(0.0, 0.0), Point(1.0, 0.0))
+        assert d == pytest.approx(2.0)
+
+    def test_degenerate_line_falls_back_to_point_distance(self):
+        d = point_to_line_distance(Point(3.0, 4.0), Point(0.0, 0.0), Point(0.0, 0.0))
+        assert d == pytest.approx(5.0)
+
+    def test_anchored_form_matches_two_point_form(self):
+        p = Point(2.0, 7.0)
+        a = Point(1.0, 1.0)
+        b = Point(4.0, 5.0)
+        theta = math.atan2(4.0, 3.0)
+        assert point_to_anchored_line_distance(p, a, theta) == pytest.approx(
+            point_to_line_distance(p, a, b)
+        )
+
+
+class TestPointToSegment:
+    def test_projection_inside_segment(self):
+        d = point_to_segment_distance(Point(5.0, 3.0), Point(0.0, 0.0), Point(10.0, 0.0))
+        assert d == pytest.approx(3.0)
+
+    def test_projection_outside_clamps_to_endpoint(self):
+        d = point_to_segment_distance(Point(-3.0, 4.0), Point(0.0, 0.0), Point(10.0, 0.0))
+        assert d == pytest.approx(5.0)
+
+    def test_segment_distance_never_below_line_distance(self):
+        p = Point(12.0, 5.0)
+        a = Point(0.0, 0.0)
+        b = Point(10.0, 1.0)
+        assert point_to_segment_distance(p, a, b) >= point_to_line_distance(p, a, b)
+
+
+class TestSynchronizedEuclidean:
+    def test_midpoint_in_time(self):
+        a = Point(0.0, 0.0, 0.0)
+        b = Point(10.0, 0.0, 10.0)
+        p = Point(5.0, 4.0, 5.0)
+        assert synchronized_euclidean_distance(p, a, b) == pytest.approx(4.0)
+
+    def test_lagging_point_is_penalised(self):
+        a = Point(0.0, 0.0, 0.0)
+        b = Point(10.0, 0.0, 10.0)
+        # Spatially on the line but 3 seconds behind schedule.
+        p = Point(2.0, 0.0, 5.0)
+        assert synchronized_euclidean_distance(p, a, b) == pytest.approx(3.0)
+
+    def test_zero_time_span_uses_start_point(self):
+        a = Point(0.0, 0.0, 5.0)
+        b = Point(10.0, 0.0, 5.0)
+        assert synchronized_euclidean_distance(Point(3.0, 4.0, 5.0), a, b) == pytest.approx(5.0)
+
+
+class TestVectorised:
+    def test_points_to_line_matches_scalar(self):
+        xs = np.array([1.0, 5.0, -2.0, 8.0])
+        ys = np.array([2.0, -1.0, 3.0, 8.0])
+        a = Point(0.0, 0.0)
+        b = Point(10.0, 4.0)
+        expected = [point_to_line_distance(Point(x, y), a, b) for x, y in zip(xs, ys)]
+        np.testing.assert_allclose(points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y), expected)
+
+    def test_points_to_segment_matches_scalar(self):
+        xs = np.array([-5.0, 5.0, 15.0])
+        ys = np.array([2.0, 2.0, 2.0])
+        a = Point(0.0, 0.0)
+        b = Point(10.0, 0.0)
+        expected = [point_to_segment_distance(Point(x, y), a, b) for x, y in zip(xs, ys)]
+        np.testing.assert_allclose(
+            points_to_segment_distance(xs, ys, a.x, a.y, b.x, b.y), expected
+        )
+
+    def test_points_sed_matches_scalar(self):
+        a = Point(0.0, 0.0, 0.0)
+        b = Point(10.0, 10.0, 10.0)
+        xs = np.array([1.0, 7.0])
+        ys = np.array([3.0, 6.0])
+        ts = np.array([2.0, 8.0])
+        expected = [
+            synchronized_euclidean_distance(Point(x, y, t), a, b) for x, y, t in zip(xs, ys, ts)
+        ]
+        np.testing.assert_allclose(points_sed_distance(xs, ys, ts, a, b), expected)
+
+
+class TestMaxDistance:
+    def test_returns_argmax(self):
+        points = [Point(1.0, 0.5), Point(2.0, 3.0), Point(3.0, -1.0)]
+        distance, index = max_distance_to_line(points, Point(0.0, 0.0), Point(10.0, 0.0))
+        assert distance == pytest.approx(3.0)
+        assert index == 1
+
+    def test_empty_sequence(self):
+        assert max_distance_to_line([], Point(0.0, 0.0), Point(1.0, 0.0)) == (0.0, -1)

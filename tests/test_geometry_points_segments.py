@@ -1,0 +1,77 @@
+"""Unit tests for Point and DirectedSegment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import DirectedSegment, Point
+
+
+class TestPoint:
+    def test_distance_to(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_offset_and_with_time(self):
+        p = Point(1.0, 2.0, 3.0).offset(1.0, -1.0, 2.0)
+        assert p == Point(2.0, 1.0, 5.0)
+        assert p.with_time(9.0).t == 9.0
+
+    def test_midpoint_averages_all_coordinates(self):
+        mid = Point(0.0, 0.0, 0.0).midpoint(Point(2.0, 4.0, 6.0))
+        assert mid == Point(1.0, 2.0, 3.0)
+
+    def test_iteration_and_tuples(self):
+        p = Point(1.0, 2.0, 3.0)
+        assert tuple(p) == (1.0, 2.0, 3.0)
+        assert p.as_xy() == (1.0, 2.0)
+        assert p.as_xyt() == (1.0, 2.0, 3.0)
+
+    def test_is_finite(self):
+        assert Point(1.0, 2.0).is_finite()
+        assert not Point(float("nan"), 0.0).is_finite()
+        assert not Point(0.0, float("inf")).is_finite()
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0.0, 0.0).x = 5.0  # type: ignore[misc]
+
+
+class TestDirectedSegment:
+    def test_from_points_length_and_theta(self):
+        segment = DirectedSegment.from_points(Point(0.0, 0.0), Point(3.0, 4.0))
+        assert segment.length == pytest.approx(5.0)
+        assert segment.theta == pytest.approx(math.atan2(4.0, 3.0))
+
+    def test_end_point_reconstruction(self):
+        segment = DirectedSegment.from_points(Point(1.0, 1.0), Point(4.0, 5.0))
+        assert segment.end.x == pytest.approx(4.0)
+        assert segment.end.y == pytest.approx(5.0)
+
+    def test_zero_segment_is_degenerate(self):
+        zero = DirectedSegment.zero(Point(2.0, 3.0))
+        assert zero.is_degenerate()
+        assert zero.end == Point(2.0, 3.0, 0.0)
+
+    def test_with_length_and_theta(self):
+        segment = DirectedSegment(Point(0.0, 0.0), 2.0, 0.0)
+        assert segment.with_length(5.0).length == 5.0
+        assert segment.with_theta(3 * math.pi).theta == pytest.approx(math.pi)
+
+    def test_rotated_moves_end_point(self):
+        segment = DirectedSegment(Point(0.0, 0.0), 1.0, 0.0)
+        rotated = segment.rotated(math.pi / 2)
+        assert rotated.end.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.end.y == pytest.approx(1.0)
+
+    def test_included_angle_to(self):
+        a = DirectedSegment(Point(0.0, 0.0), 1.0, 0.25 * math.pi)
+        b = DirectedSegment(Point(0.0, 0.0), 1.0, 0.75 * math.pi)
+        assert a.included_angle_to(b) == pytest.approx(0.5 * math.pi)
+
+    def test_point_at_distance(self):
+        segment = DirectedSegment(Point(1.0, 0.0), 10.0, math.pi / 2)
+        point = segment.point_at(4.0)
+        assert point.x == pytest.approx(1.0)
+        assert point.y == pytest.approx(4.0)

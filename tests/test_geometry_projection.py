@@ -1,0 +1,56 @@
+"""Unit tests for the local equirectangular projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.projection import EARTH_RADIUS_M, LocalProjection, haversine_distance
+
+
+class TestLocalProjection:
+    def test_origin_maps_to_zero(self):
+        projection = LocalProjection.for_origin(39.9, 116.4)
+        assert projection.to_xy(39.9, 116.4) == (pytest.approx(0.0), pytest.approx(0.0))
+
+    def test_round_trip(self):
+        projection = LocalProjection.for_origin(39.9, 116.4)
+        x, y = projection.to_xy(39.95, 116.5)
+        lat, lon = projection.to_latlon(x, y)
+        assert lat == pytest.approx(39.95, abs=1e-9)
+        assert lon == pytest.approx(116.5, abs=1e-9)
+
+    def test_one_degree_latitude_is_about_111_km(self):
+        projection = LocalProjection.for_origin(0.0, 0.0)
+        _, y = projection.to_xy(1.0, 0.0)
+        assert y == pytest.approx(111_195, rel=0.01)
+
+    def test_matches_haversine_locally(self):
+        projection = LocalProjection.for_origin(40.0, 116.0)
+        x, y = projection.to_xy(40.01, 116.01)
+        planar = float(np.hypot(x, y))
+        geodesic = haversine_distance(40.0, 116.0, 40.01, 116.01)
+        assert planar == pytest.approx(geodesic, rel=0.001)
+
+    def test_array_round_trip(self):
+        projection = LocalProjection.for_origin(40.0, 116.0)
+        lats = np.array([40.0, 40.001, 40.02])
+        lons = np.array([116.0, 116.002, 115.99])
+        xs, ys = projection.arrays_to_xy(lats, lons)
+        back_lats, back_lons = projection.arrays_to_latlon(xs, ys)
+        np.testing.assert_allclose(back_lats, lats)
+        np.testing.assert_allclose(back_lons, lons)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_quarter_meridian(self):
+        quarter = haversine_distance(0.0, 0.0, 90.0, 0.0)
+        assert quarter == pytest.approx(np.pi * EARTH_RADIUS_M / 2, rel=1e-6)
+
+    def test_symmetry(self):
+        assert haversine_distance(39.9, 116.4, 40.0, 116.5) == pytest.approx(
+            haversine_distance(40.0, 116.5, 39.9, 116.4)
+        )

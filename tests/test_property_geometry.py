@@ -1,0 +1,115 @@
+"""Property-based tests for the geometry substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DirectedSegment,
+    LocalProjection,
+    Point,
+    included_angle,
+    normalize_angle,
+    normalize_signed_angle,
+    point_to_line_distance,
+    point_to_segment_distance,
+    points_to_line_distance,
+)
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+finite_coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestAngleProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(theta=angles)
+    def test_normalize_angle_range_and_equivalence(self, theta):
+        result = normalize_angle(theta)
+        assert 0.0 <= result < 2.0 * math.pi
+        assert math.isclose(math.cos(result), math.cos(theta), abs_tol=1e-9)
+        assert math.isclose(math.sin(result), math.sin(theta), abs_tol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(theta=angles)
+    def test_signed_normalization_range(self, theta):
+        result = normalize_signed_angle(theta)
+        assert -math.pi < result <= math.pi
+
+    @settings(**COMMON_SETTINGS)
+    @given(a=angles, b=angles)
+    def test_included_angle_range(self, a, b):
+        value = included_angle(a, b)
+        assert -2.0 * math.pi < value < 2.0 * math.pi
+
+
+class TestDistanceProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(px=finite_coords, py=finite_coords, ax=finite_coords, ay=finite_coords, bx=finite_coords, by=finite_coords)
+    def test_line_distance_at_most_segment_distance(self, px, py, ax, ay, bx, by):
+        p = Point(px, py)
+        a = Point(ax, ay)
+        b = Point(bx, by)
+        scale = max(1.0, abs(px), abs(py), abs(ax), abs(ay), abs(bx), abs(by))
+        assert point_to_line_distance(p, a, b) <= point_to_segment_distance(p, a, b) + 1e-6 * scale
+
+    @settings(**COMMON_SETTINGS)
+    @given(px=finite_coords, py=finite_coords, ax=finite_coords, ay=finite_coords, bx=finite_coords, by=finite_coords)
+    def test_endpoints_have_zero_line_distance(self, px, py, ax, ay, bx, by):
+        a = Point(ax, ay)
+        b = Point(bx, by)
+        scale = max(1.0, abs(ax), abs(ay), abs(bx), abs(by))
+        assert point_to_line_distance(a, a, b) <= 1e-6 * scale
+        assert point_to_line_distance(b, a, b) <= 1e-6 * scale
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        xs=st.lists(finite_coords, min_size=1, max_size=20),
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+    )
+    def test_vectorised_matches_scalar(self, xs, ax, ay, bx, by):
+        ys = list(reversed(xs))
+        vector = points_to_line_distance(np.array(xs), np.array(ys), ax, ay, bx, by)
+        scalar = [
+            point_to_line_distance(Point(x, y), Point(ax, ay), Point(bx, by))
+            for x, y in zip(xs, ys)
+        ]
+        np.testing.assert_allclose(vector, scalar, rtol=1e-9, atol=1e-9)
+
+
+class TestSegmentProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(ax=finite_coords, ay=finite_coords, bx=finite_coords, by=finite_coords)
+    def test_from_points_end_reconstruction(self, ax, ay, bx, by):
+        segment = DirectedSegment.from_points(Point(ax, ay), Point(bx, by))
+        scale = max(1.0, abs(ax), abs(ay), abs(bx), abs(by))
+        assert segment.end.distance_to(Point(bx, by)) <= 1e-6 * scale
+        assert segment.length >= 0.0
+
+
+class TestProjectionProperties:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        lat=st.floats(min_value=-80.0, max_value=80.0),
+        lon=st.floats(min_value=-179.0, max_value=179.0),
+        dlat=st.floats(min_value=-0.05, max_value=0.05),
+        dlon=st.floats(min_value=-0.05, max_value=0.05),
+    )
+    def test_projection_round_trip(self, lat, lon, dlat, dlon):
+        projection = LocalProjection.for_origin(lat, lon)
+        x, y = projection.to_xy(lat + dlat, lon + dlon)
+        back_lat, back_lon = projection.to_latlon(x, y)
+        assert math.isclose(back_lat, lat + dlat, abs_tol=1e-9)
+        assert math.isclose(back_lon, lon + dlon, abs_tol=1e-9)

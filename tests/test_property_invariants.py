@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The single most important property of every algorithm in this package is the
+paper's error-bound definition: after simplification, every original point
+lies within ``zeta`` of the line of at least one output segment.  These tests
+hammer that invariant (and structural invariants of the piecewise
+representation) with randomly generated trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Trajectory, simplify
+from repro.core.fitting import rotation_sign, zone_index
+from repro.geometry import Point, normalize_angle, point_to_line_distance
+from repro.metrics import check_error_bound, per_point_errors
+
+ERROR_BOUNDED_ALGORITHMS = ("operb", "raw-operb", "operb-a", "raw-operb-a", "dp", "fbqs", "opw", "bqs")
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_trajectories(draw, max_points: int = 80):
+    """Random-walk trajectories with steps from sub-metre to multi-kilometre."""
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    step_scale = draw(st.floats(min_value=0.5, max_value=500.0))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    xs = np.cumsum(rng.normal(0.0, step_scale, n))
+    ys = np.cumsum(rng.normal(0.0, step_scale, n))
+    ts = np.arange(n, dtype=float)
+    return Trajectory(xs, ys, ts)
+
+
+@st.composite
+def epsilons(draw):
+    return draw(st.floats(min_value=0.5, max_value=200.0))
+
+
+class TestErrorBoundProperty:
+    @settings(**COMMON_SETTINGS)
+    @given(trajectory=random_trajectories(), epsilon=epsilons(), algorithm=st.sampled_from(ERROR_BOUNDED_ALGORITHMS))
+    def test_every_algorithm_is_error_bounded(self, trajectory, epsilon, algorithm):
+        representation = simplify(trajectory, epsilon, algorithm=algorithm)
+        assert check_error_bound(trajectory, representation, epsilon, tolerance=1e-6)
+
+    @settings(**COMMON_SETTINGS)
+    @given(trajectory=random_trajectories(), epsilon=epsilons())
+    def test_operb_containing_segment_error_bounded(self, trajectory, epsilon):
+        representation = simplify(trajectory, epsilon, algorithm="operb")
+        if representation.n_segments == 0:
+            return
+        errors = per_point_errors(trajectory, representation)
+        assert errors.max() <= epsilon * (1.0 + 1e-6) + 1e-6
+
+    @settings(**COMMON_SETTINGS)
+    @given(trajectory=random_trajectories(), epsilon=epsilons())
+    def test_operb_a_never_more_segments_than_operb(self, trajectory, epsilon):
+        aggressive = simplify(trajectory, epsilon, algorithm="operb-a")
+        plain = simplify(trajectory, epsilon, algorithm="operb")
+        assert aggressive.n_segments <= plain.n_segments
+
+
+class TestRepresentationStructureProperty:
+    @settings(**COMMON_SETTINGS)
+    @given(trajectory=random_trajectories(), epsilon=epsilons(), algorithm=st.sampled_from(("operb", "operb-a", "fbqs", "dp")))
+    def test_structure_invariants(self, trajectory, epsilon, algorithm):
+        representation = simplify(trajectory, epsilon, algorithm=algorithm)
+        n = len(trajectory)
+        if n < 2:
+            assert representation.n_segments == 0
+            return
+        assert 1 <= representation.n_segments <= n - 1
+        # Continuity of the polyline and of the index ranges.
+        representation.validate_continuity(tolerance=1e-6)
+        assert representation.segments[0].first_index == 0
+        assert representation.segments[-1].last_index == n - 1
+        for previous, current in zip(representation.segments, representation.segments[1:]):
+            if previous.patched_end:
+                # A patched joint replaces an anomalous two-point segment, so
+                # the index chain may skip exactly that one segment.
+                assert current.first_index in (previous.last_index, previous.last_index + 1)
+            else:
+                assert current.first_index == previous.last_index
+        # Every original index is covered by some segment's covered range.
+        covered = np.zeros(n, dtype=bool)
+        for segment in representation.segments:
+            covered[segment.first_index : segment.covered_last_index + 1] = True
+        assert covered.all()
+
+    @settings(**COMMON_SETTINGS)
+    @given(trajectory=random_trajectories(), epsilon=epsilons())
+    def test_monotone_in_epsilon(self, trajectory, epsilon):
+        tight = simplify(trajectory, epsilon, algorithm="dp")
+        loose = simplify(trajectory, epsilon * 4.0, algorithm="dp")
+        assert loose.n_segments <= tight.n_segments
+
+
+class TestFittingFunctionProperty:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        r_len=st.floats(min_value=0.0, max_value=1e6),
+        epsilon=st.floats(min_value=0.01, max_value=1e3),
+    )
+    def test_zone_index_matches_zone_definition(self, r_len, epsilon):
+        j = zone_index(r_len, epsilon)
+        assert j >= 0
+        # |R| must lie within (j*eps/2 - eps/4, j*eps/2 + eps/4] up to float noise.
+        centre = j * epsilon / 2.0
+        assert r_len <= centre + epsilon / 4.0 + 1e-6 * max(1.0, r_len)
+        if j > 0:
+            assert r_len > centre - epsilon / 4.0 - 1e-6 * max(1.0, r_len)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        line_theta=st.floats(min_value=0.0, max_value=6.28),
+        target_theta=st.floats(min_value=0.0, max_value=6.28),
+        radius=st.floats(min_value=1.0, max_value=1e4),
+    )
+    def test_rotation_sign_reduces_distance_to_line(self, line_theta, target_theta, radius):
+        point = Point(radius * np.cos(target_theta), radius * np.sin(target_theta))
+        anchor = Point(0.0, 0.0)
+        before = point_to_line_distance(
+            point, anchor, Point(np.cos(line_theta), np.sin(line_theta))
+        )
+        if before < 1e-6:
+            return
+        sign = rotation_sign(normalize_angle(target_theta), normalize_angle(line_theta))
+        rotated = line_theta + sign * min(0.01, before / radius)
+        after = point_to_line_distance(point, anchor, Point(np.cos(rotated), np.sin(rotated)))
+        assert after <= before + 1e-9

@@ -1,0 +1,129 @@
+"""Unit tests for the streaming pipeline, adapters and one-pass accounting."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import UnknownAlgorithmError
+from repro.core.operb import OPERBSimplifier
+from repro.metrics import check_error_bound
+from repro.streaming import (
+    BufferedBatchAdapter,
+    CollectingSink,
+    CountingPointSource,
+    CountingSimplifier,
+    CsvSegmentSink,
+    StatisticsSink,
+    StreamingPipeline,
+    make_streaming_simplifier,
+    run_pipeline,
+)
+
+
+class TestFactory:
+    def test_streaming_algorithms_are_native(self):
+        for name in ("operb", "raw-operb", "operb-a", "raw-operb-a", "fbqs", "dead-reckoning"):
+            simplifier = make_streaming_simplifier(name, 20.0)
+            assert hasattr(simplifier, "push") and hasattr(simplifier, "finish")
+            assert not isinstance(simplifier, BufferedBatchAdapter)
+
+    def test_batch_algorithms_are_wrapped(self):
+        adapter = make_streaming_simplifier("dp", 20.0)
+        assert isinstance(adapter, BufferedBatchAdapter)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(UnknownAlgorithmError):
+            make_streaming_simplifier("nope", 20.0)
+
+
+class TestOnePassAccounting:
+    def test_operb_touches_each_point_once(self, taxi_trajectory):
+        source = CountingPointSource(taxi_trajectory)
+        simplifier = make_streaming_simplifier("operb", 40.0)
+        for point in source:
+            simplifier.push(point)
+        simplifier.finish()
+        assert source.max_accesses == 1
+        assert source.total_accesses == len(taxi_trajectory)
+
+    def test_operb_distance_computations_linear(self, taxi_trajectory):
+        simplifier = OPERBSimplifier.__new__(OPERBSimplifier)  # placate linters
+        simplifier = make_streaming_simplifier("operb", 40.0)
+        for point in taxi_trajectory:
+            simplifier.push(point)
+        simplifier.finish()
+        # O(1) work per point: at most a small constant number of distance
+        # computations for each of the n points.
+        assert simplifier.stats.distance_computations <= 4 * len(taxi_trajectory)
+
+    def test_counting_simplifier_records_pushes(self, noisy_walk):
+        counting = CountingSimplifier(make_streaming_simplifier("operb", 25.0))
+        for point in noisy_walk:
+            counting.push(point)
+        counting.finish()
+        assert counting.pushes == len(noisy_walk)
+        assert counting.segments_emitted >= 1
+
+
+class TestBufferedAdapter:
+    def test_adapter_buffers_everything_until_finish(self, noisy_walk):
+        adapter = BufferedBatchAdapter("dp", 25.0)
+        for point in noisy_walk:
+            assert adapter.push(point) == []
+        assert adapter.buffered_points == len(noisy_walk)
+        segments = adapter.finish()
+        assert len(segments) >= 1
+        assert adapter.finish() == []
+
+
+class TestSinks:
+    def test_collecting_sink(self, noisy_walk):
+        result = run_pipeline(noisy_walk, 25.0, algorithm="operb")
+        sink = CollectingSink(algorithm="operb")
+        for segment in result.representation.segments:
+            sink.accept(segment)
+        assert sink.as_representation(len(noisy_walk)).n_segments == result.total_segments
+
+    def test_csv_sink_writes_rows(self, noisy_walk):
+        buffer = io.StringIO()
+        result = run_pipeline(noisy_walk, 25.0, algorithm="operb")
+        with CsvSegmentSink(buffer) as sink:
+            for segment in result.representation.segments:
+                sink.accept(segment)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == result.total_segments + 1
+
+    def test_statistics_sink(self, noisy_walk):
+        result = run_pipeline(noisy_walk, 25.0, algorithm="operb")
+        sink = StatisticsSink()
+        for segment in result.representation.segments:
+            sink.accept(segment)
+        assert sink.segments_received == result.total_segments
+        assert sink.points_covered >= result.total_segments + 1
+        assert sink.total_length > 0.0
+
+
+class TestPipeline:
+    def test_pipeline_result_structure(self, taxi_trajectory):
+        result = StreamingPipeline("operb", 40.0).run_trajectory(taxi_trajectory)
+        assert result.points_processed == len(taxi_trajectory)
+        assert result.total_segments == result.representation.n_segments
+        assert result.representation.source_size == len(taxi_trajectory)
+
+    def test_streaming_emits_most_segments_before_finish(self, taxi_trajectory):
+        result = run_pipeline(taxi_trajectory, 40.0, algorithm="operb")
+        # A one-pass algorithm emits continuously; only the trailing segment
+        # or two wait for finish().
+        assert result.segments_after_finish <= 2
+        assert result.segments_before_finish >= result.total_segments - 2
+
+    def test_batch_adapter_emits_everything_at_finish(self, taxi_trajectory):
+        result = run_pipeline(taxi_trajectory, 40.0, algorithm="dp")
+        assert result.segments_before_finish == 0
+        assert result.segments_after_finish == result.total_segments
+
+    def test_pipeline_output_is_error_bounded(self, taxi_trajectory):
+        result = run_pipeline(taxi_trajectory, 40.0, algorithm="operb-a")
+        assert check_error_bound(taxi_trajectory, result.representation, 40.0)

@@ -1,0 +1,104 @@
+"""Unit tests for trajectory I/O (CSV, JSONL, GeoLife PLT, piecewise CSV)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import Trajectory, simplify
+from repro.exceptions import DatasetError
+from repro.trajectory.io import (
+    parse_plt,
+    read_csv,
+    read_jsonl,
+    read_plt,
+    write_csv,
+    write_jsonl,
+    write_piecewise_csv,
+)
+
+PLT_SAMPLE = """Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.984702,116.318417,0,492,39744.1201851852,2008-10-23,02:53:04
+39.984683,116.31845,0,492,39744.1202546296,2008-10-23,02:53:10
+39.984686,116.318417,0,492,39744.1203240741,2008-10-23,02:53:16
+"""
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_coordinates(self, noisy_walk, tmp_path):
+        path = tmp_path / "walk.csv"
+        write_csv(noisy_walk, path)
+        loaded = read_csv(path)
+        np.testing.assert_allclose(loaded.xs, noisy_walk.xs)
+        np.testing.assert_allclose(loaded.ys, noisy_walk.ys)
+        np.testing.assert_allclose(loaded.ts, noisy_walk.ts)
+
+    def test_round_trip_via_stream(self, two_points):
+        buffer = io.StringIO()
+        write_csv(two_points, buffer)
+        buffer.seek(0)
+        loaded = read_csv(buffer)
+        assert loaded == two_points
+
+    def test_empty_file(self):
+        assert len(read_csv(io.StringIO(""))) == 0
+
+
+class TestJsonl:
+    def test_fleet_round_trip(self, two_points, straight_line, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        write_jsonl([two_points, straight_line], path)
+        fleet = read_jsonl(path)
+        assert len(fleet) == 2
+        assert fleet[0] == two_points
+        assert fleet[1] == straight_line
+
+
+class TestPlt:
+    def test_parse_plt_counts_records(self):
+        trajectory = parse_plt(PLT_SAMPLE, trajectory_id="u0")
+        assert len(trajectory) == 3
+        assert trajectory.trajectory_id == "u0"
+
+    def test_parse_plt_projects_to_metres(self):
+        trajectory = parse_plt(PLT_SAMPLE)
+        # Consecutive GeoLife fixes a few metres apart.
+        assert 0.0 < trajectory.path_length() < 20.0
+        assert trajectory.ts[0] == 0.0
+        assert trajectory.ts[1] == pytest.approx(6.0, abs=0.5)
+
+    def test_parse_plt_without_projection_keeps_degrees(self):
+        trajectory = parse_plt(PLT_SAMPLE, project_to_metres=False)
+        assert trajectory.ys[0] == pytest.approx(39.984702)
+
+    def test_malformed_record_raises(self):
+        bad = PLT_SAMPLE + "\nnot,a,record\n"
+        with pytest.raises(DatasetError):
+            parse_plt(bad)
+
+    def test_read_plt_from_file(self, tmp_path):
+        path = tmp_path / "20081023025304.plt"
+        path.write_text(PLT_SAMPLE)
+        trajectory = read_plt(path)
+        assert trajectory.trajectory_id == "20081023025304"
+        assert len(trajectory) == 3
+
+    def test_header_only_file_is_empty(self):
+        header_only = "\n".join(PLT_SAMPLE.splitlines()[:6])
+        assert len(parse_plt(header_only)) == 0
+
+
+class TestPiecewiseCsv:
+    def test_writes_one_row_per_vertex(self, noisy_walk, tmp_path):
+        representation = simplify(noisy_walk, 30.0, algorithm="dp")
+        path = tmp_path / "compressed.csv"
+        write_piecewise_csv(representation, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(representation.retained_points) + 1  # header

@@ -1,0 +1,96 @@
+"""Unit tests for the Trajectory container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvalidTrajectoryError, Point, Trajectory
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        t = Trajectory([0.0, 1.0], [2.0, 3.0], [0.0, 5.0])
+        assert len(t) == 2
+        assert t[1] == Point(1.0, 3.0, 5.0)
+
+    def test_default_timestamps_are_indices(self):
+        t = Trajectory([0.0, 1.0, 2.0], [0.0, 0.0, 0.0])
+        np.testing.assert_allclose(t.ts, [0.0, 1.0, 2.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([0.0, 1.0], [0.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([0.0, float("nan")], [0.0, 1.0])
+
+    def test_decreasing_time_rejected_by_default(self):
+        with pytest.raises(InvalidTrajectoryError):
+            Trajectory([0.0, 1.0], [0.0, 0.0], [5.0, 1.0])
+
+    def test_decreasing_time_allowed_when_requested(self):
+        t = Trajectory([0.0, 1.0], [0.0, 0.0], [5.0, 1.0], require_monotonic_time=False)
+        assert len(t) == 2
+
+    def test_from_points_round_trip(self):
+        points = [Point(0.0, 1.0, 2.0), Point(3.0, 4.0, 5.0)]
+        t = Trajectory.from_points(points)
+        assert list(t) == points
+
+    def test_from_latlon_projects_to_metres(self):
+        t = Trajectory.from_latlon([39.9, 39.91], [116.4, 116.4], [0.0, 60.0])
+        assert t[0] == Point(0.0, 0.0, 0.0)
+        assert t.path_length() == pytest.approx(1112, rel=0.01)
+
+    def test_empty(self):
+        t = Trajectory.empty(trajectory_id="x")
+        assert len(t) == 0
+        assert t.bounding_box() == (0.0, 0.0, 0.0, 0.0)
+
+
+class TestSequenceBehaviour:
+    def test_negative_index(self, two_points):
+        assert two_points[-1] == two_points[1]
+
+    def test_out_of_range(self, two_points):
+        with pytest.raises(IndexError):
+            two_points[5]
+
+    def test_slice_returns_trajectory(self, straight_line):
+        part = straight_line[10:20]
+        assert isinstance(part, Trajectory)
+        assert len(part) == 10
+        assert part[0].x == pytest.approx(100.0)
+
+    def test_equality(self):
+        a = Trajectory([0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+        b = Trajectory([0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+        c = Trajectory([0.0, 2.0], [0.0, 1.0], [0.0, 1.0])
+        assert a == b
+        assert a != c
+
+    def test_repr_mentions_size(self):
+        assert "n=2" in repr(Trajectory([0.0, 1.0], [0.0, 1.0]))
+
+
+class TestDerivedQuantities:
+    def test_path_length(self, straight_line):
+        assert straight_line.path_length() == pytest.approx(990.0)
+
+    def test_duration(self, straight_line):
+        assert straight_line.duration() == pytest.approx(99.0)
+
+    def test_bounding_box(self, straight_line):
+        assert straight_line.bounding_box() == (0.0, 0.0, 990.0, 0.0)
+
+    def test_sampling_intervals(self):
+        t = Trajectory([0.0, 1.0, 2.0], [0.0, 0.0, 0.0], [0.0, 10.0, 40.0])
+        np.testing.assert_allclose(t.sampling_intervals(), [10.0, 30.0])
+        assert t.mean_sampling_interval() == pytest.approx(20.0)
+
+    def test_single_point_derived_quantities(self, single_point):
+        assert single_point.path_length() == 0.0
+        assert single_point.duration() == 0.0
+        assert single_point.mean_sampling_interval() == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for trajectory pre-processing operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvalidParameterError, Trajectory
+from repro.trajectory.operations import (
+    concatenate,
+    drop_duplicate_points,
+    drop_outliers_by_speed,
+    resample_by_count,
+    resample_by_interval,
+    sort_by_time,
+    split_on_time_gap,
+    translate,
+)
+
+
+class TestSortByTime:
+    def test_out_of_order_points_are_sorted(self):
+        t = Trajectory([0.0, 2.0, 1.0], [0.0, 0.0, 0.0], [0.0, 20.0, 10.0], require_monotonic_time=False)
+        fixed = sort_by_time(t)
+        np.testing.assert_allclose(fixed.ts, [0.0, 10.0, 20.0])
+        np.testing.assert_allclose(fixed.xs, [0.0, 1.0, 2.0])
+
+    def test_stable_for_equal_timestamps(self):
+        t = Trajectory([0.0, 1.0, 2.0], [0.0, 0.0, 0.0], [0.0, 5.0, 5.0])
+        fixed = sort_by_time(t)
+        np.testing.assert_allclose(fixed.xs, [0.0, 1.0, 2.0])
+
+
+class TestDropDuplicates:
+    def test_exact_duplicates_removed(self):
+        t = Trajectory([0.0, 0.0, 1.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0])
+        assert len(drop_duplicate_points(t)) == 2
+
+    def test_distinct_points_kept(self):
+        t = Trajectory([0.0, 1.0], [0.0, 0.0], [0.0, 0.0])
+        assert len(drop_duplicate_points(t)) == 2
+
+    def test_spatial_tolerance(self):
+        t = Trajectory([0.0, 0.4], [0.0, 0.0], [0.0, 0.0])
+        assert len(drop_duplicate_points(t, spatial_tolerance=0.5)) == 1
+
+
+class TestDropOutliers:
+    def test_teleporting_point_removed(self):
+        t = Trajectory([0.0, 10.0, 10_000.0, 20.0], [0.0] * 4, [0.0, 1.0, 2.0, 3.0])
+        cleaned = drop_outliers_by_speed(t, max_speed=50.0)
+        assert len(cleaned) == 3
+        assert 10_000.0 not in cleaned.xs
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            drop_outliers_by_speed(Trajectory([0.0], [0.0], [0.0]), max_speed=0.0)
+
+
+class TestSplitOnGap:
+    def test_split_at_large_gap(self):
+        t = Trajectory(list(range(6)), [0.0] * 6, [0.0, 1.0, 2.0, 100.0, 101.0, 102.0])
+        pieces = split_on_time_gap(t, max_gap=10.0)
+        assert [len(p) for p in pieces] == [3, 3]
+
+    def test_no_gap_returns_single_piece(self):
+        t = Trajectory(list(range(4)), [0.0] * 4, [0.0, 1.0, 2.0, 3.0])
+        assert len(split_on_time_gap(t, max_gap=10.0)) == 1
+
+
+class TestResampling:
+    def test_resample_by_count(self, straight_line):
+        resampled = resample_by_count(straight_line, 10)
+        assert len(resampled) == 10
+        assert resampled[0].x == 0.0
+        assert resampled[-1].x == straight_line[-1].x
+
+    def test_resample_by_count_validates(self, straight_line):
+        with pytest.raises(InvalidParameterError):
+            resample_by_count(straight_line, 1)
+
+    def test_resample_by_interval(self):
+        t = Trajectory(list(range(10)), [0.0] * 10, [float(i) for i in range(10)])
+        resampled = resample_by_interval(t, 3.0)
+        assert list(resampled.ts) == [0.0, 3.0, 6.0, 9.0]
+
+
+class TestConcatenateTranslate:
+    def test_concatenate(self, two_points):
+        merged = concatenate([two_points, translate(two_points, 1000.0, 0.0, 1000.0)])
+        assert len(merged) == 4
+        assert merged[-1].x == pytest.approx(two_points[-1].x + 1000.0)
+
+    def test_concatenate_empty(self):
+        assert len(concatenate([])) == 0
+
+    def test_translate_shifts_all_axes(self, two_points):
+        moved = translate(two_points, 1.0, 2.0, 3.0)
+        assert moved[0].x == two_points[0].x + 1.0
+        assert moved[0].y == two_points[0].y + 2.0
+        assert moved[0].t == two_points[0].t + 3.0
