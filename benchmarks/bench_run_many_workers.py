@@ -1,0 +1,73 @@
+"""Fleet executor scaling — run_many with 1 vs N worker processes.
+
+The pytest-benchmark comparison table is the result: at ``FLEET_SCALE``
+(100 trajectories x 1000 points, a miniature of the ROADMAP's
+millions-of-devices workload) the multi-worker backend should show a clear
+wall-clock speedup over the serial backend while producing identical
+representations (asserted here; bit-identity is locked in by
+``tests/test_api_executor.py``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_run_many_workers.py -q
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.api import Simplifier
+from repro.experiments import FLEET_SCALE, profile_fleet
+
+EPSILON = 40.0
+
+try:
+    EFFECTIVE_CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # platforms without sched_getaffinity
+    EFFECTIVE_CPUS = os.cpu_count() or 1
+WORKER_COUNTS = (1, max(2, min(4, EFFECTIVE_CPUS)))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """100 Taxi-profile trajectories of 1000 points each (seeded)."""
+    return profile_fleet("taxi", FLEET_SCALE, seed=2017)
+
+
+@pytest.fixture(scope="module")
+def serial_reference(fleet):
+    return Simplifier("operb", EPSILON).run_many(fleet, workers=1)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_run_many_scaling(benchmark, fleet, serial_reference, workers):
+    session = Simplifier("operb", EPSILON)
+    benchmark.group = (
+        f"run_many {FLEET_SCALE.n_trajectories}x{FLEET_SCALE.points_per_trajectory}"
+    )
+    benchmark.extra_info["workers"] = workers
+    result = benchmark.pedantic(
+        session.run_many, args=(fleet,), kwargs={"workers": workers}, rounds=3, iterations=1
+    )
+    assert result.ok and result.n_total == len(fleet)
+    for ours, reference in zip(result.representations, serial_reference.representations):
+        assert ours.n_segments == reference.n_segments
+
+
+def test_multi_worker_speedup(fleet):
+    """Direct speedup check: N workers must beat serial on this fleet."""
+    workers = WORKER_COUNTS[-1]
+    if EFFECTIVE_CPUS < 2:
+        pytest.skip(
+            f"only {EFFECTIVE_CPUS} effective CPU(s); a multi-worker speedup "
+            f"is not physically possible on this machine"
+        )
+    session = Simplifier("operb", EPSILON)
+    serial = min(session.run_many(fleet, workers=1).seconds for _ in range(2))
+    parallel = min(session.run_many(fleet, workers=workers).seconds for _ in range(2))
+    speedup = serial / parallel if parallel > 0 else float("inf")
+    print(f"\nrun_many speedup with {workers} workers: {speedup:.2f}x "
+          f"({serial:.3f}s -> {parallel:.3f}s)")
+    assert speedup > 1.0

@@ -7,7 +7,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import evaluate, generate_trajectory, simplify
+from repro import Simplifier, evaluate, generate_trajectory, list_descriptors
 
 
 def main() -> None:
@@ -17,10 +17,12 @@ def main() -> None:
     trajectory = generate_trajectory("sercar", 5_000, seed=7)
     print(f"input: {len(trajectory)} points, {trajectory.path_length() / 1000:.1f} km")
 
-    # 2. Compress it with an error bound of 40 metres.
+    # 2. Compress it with an error bound of 40 metres.  A Simplifier session
+    #    binds one algorithm + epsilon and dispatches through the unified
+    #    descriptor registry.
     epsilon = 40.0
     for algorithm in ("operb", "operb-a", "dp", "fbqs"):
-        compressed = simplify(trajectory, epsilon, algorithm=algorithm)
+        compressed = Simplifier(algorithm, epsilon).run(trajectory)
         report = evaluate(trajectory, compressed, epsilon)
         print(
             f"{algorithm:>8}: {compressed.n_segments:5d} segments  "
@@ -31,11 +33,15 @@ def main() -> None:
         )
 
     # 3. The retained vertices are ordinary points you can store or transmit.
-    compressed = simplify(trajectory, epsilon, algorithm="operb-a")
+    compressed = Simplifier("operb-a", epsilon).run(trajectory)
     vertices = compressed.retained_points
     print(f"\nOPERB-A keeps {len(vertices)} vertices; the first three are:")
     for point in vertices[:3]:
         print(f"  x={point.x:10.1f}  y={point.y:10.1f}  t={point.t:8.1f}")
+
+    # 4. Capability flags tell you which algorithms can run truly online.
+    one_pass = [d.name for d in list_descriptors() if d.one_pass]
+    print(f"\none-pass algorithms (O(1) state per device): {', '.join(one_pass)}")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,11 @@ decide immediately which line segments to transmit to the cloud.  The raw
 feed is messy — duplicate fixes and occasional out-of-order points — so the
 example also shows the clean-up step in front of the simplifier.
 
+The device code goes through ``Simplifier.open_stream()``: a push/finish
+session backed by the algorithm's native streaming implementation (OPERB-A
+here — swap the name for ``"dp"`` and the session transparently buffers,
+which is exactly the memory cost a real device cannot pay).
+
 Run with::
 
     python examples/streaming_device.py
@@ -13,8 +18,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import OperbAConfig, Point
-from repro.core import OPERBASimplifier
+from repro import Simplifier
 from repro.datasets import generate_trajectory, inject_duplicates, inject_out_of_order
 from repro.metrics import check_error_bound
 from repro.trajectory import Trajectory, drop_duplicate_points, sort_by_time
@@ -36,46 +40,41 @@ def main() -> None:
     feed = drop_duplicate_points(sort_by_time(messy))
     print(f"device feed: {len(feed)} fixes after de-duplication")
 
-    # The on-device simplifier: OPERB-A with the default gamma_m = pi/3.
-    simplifier = OPERBASimplifier(OperbAConfig.optimized(EPSILON))
+    # The on-device session: OPERB-A with the default gamma_m = pi/3.  The
+    # capability flags confirm it can run with O(1) state on the device.
+    device = Simplifier("operb-a", EPSILON)
+    caps = device.capabilities()
+    print(f"algorithm: {caps['name']} (streaming={caps['streaming']}, one_pass={caps['one_pass']})")
 
     transmitted = 0
     uplink_log: list[str] = []
-    for fix in device_feed(feed):
-        for segment in simplifier.push(fix):
-            transmitted += 1
-            if transmitted <= 5:
-                uplink_log.append(
-                    f"segment {transmitted}: ({segment.start.x:9.1f},{segment.start.y:9.1f})"
-                    f" -> ({segment.end.x:9.1f},{segment.end.y:9.1f})"
-                    f"  covering {segment.point_count} fixes"
-                )
-    tail = simplifier.finish()
-    transmitted += len(tail)
+    with device.open_stream() as stream:
+        for fix in device_feed(feed):
+            for segment in stream.push(fix):
+                transmitted += 1
+                if transmitted <= 5:
+                    uplink_log.append(
+                        f"segment {transmitted}: ({segment.start.x:9.1f},{segment.start.y:9.1f})"
+                        f" -> ({segment.end.x:9.1f},{segment.end.y:9.1f})"
+                        f"  covering {segment.point_count} fixes"
+                    )
+        transmitted += len(stream.finish())
 
     print("\nfirst transmitted segments:")
     for line in uplink_log:
         print("  " + line)
 
     ratio = transmitted / len(feed)
-    stats = simplifier.stats
+    stats = stream.stats  # session delegates to the native simplifier
     print(f"\ntransmitted {transmitted} segments for {len(feed)} fixes (ratio {ratio:.3f})")
     print(
         f"anomalous segments: {stats.anomalous_segments}, patched: {stats.patches_applied} "
         f"(patching ratio {100 * stats.patching_ratio:.1f}%)"
     )
 
-    # Verify on the device's behalf that the uplink respects the error bound.
-    from repro.trajectory import PiecewiseRepresentation
-
-    segments = []
-    verifier = OPERBASimplifier(OperbAConfig.optimized(EPSILON))
-    for fix in feed:
-        segments.extend(verifier.push(fix))
-    segments.extend(verifier.finish())
-    representation = PiecewiseRepresentation(
-        segments=segments, source_size=len(feed), algorithm="operb-a"
-    )
+    # The session accumulated every uplinked segment, so the device-side
+    # representation can be checked against the error bound directly.
+    representation = stream.result(len(feed))
     print(f"error bound satisfied: {check_error_bound(feed, representation, EPSILON)}")
 
 

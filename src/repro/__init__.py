@@ -9,12 +9,32 @@ regenerates every table and figure of the paper's Section 6.
 
 Quick start
 -----------
->>> from repro import generate_trajectory, simplify, evaluate
+Every algorithm is described by an :class:`~repro.api.AlgorithmDescriptor`
+in one registry, and the :class:`~repro.api.Simplifier` session facade
+routes batch, streaming and fleet workloads through it:
+
+>>> from repro import Simplifier, evaluate, generate_trajectory
 >>> trajectory = generate_trajectory("sercar", 5_000, seed=7)
->>> compressed = simplify(trajectory, epsilon=40.0, algorithm="operb")
->>> report = evaluate(trajectory, compressed, epsilon=40.0)
->>> report.error_bound_satisfied
+>>> session = Simplifier("operb", epsilon=40.0)
+>>> compressed = session.run(trajectory)                      # batch
+>>> evaluate(trajectory, compressed, epsilon=40.0).error_bound_satisfied
 True
+
+Streaming (one fix at a time, as on a GPS device) and fleet-scale execution
+use the same session:
+
+>>> with session.open_stream() as stream:
+...     segments = stream.feed(trajectory)      # push() also works per-fix
+...     representation = stream.result()
+>>> fleet_result = session.run_many([trajectory] * 8, workers=4)
+>>> len(fleet_result.successful())
+8
+
+``repro.api.register_algorithm`` adds new algorithms to the same registry,
+making them available to the CLI, the experiment harness and the streaming
+pipelines at once.  The legacy ``simplify`` / ``get_algorithm`` /
+``make_streaming_simplifier`` entry points keep working as deprecation
+shims.
 """
 
 from ._version import __version__
@@ -31,6 +51,16 @@ from .algorithms import (
     opw_tr,
     simplify,
     uniform_sampling,
+)
+from .api import (
+    AlgorithmDescriptor,
+    FleetError,
+    FleetResult,
+    Simplifier,
+    StreamSession,
+    get_descriptor,
+    list_descriptors,
+    register_algorithm,
 )
 from .core import (
     OPERBASimplifier,
@@ -57,6 +87,7 @@ from .datasets import (
 from .exceptions import (
     DatasetError,
     ExperimentError,
+    FleetExecutionError,
     InvalidParameterError,
     InvalidTrajectoryError,
     ReproError,
@@ -80,11 +111,15 @@ from .trajectory import PiecewiseRepresentation, SegmentRecord, Trajectory
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmDescriptor",
     "DatasetError",
     "DatasetProfile",
     "DirectedSegment",
     "EvaluationReport",
     "ExperimentError",
+    "FleetError",
+    "FleetExecutionError",
+    "FleetResult",
     "GEOLIFE",
     "InvalidParameterError",
     "InvalidTrajectoryError",
@@ -100,6 +135,8 @@ __all__ = [
     "SERCAR",
     "SegmentRecord",
     "SimplificationError",
+    "Simplifier",
+    "StreamSession",
     "StreamingPipeline",
     "TAXI",
     "TRUCK",
@@ -120,8 +157,10 @@ __all__ = [
     "generate_dataset",
     "generate_trajectory",
     "get_algorithm",
+    "get_descriptor",
     "get_profile",
     "list_algorithms",
+    "list_descriptors",
     "load_geolife",
     "make_streaming_simplifier",
     "max_error",
@@ -131,6 +170,7 @@ __all__ = [
     "opw_tr",
     "raw_operb",
     "raw_operb_a",
+    "register_algorithm",
     "run_pipeline",
     "segment_size_distribution",
     "simplify",

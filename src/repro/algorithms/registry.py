@@ -1,77 +1,68 @@
-"""Name-based registry of every simplification algorithm in the package.
+"""Deprecated name-based registry — a thin shim over :mod:`repro.api`.
 
-The experiment harness, the CLI and downstream users select algorithms by the
-names the paper uses ("dp", "fbqs", "operb", "operb-a", ...).  Each entry is a
-callable ``(trajectory, epsilon, **kwargs) -> PiecewiseRepresentation``.
+The historical API exposed a plain ``ALGORITHMS`` dict plus ``get_algorithm``
+and ``simplify`` free functions.  Algorithms now live in the unified
+descriptor registry (:mod:`repro.api.descriptors`); this module keeps the old
+names working as deprecation shims:
+
+- :data:`ALGORITHMS` is a live read-only view over the descriptor registry
+  (item access warns),
+- :func:`get_algorithm` and :func:`simplify` warn and dispatch through the
+  descriptor / :class:`repro.api.Simplifier`.
+
+New code should use::
+
+    from repro.api import Simplifier, get_descriptor, register_algorithm
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from ..core.operb import operb, raw_operb
-from ..core.operb_a import operb_a, raw_operb_a
-from ..exceptions import UnknownAlgorithmError
+from ..api._compat import DeprecatedRegistryView, warn_deprecated
+from ..api.descriptors import algorithm_names, get_descriptor
+from ..api.session import Simplifier
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
-from .bqs import bqs
-from .dead_reckoning import dead_reckoning
-from .douglas_peucker import douglas_peucker, douglas_peucker_sed
-from .fbqs import fbqs
-from .opw import opw, opw_tr
-from .uniform import uniform_sampling
 
 __all__ = ["ALGORITHMS", "list_algorithms", "get_algorithm", "simplify"]
 
 AlgorithmFunction = Callable[..., PiecewiseRepresentation]
 
-ALGORITHMS: dict[str, AlgorithmFunction] = {
-    "dp": douglas_peucker,
-    "dp-sed": douglas_peucker_sed,
-    "opw": opw,
-    "opw-tr": opw_tr,
-    "bqs": bqs,
-    "fbqs": fbqs,
-    "uniform": uniform_sampling,
-    "dead-reckoning": dead_reckoning,
-    "operb": operb,
-    "raw-operb": raw_operb,
-    "operb-a": operb_a,
-    "raw-operb-a": raw_operb_a,
-}
-"""Mapping from algorithm name (as used in the paper/experiments) to callable."""
+ALGORITHMS = DeprecatedRegistryView(
+    "repro.algorithms.registry.ALGORITHMS",
+    "repro.api.get_descriptor(name).batch / repro.api.list_descriptors()",
+    project=lambda descriptor: descriptor.batch,
+)
+"""Deprecated live view: algorithm name -> batch callable."""
 
 
 def list_algorithms() -> list[str]:
     """Names of all registered algorithms, sorted alphabetically."""
-    return sorted(ALGORITHMS)
+    return algorithm_names()
 
 
 def get_algorithm(name: str) -> AlgorithmFunction:
-    """Look up an algorithm by name.
+    """Deprecated: look up an algorithm's batch callable by name.
+
+    Use ``repro.api.get_descriptor(name).batch`` instead.
 
     Raises
     ------
     UnknownAlgorithmError
         If ``name`` is not registered.
     """
-    key = name.strip().lower()
-    if key not in ALGORITHMS:
-        raise UnknownAlgorithmError(
-            f"unknown algorithm {name!r}; available: {', '.join(list_algorithms())}"
-        )
-    return ALGORITHMS[key]
+    warn_deprecated("repro.algorithms.get_algorithm", "repro.api.get_descriptor(name).batch")
+    return get_descriptor(name).batch
 
 
 def simplify(
     trajectory: Trajectory, epsilon: float, *, algorithm: str = "operb", **kwargs
 ) -> PiecewiseRepresentation:
-    """Simplify ``trajectory`` with the named algorithm.
+    """Deprecated one-call entry point; use :class:`repro.api.Simplifier`::
 
-    This is the main one-call entry point of the library::
-
-        from repro import simplify
-        compressed = simplify(trajectory, epsilon=40.0, algorithm="operb-a")
+        from repro import Simplifier
+        compressed = Simplifier("operb-a", epsilon=40.0).run(trajectory)
     """
-    function = get_algorithm(algorithm)
-    return function(trajectory, epsilon, **kwargs)
+    warn_deprecated("repro.simplify", "repro.api.Simplifier(algorithm, epsilon).run(trajectory)")
+    return Simplifier(algorithm, epsilon, **kwargs).run(trajectory)

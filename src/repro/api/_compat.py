@@ -1,0 +1,72 @@
+"""Deprecation machinery for the legacy registry surfaces.
+
+The pre-unification API exposed two parallel dicts (``ALGORITHMS`` and
+``STREAMING_ALGORITHMS``) plus free functions (``get_algorithm``,
+``simplify``, ``make_streaming_simplifier``).  They survive as warning
+shims over the descriptor registry so existing call sites keep working while
+new code migrates to :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Mapping
+from typing import Callable, Iterator
+
+from .descriptors import AlgorithmDescriptor, get_descriptor, list_descriptors
+
+__all__ = ["DeprecatedRegistryView", "warn_deprecated"]
+
+
+def warn_deprecated(legacy: str, replacement: str) -> None:
+    """Emit the standard migration warning for a legacy entry point."""
+    warnings.warn(
+        f"{legacy} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class DeprecatedRegistryView(Mapping):
+    """Read-only mapping view over the descriptor registry.
+
+    Behaves like the legacy name->callable dicts: iteration and length are
+    silent (so ``list(...)`` keeps working without noise), item access emits
+    a :class:`DeprecationWarning` pointing at the :mod:`repro.api`
+    replacement.  The view is live — algorithms registered later appear in
+    it immediately.
+    """
+
+    def __init__(
+        self,
+        legacy: str,
+        replacement: str,
+        project: Callable[[AlgorithmDescriptor], object],
+        predicate: Callable[[AlgorithmDescriptor], bool] | None = None,
+    ) -> None:
+        self._legacy = legacy
+        self._replacement = replacement
+        self._project = project
+        self._predicate = predicate or (lambda descriptor: True)
+
+    def _names(self) -> list[str]:
+        return [d.name for d in list_descriptors() if self._predicate(d)]
+
+    def __getitem__(self, key: str) -> object:
+        warn_deprecated(self._legacy, self._replacement)
+        descriptor = get_descriptor(key)  # raises UnknownAlgorithmError (a KeyError)
+        if not self._predicate(descriptor):
+            raise KeyError(key)
+        return self._project(descriptor)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        return len(self._names())
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and key.strip().lower() in self._names()
+
+    def __repr__(self) -> str:
+        return f"<deprecated registry view {self._legacy} ({len(self)} algorithms)>"

@@ -1,0 +1,73 @@
+"""Adapters exposing batch algorithms behind the streaming interface."""
+
+from __future__ import annotations
+
+from ..exceptions import SimplificationError
+from ..geometry.point import Point
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import SegmentRecord
+from .descriptors import AlgorithmDescriptor, get_descriptor
+
+__all__ = ["BufferedBatchAdapter"]
+
+
+class BufferedBatchAdapter:
+    """Expose a batch algorithm through the push/finish streaming interface.
+
+    The adapter buffers every pushed point and runs the batch algorithm at
+    :meth:`finish`.  It exists so pipelines can swap OPERB for DP (say) and
+    measure what the batch requirement costs in latency and memory.
+
+    Keyword arguments are validated against the algorithm's descriptor at
+    construction time, so a misconfigured adapter fails before any points
+    have been buffered rather than at :meth:`finish`.
+    """
+
+    def __init__(
+        self, algorithm: str | AlgorithmDescriptor, epsilon: float, **kwargs
+    ) -> None:
+        self.descriptor = get_descriptor(algorithm)
+        self.descriptor.validate_kwargs(kwargs)
+        self.name = self.descriptor.name
+        self.epsilon = epsilon
+        self._kwargs = kwargs
+        self._points: list[Point] = []
+        self._finished = False
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Buffer the point; batch algorithms cannot emit anything early."""
+        if self._finished:
+            raise SimplificationError(
+                f"cannot push to a finished {self.name!r} adapter"
+            )
+        self._points.append(point)
+        return []
+
+    def finish(self) -> list[SegmentRecord]:
+        """Run the underlying batch algorithm over the buffered stream.
+
+        Raises
+        ------
+        SimplificationError
+            On a second call: the buffered points were already consumed, so
+            silently returning ``[]`` would hide a pipeline bug.
+        """
+        if self._finished:
+            raise SimplificationError(
+                f"{self.name!r} adapter was already finished; "
+                f"open a new stream session to process another trajectory"
+            )
+        self._finished = True
+        trajectory = Trajectory.from_points(self._points, require_monotonic_time=False)
+        representation = self.descriptor.batch(trajectory, self.epsilon, **self._kwargs)
+        return list(representation.segments)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`finish` has been called."""
+        return self._finished
+
+    @property
+    def buffered_points(self) -> int:
+        """Number of points currently held in memory (the adapter's cost)."""
+        return len(self._points)

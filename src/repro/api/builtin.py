@@ -1,0 +1,139 @@
+"""Descriptor registrations for every algorithm shipped with the package.
+
+Importing this module (which :mod:`repro.api` does on package import)
+populates the unified registry with the paper's algorithms and baselines.
+The capability flags encode the paper's taxonomy: the OPERB family and dead
+reckoning are genuinely one-pass; FBQS streams but buffers its open window;
+everything else is batch-only and must go through a
+:class:`repro.api.BufferedBatchAdapter` when used in a pipeline.
+"""
+
+from __future__ import annotations
+
+from ..algorithms.bqs import bqs
+from ..algorithms.dead_reckoning import DeadReckoningSimplifier, dead_reckoning
+from ..algorithms.douglas_peucker import douglas_peucker, douglas_peucker_sed
+from ..algorithms.fbqs import FBQSSimplifier, fbqs
+from ..algorithms.opw import opw, opw_tr
+from ..algorithms.uniform import uniform_sampling
+from ..core.config import OperbAConfig, OperbConfig
+from ..core.operb import OPERBSimplifier, operb, raw_operb
+from ..core.operb_a import OPERBASimplifier, operb_a, raw_operb_a
+from .descriptors import register_algorithm
+
+__all__: list[str] = []
+
+OPERB_TUNING_KWARGS = (
+    "opt_first_active_threshold",
+    "opt_two_sided_deviation",
+    "opt_aggressive_rotation",
+    "opt_missing_zone_compensation",
+    "opt_absorb_trailing_points",
+    "max_points_per_segment",
+)
+"""Per-optimisation overrides accepted by the OPERB streaming factories."""
+
+
+def _make_operb(epsilon: float, **kwargs) -> OPERBSimplifier:
+    return OPERBSimplifier(OperbConfig.optimized(epsilon, **kwargs))
+
+
+def _make_raw_operb(epsilon: float, **kwargs) -> OPERBSimplifier:
+    return OPERBSimplifier(OperbConfig.raw(epsilon, **kwargs))
+
+
+def _make_operb_a(epsilon: float, **kwargs) -> OPERBASimplifier:
+    return OPERBASimplifier(OperbAConfig.optimized(epsilon, **kwargs))
+
+
+def _make_raw_operb_a(epsilon: float, **kwargs) -> OPERBASimplifier:
+    return OPERBASimplifier(OperbAConfig.raw(epsilon, **kwargs))
+
+
+register_algorithm(
+    "dp",
+    accepted_kwargs=("use_sed",),
+    summary="Douglas-Peucker divide-and-conquer baseline (perpendicular distance)",
+)(douglas_peucker)
+
+register_algorithm(
+    "dp-sed",
+    error_metric="sed",
+    summary="TD-TR: Douglas-Peucker with the synchronised Euclidean distance",
+)(douglas_peucker_sed)
+
+register_algorithm(
+    "opw",
+    accepted_kwargs=("use_sed",),
+    summary="Normal opening-window algorithm",
+)(opw)
+
+register_algorithm(
+    "opw-tr",
+    error_metric="sed",
+    summary="Opening window with the synchronised Euclidean distance",
+)(opw_tr)
+
+register_algorithm(
+    "bqs",
+    summary="Bounded quadrant system with exact window maxima",
+)(bqs)
+
+register_algorithm(
+    "fbqs",
+    streaming_factory=FBQSSimplifier,
+    streaming_kwargs=(),
+    summary="Fast BQS: streaming convex-bound window (buffers the open window)",
+)(fbqs)
+
+register_algorithm(
+    "uniform",
+    error_metric="none",
+    accepted_kwargs=("step",),
+    summary="Every-nth-point decimation (not error bounded)",
+)(uniform_sampling)
+
+register_algorithm(
+    "dead-reckoning",
+    streaming_factory=DeadReckoningSimplifier,
+    streaming_kwargs=(),
+    one_pass=True,
+    error_metric="sed",
+    summary="Velocity-prediction dead reckoning (one-pass, O(1) state)",
+)(dead_reckoning)
+
+register_algorithm(
+    "operb",
+    streaming_factory=_make_operb,
+    one_pass=True,
+    accepted_kwargs=("config",),
+    streaming_kwargs=OPERB_TUNING_KWARGS,
+    summary="OPERB: one-pass error bounded simplification (all optimisations)",
+)(operb)
+
+register_algorithm(
+    "raw-operb",
+    streaming_factory=_make_raw_operb,
+    one_pass=True,
+    accepted_kwargs=(),
+    streaming_kwargs=OPERB_TUNING_KWARGS,
+    summary="Raw-OPERB: the paper's Figure 7 algorithm without optimisations",
+)(raw_operb)
+
+register_algorithm(
+    "operb-a",
+    streaming_factory=_make_operb_a,
+    one_pass=True,
+    accepted_kwargs=("gamma_max", "config"),
+    streaming_kwargs=("gamma_max",),
+    summary="OPERB-A: aggressive OPERB with anomalous-segment patching",
+)(operb_a)
+
+register_algorithm(
+    "raw-operb-a",
+    streaming_factory=_make_raw_operb_a,
+    one_pass=True,
+    accepted_kwargs=("gamma_max",),
+    streaming_kwargs=("gamma_max",),
+    summary="Raw-OPERB-A: unoptimised OPERB with patching enabled",
+)(raw_operb_a)

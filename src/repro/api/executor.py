@@ -1,0 +1,252 @@
+"""Fleet-scale batch executor with process parallelism and error isolation.
+
+A production deployment compresses millions of trajectories, not one; this
+module is the single choke point every fleet workload goes through
+(:meth:`repro.api.Simplifier.run_many`, :func:`repro.metrics.evaluate_fleet`,
+the experiment harness and the CLI).  It offers:
+
+- a serial fast path (``workers=1``) with zero multiprocessing overhead,
+- a :class:`concurrent.futures.ProcessPoolExecutor` backend (``workers>1``)
+  that resolves algorithms by name inside each worker, so only trajectories
+  and plain options cross process boundaries,
+- per-trajectory error isolation: one malformed trajectory yields a
+  :class:`FleetError` entry instead of sinking the whole fleet run
+  (``on_error="collect"``), or a :class:`FleetExecutionError` summarising
+  every failure (``on_error="raise"``, the default).
+
+Both backends produce bit-identical representations for the same input, a
+property locked in by the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..exceptions import FleetExecutionError, InvalidParameterError, UnknownAlgorithmError
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .descriptors import AlgorithmDescriptor, get_descriptor
+
+__all__ = ["FleetError", "FleetResult", "run_many"]
+
+_ON_ERROR_MODES = ("raise", "collect")
+
+
+@dataclass(frozen=True, slots=True)
+class FleetError:
+    """One trajectory that failed to compress during a fleet run.
+
+    ``exception`` carries the original exception object when the failure
+    happened in-process (serial backend); failures crossing a process
+    boundary are described by ``error_type``/``message`` strings only.
+    """
+
+    index: int
+    trajectory_id: str
+    error_type: str
+    message: str
+    exception: BaseException | None = None
+
+    def __str__(self) -> str:
+        label = self.trajectory_id or f"#{self.index}"
+        return f"trajectory {label}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one :func:`run_many` fleet execution.
+
+    ``representations`` is index-aligned with the input trajectories; failed
+    entries are ``None`` and described by a :class:`FleetError` in
+    ``errors``.
+    """
+
+    algorithm: str
+    epsilon: float
+    workers: int
+    seconds: float
+    representations: list[PiecewiseRepresentation | None] = field(default_factory=list)
+    errors: list[FleetError] = field(default_factory=list)
+
+    @property
+    def n_total(self) -> int:
+        """Number of trajectories submitted."""
+        return len(self.representations)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of trajectories that failed to compress."""
+        return len(self.errors)
+
+    @property
+    def ok(self) -> bool:
+        """True when every trajectory compressed successfully."""
+        return not self.errors
+
+    @property
+    def total_points(self) -> int:
+        """Total input points across the successful representations."""
+        return sum(r.source_size for r in self.representations if r is not None)
+
+    @property
+    def points_per_second(self) -> float:
+        """Fleet throughput in input points per second."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.total_points / self.seconds
+
+    def successful(self) -> list[PiecewiseRepresentation]:
+        """The successful representations, input order preserved."""
+        return [r for r in self.representations if r is not None]
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`FleetExecutionError` if any trajectory failed.
+
+        When the first failure carries its original exception (serial
+        backend), the raised error is chained from it so type and traceback
+        stay inspectable.
+        """
+        if not self.errors:
+            return
+        shown = "; ".join(str(error) for error in self.errors[:3])
+        more = f" (+{len(self.errors) - 3} more)" if len(self.errors) > 3 else ""
+        failure = FleetExecutionError(
+            f"{len(self.errors)}/{self.n_total} trajectories failed under "
+            f"{self.algorithm!r}: {shown}{more}",
+            errors=self.errors,
+        )
+        cause = self.errors[0].exception
+        if cause is not None:
+            raise failure from cause
+        raise failure
+
+    def __len__(self) -> int:
+        return len(self.representations)
+
+    def __iter__(self):
+        return iter(self.representations)
+
+
+def _compress_one(task: tuple) -> tuple:
+    """Worker body: compress one trajectory, capturing any failure.
+
+    ``spec`` is the algorithm name for registered algorithms (resolved
+    against the registry inside the worker, so only trajectories and plain
+    options cross process boundaries) or the descriptor itself for
+    unregistered ad-hoc descriptors.
+    """
+    index, trajectory, spec, epsilon, opts = task
+    try:
+        representation = get_descriptor(spec).batch(trajectory, epsilon, **opts)
+        return index, representation, None
+    except Exception as error:  # noqa: BLE001 — isolation is the contract
+        trajectory_id = getattr(trajectory, "trajectory_id", "") or ""
+        return index, None, (trajectory_id, type(error).__name__, str(error), error)
+
+
+def _compress_one_remote(task: tuple) -> tuple:
+    """Pool wrapper: strip the exception object before it crosses the
+    process boundary (arbitrary exceptions do not reliably pickle)."""
+    index, representation, failure = _compress_one(task)
+    if failure is not None:
+        failure = failure[:3] + (None,)
+    return index, representation, failure
+
+
+def run_many(
+    algorithm: str | AlgorithmDescriptor,
+    trajectories: Sequence[Trajectory],
+    epsilon: float,
+    *,
+    opts: dict | None = None,
+    workers: int = 1,
+    on_error: str = "raise",
+    chunksize: int | None = None,
+) -> FleetResult:
+    """Compress a fleet of trajectories through one algorithm.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs serially in-process; ``>1`` fans out over a
+        ``ProcessPoolExecutor`` with that many workers.
+    on_error:
+        ``"raise"`` (default) raises :class:`FleetExecutionError` after the
+        whole fleet has been attempted; ``"collect"`` records failures in
+        :attr:`FleetResult.errors` and keeps going.
+    chunksize:
+        Tasks handed to each worker at a time; defaults to a value that
+        gives each worker a handful of batches.
+
+    Notes
+    -----
+    Registered algorithms travel to worker processes by name and are
+    re-resolved there.  On platforms whose multiprocessing start method is
+    ``spawn`` (macOS, Windows), algorithms registered at runtime in the
+    parent are therefore only visible to workers when the registration
+    happens at import time of some module the workers also import; on Linux
+    (``fork``) runtime registrations carry over.  Unregistered ad-hoc
+    descriptors are shipped whole (their callables must be picklable for
+    ``workers > 1``).
+    """
+    descriptor = get_descriptor(algorithm)
+    opts = dict(opts or {})
+    descriptor.validate_kwargs(opts)
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be at least 1, got {workers}")
+    if on_error not in _ON_ERROR_MODES:
+        raise InvalidParameterError(
+            f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+        )
+
+    # Registered algorithms travel by name (cheap, spawn-safe); ad-hoc
+    # descriptors that were never registered travel whole.
+    try:
+        spec = descriptor.name if get_descriptor(descriptor.name) is descriptor else descriptor
+    except UnknownAlgorithmError:
+        spec = descriptor
+    tasks = [
+        (index, trajectory, spec, epsilon, opts)
+        for index, trajectory in enumerate(trajectories)
+    ]
+    started = time.perf_counter()
+    if workers == 1 or len(tasks) < 2:
+        outcomes = [_compress_one(task) for task in tasks]
+    else:
+        pool_size = min(workers, len(tasks))
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (pool_size * 4))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            outcomes = list(pool.map(_compress_one_remote, tasks, chunksize=chunksize))
+    elapsed = time.perf_counter() - started
+
+    representations: list[PiecewiseRepresentation | None] = [None] * len(tasks)
+    errors: list[FleetError] = []
+    for index, representation, failure in outcomes:
+        if failure is None:
+            representations[index] = representation
+        else:
+            trajectory_id, error_type, message, exception = failure
+            errors.append(
+                FleetError(
+                    index=index,
+                    trajectory_id=trajectory_id,
+                    error_type=error_type,
+                    message=message,
+                    exception=exception,
+                )
+            )
+    result = FleetResult(
+        algorithm=descriptor.name,
+        epsilon=epsilon,
+        workers=workers,
+        seconds=elapsed,
+        representations=representations,
+        errors=errors,
+    )
+    if on_error == "raise":
+        result.raise_if_failed()
+    return result

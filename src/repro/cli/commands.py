@@ -11,11 +11,12 @@ import json
 import sys
 from pathlib import Path
 
-from ..algorithms.registry import get_algorithm, list_algorithms
+from ..api import Simplifier, list_descriptors
 from ..datasets.generator import generate_dataset
 from ..datasets.profiles import PROFILES, get_profile
 from ..exceptions import ReproError
 from ..experiments import EXPERIMENTS, SMALL_SCALE, WorkloadScale, standard_datasets
+from ..experiments.reporting import format_text_table
 from ..metrics.summary import evaluate
 from ..trajectory.io import read_csv, read_plt, write_csv, write_jsonl, write_piecewise_csv
 from ..trajectory.model import Trajectory
@@ -38,18 +39,44 @@ def load_trajectory(path: str) -> Trajectory:
     return read_csv(file_path, trajectory_id=file_path.stem)
 
 
-def cmd_list_algorithms(_args) -> int:
-    """``repro-traj algorithms`` — print every registered algorithm."""
-    for name in list_algorithms():
-        print(name)
+def cmd_list_algorithms(args) -> int:
+    """``repro-traj algorithms`` — print the descriptor capability table.
+
+    One row per registered algorithm: streaming and one-pass capability, the
+    error metric the bound constrains, and the accepted options — the
+    operator's view of the unified registry.  ``--names`` prints bare names
+    for scripting.
+    """
+    descriptors = list_descriptors()
+    if getattr(args, "names", False):
+        for descriptor in descriptors:
+            print(descriptor.name)
+        return 0
+    columns = ["name", "streaming", "one-pass", "error metric", "options", "summary"]
+    rows = []
+    for descriptor in descriptors:
+        options = sorted(descriptor.accepted_kwargs)
+        streaming_only = set(descriptor.streaming_kwargs or ()) - set(descriptor.accepted_kwargs)
+        if streaming_only:
+            options.append(f"(+{len(streaming_only)} streaming)")
+        rows.append(
+            {
+                "name": descriptor.name,
+                "streaming": "yes" if descriptor.streaming else "no",
+                "one-pass": "yes" if descriptor.one_pass else "no",
+                "error metric": descriptor.error_metric,
+                "options": ", ".join(options) or "-",
+                "summary": descriptor.summary,
+            }
+        )
+    print(format_text_table(columns, rows))
     return 0
 
 
 def cmd_compress(args) -> int:
     """``repro-traj compress`` — simplify one trajectory file."""
     trajectory = load_trajectory(args.input)
-    function = get_algorithm(args.algorithm)
-    representation = function(trajectory, args.epsilon)
+    representation = Simplifier(args.algorithm, args.epsilon).run(trajectory)
     if args.output:
         write_piecewise_csv(representation, args.output)
     report = evaluate(trajectory, representation, args.epsilon)
@@ -68,8 +95,7 @@ def cmd_evaluate(args) -> int:
     algorithms = args.algorithms or ["dp", "fbqs", "operb", "operb-a"]
     rows = []
     for name in algorithms:
-        function = get_algorithm(name)
-        representation = function(trajectory, args.epsilon)
+        representation = Simplifier(name, args.epsilon).run(trajectory)
         report = evaluate(trajectory, representation, args.epsilon)
         rows.append(report.as_dict())
         print(

@@ -3,7 +3,8 @@
 Sub-commands
 ------------
 ``algorithms``
-    List every registered simplification algorithm.
+    Print the capability table of every registered algorithm (streaming?,
+    one-pass?, error metric, accepted options).
 ``compress``
     Simplify one trajectory file (CSV or GeoLife PLT) with a chosen algorithm.
 ``evaluate``
@@ -36,7 +37,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("algorithms", help="list registered algorithms")
+    list_parser = subparsers.add_parser(
+        "algorithms", help="print the algorithm capability table"
+    )
+    list_parser.add_argument(
+        "--names", action="store_true", help="print bare algorithm names only"
+    )
     list_parser.set_defaults(handler=commands.cmd_list_algorithms)
 
     compress = subparsers.add_parser("compress", help="simplify one trajectory file")

@@ -14,6 +14,7 @@ __all__ = [
     "SimplificationError",
     "DatasetError",
     "ExperimentError",
+    "FleetExecutionError",
     "UnknownAlgorithmError",
 ]
 
@@ -53,6 +54,19 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or run failed."""
+
+
+class FleetExecutionError(ReproError):
+    """One or more trajectories of a fleet run failed to compress.
+
+    Raised by the fleet executor when ``on_error="raise"``; the individual
+    failures are available on :attr:`errors` (a list of
+    :class:`repro.api.FleetError` records).
+    """
+
+    def __init__(self, message: str, *, errors: list | tuple = ()) -> None:
+        super().__init__(message)
+        self.errors = list(errors)
 
 
 class UnknownAlgorithmError(ReproError, KeyError):

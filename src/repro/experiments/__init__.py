@@ -27,13 +27,22 @@ from .runner import (
     run_algorithm,
     time_algorithm,
 )
-from .workloads import DEFAULT_SCALE, LARGE_SCALE, SMALL_SCALE, WorkloadScale, standard_datasets
+from .workloads import (
+    DEFAULT_SCALE,
+    FLEET_SCALE,
+    LARGE_SCALE,
+    SMALL_SCALE,
+    WorkloadScale,
+    profile_fleet,
+    standard_datasets,
+)
 
 __all__ = [
     "DATASET_ORDER",
     "DEFAULT_SCALE",
     "EXPERIMENTS",
     "ExperimentResult",
+    "FLEET_SCALE",
     "LARGE_SCALE",
     "OPTIMIZATION_PAIRS",
     "PAPER_ALGORITHMS",
@@ -48,6 +57,7 @@ __all__ = [
     "fig17_segment_distribution",
     "fig18_average_error",
     "fig19_patching",
+    "profile_fleet",
     "run_algorithm",
     "standard_datasets",
     "table1",

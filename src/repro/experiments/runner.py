@@ -10,9 +10,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Sequence
 
-from ..algorithms.registry import get_algorithm
+from ..api.session import Simplifier
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .reporting import format_markdown_table, format_text_table
@@ -104,11 +104,22 @@ class TimedRun:
 
 
 def run_algorithm(
-    algorithm: str, trajectories: Sequence[Trajectory], epsilon: float, **kwargs
+    algorithm: str,
+    trajectories: Sequence[Trajectory],
+    epsilon: float,
+    *,
+    workers: int = 1,
+    **kwargs,
 ) -> list[PiecewiseRepresentation]:
-    """Run one registered algorithm over a fleet and collect the outputs."""
-    function = get_algorithm(algorithm)
-    return [function(trajectory, epsilon, **kwargs) for trajectory in trajectories]
+    """Run one registered algorithm over a fleet and collect the outputs.
+
+    Dispatches through the unified fleet executor; ``workers > 1`` spreads
+    the fleet over a process pool.  A failing trajectory raises
+    :class:`repro.exceptions.FleetExecutionError` (chained from the original
+    exception when running serially) rather than the bare algorithm error.
+    """
+    result = Simplifier(algorithm, epsilon, **kwargs).run_many(trajectories, workers=workers)
+    return result.successful()
 
 
 def time_algorithm(
@@ -122,18 +133,19 @@ def time_algorithm(
     """Time one algorithm over a fleet of trajectories.
 
     Mirrors the paper's measurement protocol: trajectories are compressed one
-    by one and only the compression time is counted (workload generation and
-    evaluation are excluded).  With ``repeats > 1`` the fastest repetition is
-    reported, which reduces interference from the host machine.
+    by one (serially, so the numbers reflect single-core algorithm cost) and
+    only the compression time is counted (workload generation and evaluation
+    are excluded).  With ``repeats > 1`` the fastest repetition is reported,
+    which reduces interference from the host machine.
     """
-    function: Callable[..., PiecewiseRepresentation] = get_algorithm(algorithm)
+    session = Simplifier(algorithm, epsilon, **kwargs)
     best = float("inf")
     representations: list[PiecewiseRepresentation] = []
     for _ in range(max(1, repeats)):
         outputs: list[PiecewiseRepresentation] = []
         start = time.perf_counter()
         for trajectory in trajectories:
-            outputs.append(function(trajectory, epsilon, **kwargs))
+            outputs.append(session.run(trajectory))
         elapsed = time.perf_counter() - start
         if elapsed < best:
             best = elapsed

@@ -17,7 +17,15 @@ from ..datasets.profiles import PROFILES
 from ..trajectory.model import Trajectory
 from .runner import DATASET_ORDER
 
-__all__ = ["WorkloadScale", "SMALL_SCALE", "DEFAULT_SCALE", "LARGE_SCALE", "standard_datasets"]
+__all__ = [
+    "WorkloadScale",
+    "SMALL_SCALE",
+    "DEFAULT_SCALE",
+    "LARGE_SCALE",
+    "FLEET_SCALE",
+    "standard_datasets",
+    "profile_fleet",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +50,26 @@ DEFAULT_SCALE = WorkloadScale("default", n_trajectories=5, points_per_trajectory
 
 LARGE_SCALE = WorkloadScale("large", n_trajectories=20, points_per_trajectory=10_000)
 """Closer-to-paper scale for users who want to let the sweep run longer."""
+
+FLEET_SCALE = WorkloadScale("fleet", n_trajectories=100, points_per_trajectory=1_000)
+"""Many-small-trajectories scale exercising the fleet executor
+(``Simplifier.run_many``); used by ``benchmarks/bench_run_many_workers.py``."""
+
+
+def profile_fleet(
+    profile: str = "taxi", scale: WorkloadScale = FLEET_SCALE, *, seed: int = 2017
+) -> list[Trajectory]:
+    """Synthesise a single-profile fleet at the requested scale.
+
+    The workload shape of a fleet operator: many independent trajectories of
+    one vehicle class, ready to hand to ``Simplifier.run_many``.
+    """
+    return generate_dataset(
+        PROFILES[profile.lower()],
+        n_trajectories=scale.n_trajectories,
+        points_per_trajectory=scale.points_per_trajectory,
+        seed=seed,
+    )
 
 
 def standard_datasets(

@@ -4,6 +4,11 @@
 a single :class:`EvaluationReport`, and :func:`evaluate_fleet` aggregates the
 same quantities over many trajectories the way the paper's experiments do
 (totals over the fleet rather than means of per-trajectory ratios).
+
+``evaluate_fleet`` can also compress the fleet itself: pass ``algorithm=``
+(and optionally ``workers=``) instead of precomputed representations and it
+routes the run through the fleet executor
+(:meth:`repro.api.Simplifier.run_many`).
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from ..exceptions import InvalidParameterError
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .compression import compression_ratio, fleet_compression_ratio
@@ -80,12 +86,46 @@ def evaluate(
 
 def evaluate_fleet(
     trajectories: Sequence[Trajectory],
-    representations: Sequence[PiecewiseRepresentation],
-    epsilon: float,
+    representations: Sequence[PiecewiseRepresentation] | None = None,
+    epsilon: float | None = None,
     *,
+    algorithm: str | None = None,
+    workers: int = 1,
     tolerance: float = 1e-9,
+    **algorithm_opts,
 ) -> EvaluationReport:
-    """Evaluate a fleet: totals and point-weighted error averages."""
+    """Evaluate a fleet: totals and point-weighted error averages.
+
+    Either pass precomputed ``representations`` (index-aligned with
+    ``trajectories``), or pass ``algorithm=`` to have the fleet compressed
+    here through the unified API — ``workers > 1`` fans the compression out
+    over a process pool.
+    """
+    if epsilon is None:
+        raise InvalidParameterError("evaluate_fleet requires an epsilon")
+    if representations is None:
+        if algorithm is None:
+            raise InvalidParameterError(
+                "evaluate_fleet needs either precomputed representations or an algorithm="
+            )
+        from ..api.session import Simplifier  # local import; metrics is a lower layer
+
+        fleet_run = Simplifier(algorithm, epsilon, **algorithm_opts).run_many(
+            trajectories, workers=workers
+        )
+        representations = fleet_run.successful()
+    elif algorithm is not None:
+        raise InvalidParameterError(
+            "pass either representations or algorithm=, not both"
+        )
+    elif algorithm_opts or workers != 1:
+        # Without algorithm= these would be silently ignored (or are typos of
+        # tolerance); fail loudly instead.
+        stray = sorted(algorithm_opts) + (["workers"] if workers != 1 else [])
+        raise InvalidParameterError(
+            f"unexpected keyword argument(s) {', '.join(stray)}: "
+            f"compression options require the algorithm= path"
+        )
     if len(trajectories) != len(representations):
         raise ValueError(
             f"{len(trajectories)} trajectories but {len(representations)} representations"

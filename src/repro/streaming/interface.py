@@ -1,105 +1,48 @@
-"""Streaming simplification interface and adapters.
+"""Deprecated streaming factory — a thin shim over :mod:`repro.api`.
 
-OPERB/OPERB-A (and FBQS, dead reckoning) are naturally push-based: points go
-in one at a time, finalised segments come out.  This module defines the small
-protocol they share, a factory that builds a streaming simplifier by name,
-and an adapter that exposes *batch* algorithms behind the same interface for
-apples-to-apples pipeline comparisons (the adapter necessarily buffers the
-whole stream, which is precisely the cost the paper's one-pass algorithms
-avoid).
+The historical API exposed a ``STREAMING_ALGORITHMS`` dict of factories and a
+``make_streaming_simplifier`` free function, parallel to (and easy to drift
+from) the batch registry.  Streaming capability is now a flag on each
+:class:`repro.api.AlgorithmDescriptor`; this module keeps the old names
+working as deprecation shims and re-exports :class:`BufferedBatchAdapter`
+from its new home in :mod:`repro.api.adapters`.
+
+New code should use::
+
+    from repro.api import Simplifier
+    with Simplifier("operb", epsilon=40.0).open_stream() as stream:
+        ...
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from ..algorithms.dead_reckoning import DeadReckoningSimplifier
-from ..algorithms.fbqs import FBQSSimplifier
-from ..algorithms.registry import get_algorithm
-from ..core.config import OperbAConfig, OperbConfig
-from ..core.operb import OPERBSimplifier
-from ..core.operb_a import OPERBASimplifier
-from ..exceptions import UnknownAlgorithmError
-from ..geometry.point import Point
-from ..trajectory.model import Trajectory
-from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..api._compat import DeprecatedRegistryView, warn_deprecated
+from ..api.adapters import BufferedBatchAdapter
+from ..api.descriptors import get_descriptor
+from ..api.session import open_raw_stream
 
 __all__ = ["BufferedBatchAdapter", "make_streaming_simplifier", "STREAMING_ALGORITHMS"]
 
-
-class BufferedBatchAdapter:
-    """Expose a batch algorithm through the push/finish streaming interface.
-
-    The adapter buffers every pushed point and runs the batch algorithm at
-    :meth:`finish`.  It exists so pipelines can swap OPERB for DP (say) and
-    measure what the batch requirement costs in latency and memory.
-    """
-
-    def __init__(self, algorithm: str, epsilon: float, **kwargs) -> None:
-        self.name = algorithm
-        self.epsilon = epsilon
-        self._function = get_algorithm(algorithm)
-        self._kwargs = kwargs
-        self._points: list[Point] = []
-        self._finished = False
-
-    def push(self, point: Point) -> list[SegmentRecord]:
-        """Buffer the point; batch algorithms cannot emit anything early."""
-        self._points.append(point)
-        return []
-
-    def finish(self) -> list[SegmentRecord]:
-        """Run the underlying batch algorithm over the buffered stream."""
-        if self._finished:
-            return []
-        self._finished = True
-        trajectory = Trajectory.from_points(self._points, require_monotonic_time=False)
-        representation = self._function(trajectory, self.epsilon, **self._kwargs)
-        return list(representation.segments)
-
-    @property
-    def buffered_points(self) -> int:
-        """Number of points currently held in memory (the adapter's cost)."""
-        return len(self._points)
-
-
-def _make_operb(epsilon: float, **kwargs) -> OPERBSimplifier:
-    return OPERBSimplifier(OperbConfig.optimized(epsilon, **kwargs))
-
-
-def _make_raw_operb(epsilon: float, **kwargs) -> OPERBSimplifier:
-    return OPERBSimplifier(OperbConfig.raw(epsilon, **kwargs))
-
-
-def _make_operb_a(epsilon: float, **kwargs) -> OPERBASimplifier:
-    return OPERBASimplifier(OperbAConfig.optimized(epsilon, **kwargs))
-
-
-def _make_raw_operb_a(epsilon: float, **kwargs) -> OPERBASimplifier:
-    return OPERBASimplifier(OperbAConfig.raw(epsilon, **kwargs))
-
-
-STREAMING_ALGORITHMS: dict[str, Callable[..., object]] = {
-    "operb": _make_operb,
-    "raw-operb": _make_raw_operb,
-    "operb-a": _make_operb_a,
-    "raw-operb-a": _make_raw_operb_a,
-    "fbqs": FBQSSimplifier,
-    "dead-reckoning": DeadReckoningSimplifier,
-}
-"""Factories for genuinely streaming simplifiers, keyed by algorithm name."""
+STREAMING_ALGORITHMS = DeprecatedRegistryView(
+    "repro.streaming.interface.STREAMING_ALGORITHMS",
+    "repro.api.get_descriptor(name).streaming_factory",
+    project=lambda descriptor: descriptor.streaming_factory,
+    predicate=lambda descriptor: descriptor.streaming,
+)
+"""Deprecated live view: name -> streaming factory (native streaming only)."""
 
 
 def make_streaming_simplifier(algorithm: str, epsilon: float, **kwargs):
-    """Create a streaming simplifier by name.
+    """Deprecated: create a raw streaming simplifier by name.
 
-    Genuinely streaming algorithms are instantiated directly; batch-only
+    Use ``repro.api.Simplifier(algorithm, epsilon).open_stream()`` instead.
+    Genuinely streaming algorithms are instantiated natively; batch-only
     algorithms (``dp``, ``opw``, ``bqs``, ...) are wrapped in a
-    :class:`BufferedBatchAdapter`.
+    :class:`BufferedBatchAdapter`.  Keyword arguments are validated eagerly
+    for both paths.
     """
-    key = algorithm.strip().lower()
-    if key in STREAMING_ALGORITHMS:
-        return STREAMING_ALGORITHMS[key](epsilon, **kwargs)
-    # Fall back to the batch registry (raises UnknownAlgorithmError if absent).
-    get_algorithm(key)
-    return BufferedBatchAdapter(key, epsilon, **kwargs)
+    warn_deprecated(
+        "repro.streaming.make_streaming_simplifier",
+        "repro.api.Simplifier(algorithm, epsilon).open_stream()",
+    )
+    return open_raw_stream(get_descriptor(algorithm), epsilon, **kwargs)

@@ -13,11 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..api.session import Simplifier
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .counting import CountingSimplifier
-from .interface import make_streaming_simplifier
 from .sinks import CollectingSink
 
 __all__ = ["PipelineResult", "StreamingPipeline", "run_pipeline"]
@@ -43,15 +43,15 @@ class StreamingPipeline:
     """Drive a streaming simplifier over an iterable of points."""
 
     def __init__(self, algorithm: str, epsilon: float, **kwargs) -> None:
-        self.algorithm = algorithm
-        self.epsilon = epsilon
-        self._kwargs = kwargs
+        self._session = Simplifier(algorithm, epsilon, **kwargs)
+        self.algorithm = self._session.algorithm
+        self.epsilon = self._session.epsilon
 
     def run(self, points: Iterable[Point], *, source_size: int | None = None) -> PipelineResult:
         """Process ``points`` and return the pipeline result."""
-        simplifier = CountingSimplifier(
-            make_streaming_simplifier(self.algorithm, self.epsilon, **self._kwargs)
-        )
+        # The sink owns the segments; keep_segments=False avoids a second copy
+        # in the stream session.
+        simplifier = CountingSimplifier(self._session.open_stream(keep_segments=False))
         sink = CollectingSink(algorithm=self.algorithm)
         processed = 0
         for point in points:

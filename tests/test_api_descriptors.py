@@ -1,0 +1,172 @@
+"""Tests for the unified AlgorithmDescriptor registry and the legacy shims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidParameterError, UnknownAlgorithmError
+from repro.algorithms.registry import ALGORITHMS, get_algorithm, simplify
+from repro.api import (
+    AlgorithmDescriptor,
+    Simplifier,
+    algorithm_names,
+    get_descriptor,
+    list_descriptors,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.streaming.interface import STREAMING_ALGORITHMS, make_streaming_simplifier
+
+# What the pre-unification STREAMING_ALGORITHMS dict contained: the ground
+# truth the streaming capability flags must match.
+NATIVE_STREAMING = {"operb", "raw-operb", "operb-a", "raw-operb-a", "fbqs", "dead-reckoning"}
+PAPER_NAMES = {
+    "dp", "dp-sed", "opw", "opw-tr", "bqs", "fbqs", "uniform", "dead-reckoning",
+    "operb", "raw-operb", "operb-a", "raw-operb-a",
+}
+
+
+class TestRegistry:
+    def test_all_builtin_algorithms_registered(self):
+        assert PAPER_NAMES <= set(algorithm_names())
+
+    def test_lookup_is_case_insensitive_and_normalising(self):
+        assert get_descriptor(" OPERB-A ").name == "operb-a"
+
+    def test_descriptor_passthrough(self):
+        descriptor = get_descriptor("dp")
+        assert get_descriptor(descriptor) is descriptor
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            get_descriptor("does-not-exist")
+
+    def test_list_descriptors_sorted(self):
+        names = [d.name for d in list_descriptors()]
+        assert names == sorted(names)
+
+    def test_register_decorator_and_unregister(self):
+        @register_algorithm("unit-test-algo", error_metric="none", summary="test-only")
+        def keep_everything(trajectory, epsilon=0.0):
+            from repro.trajectory.piecewise import PiecewiseRepresentation
+
+            return PiecewiseRepresentation.from_retained_indices(
+                trajectory, list(range(len(trajectory))), algorithm="unit-test-algo"
+            )
+
+        try:
+            descriptor = get_descriptor("unit-test-algo")
+            assert descriptor.batch is keep_everything
+            assert descriptor.summary == "test-only"
+            assert not descriptor.streaming and not descriptor.one_pass
+            assert "unit-test-algo" in algorithm_names()
+        finally:
+            unregister_algorithm("unit-test-algo")
+        assert "unit-test-algo" not in algorithm_names()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_algorithm("dp")(lambda trajectory, epsilon: None)
+
+    def test_one_pass_requires_streaming_factory(self):
+        with pytest.raises(InvalidParameterError):
+            AlgorithmDescriptor(name="broken", batch=lambda t, e: None, one_pass=True)
+
+    def test_invalid_error_metric_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AlgorithmDescriptor(name="broken", batch=lambda t, e: None, error_metric="vertical")
+
+
+class TestCapabilityFlags:
+    def test_streaming_flags_match_legacy_streaming_set(self):
+        streaming = {d.name for d in list_descriptors() if d.streaming}
+        assert streaming & PAPER_NAMES == NATIVE_STREAMING
+
+    def test_one_pass_implies_streaming(self):
+        for descriptor in list_descriptors():
+            if descriptor.one_pass:
+                assert descriptor.streaming
+
+    def test_operb_family_is_one_pass(self):
+        for name in ("operb", "raw-operb", "operb-a", "raw-operb-a"):
+            assert get_descriptor(name).one_pass
+
+    def test_fbqs_streams_but_is_not_one_pass(self):
+        descriptor = get_descriptor("fbqs")
+        assert descriptor.streaming and not descriptor.one_pass
+
+    def test_uniform_is_not_error_bounded(self):
+        descriptor = get_descriptor("uniform")
+        assert descriptor.error_metric == "none"
+        assert not descriptor.error_bounded
+
+    def test_sed_metrics(self):
+        for name in ("dp-sed", "opw-tr", "dead-reckoning"):
+            assert get_descriptor(name).error_metric == "sed"
+
+    def test_capabilities_dict(self):
+        caps = get_descriptor("operb-a").capabilities()
+        assert caps["streaming"] and caps["one_pass"]
+        assert "gamma_max" in caps["accepted_kwargs"]
+
+    def test_validate_kwargs_rejects_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            get_descriptor("dp").validate_kwargs({"bogus": 1})
+
+    def test_validate_kwargs_distinguishes_modes(self):
+        descriptor = get_descriptor("operb")
+        descriptor.validate_kwargs({"config": None})
+        with pytest.raises(InvalidParameterError):
+            descriptor.validate_kwargs({"config": None}, streaming=True)
+        descriptor.validate_kwargs({"opt_two_sided_deviation": False}, streaming=True)
+
+
+class TestDeprecatedViews:
+    def test_algorithms_view_item_access_warns(self):
+        with pytest.warns(DeprecationWarning):
+            function = ALGORITHMS["dp"]
+        assert function is get_descriptor("dp").batch
+
+    def test_streaming_view_item_access_warns(self):
+        with pytest.warns(DeprecationWarning):
+            factory = STREAMING_ALGORITHMS["fbqs"]
+        assert factory is get_descriptor("fbqs").streaming_factory
+
+    def test_streaming_view_only_lists_streaming_algorithms(self):
+        assert set(STREAMING_ALGORITHMS) & PAPER_NAMES == NATIVE_STREAMING
+        assert "dp" not in STREAMING_ALGORITHMS
+
+    def test_views_are_live(self):
+        register_algorithm("unit-test-live", error_metric="none")(
+            lambda trajectory, epsilon=0.0: None
+        )
+        try:
+            assert "unit-test-live" in ALGORITHMS
+        finally:
+            unregister_algorithm("unit-test-live")
+        assert "unit-test-live" not in ALGORITHMS
+
+
+class TestDeprecationShims:
+    def test_get_algorithm_warns_and_matches_descriptor(self):
+        with pytest.warns(DeprecationWarning):
+            function = get_algorithm("DP")
+        assert function is get_descriptor("dp").batch
+
+    def test_simplify_warns_and_matches_session(self, noisy_walk):
+        with pytest.warns(DeprecationWarning):
+            legacy = simplify(noisy_walk, 25.0, algorithm="operb")
+        modern = Simplifier("operb", 25.0).run(noisy_walk)
+        assert legacy.segments == modern.segments
+
+    def test_make_streaming_simplifier_warns_and_matches_session(self, noisy_walk):
+        with pytest.warns(DeprecationWarning):
+            legacy = make_streaming_simplifier("operb", 25.0)
+        segments = []
+        for point in noisy_walk:
+            segments.extend(legacy.push(point))
+        segments.extend(legacy.finish())
+
+        with Simplifier("operb", 25.0).open_stream() as stream:
+            stream.feed(noisy_walk)
+        assert segments == list(stream.result().segments)

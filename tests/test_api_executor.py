@@ -1,0 +1,145 @@
+"""Tests for the fleet-scale batch executor (run_many) and evaluate_fleet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FleetExecutionError, InvalidParameterError, Simplifier, evaluate_fleet
+from repro.api import register_algorithm, unregister_algorithm
+from repro.datasets import generate_dataset
+
+EPSILON = 40.0
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_dataset(
+        "taxi", n_trajectories=6, points_per_trajectory=400, seed=11
+    )
+
+
+class TestRunMany:
+    def test_serial_run(self, fleet):
+        result = Simplifier("operb", EPSILON).run_many(fleet, workers=1)
+        assert result.ok and result.n_total == len(fleet)
+        assert result.n_failed == 0
+        assert all(r is not None for r in result.representations)
+        assert result.total_points == sum(len(t) for t in fleet)
+        assert result.points_per_second > 0.0
+
+    def test_workers_must_be_positive(self, fleet):
+        with pytest.raises(InvalidParameterError):
+            Simplifier("operb", EPSILON).run_many(fleet, workers=0)
+
+    def test_invalid_on_error_mode(self, fleet):
+        with pytest.raises(InvalidParameterError):
+            Simplifier("operb", EPSILON).run_many(fleet, on_error="ignore")
+
+    def test_parallel_matches_serial(self, fleet):
+        """The multiprocess backend must be a pure performance choice."""
+        session = Simplifier("operb-a", EPSILON)
+        serial = session.run_many(fleet, workers=1)
+        parallel = session.run_many(fleet, workers=3)
+        assert parallel.workers == 3
+        for a, b in zip(serial.representations, parallel.representations):
+            assert a.segments == b.segments
+
+    def test_result_iteration_and_len(self, fleet):
+        result = Simplifier("dp", EPSILON).run_many(fleet)
+        assert len(result) == len(fleet)
+        assert [r.n_segments for r in result] == [
+            r.n_segments for r in result.representations
+        ]
+
+
+class TestErrorIsolation:
+    @pytest.fixture()
+    def flaky_registered(self):
+        @register_algorithm("unit-test-flaky", error_metric="none", summary="fails on big inputs")
+        def flaky(trajectory, epsilon=0.0):
+            if len(trajectory) > 3:
+                raise ValueError("too big for the flaky algorithm")
+            from repro.trajectory.piecewise import PiecewiseRepresentation
+
+            return PiecewiseRepresentation.from_retained_indices(
+                trajectory, list(range(len(trajectory))), algorithm="unit-test-flaky"
+            )
+
+        yield "unit-test-flaky"
+        unregister_algorithm("unit-test-flaky")
+
+    def test_collect_isolates_failures(self, flaky_registered, two_points, noisy_walk):
+        result = Simplifier(flaky_registered).run_many(
+            [two_points, noisy_walk, two_points], on_error="collect"
+        )
+        assert not result.ok
+        assert result.n_failed == 1
+        assert result.errors[0].index == 1
+        assert result.errors[0].error_type == "ValueError"
+        assert result.representations[1] is None
+        assert result.representations[0] is not None
+        assert len(result.successful()) == 2
+
+    def test_raise_mode_summarises_failures(self, flaky_registered, two_points, noisy_walk):
+        with pytest.raises(FleetExecutionError) as excinfo:
+            Simplifier(flaky_registered).run_many([two_points, noisy_walk])
+        assert excinfo.value.errors[0].error_type == "ValueError"
+        assert "1/2" in str(excinfo.value)
+
+    def test_serial_failures_chain_original_exception(self, flaky_registered, noisy_walk):
+        with pytest.raises(FleetExecutionError) as excinfo:
+            Simplifier(flaky_registered).run_many([noisy_walk], workers=1)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert isinstance(excinfo.value.errors[0].exception, ValueError)
+
+
+class TestUnregisteredDescriptor:
+    def test_run_many_accepts_adhoc_descriptor(self, fleet):
+        from repro.api import AlgorithmDescriptor, get_descriptor
+
+        adhoc = AlgorithmDescriptor(
+            name="adhoc-dp", batch=get_descriptor("dp").batch, summary="never registered"
+        )
+        result = Simplifier(adhoc, EPSILON).run_many(fleet, workers=1)
+        assert result.ok
+        reference = Simplifier("dp", EPSILON).run_many(fleet, workers=1)
+        for ours, theirs in zip(result.representations, reference.representations):
+            assert ours.segments == theirs.segments
+
+    def test_run_many_adhoc_descriptor_parallel(self, fleet):
+        from repro.api import AlgorithmDescriptor, get_descriptor
+
+        # Module-level batch callable => picklable => works across processes.
+        adhoc = AlgorithmDescriptor(
+            name="adhoc-operb", batch=get_descriptor("operb").batch, summary=""
+        )
+        result = Simplifier(adhoc, EPSILON).run_many(fleet, workers=2)
+        assert result.ok and result.n_total == len(fleet)
+
+
+class TestEvaluateFleetRouting:
+    def test_algorithm_path_matches_precomputed(self, fleet):
+        representations = Simplifier("operb", EPSILON).run_many(fleet).successful()
+        precomputed = evaluate_fleet(fleet, representations, EPSILON)
+        routed = evaluate_fleet(fleet, epsilon=EPSILON, algorithm="operb", workers=2)
+        assert routed.as_dict() == precomputed.as_dict()
+
+    def test_requires_epsilon(self, fleet):
+        with pytest.raises(InvalidParameterError):
+            evaluate_fleet(fleet, algorithm="operb")
+
+    def test_rejects_both_representations_and_algorithm(self, fleet):
+        representations = Simplifier("operb", EPSILON).run_many(fleet).successful()
+        with pytest.raises(InvalidParameterError):
+            evaluate_fleet(fleet, representations, EPSILON, algorithm="operb")
+
+    def test_requires_algorithm_or_representations(self, fleet):
+        with pytest.raises(InvalidParameterError):
+            evaluate_fleet(fleet, epsilon=EPSILON)
+
+    def test_rejects_stray_options_with_precomputed_representations(self, fleet):
+        representations = Simplifier("operb", EPSILON).run_many(fleet).successful()
+        with pytest.raises(InvalidParameterError):
+            evaluate_fleet(fleet, representations, EPSILON, tolerence=1e-6)  # typo
+        with pytest.raises(InvalidParameterError):
+            evaluate_fleet(fleet, representations, EPSILON, workers=8)

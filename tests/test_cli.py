@@ -35,6 +35,19 @@ class TestAlgorithmsCommand:
         for name in ("dp", "fbqs", "operb", "operb-a"):
             assert name in output
 
+    def test_prints_capability_columns(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        for column in ("streaming", "one-pass", "error metric"):
+            assert column in output
+        assert "perpendicular" in output and "sed" in output
+
+    def test_names_only_mode(self, capsys):
+        assert main(["algorithms", "--names"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "operb" in lines and "dp" in lines
+        assert lines == sorted(lines)
+
 
 class TestCompressCommand:
     def test_compress_writes_output(self, trajectory_csv, tmp_path, capsys):

@@ -6,7 +6,7 @@ import io
 
 import pytest
 
-from repro import UnknownAlgorithmError
+from repro import InvalidParameterError, SimplificationError, UnknownAlgorithmError
 from repro.core.operb import OPERBSimplifier
 from repro.metrics import check_error_bound
 from repro.streaming import (
@@ -75,7 +75,30 @@ class TestBufferedAdapter:
         assert adapter.buffered_points == len(noisy_walk)
         segments = adapter.finish()
         assert len(segments) >= 1
-        assert adapter.finish() == []
+
+    def test_double_finish_raises(self, noisy_walk):
+        adapter = BufferedBatchAdapter("dp", 25.0)
+        for point in noisy_walk:
+            adapter.push(point)
+        adapter.finish()
+        with pytest.raises(SimplificationError):
+            adapter.finish()
+
+    def test_push_after_finish_raises(self, two_points):
+        adapter = BufferedBatchAdapter("dp", 25.0)
+        for point in two_points:
+            adapter.push(point)
+        adapter.finish()
+        with pytest.raises(SimplificationError):
+            adapter.push(next(iter(two_points)))
+
+    def test_kwargs_validated_at_construction(self):
+        with pytest.raises(InvalidParameterError):
+            BufferedBatchAdapter("dp", 25.0, bogus=True)
+
+    def test_factory_validates_batch_fallback_kwargs_eagerly(self):
+        with pytest.raises(InvalidParameterError):
+            make_streaming_simplifier("dp", 25.0, bogus=True)
 
 
 class TestSinks:
