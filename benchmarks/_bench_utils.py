@@ -1,0 +1,25 @@
+"""Importable helpers shared by the benchmark modules.
+
+These used to live in ``benchmarks/conftest.py``, but pytest treats
+``conftest.py`` as a plugin module, not an importable one: with both
+``tests/`` and ``benchmarks/`` collected in one session, a bare
+``from conftest import ...`` resolves to whichever directory's conftest was
+imported first.  Keeping the shared helpers in a regular module (imported as
+``from _bench_utils import ...``) makes ``pytest benchmarks`` collect cleanly
+alongside the unit-test suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import WorkloadScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = WorkloadScale("bench", n_trajectories=2, points_per_trajectory=2_000)
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment table produced during a benchmark run."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")

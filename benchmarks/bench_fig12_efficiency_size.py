@@ -14,7 +14,7 @@ from repro.algorithms import get_algorithm
 from repro.datasets import generate_trajectory
 from repro.experiments import fig12_efficiency_size
 
-from conftest import write_result
+from _bench_utils import write_result
 
 EPSILON = 40.0
 ALGORITHMS = ("dp", "fbqs", "operb", "operb-a")

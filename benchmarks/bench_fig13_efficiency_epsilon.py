@@ -7,7 +7,7 @@ import pytest
 from repro.algorithms import get_algorithm
 from repro.experiments import fig13_efficiency_epsilon
 
-from conftest import write_result
+from _bench_utils import write_result
 
 EPSILONS = (10.0, 40.0, 100.0)
 ALGORITHMS = ("dp", "fbqs", "operb", "operb-a")

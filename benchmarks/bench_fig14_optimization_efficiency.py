@@ -7,7 +7,7 @@ import pytest
 from repro.algorithms import get_algorithm
 from repro.experiments import fig14_optimization_efficiency
 
-from conftest import write_result
+from _bench_utils import write_result
 
 PAIR_ALGORITHMS = ("raw-operb", "operb", "raw-operb-a", "operb-a")
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig15_compression_epsilon
 
-from conftest import write_result
+from _bench_utils import write_result
 
 
 def test_fig15_compression_ratio_table(benchmark, bench_datasets, results_dir):

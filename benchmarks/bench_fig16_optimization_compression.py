@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig16_optimization_compression
 
-from conftest import write_result
+from _bench_utils import write_result
 
 
 def test_fig16_optimisations_improve_compression(benchmark, bench_datasets, results_dir):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig17_segment_distribution
 
-from conftest import write_result
+from _bench_utils import write_result
 
 
 def test_fig17_segment_size_distribution(benchmark, bench_datasets, results_dir):

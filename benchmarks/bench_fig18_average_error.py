@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig18_average_error
 
-from conftest import write_result
+from _bench_utils import write_result
 
 
 def test_fig18_average_error_table(benchmark, bench_datasets, results_dir):

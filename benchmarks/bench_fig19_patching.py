@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import fig19_patching
 
-from conftest import write_result
+from _bench_utils import write_result
 
 
 def test_fig19_patching_vs_epsilon(benchmark, bench_datasets, results_dir):

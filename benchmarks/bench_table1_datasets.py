@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.experiments import table1
 
-from conftest import write_result
+from _bench_utils import write_result
 
 
 def test_table1_dataset_statistics(benchmark, bench_datasets, results_dir):

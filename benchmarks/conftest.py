@@ -4,6 +4,10 @@ Every benchmark works on the same small-scale synthetic workload (seeded), so
 pytest-benchmark's comparison tables directly reproduce the *relative*
 behaviour reported in the paper's figures.  Experiment result tables are also
 written to ``benchmarks/results/`` so they can be inspected after a run.
+
+Importable helpers (``write_result``, ``BENCH_SCALE``) live in
+``benchmarks/_bench_utils.py`` — conftest modules are pytest plugins and must
+not be imported by test modules directly.
 """
 
 from __future__ import annotations
@@ -12,12 +16,9 @@ from pathlib import Path
 
 import pytest
 
+from _bench_utils import BENCH_SCALE, RESULTS_DIR
 from repro.datasets import generate_trajectory
-from repro.experiments import WorkloadScale, standard_datasets
-
-RESULTS_DIR = Path(__file__).parent / "results"
-
-BENCH_SCALE = WorkloadScale("bench", n_trajectories=2, points_per_trajectory=2_000)
+from repro.experiments import standard_datasets
 
 
 @pytest.fixture(scope="session")
@@ -43,8 +44,3 @@ def results_dir() -> Path:
     """Directory where experiment tables produced by the benches are stored."""
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
-
-
-def write_result(results_dir: Path, name: str, text: str) -> None:
-    """Persist one experiment table produced during a benchmark run."""
-    (results_dir / f"{name}.txt").write_text(text + "\n")

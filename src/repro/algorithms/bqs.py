@@ -20,12 +20,10 @@ vertices, and below by the distances of the actual extreme points.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
-
+from ..geometry import kernels
 from ..geometry.clipping import bounding_box_polygon, clip_box_with_wedge
-from ..geometry.distance import point_to_line_distance, points_to_line_distance
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
@@ -149,20 +147,35 @@ class BoundedQuadrantWindow:
                     lower = max(lower, d)
                     upper = max(upper, d)
             return lower, upper
-        lower = 0.0
-        upper = 0.0
+        vertices: list[Point] = []
+        witnesses: list[Point] = []
         for quadrant in self.quadrants:
             if quadrant.count == 0:
                 continue
-            for vertex in quadrant.significant_vertices():
-                upper = max(
-                    upper, point_to_line_distance(vertex, self.anchor, candidate)
-                )
-            for witness in quadrant.witness_points():
-                lower = max(
-                    lower, point_to_line_distance(witness, self.anchor, candidate)
-                )
+            vertices.extend(quadrant.significant_vertices())
+            witnesses.extend(quadrant.witness_points())
+        upper = self._max_distance_to_candidate_line(vertices, candidate)
+        lower = self._max_distance_to_candidate_line(witnesses, candidate)
         return lower, upper
+
+    def _max_distance_to_candidate_line(
+        self, points: list[Point], candidate: Point
+    ) -> float:
+        """Max distance of ``points`` to the line ``anchor -> candidate``.
+
+        At most ~14 points per quadrant reach this check and it runs once per
+        streamed candidate, so the scalar point kernel beats NumPy's array
+        dispatch overhead here; the shared formula still lives in
+        :mod:`repro.geometry.kernels`.
+        """
+        best = 0.0
+        for point in points:
+            d = kernels.ped_point_to_chord(
+                point.x, point.y, self.anchor.x, self.anchor.y, candidate.x, candidate.y
+            )
+            if d > best:
+                best = d
+        return best
 
 
 def _exact_window_max(
@@ -171,11 +184,8 @@ def _exact_window_max(
     """Exact maximum distance of the buffered points to the candidate line."""
     if candidate - anchor < 2:
         return 0.0
-    xs = trajectory.xs[anchor + 1 : candidate]
-    ys = trajectory.ys[anchor + 1 : candidate]
-    a = trajectory[anchor]
-    b = trajectory[candidate]
-    return float(np.max(points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y)))
+    deviation, _ = trajectory.soa().max_chord_deviation(anchor, candidate)
+    return deviation
 
 
 def bqs(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:

@@ -9,32 +9,20 @@ inner distance computations are vectorised with NumPy.
 
 ``DP-SED`` (a.k.a. TD-TR, Meratnia & de By 2004) is the same algorithm with
 the synchronised Euclidean distance, provided as an extension baseline.
+
+The distance computations run on the trajectory's structure-of-arrays view
+(:meth:`~repro.trajectory.model.Trajectory.soa`) through the geometry
+kernels, so the ``vectorized``/``scalar`` backend flag of
+:mod:`repro.core.config` applies to the whole recursion.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..geometry.distance import points_sed_distance, points_to_line_distance
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .base import trivial_representation, validate_epsilon
 
 __all__ = ["douglas_peucker", "douglas_peucker_sed", "dp_retained_indices"]
-
-
-def _range_distances(
-    trajectory: Trajectory, first: int, last: int, *, use_sed: bool
-) -> np.ndarray:
-    """Distances of the points strictly inside ``(first, last)`` to the chord."""
-    xs = trajectory.xs[first + 1 : last]
-    ys = trajectory.ys[first + 1 : last]
-    if use_sed:
-        ts = trajectory.ts[first + 1 : last]
-        return points_sed_distance(xs, ys, ts, trajectory[first], trajectory[last])
-    a = trajectory[first]
-    b = trajectory[last]
-    return points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y)
 
 
 def dp_retained_indices(
@@ -49,18 +37,16 @@ def dp_retained_indices(
     n = len(trajectory)
     if n < 3:
         return list(range(n))
+    soa = trajectory.soa()
     retained = {0, n - 1}
     stack: list[tuple[int, int]] = [(0, n - 1)]
     while stack:
         first, last = stack.pop()
         if last - first < 2:
             continue
-        distances = _range_distances(trajectory, first, last, use_sed=use_sed)
-        split_offset = int(np.argmax(distances))
-        max_distance = float(distances[split_offset])
+        max_distance, split = soa.max_chord_deviation(first, last, use_sed=use_sed)
         if max_distance <= epsilon:
             continue
-        split = first + 1 + split_offset
         retained.add(split)
         stack.append((first, split))
         stack.append((split, last))

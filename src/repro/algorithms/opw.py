@@ -8,36 +8,19 @@ worst-case running time is ``O(n^2)`` — this is exactly the behaviour OPERB's
 local distance checking is designed to avoid.
 
 ``OPW-TR`` is the same algorithm with the synchronised Euclidean distance.
+
+The window re-checks run on the trajectory's structure-of-arrays view
+through the geometry kernels (see :mod:`repro.geometry.kernels`), honouring
+the ``vectorized``/``scalar`` backend flag.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..geometry.distance import points_sed_distance, points_to_line_distance
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .base import trivial_representation, validate_epsilon
 
 __all__ = ["opw", "opw_tr"]
-
-
-def _window_ok(
-    trajectory: Trajectory, anchor: int, candidate: int, epsilon: float, *, use_sed: bool
-) -> bool:
-    """Whether every point strictly inside ``(anchor, candidate)`` fits the chord."""
-    if candidate - anchor < 2:
-        return True
-    xs = trajectory.xs[anchor + 1 : candidate]
-    ys = trajectory.ys[anchor + 1 : candidate]
-    if use_sed:
-        ts = trajectory.ts[anchor + 1 : candidate]
-        distances = points_sed_distance(xs, ys, ts, trajectory[anchor], trajectory[candidate])
-    else:
-        a = trajectory[anchor]
-        b = trajectory[candidate]
-        distances = points_to_line_distance(xs, ys, a.x, a.y, b.x, b.y)
-    return bool(np.all(distances <= epsilon))
 
 
 def opw(
@@ -50,12 +33,13 @@ def opw(
     if trivial is not None:
         return trivial
 
+    soa = trajectory.soa()
     n = len(trajectory)
     retained = [0]
     anchor = 0
     k = anchor + 1
     while k < n:
-        if _window_ok(trajectory, anchor, k, epsilon, use_sed=use_sed):
+        if soa.window_within(anchor, k, epsilon, use_sed=use_sed):
             k += 1
             continue
         # The window broke at k: close the segment at the previous point.

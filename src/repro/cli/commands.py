@@ -13,9 +13,8 @@ from pathlib import Path
 
 from ..api import Simplifier, list_descriptors
 from ..datasets.generator import generate_dataset
-from ..datasets.profiles import PROFILES, get_profile
-from ..exceptions import ReproError
-from ..experiments import EXPERIMENTS, SMALL_SCALE, WorkloadScale, standard_datasets
+from ..datasets.profiles import get_profile
+from ..experiments import EXPERIMENTS, WorkloadScale, standard_datasets
 from ..experiments.reporting import format_text_table
 from ..metrics.summary import evaluate
 from ..trajectory.io import read_csv, read_plt, write_csv, write_jsonl, write_piecewise_csv
@@ -27,6 +26,7 @@ __all__ = [
     "cmd_evaluate",
     "cmd_generate",
     "cmd_experiment",
+    "cmd_perf",
     "load_trajectory",
 ]
 
@@ -157,3 +157,51 @@ def cmd_experiment(args) -> int:
         Path(args.markdown).write_text("\n\n".join(item.to_markdown() for item in outputs))
         print(f"wrote markdown report to {args.markdown}")
     return 0
+
+
+def cmd_perf(args) -> int:
+    """``repro-traj perf`` — run the harness and/or gate on regressions.
+
+    Modes:
+
+    * run a suite (optionally ``--output report.json``), exit 0;
+    * run a suite and gate it against ``--compare BASELINE.json``, exit 1
+      past the slowdown threshold;
+    * pure diff: ``--compare BASELINE.json --against CURRENT.json`` skips
+      running and compares the two files.
+    """
+    from ..perf import compare_reports, get_suite, load_report, run_suite, write_report
+
+    def load_report_or_none(path: str):
+        try:
+            return load_report(path)
+        except (OSError, ValueError) as error:  # ValueError covers bad JSON
+            print(f"error: cannot load perf report {path!r}: {error}", file=sys.stderr)
+            return None
+
+    if args.against and not args.compare:
+        print("error: --against requires --compare", file=sys.stderr)
+        return 2
+
+    if args.against:
+        report = load_report_or_none(args.against)
+        if report is None:
+            return 2
+    else:
+        suite = get_suite(args.suite)
+        report = run_suite(suite, repeats=args.repeats, progress=print)
+        print()
+        print(report.to_text())
+        if args.output:
+            write_report(report, args.output)
+            print(f"wrote perf report to {args.output}")
+
+    if not args.compare:
+        return 0
+    baseline = load_report_or_none(args.compare)
+    if baseline is None:
+        return 2
+    comparison = compare_reports(baseline, report, threshold=args.threshold)
+    print()
+    print(comparison.to_text())
+    return 0 if comparison.ok else 1

@@ -13,6 +13,9 @@ Sub-commands
     Synthesise a dataset following one of the paper's profiles.
 ``experiment``
     Re-run one (or all) of the paper's tables/figures.
+``perf``
+    Run the performance harness (or diff two of its reports) and gate on
+    throughput regressions.
 """
 
 from __future__ import annotations
@@ -80,6 +83,37 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=2017, help="random seed")
     experiment.add_argument("--markdown", help="write a markdown report to this path")
     experiment.set_defaults(handler=commands.cmd_experiment)
+
+    perf = subparsers.add_parser(
+        "perf", help="run the performance harness / compare BENCH reports"
+    )
+    perf.add_argument(
+        "--suite", default="quick", help="workload suite: smoke, quick or full"
+    )
+    perf.add_argument(
+        "--output", help="write the report (BENCH_results.json format) to this path"
+    )
+    perf.add_argument(
+        "--compare",
+        metavar="BASELINE.json",
+        help="gate against this baseline report; exit 1 past the threshold",
+    )
+    perf.add_argument(
+        "--against",
+        metavar="CURRENT.json",
+        help="with --compare: diff the baseline against this existing report "
+        "instead of running the suite",
+    )
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor before the comparison fails (default 2.0)",
+    )
+    perf.add_argument(
+        "--repeats", type=int, default=None, help="override the suite's timing repeats"
+    )
+    perf.set_defaults(handler=commands.cmd_perf)
 
     return parser
 

@@ -1,6 +1,15 @@
 """The paper's primary contribution: OPERB, OPERB-A and the fitting function."""
 
-from .config import DEFAULT_MAX_POINTS_PER_SEGMENT, OperbAConfig, OperbConfig
+from .config import (
+    DEFAULT_MAX_POINTS_PER_SEGMENT,
+    KERNEL_BACKENDS,
+    OperbAConfig,
+    OperbConfig,
+    get_kernel_backend,
+    kernel_backend,
+    set_kernel_backend,
+    use_vectorized_kernels,
+)
 from .fitting import FittingState, PointOutcome, rotation_sign, zone_index
 from .operb import OPERBSimplifier, OperbStatistics, operb, raw_operb
 from .operb_a import OPERBASimplifier, OperbAStatistics, operb_a, raw_operb_a
@@ -8,7 +17,12 @@ from .patching import PatchDecision, compute_patch_point, turn_angle_between
 
 __all__ = [
     "DEFAULT_MAX_POINTS_PER_SEGMENT",
+    "KERNEL_BACKENDS",
     "FittingState",
+    "get_kernel_backend",
+    "kernel_backend",
+    "set_kernel_backend",
+    "use_vectorized_kernels",
     "OPERBASimplifier",
     "OPERBSimplifier",
     "OperbAConfig",

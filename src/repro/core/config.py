@@ -1,10 +1,21 @@
-"""Configuration objects for OPERB and OPERB-A.
+"""Configuration objects for OPERB and OPERB-A, plus runtime switches.
 
 The paper describes a basic algorithm (Raw-OPERB, Figure 7), five optimisation
 techniques (Section 4.4) whose combination is called OPERB, and an aggressive
 extension OPERB-A (Section 5) parameterised by the patch-angle threshold
 ``gamma_m``.  Each optimisation is an independent flag here so the ablation
 experiments (Exp-1.3 and Exp-2.2) can toggle them exactly as the paper does.
+
+This module is also the user-facing home of the **kernel backend flag**
+(:func:`set_kernel_backend` / :func:`kernel_backend`): batch algorithms and
+metrics route their distance computations through the structure-of-arrays
+kernels in :mod:`repro.geometry.kernels`, and the flag switches between the
+NumPy ``"vectorized"`` implementations and the per-point ``"scalar"``
+fallbacks.  The scalar fallback performs the same floating-point operations
+as the streaming one-point code paths, so results can be pinned bit-identical
+where the paper's one-pass semantics require it.  The state itself lives in
+the geometry layer (which has no upward dependencies) and is re-exported
+here.
 """
 
 from __future__ import annotations
@@ -12,9 +23,27 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+# Re-exported runtime switch; the state lives in the dependency-free
+# geometry layer so kernels never import upwards.
+from ..geometry.kernels import (
+    KERNEL_BACKENDS,
+    get_kernel_backend,
+    kernel_backend,
+    set_kernel_backend,
+    use_vectorized_kernels,
+)
 from ..exceptions import InvalidParameterError
 
-__all__ = ["OperbConfig", "OperbAConfig", "DEFAULT_MAX_POINTS_PER_SEGMENT"]
+__all__ = [
+    "OperbConfig",
+    "OperbAConfig",
+    "DEFAULT_MAX_POINTS_PER_SEGMENT",
+    "KERNEL_BACKENDS",
+    "get_kernel_backend",
+    "kernel_backend",
+    "set_kernel_backend",
+    "use_vectorized_kernels",
+]
 
 DEFAULT_MAX_POINTS_PER_SEGMENT = 400_000
 """Per-segment point cap ``4 x 10^5`` from Theorem 2 / Figure 7 of the paper."""

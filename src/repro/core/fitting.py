@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..geometry.angles import normalize_angle
+from ..geometry.kernels import anchored_ped_point
 from ..geometry.point import Point
 
 __all__ = ["PointOutcome", "FittingState", "zone_index", "rotation_sign"]
@@ -123,19 +124,23 @@ class FittingState:
     # Geometry helpers
     # ------------------------------------------------------------------ #
     def _distance_to_fitted_line(self, point: Point) -> float:
-        """Distance from ``point`` to the line through the anchor along ``theta``."""
+        """Distance from ``point`` to the line through the anchor along ``theta``.
+
+        Routed through the scalar anchored-PED kernel — the streaming
+        one-point path stays scalar by construction (O(1) state, one point
+        at a time), independent of the kernel backend flag.
+        """
         self.stats.distance_computations += 1
-        dx = point.x - self.anchor.x
-        dy = point.y - self.anchor.y
-        return abs(math.cos(self.theta) * dy - math.sin(self.theta) * dx)
+        return anchored_ped_point(
+            point.x, point.y, self.anchor.x, self.anchor.y, self.theta
+        )
 
     def _distance_to_last_active_line(self, point: Point) -> float:
         """Distance from ``point`` to the line anchor -> last active point (``R_a``)."""
         self.stats.distance_computations += 1
-        dx = point.x - self.anchor.x
-        dy = point.y - self.anchor.y
-        theta = self.last_active_theta
-        return abs(math.cos(theta) * dy - math.sin(theta) * dx)
+        return anchored_ped_point(
+            point.x, point.y, self.anchor.x, self.anchor.y, self.last_active_theta
+        )
 
     def _deviation_acceptable(self, deviation: float, sign: int) -> bool:
         """Check the per-point deviation budget (plain or optimisation 2)."""

@@ -13,10 +13,10 @@ whole :class:`~repro.trajectory.model.Trajectory` objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import SimplificationError
-from ..geometry.distance import point_to_line_distance
+from ..geometry.kernels import ped_point_to_chord
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
@@ -313,7 +313,9 @@ class OPERBSimplifier:
         assert absorption is not None
         segment = absorption.segment
         self.stats.distance_computations += 1
-        distance = point_to_line_distance(point, segment.start, segment.end)
+        distance = ped_point_to_chord(
+            point.x, point.y, segment.start.x, segment.start.y, segment.end.x, segment.end.y
+        )
         if distance > self.config.epsilon:
             return False
         absorption.absorbed += 1

@@ -77,7 +77,18 @@ def compute_patch_point(
     if previous.length == 0.0 or following.length == 0.0:
         return PatchDecision(None, reason="degenerate-neighbour")
 
-    turn = turn_angle_between(previous, following)
+    theta_prev = angle_of(
+        previous.end.x - previous.start.x, previous.end.y - previous.start.y
+    )
+    theta_next = angle_of(
+        following.end.x - following.start.x, following.end.y - following.start.y
+    )
+
+    # Condition 3: the direction change must stay within pi - gamma_max.
+    # This runs once per closed segment on the one-pass stream, so it stays
+    # a scalar check; repro.geometry.kernels.angular_ranges_overlap is the
+    # equivalent batched form for fleet-level analyses.
+    turn = abs(normalize_signed_angle(theta_next - theta_prev))
     if turn > math.pi - gamma_max:
         return PatchDecision(None, reason="turn-angle")
 
@@ -86,13 +97,6 @@ def compute_patch_point(
     )
     if intersection is None:
         return PatchDecision(None, reason="parallel-lines")
-
-    theta_prev = angle_of(
-        previous.end.x - previous.start.x, previous.end.y - previous.start.y
-    )
-    theta_next = angle_of(
-        following.end.x - following.start.x, following.end.y - following.start.y
-    )
 
     # Condition 1a: G lies forward of previous.start along previous' direction.
     forward_on_previous = project_onto_direction(intersection, previous.start, theta_prev)

@@ -28,6 +28,15 @@ from .distance import (
     synchronized_euclidean_distance,
 )
 from .intersection import intersect_lines, intersect_point_directions, project_onto_direction
+from .kernels import (
+    KERNEL_BACKENDS,
+    angular_range_intersection,
+    angular_ranges_overlap,
+    get_kernel_backend,
+    kernel_backend,
+    set_kernel_backend,
+    use_vectorized_kernels,
+)
 from .point import Point
 from .projection import EARTH_RADIUS_M, LocalProjection, haversine_distance
 from .segment import DirectedSegment
@@ -35,10 +44,17 @@ from .segment import DirectedSegment
 __all__ = [
     "TWO_PI",
     "EARTH_RADIUS_M",
+    "KERNEL_BACKENDS",
     "Point",
     "DirectedSegment",
     "LocalProjection",
     "angle_of",
+    "angular_range_intersection",
+    "angular_ranges_overlap",
+    "get_kernel_backend",
+    "kernel_backend",
+    "set_kernel_backend",
+    "use_vectorized_kernels",
     "angle_between_directions",
     "bounding_box_polygon",
     "clip_box_with_wedge",

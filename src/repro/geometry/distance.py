@@ -7,9 +7,13 @@ well: the former because it is the more common cartographic definition, the
 latter because TD-TR / OPW-TR baselines use it.
 
 Scalar helpers operate on plain floats / :class:`~repro.geometry.point.Point`
-objects; vectorised helpers operate on NumPy arrays and are used by the batch
-algorithms (DP) and the metric computations, where the per-call overhead of
-Python-level loops would dominate.
+objects and are thin wrappers over the scalar point kernels in
+:mod:`repro.geometry.kernels` — one home for every distance formula, so the
+scalar/vectorized backend equivalence cannot drift.  The vectorised helpers
+operate on NumPy arrays and are used by the batch algorithms and the metric
+computations, where the per-call overhead of Python-level loops would
+dominate; unlike the kernel-layer dispatch functions they are *always*
+vectorized, independent of the backend flag.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .kernels import anchored_ped_point, ped_point_to_chord, ped_point_to_segment, sed_point
 from .point import Point
 
 __all__ = [
@@ -39,12 +44,7 @@ def point_to_line_distance(p: Point, a: Point, b: Point) -> float:
     If ``a`` and ``b`` coincide the distance degenerates to ``|p - a|``,
     matching the convention used by every algorithm in this package.
     """
-    abx = b.x - a.x
-    aby = b.y - a.y
-    norm = math.hypot(abx, aby)
-    if norm == 0.0:
-        return math.hypot(p.x - a.x, p.y - a.y)
-    return abs(abx * (p.y - a.y) - aby * (p.x - a.x)) / norm
+    return ped_point_to_chord(p.x, p.y, a.x, a.y, b.x, b.y)
 
 
 def point_to_anchored_line_distance(p: Point, anchor: Point, theta: float) -> float:
@@ -54,28 +54,12 @@ def point_to_anchored_line_distance(p: Point, anchor: Point, theta: float) -> fl
     segment is ``(Ps, |L|, L.theta)``: the distance only depends on the
     anchor and the direction, not on the segment length.
     """
-    dx = p.x - anchor.x
-    dy = p.y - anchor.y
-    return abs(math.cos(theta) * dy - math.sin(theta) * dx)
+    return anchored_ped_point(p.x, p.y, anchor.x, anchor.y, theta)
 
 
 def point_to_segment_distance(p: Point, a: Point, b: Point) -> float:
     """Distance from ``p`` to the closed segment ``[a, b]``."""
-    abx = b.x - a.x
-    aby = b.y - a.y
-    apx = p.x - a.x
-    apy = p.y - a.y
-    denom = abx * abx + aby * aby
-    if denom == 0.0:
-        return math.hypot(apx, apy)
-    u = (apx * abx + apy * aby) / denom
-    if u <= 0.0:
-        return math.hypot(apx, apy)
-    if u >= 1.0:
-        return math.hypot(p.x - b.x, p.y - b.y)
-    projx = a.x + u * abx
-    projy = a.y + u * aby
-    return math.hypot(p.x - projx, p.y - projy)
+    return ped_point_to_segment(p.x, p.y, a.x, a.y, b.x, b.y)
 
 
 def synchronized_euclidean_distance(p: Point, a: Point, b: Point) -> float:
@@ -86,13 +70,7 @@ def synchronized_euclidean_distance(p: Point, a: Point, b: Point) -> float:
     object would occupy at time ``p.t``.  When the segment's time span is zero
     the plain distance to ``a`` is returned.
     """
-    span = b.t - a.t
-    if span == 0.0:
-        return math.hypot(p.x - a.x, p.y - a.y)
-    ratio = (p.t - a.t) / span
-    sx = a.x + (b.x - a.x) * ratio
-    sy = a.y + (b.y - a.y) * ratio
-    return math.hypot(p.x - sx, p.y - sy)
+    return sed_point(p.x, p.y, p.t, a.x, a.y, a.t, b.x, b.y, b.t)
 
 
 def points_to_line_distance(

@@ -1,0 +1,502 @@
+"""Vectorized structure-of-arrays geometry kernels.
+
+This module is the single home of the hot geometry primitives used by the
+batch algorithms and the metrics:
+
+* **PED** — perpendicular Euclidean distance of many points to the infinite
+  line through a chord (:func:`ped_to_chord`) or to the closed segment
+  (:func:`ped_to_segment`);
+* **SED** — synchronised Euclidean distance of many points to a chord
+  travelled at constant speed (:func:`sed_to_chord`);
+* **anchored PED** — distance to the line through an anchor with a given
+  direction, the form used by OPERB's fitting function
+  (:func:`anchored_ped`);
+* **angular range intersection** — overlap tests between arcs on the unit
+  circle (:func:`angular_ranges_overlap`, :func:`angular_range_intersection`):
+  the batched form of direction gates such as OPERB-A's patching condition 3
+  (whose streaming path keeps its cheap two-line scalar check), for
+  fleet-level analyses over many segment pairs at once.
+
+Every array kernel has two implementations selected by a process-wide
+*backend* flag: a NumPy structure-of-arrays implementation operating on whole
+coordinate arrays at once, and a scalar per-point fallback that performs the
+exact same floating-point operations with :mod:`math` one point at a time.
+The scalar backend exists so results can be validated as (near) bit-identical
+to the streaming one-point code paths, which always use the scalar point
+kernels (:func:`ped_point_to_chord`, :func:`sed_point`,
+:func:`anchored_ped_point`) regardless of the backend.
+
+The flag is owned here (the geometry layer has no upward dependencies) and
+re-exported by :mod:`repro.core.config` as the user-facing switch::
+
+    from repro.core.config import kernel_backend
+
+    with kernel_backend("scalar"):
+        representation = douglas_peucker(trajectory, 40.0)
+
+Reductions (:func:`max_ped_to_chord`, :func:`all_within_chord`, ...) are
+fused into the kernels so the vectorized path performs a single NumPy pass
+without materialising intermediate Python objects.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "get_kernel_backend",
+    "set_kernel_backend",
+    "use_vectorized_kernels",
+    "kernel_backend",
+    "ped_point_to_chord",
+    "ped_point_to_segment",
+    "sed_point",
+    "anchored_ped_point",
+    "ped_to_chord",
+    "ped_to_segment",
+    "sed_to_chord",
+    "anchored_ped",
+    "max_ped_to_chord",
+    "max_sed_to_chord",
+    "all_within_chord",
+    "all_within_sed",
+    "direction_angles",
+    "angular_ranges_overlap",
+    "angular_range_intersection",
+]
+
+TWO_PI = 2.0 * math.pi
+
+KERNEL_BACKENDS = ("vectorized", "scalar")
+"""The recognised kernel backends, fastest first."""
+
+_backend = "vectorized"
+
+
+def get_kernel_backend() -> str:
+    """The active kernel backend (``"vectorized"`` or ``"scalar"``)."""
+    return _backend
+
+
+def set_kernel_backend(backend: str) -> str:
+    """Select the kernel backend process-wide; returns the previous backend."""
+    global _backend
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    previous = _backend
+    _backend = backend
+    return previous
+
+
+def use_vectorized_kernels() -> bool:
+    """Whether the vectorized NumPy kernel implementations are active."""
+    return _backend == "vectorized"
+
+
+@contextmanager
+def kernel_backend(backend: str) -> Iterator[str]:
+    """Context manager scoping a kernel-backend selection.
+
+    >>> with kernel_backend("scalar"):
+    ...     distances = ped_to_chord(xs, ys, 0.0, 0.0, 1.0, 0.0)
+    """
+    previous = set_kernel_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_kernel_backend(previous)
+
+
+# ---------------------------------------------------------------------- #
+# Scalar point kernels — the streaming one-point path
+# ---------------------------------------------------------------------- #
+def ped_point_to_chord(
+    x: float, y: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """PED of one point to the infinite line through ``(a, b)``.
+
+    Degenerates to the distance to ``a`` when the chord has zero length,
+    matching the convention used throughout the package.
+    """
+    abx = bx - ax
+    aby = by - ay
+    norm = math.hypot(abx, aby)
+    if norm == 0.0:
+        return math.hypot(x - ax, y - ay)
+    return abs(abx * (y - ay) - aby * (x - ax)) / norm
+
+
+def ped_point_to_segment(
+    x: float, y: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """PED of one point to the closed segment ``[a, b]``."""
+    abx = bx - ax
+    aby = by - ay
+    apx = x - ax
+    apy = y - ay
+    denom = abx * abx + aby * aby
+    if denom == 0.0:
+        return math.hypot(apx, apy)
+    u = (apx * abx + apy * aby) / denom
+    if u <= 0.0:
+        return math.hypot(apx, apy)
+    if u >= 1.0:
+        return math.hypot(x - bx, y - by)
+    return math.hypot(x - (ax + u * abx), y - (ay + u * aby))
+
+
+def sed_point(
+    x: float,
+    y: float,
+    t: float,
+    ax: float,
+    ay: float,
+    at: float,
+    bx: float,
+    by: float,
+    bt: float,
+) -> float:
+    """SED of one point w.r.t. the chord ``a -> b`` travelled at constant speed."""
+    span = bt - at
+    if span == 0.0:
+        return math.hypot(x - ax, y - ay)
+    ratio = (t - at) / span
+    return math.hypot(x - (ax + (bx - ax) * ratio), y - (ay + (by - ay) * ratio))
+
+
+def anchored_ped_point(x: float, y: float, ax: float, ay: float, theta: float) -> float:
+    """PED of one point to the line through ``(ax, ay)`` with direction ``theta``.
+
+    This is OPERB's fitting-function distance: the maintained segment is
+    ``(Ps, |L|, L.theta)`` and the distance depends only on the anchor and
+    the direction.
+    """
+    return abs(math.cos(theta) * (y - ay) - math.sin(theta) * (x - ax))
+
+
+# ---------------------------------------------------------------------- #
+# Array kernels — vectorized with scalar fallback
+# ---------------------------------------------------------------------- #
+def _as_float_array(values) -> np.ndarray:
+    return np.asarray(values, dtype=float)
+
+
+def ped_to_chord(xs, ys, ax: float, ay: float, bx: float, by: float) -> np.ndarray:
+    """PED of many points to the infinite line through ``(a, b)``."""
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if use_vectorized_kernels():
+        abx = bx - ax
+        aby = by - ay
+        norm = math.hypot(abx, aby)
+        if norm == 0.0:
+            return np.hypot(xs - ax, ys - ay)
+        return np.abs(abx * (ys - ay) - aby * (xs - ax)) / norm
+    return np.array(
+        [ped_point_to_chord(float(x), float(y), ax, ay, bx, by) for x, y in zip(xs, ys)],
+        dtype=float,
+    )
+
+
+def ped_to_segment(xs, ys, ax: float, ay: float, bx: float, by: float) -> np.ndarray:
+    """PED of many points to the closed segment ``[a, b]``."""
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if use_vectorized_kernels():
+        abx = bx - ax
+        aby = by - ay
+        denom = abx * abx + aby * aby
+        if denom == 0.0:
+            return np.hypot(xs - ax, ys - ay)
+        u = ((xs - ax) * abx + (ys - ay) * aby) / denom
+        u = np.clip(u, 0.0, 1.0)
+        return np.hypot(xs - (ax + u * abx), ys - (ay + u * aby))
+    return np.array(
+        [
+            ped_point_to_segment(float(x), float(y), ax, ay, bx, by)
+            for x, y in zip(xs, ys)
+        ],
+        dtype=float,
+    )
+
+
+def sed_to_chord(
+    xs,
+    ys,
+    ts,
+    ax: float,
+    ay: float,
+    at: float,
+    bx: float,
+    by: float,
+    bt: float,
+) -> np.ndarray:
+    """SED of many points w.r.t. the chord ``a -> b`` travelled at constant speed."""
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    ts = _as_float_array(ts)
+    if use_vectorized_kernels():
+        span = bt - at
+        if span == 0.0:
+            return np.hypot(xs - ax, ys - ay)
+        ratio = (ts - at) / span
+        return np.hypot(xs - (ax + (bx - ax) * ratio), ys - (ay + (by - ay) * ratio))
+    return np.array(
+        [
+            sed_point(float(x), float(y), float(t), ax, ay, at, bx, by, bt)
+            for x, y, t in zip(xs, ys, ts)
+        ],
+        dtype=float,
+    )
+
+
+def anchored_ped(xs, ys, ax: float, ay: float, theta: float) -> np.ndarray:
+    """PED of many points to the line through ``(ax, ay)`` with direction ``theta``."""
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if use_vectorized_kernels():
+        return np.abs(math.cos(theta) * (ys - ay) - math.sin(theta) * (xs - ax))
+    return np.array(
+        [anchored_ped_point(float(x), float(y), ax, ay, theta) for x, y in zip(xs, ys)],
+        dtype=float,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Fused reductions
+# ---------------------------------------------------------------------- #
+def max_ped_to_chord(
+    xs, ys, ax: float, ay: float, bx: float, by: float
+) -> tuple[float, int]:
+    """Maximum PED to the chord and the (first) arg-max offset.
+
+    Returns ``(0.0, -1)`` for empty inputs.  The arg-max ties resolve to the
+    first occurrence in both backends, mirroring ``np.argmax``.
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if xs.size == 0:
+        return 0.0, -1
+    if use_vectorized_kernels():
+        distances = ped_to_chord(xs, ys, ax, ay, bx, by)
+        offset = int(np.argmax(distances))
+        return float(distances[offset]), offset
+    best = -math.inf
+    best_offset = 0
+    for offset in range(xs.shape[0]):
+        d = ped_point_to_chord(float(xs[offset]), float(ys[offset]), ax, ay, bx, by)
+        if d > best:
+            best = d
+            best_offset = offset
+    return best, best_offset
+
+
+def max_sed_to_chord(
+    xs,
+    ys,
+    ts,
+    ax: float,
+    ay: float,
+    at: float,
+    bx: float,
+    by: float,
+    bt: float,
+) -> tuple[float, int]:
+    """Maximum SED to the chord and the (first) arg-max offset."""
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    ts = _as_float_array(ts)
+    if xs.size == 0:
+        return 0.0, -1
+    if use_vectorized_kernels():
+        distances = sed_to_chord(xs, ys, ts, ax, ay, at, bx, by, bt)
+        offset = int(np.argmax(distances))
+        return float(distances[offset]), offset
+    best = -math.inf
+    best_offset = 0
+    for offset in range(xs.shape[0]):
+        d = sed_point(
+            float(xs[offset]), float(ys[offset]), float(ts[offset]), ax, ay, at, bx, by, bt
+        )
+        if d > best:
+            best = d
+            best_offset = offset
+    return best, best_offset
+
+
+def all_within_chord(
+    xs, ys, ax: float, ay: float, bx: float, by: float, epsilon: float
+) -> bool:
+    """Whether every point's PED to the chord is at most ``epsilon``.
+
+    The scalar backend short-circuits on the first violation (the behaviour
+    of a per-point loop); the vectorized backend checks the whole array in
+    one pass.  Both return the same boolean.
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if xs.size == 0:
+        return True
+    if use_vectorized_kernels():
+        return bool(np.all(ped_to_chord(xs, ys, ax, ay, bx, by) <= epsilon))
+    for offset in range(xs.shape[0]):
+        if ped_point_to_chord(float(xs[offset]), float(ys[offset]), ax, ay, bx, by) > epsilon:
+            return False
+    return True
+
+
+def all_within_sed(
+    xs,
+    ys,
+    ts,
+    ax: float,
+    ay: float,
+    at: float,
+    bx: float,
+    by: float,
+    bt: float,
+    epsilon: float,
+) -> bool:
+    """Whether every point's SED to the chord is at most ``epsilon``."""
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    ts = _as_float_array(ts)
+    if xs.size == 0:
+        return True
+    if use_vectorized_kernels():
+        return bool(np.all(sed_to_chord(xs, ys, ts, ax, ay, at, bx, by, bt) <= epsilon))
+    for offset in range(xs.shape[0]):
+        d = sed_point(
+            float(xs[offset]), float(ys[offset]), float(ts[offset]), ax, ay, at, bx, by, bt
+        )
+        if d > epsilon:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# Angular kernels
+# ---------------------------------------------------------------------- #
+def direction_angles(dxs, dys) -> np.ndarray:
+    """Directions of many vectors with the x-axis, normalized to ``[0, 2*pi)``.
+
+    Zero vectors map to ``0.0`` by convention, matching
+    :func:`repro.geometry.angles.angle_of`.
+    """
+    dxs = _as_float_array(dxs)
+    dys = _as_float_array(dys)
+    if use_vectorized_kernels():
+        angles = np.arctan2(dys, dxs)
+        angles = np.where(angles < 0.0, angles + TWO_PI, angles)
+        # A tiny negative angle + 2*pi rounds to exactly 2*pi; fold it back
+        # so the result stays in [0, 2*pi), as normalize_angle does.
+        angles = np.where(angles >= TWO_PI, angles - TWO_PI, angles)
+        return np.where((dxs == 0.0) & (dys == 0.0), 0.0, angles)
+    out = np.empty(dxs.shape[0], dtype=float)
+    for offset in range(dxs.shape[0]):
+        dx = float(dxs[offset])
+        dy = float(dys[offset])
+        if dx == 0.0 and dy == 0.0:
+            out[offset] = 0.0
+            continue
+        angle = math.atan2(dy, dx)
+        if angle < 0.0:
+            angle += TWO_PI
+        if angle >= TWO_PI:
+            angle -= TWO_PI
+        out[offset] = angle
+    return out
+
+
+def _overlap_scalar(
+    start_a: float, extent_a: float, start_b: float, extent_b: float
+) -> bool:
+    gap_ab = math.fmod(start_b - start_a, TWO_PI)
+    if gap_ab < 0.0:
+        gap_ab += TWO_PI
+    if gap_ab <= extent_a:
+        return True
+    gap_ba = math.fmod(start_a - start_b, TWO_PI)
+    if gap_ba < 0.0:
+        gap_ba += TWO_PI
+    return gap_ba <= extent_b
+
+
+def angular_ranges_overlap(start_a, extent_a, start_b, extent_b):
+    """Whether the arcs ``[start, start + extent]`` intersect on the circle.
+
+    Arcs are described by a start direction (radians, any finite value) and a
+    non-negative counter-clockwise ``extent`` in ``[0, 2*pi]``.  Accepts
+    scalars or equal-length arrays (broadcast element-wise); returns a bool
+    for scalar inputs and a boolean array otherwise.
+
+    A zero-extent arc is a single direction, so
+    ``angular_ranges_overlap(theta - w, 2 * w, phi, 0.0)`` expresses the
+    turn-angle gate "``phi`` within ``w`` of ``theta``" (the batched form of
+    OPERB-A's patching condition 3).
+    """
+    scalar_input = np.isscalar(start_a) and np.isscalar(start_b)
+    start_a, extent_a, start_b, extent_b = np.broadcast_arrays(
+        _as_float_array(start_a),
+        _as_float_array(extent_a),
+        _as_float_array(start_b),
+        _as_float_array(extent_b),
+    )
+    if use_vectorized_kernels():
+        gap_ab = np.mod(start_b - start_a, TWO_PI)
+        gap_ba = np.mod(start_a - start_b, TWO_PI)
+        overlap = (gap_ab <= extent_a) | (gap_ba <= extent_b)
+    else:
+        flat = [
+            _overlap_scalar(
+                float(start_a.flat[i]),
+                float(extent_a.flat[i]),
+                float(start_b.flat[i]),
+                float(extent_b.flat[i]),
+            )
+            for i in range(start_a.size)
+        ]
+        overlap = np.array(flat, dtype=bool).reshape(start_a.shape)
+    if scalar_input:
+        return bool(overlap.reshape(-1)[0])
+    return overlap
+
+
+def angular_range_intersection(start_a, extent_a, start_b, extent_b):
+    """Extent of the intersection of two arcs, element-wise.
+
+    Returns the length (radians, ``>= 0``) of the overlap between the arcs
+    ``[start_a, start_a + extent_a]`` and ``[start_b, start_b + extent_b]``;
+    ``0.0`` where they only touch in a single direction and negative-free.
+    When arcs intersect in two disjoint pieces (possible on a circle), the
+    total overlapped length is returned.  Scalar inputs yield a float.
+    """
+    scalar_input = np.isscalar(start_a) and np.isscalar(start_b)
+    start_a, extent_a, start_b, extent_b = np.broadcast_arrays(
+        _as_float_array(start_a),
+        _as_float_array(extent_a),
+        _as_float_array(start_b),
+        _as_float_array(extent_b),
+    )
+    gap_ab = np.mod(start_b - start_a, TWO_PI)
+    gap_ba = np.mod(start_a - start_b, TWO_PI)
+    # Overlap of B's start inside A, plus overlap of A's start inside B.
+    piece_b_in_a = np.clip(np.minimum(extent_a - gap_ab, extent_b), 0.0, None)
+    piece_a_in_b = np.clip(np.minimum(extent_b - gap_ba, extent_a), 0.0, None)
+    # When the arcs start in the same direction the two pieces are the same
+    # interval; count it once.
+    same_start = gap_ab == 0.0
+    total = np.where(
+        same_start, np.minimum(extent_a, extent_b), piece_b_in_a + piece_a_in_b
+    )
+    total = np.minimum(total, np.minimum(extent_a, extent_b))
+    if scalar_input:
+        return float(total.reshape(-1)[0])
+    return total

@@ -8,7 +8,7 @@ points.  Lower is better.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..trajectory.piecewise import PiecewiseRepresentation
 

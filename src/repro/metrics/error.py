@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..geometry.distance import points_to_line_distance
+from ..geometry.kernels import ped_to_chord
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 
@@ -61,7 +61,7 @@ def per_point_errors(
     if nearest_segment:
         errors = np.full(n, np.inf)
         for segment in segments:
-            distances = points_to_line_distance(
+            distances = ped_to_chord(
                 xs, ys, segment.start.x, segment.start.y, segment.end.x, segment.end.y
             )
             np.minimum(errors, distances, out=errors)
@@ -76,7 +76,7 @@ def per_point_errors(
         high = min(n - 1, segment.covered_last_index)
         if high < low:
             continue
-        distances = points_to_line_distance(
+        distances = ped_to_chord(
             xs[low : high + 1],
             ys[low : high + 1],
             segment.start.x,
@@ -94,7 +94,7 @@ def per_point_errors(
         sub_xs = xs[uncovered]
         sub_ys = ys[uncovered]
         for segment in segments:
-            distances = points_to_line_distance(
+            distances = ped_to_chord(
                 sub_xs, sub_ys, segment.start.x, segment.start.y, segment.end.x, segment.end.y
             )
             np.minimum(fallback, distances, out=fallback)

@@ -1,0 +1,50 @@
+"""Performance harness: declared workload suites, measurement, regression gates.
+
+The subsystem has three parts:
+
+* :mod:`repro.perf.workloads` — named, seeded suite declarations
+  (``smoke`` / ``quick`` / ``full``);
+* :mod:`repro.perf.harness` — runs a suite through the unified
+  :class:`repro.api.Simplifier` API and serialises wall time, points/sec and
+  compression ratio per algorithm into ``BENCH_results.json`` with machine
+  and commit metadata;
+* :mod:`repro.perf.compare` — diffs two reports and flags throughput
+  regressions past a threshold, with cross-machine calibration.
+
+Entry points: ``repro-traj perf`` on the command line, or::
+
+    from repro.perf import run_suite, write_report
+    report = run_suite("quick")
+    write_report(report, "BENCH_results.json")
+"""
+
+from .compare import ComparisonResult, ComparisonRow, compare_reports
+from .harness import (
+    Measurement,
+    PerfReport,
+    calibration_points_per_second,
+    load_report,
+    machine_metadata,
+    run_suite,
+    write_report,
+)
+from .workloads import GATING_ALGORITHMS, SUITES, PerfCase, PerfSuite, build_fleet, get_suite
+
+__all__ = [
+    "ComparisonResult",
+    "ComparisonRow",
+    "GATING_ALGORITHMS",
+    "Measurement",
+    "PerfCase",
+    "PerfReport",
+    "PerfSuite",
+    "SUITES",
+    "build_fleet",
+    "calibration_points_per_second",
+    "compare_reports",
+    "get_suite",
+    "load_report",
+    "machine_metadata",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,146 @@
+"""Regression gating: diff two harness reports, fail past a threshold.
+
+:func:`compare_reports` matches measurements by their ``case:algorithm`` key
+and flags every cell whose throughput dropped by more than ``threshold``×
+relative to the baseline.  When both reports carry a calibration throughput
+(see :func:`repro.perf.harness.calibration_points_per_second`), baseline
+numbers are rescaled by the calibration ratio first, which removes most of
+the machine-speed difference between the host that produced the committed
+baseline and the host running the gate (e.g. a CI runner).
+
+The CLI (``repro-traj perf --compare``) turns a failed comparison into a
+non-zero exit code, which is what the CI pipeline gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+from .harness import PerfReport
+
+__all__ = ["ComparisonRow", "ComparisonResult", "compare_reports"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonRow:
+    """One matched ``case:algorithm`` cell of a report diff."""
+
+    key: str
+    baseline_pps: float
+    current_pps: float
+    slowdown: float
+    """Normalised baseline/current throughput ratio: > 1 means slower now."""
+    regressed: bool
+
+
+@dataclass(slots=True)
+class ComparisonResult:
+    """Outcome of diffing a current report against a baseline."""
+
+    threshold: float
+    calibration_factor: float
+    """Multiplier applied to baseline throughputs (1.0 = no calibration)."""
+    rows: list[ComparisonRow] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)
+    """Keys present in the baseline but absent from the current report."""
+    added: list[str] = field(default_factory=list)
+    """Keys present in the current report but absent from the baseline."""
+
+    @property
+    def regressions(self) -> list[ComparisonRow]:
+        """The rows that exceeded the threshold."""
+        return [row for row in self.rows if row.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when no compared cell regressed past the threshold."""
+        return not self.regressions
+
+    def to_text(self) -> str:
+        """Fixed-width diff table plus a one-line verdict."""
+        header = (
+            f"{'case:algorithm':<24} {'baseline pts/s':>15} {'current pts/s':>15} "
+            f"{'slowdown':>9}  verdict"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            verdict = "REGRESSED" if row.regressed else "ok"
+            lines.append(
+                f"{row.key:<24} {row.baseline_pps:>15,.0f} {row.current_pps:>15,.0f} "
+                f"{row.slowdown:>8.2f}x  {verdict}"
+            )
+        for key in self.missing:
+            lines.append(f"{key:<24} (missing from current report)")
+        for key in self.added:
+            lines.append(f"{key:<24} (new; no baseline)")
+        if self.calibration_factor != 1.0:
+            lines.append(
+                f"baseline rescaled by calibration factor {self.calibration_factor:.3f}"
+            )
+        count = len(self.regressions)
+        lines.append(
+            f"{'OK' if self.ok else 'FAIL'}: {count} regression(s) past "
+            f"{self.threshold:.2f}x over {len(self.rows)} compared cell(s)"
+        )
+        return "\n".join(lines)
+
+
+def _calibration(report: PerfReport) -> float | None:
+    value = report.meta.get("calibration_pps")
+    if isinstance(value, (int, float)) and value > 0.0:
+        return float(value)
+    return None
+
+
+def compare_reports(
+    baseline: PerfReport, current: PerfReport, *, threshold: float = 2.0
+) -> ComparisonResult:
+    """Diff ``current`` against ``baseline``.
+
+    A cell regresses when ``baseline_pps_normalised / current_pps``
+    exceeds ``threshold``.  Cells present in only one report never fail the
+    comparison; they are listed informationally (a baseline refresh is the
+    cure for renamed cases).
+    """
+    if threshold <= 1.0:
+        raise InvalidParameterError(
+            f"regression threshold must be > 1, got {threshold!r}"
+        )
+    baseline_cells = baseline.by_key()
+    current_cells = current.by_key()
+    if not set(baseline_cells) & set(current_cells):
+        raise InvalidParameterError(
+            "the two reports share no case:algorithm cells; "
+            f"baseline suite {baseline.suite!r}, current suite {current.suite!r}"
+        )
+
+    baseline_cal = _calibration(baseline)
+    current_cal = _calibration(current)
+    factor = (
+        current_cal / baseline_cal
+        if baseline_cal is not None and current_cal is not None
+        else 1.0
+    )
+
+    result = ComparisonResult(threshold=threshold, calibration_factor=factor)
+    for key in sorted(set(baseline_cells) | set(current_cells)):
+        if key not in current_cells:
+            result.missing.append(key)
+            continue
+        if key not in baseline_cells:
+            result.added.append(key)
+            continue
+        base_pps = baseline_cells[key].points_per_second * factor
+        curr_pps = current_cells[key].points_per_second
+        slowdown = base_pps / curr_pps if curr_pps > 0.0 else float("inf")
+        result.rows.append(
+            ComparisonRow(
+                key=key,
+                baseline_pps=base_pps,
+                current_pps=curr_pps,
+                slowdown=slowdown,
+                regressed=slowdown > threshold,
+            )
+        )
+    return result

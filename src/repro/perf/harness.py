@@ -1,0 +1,272 @@
+"""The performance harness: run a declared suite, emit ``BENCH_results.json``.
+
+The harness drives every measurement through the PR-1 unified API
+(:class:`repro.api.Simplifier`), so what is timed is exactly what users and
+the experiment layer execute.  Per ``(case, algorithm)`` pair it records the
+best wall time over ``suite.repeats`` runs, the derived throughput in
+points per second, and the compression ratio of the produced
+representations; the report carries machine and commit metadata so two JSON
+files can be compared meaningfully by :mod:`repro.perf.compare`.
+
+Cross-machine comparability: absolute throughput is machine-bound, so the
+report also stores a *calibration* throughput — a fixed scalar-Python
+geometry workload timed on the same host.  ``compare`` rescales baselines by
+the ratio of the two calibrations, which removes most of the machine
+difference and lets CI gate against a committed baseline with a modest
+threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._version import __version__
+from ..api.session import Simplifier
+from ..core.config import get_kernel_backend
+from ..geometry.kernels import ped_point_to_chord
+from ..metrics.compression import fleet_compression_ratio
+from ..trajectory.model import Trajectory
+from ..trajectory.piecewise import PiecewiseRepresentation
+from .workloads import PerfSuite, build_fleet, get_suite
+
+__all__ = [
+    "Measurement",
+    "PerfReport",
+    "calibration_points_per_second",
+    "machine_metadata",
+    "run_suite",
+    "load_report",
+    "write_report",
+]
+
+REPORT_FORMAT = 1
+"""Version stamp of the JSON layout, bumped on incompatible changes."""
+
+_CALIBRATION_POINTS = 20_000
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """One timed ``(case, algorithm)`` cell of a suite run."""
+
+    case: str
+    algorithm: str
+    epsilon: float
+    points: int
+    trajectories: int
+    repeats: int
+    wall_seconds: float
+    points_per_second: float
+    segments: int
+    compression_ratio: float
+
+    @property
+    def key(self) -> str:
+        """Stable identity used when diffing two reports."""
+        return f"{self.case}:{self.algorithm}"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for JSON serialisation."""
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class PerfReport:
+    """A full suite run: measurements plus machine/commit metadata."""
+
+    suite: str
+    results: list[Measurement] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def by_key(self) -> dict[str, Measurement]:
+        """Mapping ``"case:algorithm" -> measurement``."""
+        return {measurement.key: measurement for measurement in self.results}
+
+    def algorithms(self) -> list[str]:
+        """Sorted distinct algorithm names present in the results."""
+        return sorted({measurement.algorithm for measurement in self.results})
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view for JSON serialisation."""
+        return {
+            "format": REPORT_FORMAT,
+            "suite": self.suite,
+            "meta": self.meta,
+            "results": [measurement.as_dict() for measurement in self.results],
+        }
+
+    def to_json(self) -> str:
+        """Serialise the report (stable key order, human-diffable)."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PerfReport":
+        """Rebuild a report from :meth:`as_dict` output."""
+        results = [Measurement(**entry) for entry in payload.get("results", [])]
+        return cls(
+            suite=str(payload.get("suite", "")),
+            results=results,
+            meta=dict(payload.get("meta", {})),
+        )
+
+    def to_text(self) -> str:
+        """Fixed-width summary table of the measurements."""
+        header = (
+            f"{'case':<14} {'algorithm':<10} {'points':>8} {'wall s':>9} "
+            f"{'points/s':>12} {'ratio':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for measurement in self.results:
+            lines.append(
+                f"{measurement.case:<14} {measurement.algorithm:<10} "
+                f"{measurement.points:>8} {measurement.wall_seconds:>9.4f} "
+                f"{measurement.points_per_second:>12.0f} "
+                f"{measurement.compression_ratio:>7.4f}"
+            )
+        return "\n".join(lines)
+
+
+def calibration_points_per_second(n_points: int = _CALIBRATION_POINTS) -> float:
+    """Throughput of a fixed scalar-Python PED workload on this host.
+
+    The workload (a per-point loop over the scalar chord kernel) is
+    deliberately backend-independent and allocation-free, so its throughput
+    tracks the host's single-core Python speed — the quantity the real
+    measurements are bound by.  Used to normalise throughputs across
+    machines in ``compare``.
+    """
+    xs = np.linspace(0.0, 1000.0, n_points)
+    ys = np.sin(xs * 0.01) * 100.0
+    started = time.perf_counter()
+    acc = 0.0
+    for i in range(n_points):
+        acc += ped_point_to_chord(float(xs[i]), float(ys[i]), 0.0, 0.0, 1000.0, 10.0)
+    elapsed = time.perf_counter() - started
+    if not math.isfinite(acc):  # pragma: no cover - numerical guard only
+        raise ArithmeticError("calibration workload produced non-finite output")
+    return n_points / elapsed if elapsed > 0.0 else float("inf")
+
+
+def _git_commit() -> str | None:
+    """Best-effort commit hash of the working tree (None outside git)."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if output.returncode != 0:
+        return None
+    return output.stdout.strip() or None
+
+
+def machine_metadata(*, calibrate: bool = True) -> dict[str, object]:
+    """Machine, toolchain and commit metadata stamped into every report."""
+    meta: dict[str, object] = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro_version": __version__,
+        "cpu_count": os.cpu_count(),
+        "kernel_backend": get_kernel_backend(),
+        "commit": _git_commit(),
+        "created_unix": time.time(),
+    }
+    if calibrate:
+        meta["calibration_pps"] = calibration_points_per_second()
+    return meta
+
+
+def _time_fleet(
+    session: Simplifier, fleet: Sequence[Trajectory], repeats: int
+) -> tuple[float, list[PiecewiseRepresentation]]:
+    """Best wall time over ``repeats`` runs and the last run's outputs."""
+    best = math.inf
+    representations: list[PiecewiseRepresentation] = []
+    for _ in range(max(1, repeats)):
+        representations = []
+        started = time.perf_counter()
+        for trajectory in fleet:
+            representations.append(session.run(trajectory))
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return best, representations
+
+
+def run_suite(
+    suite: PerfSuite | str,
+    *,
+    repeats: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> PerfReport:
+    """Run a declared suite and return the populated report.
+
+    Parameters
+    ----------
+    suite:
+        A :class:`~repro.perf.workloads.PerfSuite` or the name of a declared
+        one (``smoke``, ``quick``, ``full``).
+    repeats:
+        Override the suite's timing repeats (best-of semantics).
+    progress:
+        Optional sink for one-line progress messages (e.g. ``print``).
+    """
+    if isinstance(suite, str):
+        suite = get_suite(suite)
+    effective_repeats = suite.repeats if repeats is None else max(1, repeats)
+    report = PerfReport(suite=suite.name, meta=machine_metadata())
+    for case in suite.cases:
+        fleet = build_fleet(case)
+        total_points = sum(len(trajectory) for trajectory in fleet)
+        for algorithm in suite.algorithms:
+            session = Simplifier(algorithm, case.epsilon)
+            wall, representations = _time_fleet(session, fleet, effective_repeats)
+            measurement = Measurement(
+                case=case.name,
+                algorithm=algorithm,
+                epsilon=case.epsilon,
+                points=total_points,
+                trajectories=len(fleet),
+                repeats=effective_repeats,
+                wall_seconds=wall,
+                points_per_second=total_points / wall if wall > 0.0 else float("inf"),
+                segments=sum(rep.n_segments for rep in representations),
+                compression_ratio=fleet_compression_ratio(representations),
+            )
+            report.results.append(measurement)
+            if progress is not None:
+                progress(
+                    f"{measurement.case}:{measurement.algorithm} "
+                    f"{measurement.points_per_second:,.0f} points/s "
+                    f"(wall {measurement.wall_seconds:.4f}s, "
+                    f"ratio {measurement.compression_ratio:.4f})"
+                )
+    return report
+
+
+def write_report(report: PerfReport, path: str | Path) -> Path:
+    """Serialise ``report`` to ``path`` (conventionally ``BENCH_results.json``)."""
+    path = Path(path)
+    path.write_text(report.to_json())
+    return path
+
+
+def load_report(path: str | Path) -> PerfReport:
+    """Load a report previously written by :func:`write_report`."""
+    payload = json.loads(Path(path).read_text())
+    return PerfReport.from_dict(payload)

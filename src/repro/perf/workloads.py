@@ -1,0 +1,123 @@
+"""Declared workload suites for the performance harness.
+
+A :class:`PerfSuite` is a named, fully-reproducible description of what the
+harness measures: which synthetic fleets to generate (seeded
+:class:`PerfCase` entries) and which registered algorithms to run over them.
+Suites are *declared* rather than ad hoc so two runs of the same suite —
+today, next month, on another machine — measure exactly the same work and
+their ``BENCH_results.json`` files can be diffed by
+:mod:`repro.perf.compare`.
+
+Three suites ship by default:
+
+``smoke``
+    A few hundred points; used by the unit tests and the CLI smoke test.
+``quick``
+    The CI gating suite (a few seconds): two fleets, the paper's headline
+    algorithms.
+``full``
+    All four dataset profiles at a larger scale for local investigations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datasets.generator import generate_dataset
+from ..datasets.profiles import get_profile
+from ..exceptions import InvalidParameterError
+from ..trajectory.model import Trajectory
+
+__all__ = [
+    "PerfCase",
+    "PerfSuite",
+    "SUITES",
+    "GATING_ALGORITHMS",
+    "get_suite",
+    "build_fleet",
+]
+
+GATING_ALGORITHMS = ("dp", "opw", "operb", "operb-a")
+"""Algorithms every gating suite must cover: the batch reference (DP), the
+window baseline (OPW) and the paper's two contributions."""
+
+
+@dataclass(frozen=True, slots=True)
+class PerfCase:
+    """One seeded synthetic fleet measured by a suite."""
+
+    name: str
+    profile: str
+    n_trajectories: int
+    points_per_trajectory: int
+    epsilon: float = 40.0
+    seed: int = 2017
+
+    @property
+    def total_points(self) -> int:
+        """Total number of points processed per algorithm for this case."""
+        return self.n_trajectories * self.points_per_trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class PerfSuite:
+    """A named set of cases and algorithms the harness runs together."""
+
+    name: str
+    cases: tuple[PerfCase, ...]
+    algorithms: tuple[str, ...]
+    repeats: int = 3
+    """Timing repeats per (case, algorithm); the best wall time is kept."""
+
+
+_SMOKE = PerfSuite(
+    name="smoke",
+    cases=(PerfCase("taxi-300", "taxi", n_trajectories=1, points_per_trajectory=300),),
+    algorithms=GATING_ALGORITHMS,
+    repeats=1,
+)
+
+_QUICK = PerfSuite(
+    name="quick",
+    cases=(
+        PerfCase("taxi-2x2k", "taxi", n_trajectories=2, points_per_trajectory=2_000),
+        PerfCase("sercar-2x2k", "sercar", n_trajectories=2, points_per_trajectory=2_000),
+    ),
+    algorithms=GATING_ALGORITHMS + ("fbqs",),
+    repeats=3,
+)
+
+_FULL = PerfSuite(
+    name="full",
+    cases=(
+        PerfCase("taxi-4x5k", "taxi", n_trajectories=4, points_per_trajectory=5_000),
+        PerfCase("truck-4x5k", "truck", n_trajectories=4, points_per_trajectory=5_000),
+        PerfCase("sercar-4x5k", "sercar", n_trajectories=4, points_per_trajectory=5_000),
+        PerfCase("geolife-4x5k", "geolife", n_trajectories=4, points_per_trajectory=5_000),
+    ),
+    algorithms=GATING_ALGORITHMS + ("fbqs", "bqs", "dp-sed", "opw-tr"),
+    repeats=3,
+)
+
+SUITES: dict[str, PerfSuite] = {suite.name: suite for suite in (_SMOKE, _QUICK, _FULL)}
+"""The declared suites, by name."""
+
+
+def get_suite(name: str) -> PerfSuite:
+    """Look up a declared suite by name."""
+    try:
+        return SUITES[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown perf suite {name!r}; available: {', '.join(sorted(SUITES))}"
+        ) from None
+
+
+def build_fleet(case: PerfCase) -> list[Trajectory]:
+    """Synthesise the (seeded, deterministic) fleet of one case."""
+    return generate_dataset(
+        get_profile(case.profile),
+        n_trajectories=case.n_trajectories,
+        points_per_trajectory=case.points_per_trajectory,
+        seed=case.seed,
+    )

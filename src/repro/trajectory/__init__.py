@@ -21,9 +21,11 @@ from .operations import (
     translate,
 )
 from .piecewise import PiecewiseRepresentation, SegmentRecord
+from .soa import TrajectoryArray
 
 __all__ = [
     "Trajectory",
+    "TrajectoryArray",
     "PiecewiseRepresentation",
     "SegmentRecord",
     "concatenate",

@@ -8,13 +8,16 @@ algorithms iterate over :class:`~repro.geometry.point.Point` views.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from ..exceptions import InvalidTrajectoryError
 from ..geometry.point import Point
 from ..geometry.projection import LocalProjection
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .soa import TrajectoryArray
 
 __all__ = ["Trajectory"]
 
@@ -38,7 +41,7 @@ class Trajectory:
         repaired via :func:`repro.trajectory.operations.sort_by_time`.
     """
 
-    __slots__ = ("_xs", "_ys", "_ts", "trajectory_id")
+    __slots__ = ("_xs", "_ys", "_ts", "_soa", "trajectory_id")
 
     def __init__(
         self,
@@ -77,6 +80,7 @@ class Trajectory:
         self._xs = xs
         self._ys = ys
         self._ts = ts
+        self._soa = None
         self.trajectory_id = trajectory_id
 
     # ------------------------------------------------------------------ #
@@ -149,6 +153,19 @@ class Trajectory:
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Copies of the ``(xs, ys, ts)`` arrays."""
         return self._xs.copy(), self._ys.copy(), self._ts.copy()
+
+    def soa(self) -> "TrajectoryArray":
+        """Cached structure-of-arrays view for the vectorized kernels.
+
+        The view pins the coordinates in contiguous ``float64`` arrays (a
+        no-op for trajectories built from such arrays) and is built at most
+        once per trajectory.
+        """
+        if self._soa is None:
+            from .soa import TrajectoryArray
+
+            self._soa = TrajectoryArray.from_trajectory(self)
+        return self._soa
 
     # ------------------------------------------------------------------ #
     # Sequence behaviour

@@ -8,7 +8,6 @@ raw feed can be normalised before (or while) being simplified.
 
 from __future__ import annotations
 
-import math
 from typing import Iterable
 
 import numpy as np

@@ -1,0 +1,209 @@
+"""Structure-of-arrays trajectory view for the vectorized kernels.
+
+A :class:`TrajectoryArray` pins a whole trajectory's coordinates in three
+contiguous ``float64`` arrays so the batch algorithms (Douglas–Peucker, the
+window family, BQS) and the metrics can hand coordinate ranges straight to
+the :mod:`repro.geometry.kernels` without per-point Python objects.  It is a
+*view*: building one from a :class:`~repro.trajectory.model.Trajectory` whose
+arrays are already contiguous copies nothing.
+
+The chord-deviation helpers mirror the recurring access pattern of the batch
+algorithms — "measure the points strictly inside ``(first, last)`` against
+the chord ``first -> last``" — with the distance metric (PED or SED) chosen
+per call, and dispatch through the kernel layer so the
+``vectorized``/``scalar`` backend flag applies uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import InvalidTrajectoryError
+from ..geometry import kernels
+from ..geometry.point import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .model import Trajectory
+
+__all__ = ["TrajectoryArray"]
+
+
+class TrajectoryArray:
+    """Contiguous ``(xs, ys, ts)`` arrays of one trajectory.
+
+    Parameters
+    ----------
+    xs, ys, ts:
+        Equal-length one-dimensional coordinate arrays.  They are converted
+        to C-contiguous ``float64`` arrays; already-contiguous ``float64``
+        input is referenced, not copied.
+    trajectory_id:
+        Free-form identifier carried over from the source trajectory.
+    """
+
+    __slots__ = ("xs", "ys", "ts", "trajectory_id")
+
+    def __init__(self, xs, ys, ts, *, trajectory_id: str = "") -> None:
+        xs = np.ascontiguousarray(xs, dtype=float)
+        ys = np.ascontiguousarray(ys, dtype=float)
+        ts = np.ascontiguousarray(ts, dtype=float)
+        if xs.ndim != 1 or ys.ndim != 1 or ts.ndim != 1:
+            raise InvalidTrajectoryError("coordinate arrays must be one-dimensional")
+        if not (xs.shape == ys.shape == ts.shape):
+            raise InvalidTrajectoryError(
+                f"coordinate arrays have mismatched lengths: "
+                f"{xs.shape[0]}, {ys.shape[0]}, {ts.shape[0]}"
+            )
+        self.xs = xs
+        self.ys = ys
+        self.ts = ts
+        self.trajectory_id = trajectory_id
+
+    @classmethod
+    def from_trajectory(cls, trajectory: "Trajectory") -> "TrajectoryArray":
+        """SoA view of ``trajectory`` (zero-copy when already contiguous)."""
+        return cls(
+            trajectory.xs,
+            trajectory.ys,
+            trajectory.ts,
+            trajectory_id=trajectory.trajectory_id,
+        )
+
+    def to_trajectory(self) -> "Trajectory":
+        """Materialise a :class:`Trajectory` sharing these arrays."""
+        from .model import Trajectory
+
+        return Trajectory(
+            self.xs,
+            self.ys,
+            self.ts,
+            trajectory_id=self.trajectory_id,
+            require_monotonic_time=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Sequence behaviour
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.xs.shape[0])
+
+    def point(self, index: int) -> Point:
+        """The :class:`Point` at ``index`` (negative indices supported)."""
+        if index < 0:
+            index += len(self)
+        if index < 0 or index >= len(self):
+            raise IndexError(f"point index {index} out of range for {len(self)} points")
+        return Point(float(self.xs[index]), float(self.ys[index]), float(self.ts[index]))
+
+    def __repr__(self) -> str:
+        ident = f" id={self.trajectory_id!r}" if self.trajectory_id else ""
+        return f"TrajectoryArray(n={len(self)}{ident})"
+
+    # ------------------------------------------------------------------ #
+    # Chord-range kernels
+    # ------------------------------------------------------------------ #
+    def _check_range(self, first: int, last: int) -> None:
+        n = len(self)
+        if not (0 <= first <= last < n):
+            raise IndexError(
+                f"chord range ({first}, {last}) out of bounds for {n} points"
+            )
+
+    def chord_deviations(self, first: int, last: int, *, use_sed: bool = False) -> np.ndarray:
+        """Deviations of the points strictly inside ``(first, last)`` to the chord.
+
+        The chord joins the points at ``first`` and ``last``; ``use_sed``
+        selects the synchronised Euclidean distance instead of the
+        perpendicular distance.
+        """
+        self._check_range(first, last)
+        lo = first + 1
+        xs = self.xs[lo:last]
+        ys = self.ys[lo:last]
+        ax = float(self.xs[first])
+        ay = float(self.ys[first])
+        bx = float(self.xs[last])
+        by = float(self.ys[last])
+        if use_sed:
+            return kernels.sed_to_chord(
+                xs,
+                ys,
+                self.ts[lo:last],
+                ax,
+                ay,
+                float(self.ts[first]),
+                bx,
+                by,
+                float(self.ts[last]),
+            )
+        return kernels.ped_to_chord(xs, ys, ax, ay, bx, by)
+
+    def max_chord_deviation(
+        self, first: int, last: int, *, use_sed: bool = False
+    ) -> tuple[float, int]:
+        """Maximum deviation inside ``(first, last)`` and its absolute index.
+
+        Returns ``(0.0, -1)`` when the range has no interior point.
+        """
+        self._check_range(first, last)
+        lo = first + 1
+        xs = self.xs[lo:last]
+        ys = self.ys[lo:last]
+        ax = float(self.xs[first])
+        ay = float(self.ys[first])
+        bx = float(self.xs[last])
+        by = float(self.ys[last])
+        if use_sed:
+            deviation, offset = kernels.max_sed_to_chord(
+                xs,
+                ys,
+                self.ts[lo:last],
+                ax,
+                ay,
+                float(self.ts[first]),
+                bx,
+                by,
+                float(self.ts[last]),
+            )
+        else:
+            deviation, offset = kernels.max_ped_to_chord(xs, ys, ax, ay, bx, by)
+        if offset < 0:
+            return 0.0, -1
+        return deviation, lo + offset
+
+    def window_within(
+        self, first: int, last: int, epsilon: float, *, use_sed: bool = False
+    ) -> bool:
+        """Whether every point strictly inside ``(first, last)`` fits the chord."""
+        self._check_range(first, last)
+        if last - first < 2:
+            return True
+        lo = first + 1
+        xs = self.xs[lo:last]
+        ys = self.ys[lo:last]
+        ax = float(self.xs[first])
+        ay = float(self.ys[first])
+        bx = float(self.xs[last])
+        by = float(self.ys[last])
+        if use_sed:
+            return kernels.all_within_sed(
+                xs,
+                ys,
+                self.ts[lo:last],
+                ax,
+                ay,
+                float(self.ts[first]),
+                bx,
+                by,
+                float(self.ts[last]),
+                epsilon,
+            )
+        return kernels.all_within_chord(xs, ys, ax, ay, bx, by, epsilon)
+
+    def segment_directions(self) -> np.ndarray:
+        """Directions of the consecutive-point vectors, in ``[0, 2*pi)``."""
+        if len(self) < 2:
+            return np.array([], dtype=float)
+        return kernels.direction_angles(np.diff(self.xs), np.diff(self.ys))

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Point, Trajectory
+from repro import Trajectory
 from repro.datasets import generate_trajectory
 
 

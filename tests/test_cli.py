@@ -123,6 +123,52 @@ class TestGenerateCommand:
         assert output.exists()
 
 
+class TestPerfCommand:
+    def test_smoke_suite_writes_report(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_results.json"
+        code = main(["perf", "--suite", "smoke", "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert {entry["algorithm"] for entry in payload["results"]} == {
+            "dp",
+            "opw",
+            "operb",
+            "operb-a",
+        }
+        assert all(entry["points_per_second"] > 0 for entry in payload["results"])
+        assert "points/s" in capsys.readouterr().out
+
+    def test_gating_against_itself_passes(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(["perf", "--suite", "smoke", "--output", str(report)]) == 0
+        code = main(
+            ["perf", "--compare", str(report), "--against", str(report)]
+        )
+        assert code == 0
+        assert "OK: 0 regression(s)" in capsys.readouterr().out
+
+    def test_gating_fails_on_regression(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main(["perf", "--suite", "smoke", "--output", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        for entry in payload["results"]:
+            entry["points_per_second"] *= 100.0  # baseline claims 100x faster
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(payload))
+        code = main(["perf", "--compare", str(baseline), "--against", str(report)])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_against_requires_compare(self, tmp_path, capsys):
+        code = main(["perf", "--against", str(tmp_path / "whatever.json")])
+        assert code == 2
+        assert "--against requires --compare" in capsys.readouterr().err
+
+    def test_unknown_suite_is_reported(self, capsys):
+        assert main(["perf", "--suite", "warp"]) == 1
+        assert "unknown perf suite" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_single_experiment_with_markdown(self, tmp_path, capsys):
         report = tmp_path / "table1.md"

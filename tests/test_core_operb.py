@@ -8,7 +8,6 @@ from repro import OperbConfig, Point, SimplificationError, Trajectory
 from repro.core.operb import OPERBSimplifier, operb, raw_operb
 from repro.metrics import check_error_bound, per_point_errors
 
-from conftest import build_trajectory
 
 
 class TestBasicBehaviour:

@@ -1,0 +1,370 @@
+"""Property and unit tests for the structure-of-arrays geometry kernels.
+
+The load-bearing property: every array kernel produces the same values under
+the ``vectorized`` and ``scalar`` backends to 1e-9, on random trajectories
+and on the degenerate inputs (zero-length chords, duplicate points, zero
+time spans) that the paper's algorithms must survive.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import (
+    KERNEL_BACKENDS,
+    get_kernel_backend,
+    kernel_backend,
+    set_kernel_backend,
+    use_vectorized_kernels,
+)
+from repro.geometry import kernels
+from repro.geometry.distance import (
+    point_to_anchored_line_distance,
+    point_to_line_distance,
+    point_to_segment_distance,
+    synchronized_euclidean_distance,
+)
+from repro.geometry.point import Point
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+finite_coords = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+timestamps = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+angles = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def coordinate_arrays(draw, *, min_size=0, max_size=40):
+    """Random ``(xs, ys, ts)`` arrays, occasionally with duplicated points."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    xs = draw(
+        st.lists(finite_coords, min_size=n, max_size=n).map(np.array)
+    )
+    ys = draw(st.lists(finite_coords, min_size=n, max_size=n).map(np.array))
+    ts = draw(st.lists(timestamps, min_size=n, max_size=n).map(np.array))
+    if n >= 2 and draw(st.booleans()):
+        xs[n // 2] = xs[0]
+        ys[n // 2] = ys[0]
+        ts[n // 2] = ts[0]
+    return xs.astype(float), ys.astype(float), ts.astype(float)
+
+
+def both_backends(function):
+    """Evaluate ``function`` under both backends and return the pair."""
+    with kernel_backend("vectorized"):
+        vectorized = function()
+    with kernel_backend("scalar"):
+        scalar = function()
+    return vectorized, scalar
+
+
+class TestBackendFlag:
+    def test_default_is_vectorized(self):
+        assert get_kernel_backend() == "vectorized"
+        assert use_vectorized_kernels()
+
+    def test_set_returns_previous_and_context_restores(self):
+        assert set_kernel_backend("scalar") == "vectorized"
+        try:
+            assert get_kernel_backend() == "scalar"
+            with kernel_backend("vectorized"):
+                assert use_vectorized_kernels()
+            assert get_kernel_backend() == "scalar"
+        finally:
+            set_kernel_backend("vectorized")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            set_kernel_backend("gpu")
+        assert get_kernel_backend() == "vectorized"
+
+    def test_context_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with kernel_backend("scalar"):
+                raise RuntimeError("boom")
+        assert get_kernel_backend() == "vectorized"
+
+    def test_backends_constant(self):
+        assert KERNEL_BACKENDS == ("vectorized", "scalar")
+
+
+class TestBackendEquivalence:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        arrays=coordinate_arrays(),
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+    )
+    def test_ped_to_chord(self, arrays, ax, ay, bx, by):
+        xs, ys, _ = arrays
+        vec, sca = both_backends(lambda: kernels.ped_to_chord(xs, ys, ax, ay, bx, by))
+        np.testing.assert_allclose(vec, sca, atol=1e-9, rtol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        arrays=coordinate_arrays(),
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+    )
+    def test_ped_to_segment(self, arrays, ax, ay, bx, by):
+        xs, ys, _ = arrays
+        vec, sca = both_backends(lambda: kernels.ped_to_segment(xs, ys, ax, ay, bx, by))
+        np.testing.assert_allclose(vec, sca, atol=1e-9, rtol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        arrays=coordinate_arrays(),
+        ax=finite_coords,
+        ay=finite_coords,
+        at=timestamps,
+        bx=finite_coords,
+        by=finite_coords,
+        bt=timestamps,
+    )
+    def test_sed_to_chord(self, arrays, ax, ay, at, bx, by, bt):
+        xs, ys, ts = arrays
+        vec, sca = both_backends(
+            lambda: kernels.sed_to_chord(xs, ys, ts, ax, ay, at, bx, by, bt)
+        )
+        np.testing.assert_allclose(vec, sca, atol=1e-9, rtol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(arrays=coordinate_arrays(), ax=finite_coords, ay=finite_coords, theta=angles)
+    def test_anchored_ped(self, arrays, ax, ay, theta):
+        xs, ys, _ = arrays
+        vec, sca = both_backends(lambda: kernels.anchored_ped(xs, ys, ax, ay, theta))
+        np.testing.assert_allclose(vec, sca, atol=1e-9, rtol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(arrays=coordinate_arrays(min_size=1))
+    def test_zero_length_chord_degenerates_to_anchor_distance(self, arrays):
+        xs, ys, ts = arrays
+        anchor_x, anchor_y, anchor_t = float(xs[0]), float(ys[0]), float(ts[0])
+        vec, sca = both_backends(
+            lambda: kernels.ped_to_chord(xs, ys, anchor_x, anchor_y, anchor_x, anchor_y)
+        )
+        np.testing.assert_allclose(vec, sca, atol=1e-9, rtol=1e-9)
+        expected = np.hypot(xs - anchor_x, ys - anchor_y)
+        np.testing.assert_allclose(vec, expected, atol=1e-9, rtol=1e-9)
+        # Zero time span degenerates the same way for SED.
+        vec_sed, sca_sed = both_backends(
+            lambda: kernels.sed_to_chord(
+                xs, ys, ts, anchor_x, anchor_y, anchor_t, anchor_x + 1.0, anchor_y, anchor_t
+            )
+        )
+        np.testing.assert_allclose(vec_sed, sca_sed, atol=1e-9, rtol=1e-9)
+        np.testing.assert_allclose(vec_sed, expected, atol=1e-9, rtol=1e-9)
+
+    @settings(**COMMON_SETTINGS)
+    @given(arrays=coordinate_arrays(), dx=finite_coords, dy=finite_coords)
+    def test_direction_angles(self, arrays, dx, dy):
+        xs, ys, _ = arrays
+        dxs = np.append(xs, dx)
+        dys = np.append(ys, dy)
+        vec, sca = both_backends(lambda: kernels.direction_angles(dxs, dys))
+        np.testing.assert_allclose(vec, sca, atol=1e-9, rtol=1e-9)
+        assert np.all((vec >= 0.0) & (vec < 2.0 * math.pi))
+
+
+class TestScalarPointKernelsMatchLegacyHelpers:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        px=finite_coords,
+        py=finite_coords,
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+    )
+    def test_ped_point_kernels(self, px, py, ax, ay, bx, by):
+        p, a, b = Point(px, py), Point(ax, ay), Point(bx, by)
+        assert kernels.ped_point_to_chord(px, py, ax, ay, bx, by) == point_to_line_distance(
+            p, a, b
+        )
+        assert kernels.ped_point_to_segment(
+            px, py, ax, ay, bx, by
+        ) == point_to_segment_distance(p, a, b)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        px=finite_coords,
+        py=finite_coords,
+        pt=timestamps,
+        ax=finite_coords,
+        ay=finite_coords,
+        at=timestamps,
+        bx=finite_coords,
+        by=finite_coords,
+        bt=timestamps,
+    )
+    def test_sed_point_kernel(self, px, py, pt, ax, ay, at, bx, by, bt):
+        expected = synchronized_euclidean_distance(
+            Point(px, py, pt), Point(ax, ay, at), Point(bx, by, bt)
+        )
+        assert kernels.sed_point(px, py, pt, ax, ay, at, bx, by, bt) == expected
+
+    @settings(**COMMON_SETTINGS)
+    @given(px=finite_coords, py=finite_coords, ax=finite_coords, ay=finite_coords, theta=angles)
+    def test_anchored_ped_point_kernel(self, px, py, ax, ay, theta):
+        expected = point_to_anchored_line_distance(Point(px, py), Point(ax, ay), theta)
+        assert kernels.anchored_ped_point(px, py, ax, ay, theta) == expected
+
+
+class TestFusedReductions:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        arrays=coordinate_arrays(min_size=1),
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+    )
+    def test_max_ped_matches_argmax_in_both_backends(self, arrays, ax, ay, bx, by):
+        xs, ys, _ = arrays
+        distances = kernels.ped_to_chord(xs, ys, ax, ay, bx, by)
+        expected_offset = int(np.argmax(distances))
+        expected_value = float(distances[expected_offset])
+        for backend in KERNEL_BACKENDS:
+            with kernel_backend(backend):
+                value, offset = kernels.max_ped_to_chord(xs, ys, ax, ay, bx, by)
+            assert offset == expected_offset
+            assert value == pytest.approx(expected_value, abs=1e-9)
+
+    def test_empty_inputs(self):
+        empty = np.array([])
+        assert kernels.max_ped_to_chord(empty, empty, 0.0, 0.0, 1.0, 1.0) == (0.0, -1)
+        assert kernels.max_sed_to_chord(
+            empty, empty, empty, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0
+        ) == (0.0, -1)
+        assert kernels.all_within_chord(empty, empty, 0.0, 0.0, 1.0, 1.0, 0.0)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        arrays=coordinate_arrays(min_size=1),
+        ax=finite_coords,
+        ay=finite_coords,
+        bx=finite_coords,
+        by=finite_coords,
+        epsilon=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_all_within_matches_distances(self, arrays, ax, ay, bx, by, epsilon):
+        xs, ys, ts = arrays
+        distances = kernels.ped_to_chord(xs, ys, ax, ay, bx, by)
+        # Stay away from the epsilon boundary where a 1-ulp backend
+        # difference could legitimately flip the boolean.
+        assume(np.all(np.abs(distances - epsilon) > 1e-6))
+        expected = bool(np.all(distances <= epsilon))
+        for backend in KERNEL_BACKENDS:
+            with kernel_backend(backend):
+                assert kernels.all_within_chord(xs, ys, ax, ay, bx, by, epsilon) is expected
+
+
+class TestAngularRanges:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        start_a=angles,
+        extent_a=st.floats(min_value=0.0, max_value=2.0 * math.pi),
+        start_b=angles,
+        extent_b=st.floats(min_value=0.0, max_value=2.0 * math.pi),
+    )
+    def test_overlap_backends_agree_and_are_symmetric(
+        self, start_a, extent_a, start_b, extent_b
+    ):
+        gap_ab = (start_b - start_a) % (2.0 * math.pi)
+        gap_ba = (start_a - start_b) % (2.0 * math.pi)
+        assume(abs(gap_ab - extent_a) > 1e-9 and abs(gap_ba - extent_b) > 1e-9)
+        vec, sca = both_backends(
+            lambda: kernels.angular_ranges_overlap(start_a, extent_a, start_b, extent_b)
+        )
+        assert vec is sca or vec == sca
+        swapped = kernels.angular_ranges_overlap(start_b, extent_b, start_a, extent_a)
+        assert swapped == vec
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        start_a=angles,
+        extent_a=st.floats(min_value=0.0, max_value=2.0 * math.pi),
+        start_b=angles,
+        extent_b=st.floats(min_value=0.0, max_value=2.0 * math.pi),
+    )
+    def test_intersection_bounded_by_extents(self, start_a, extent_a, start_b, extent_b):
+        overlap = kernels.angular_range_intersection(start_a, extent_a, start_b, extent_b)
+        assert 0.0 <= overlap <= min(extent_a, extent_b) + 1e-12
+
+    def test_overlap_examples(self):
+        quarter = math.pi / 2.0
+        # Disjoint quarter arcs.
+        assert not kernels.angular_ranges_overlap(0.0, quarter, math.pi, quarter)
+        # Adjacent arcs share a single boundary direction.
+        assert kernels.angular_ranges_overlap(0.0, quarter, quarter, quarter)
+        # Wrap-around: an arc through 0 overlaps one that starts just above 0.
+        assert kernels.angular_ranges_overlap(-0.2, 0.4, 0.1, 0.1)
+        # Zero-extent arc inside a wide arc (the patching turn gate shape).
+        assert kernels.angular_ranges_overlap(1.0, 1.0, 1.5, 0.0)
+        assert not kernels.angular_ranges_overlap(1.0, 1.0, 2.5, 0.0)
+
+    def test_scalar_start_broadcasts_against_arrays(self):
+        # One gate tested against many directions: scalar arc, array arcs.
+        result = kernels.angular_ranges_overlap(0.5, 1.0, np.array([0.6, 3.0]), 0.0)
+        np.testing.assert_array_equal(result, [True, False])
+        overlap = kernels.angular_range_intersection(
+            0.0, math.pi, np.array([0.5, 4.0]), np.array([0.2, 0.2])
+        )
+        np.testing.assert_allclose(overlap, [0.2, 0.0], atol=1e-12)
+
+    def test_intersection_examples(self):
+        quarter = math.pi / 2.0
+        assert kernels.angular_range_intersection(0.0, quarter, math.pi, quarter) == 0.0
+        assert kernels.angular_range_intersection(
+            0.0, math.pi, quarter, quarter
+        ) == pytest.approx(quarter)
+        # Identical arcs intersect in their full extent.
+        assert kernels.angular_range_intersection(
+            0.3, quarter, 0.3, quarter
+        ) == pytest.approx(quarter)
+        # Vectorized form.
+        overlap = kernels.angular_range_intersection(
+            np.array([0.0, 0.0]), np.array([quarter, quarter]),
+            np.array([math.pi, 0.1]), np.array([quarter, quarter]),
+        )
+        np.testing.assert_allclose(overlap, [0.0, quarter - 0.1], atol=1e-12)
+
+
+class TestAlgorithmsAgreeAcrossBackends:
+    """End-to-end: DP and OPW retain identical indices under both backends."""
+
+    @settings(deadline=None, max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=2, max_value=120),
+        use_sed=st.booleans(),
+    )
+    def test_dp_and_opw_identical(self, seed, n, use_sed):
+        from repro.algorithms.douglas_peucker import dp_retained_indices
+        from repro.algorithms.opw import opw
+        from repro.datasets import generate_trajectory
+
+        epsilon = 25.0
+        with kernel_backend("vectorized"):
+            trajectory = generate_trajectory("taxi", n, seed=seed)
+            dp_vec = dp_retained_indices(trajectory, epsilon, use_sed=use_sed)
+            opw_vec = [s.last_index for s in opw(trajectory, epsilon, use_sed=use_sed).segments]
+        with kernel_backend("scalar"):
+            trajectory = generate_trajectory("taxi", n, seed=seed)
+            dp_sca = dp_retained_indices(trajectory, epsilon, use_sed=use_sed)
+            opw_sca = [s.last_index for s in opw(trajectory, epsilon, use_sed=use_sed).segments]
+        assert dp_vec == dp_sca
+        assert opw_vec == opw_sca

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import Point, Trajectory
 from repro.core.config import OperbAConfig
 from repro.core.operb_a import OPERBASimplifier
 from repro.metrics import (
@@ -29,7 +28,7 @@ from repro.metrics import (
     summarize_errors,
 )
 from repro.metrics.patching import PatchingSummary, aggregate_patching
-from repro.trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from repro.trajectory.piecewise import PiecewiseRepresentation
 
 from conftest import build_trajectory
 

@@ -1,0 +1,187 @@
+"""Tests for the performance harness subsystem (:mod:`repro.perf`)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.perf import (
+    GATING_ALGORITHMS,
+    PerfCase,
+    PerfReport,
+    PerfSuite,
+    SUITES,
+    build_fleet,
+    compare_reports,
+    get_suite,
+    load_report,
+    machine_metadata,
+    run_suite,
+    write_report,
+)
+
+TINY_SUITE = PerfSuite(
+    name="tiny",
+    cases=(PerfCase("taxi-tiny", "taxi", n_trajectories=1, points_per_trajectory=200),),
+    algorithms=("dp", "operb"),
+    repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report() -> PerfReport:
+    return run_suite(TINY_SUITE)
+
+
+class TestSuites:
+    def test_declared_suites_exist(self):
+        assert {"smoke", "quick", "full"} <= set(SUITES)
+
+    def test_gating_algorithms_covered_by_gating_suites(self):
+        for name in ("smoke", "quick"):
+            assert set(GATING_ALGORITHMS) <= set(SUITES[name].algorithms)
+
+    def test_get_suite_is_case_insensitive(self):
+        assert get_suite("QUICK") is SUITES["quick"]
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown perf suite"):
+            get_suite("warp-speed")
+
+    def test_build_fleet_is_deterministic(self):
+        case = TINY_SUITE.cases[0]
+        first = build_fleet(case)
+        second = build_fleet(case)
+        assert len(first) == case.n_trajectories
+        assert first == second
+
+
+class TestRunSuite:
+    def test_measurements_cover_every_cell(self, tiny_report):
+        keys = {measurement.key for measurement in tiny_report.results}
+        assert keys == {"taxi-tiny:dp", "taxi-tiny:operb"}
+        assert tiny_report.suite == "tiny"
+        assert tiny_report.algorithms() == ["dp", "operb"]
+
+    def test_measurement_values_sane(self, tiny_report):
+        for measurement in tiny_report.results:
+            assert measurement.points > 0
+            assert measurement.wall_seconds > 0.0
+            assert measurement.points_per_second > 0.0
+            assert 0.0 < measurement.compression_ratio <= 1.0
+            assert measurement.segments > 0
+            assert measurement.repeats == 1
+
+    def test_metadata_stamped(self, tiny_report):
+        meta = tiny_report.meta
+        for key in ("platform", "python", "numpy", "cpu_count", "kernel_backend"):
+            assert key in meta
+        assert meta["calibration_pps"] > 0
+        assert meta["kernel_backend"] == "vectorized"
+
+    def test_suite_lookup_by_name(self):
+        report = run_suite("smoke", repeats=1)
+        assert {m.algorithm for m in report.results} == set(GATING_ALGORITHMS)
+
+    def test_progress_callback_invoked(self):
+        lines: list[str] = []
+        run_suite(TINY_SUITE, progress=lines.append)
+        assert len(lines) == 2
+        assert "points/s" in lines[0]
+
+    def test_to_text_table(self, tiny_report):
+        text = tiny_report.to_text()
+        assert "points/s" in text
+        assert "taxi-tiny" in text
+
+
+class TestSerialization:
+    def test_roundtrip(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "BENCH_results.json")
+        loaded = load_report(path)
+        assert loaded.suite == tiny_report.suite
+        assert loaded.results == tiny_report.results
+        assert loaded.meta == tiny_report.meta
+
+    def test_json_shape(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "report.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert payload["suite"] == "tiny"
+        assert {entry["algorithm"] for entry in payload["results"]} == {"dp", "operb"}
+        assert "points_per_second" in payload["results"][0]
+
+
+def _scaled(report: PerfReport, factor: float) -> PerfReport:
+    """Copy of ``report`` with every throughput multiplied by ``factor``."""
+    results = [
+        dataclasses.replace(
+            measurement, points_per_second=measurement.points_per_second * factor
+        )
+        for measurement in report.results
+    ]
+    return PerfReport(suite=report.suite, results=results, meta=dict(report.meta))
+
+
+class TestCompare:
+    def test_self_comparison_is_clean(self, tiny_report):
+        comparison = compare_reports(tiny_report, tiny_report)
+        assert comparison.ok
+        assert len(comparison.rows) == len(tiny_report.results)
+        assert comparison.calibration_factor == 1.0
+        assert "OK" in comparison.to_text()
+
+    def test_regression_detected(self, tiny_report):
+        slowed = _scaled(tiny_report, 0.2)  # 5x slower than baseline
+        comparison = compare_reports(tiny_report, slowed, threshold=2.0)
+        assert not comparison.ok
+        assert len(comparison.regressions) == len(tiny_report.results)
+        assert all(row.slowdown == pytest.approx(5.0) for row in comparison.rows)
+        assert "FAIL" in comparison.to_text()
+
+    def test_speedups_never_fail(self, tiny_report):
+        faster = _scaled(tiny_report, 10.0)
+        assert compare_reports(tiny_report, faster, threshold=2.0).ok
+
+    def test_calibration_normalises_machine_speed(self, tiny_report):
+        # Baseline from a machine measured 4x faster overall: without
+        # calibration this would read as a 4x regression; with it, clean.
+        baseline = _scaled(tiny_report, 4.0)
+        baseline.meta["calibration_pps"] = tiny_report.meta["calibration_pps"] * 4.0
+        comparison = compare_reports(baseline, tiny_report, threshold=2.0)
+        assert comparison.calibration_factor == pytest.approx(0.25)
+        assert comparison.ok
+
+    def test_missing_and_added_cells_reported_not_failed(self, tiny_report):
+        partial = PerfReport(
+            suite=tiny_report.suite,
+            results=[tiny_report.results[0]],
+            meta=dict(tiny_report.meta),
+        )
+        comparison = compare_reports(tiny_report, partial)
+        assert comparison.ok
+        assert comparison.missing == [tiny_report.results[1].key]
+        comparison = compare_reports(partial, tiny_report)
+        assert comparison.added == [tiny_report.results[1].key]
+
+    def test_disjoint_reports_rejected(self, tiny_report):
+        other = PerfReport(
+            suite="other",
+            results=[dataclasses.replace(tiny_report.results[0], case="mars")],
+        )
+        with pytest.raises(InvalidParameterError, match="share no"):
+            compare_reports(tiny_report, other)
+
+    def test_threshold_must_exceed_one(self, tiny_report):
+        with pytest.raises(InvalidParameterError, match="threshold"):
+            compare_reports(tiny_report, tiny_report, threshold=1.0)
+
+
+class TestMetadata:
+    def test_calibration_can_be_skipped(self):
+        meta = machine_metadata(calibrate=False)
+        assert "calibration_pps" not in meta
+        assert meta["repro_version"]

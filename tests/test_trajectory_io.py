@@ -7,7 +7,7 @@ import io
 import numpy as np
 import pytest
 
-from repro import Trajectory, simplify
+from repro import simplify
 from repro.exceptions import DatasetError
 from repro.trajectory.io import (
     parse_plt,

@@ -1,0 +1,121 @@
+"""Tests for the :class:`~repro.trajectory.soa.TrajectoryArray` SoA view."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidTrajectoryError
+from repro.geometry.distance import points_sed_distance, points_to_line_distance
+from repro.trajectory import Trajectory, TrajectoryArray
+
+
+@pytest.fixture
+def trajectory() -> Trajectory:
+    rng = np.random.default_rng(7)
+    xs = np.cumsum(rng.normal(scale=20.0, size=50))
+    ys = np.cumsum(rng.normal(scale=20.0, size=50))
+    return Trajectory(xs, ys, np.arange(50, dtype=float), trajectory_id="walk")
+
+
+class TestConstruction:
+    def test_from_trajectory_is_zero_copy_for_contiguous_arrays(self, trajectory):
+        soa = TrajectoryArray.from_trajectory(trajectory)
+        assert soa.xs is trajectory.xs
+        assert soa.ys is trajectory.ys
+        assert soa.ts is trajectory.ts
+        assert soa.trajectory_id == "walk"
+        assert len(soa) == len(trajectory)
+
+    def test_arrays_are_contiguous_float64(self):
+        soa = TrajectoryArray([1, 2, 3], [4, 5, 6], [0, 1, 2])
+        for array in (soa.xs, soa.ys, soa.ts):
+            assert array.dtype == np.float64
+            assert array.flags["C_CONTIGUOUS"]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidTrajectoryError, match="mismatched lengths"):
+            TrajectoryArray([1.0, 2.0], [1.0], [0.0, 1.0])
+
+    def test_multidimensional_rejected(self):
+        square = np.zeros((2, 2))
+        with pytest.raises(InvalidTrajectoryError, match="one-dimensional"):
+            TrajectoryArray(square, square, square)
+
+    def test_trajectory_soa_accessor_is_cached(self, trajectory):
+        assert trajectory.soa() is trajectory.soa()
+
+    def test_roundtrip_through_trajectory(self, trajectory):
+        back = trajectory.soa().to_trajectory()
+        assert back == trajectory
+
+    def test_point_access_and_bounds(self, trajectory):
+        soa = trajectory.soa()
+        point = soa.point(3)
+        assert (point.x, point.y, point.t) == (
+            trajectory[3].x,
+            trajectory[3].y,
+            trajectory[3].t,
+        )
+        assert soa.point(-1).t == trajectory[-1].t
+        with pytest.raises(IndexError):
+            soa.point(len(soa))
+
+    def test_repr_mentions_size_and_id(self, trajectory):
+        assert repr(trajectory.soa()) == "TrajectoryArray(n=50 id='walk')"
+
+
+class TestChordKernels:
+    def test_chord_deviations_match_reference_ped(self, trajectory):
+        soa = trajectory.soa()
+        a, b = trajectory[5], trajectory[20]
+        expected = points_to_line_distance(
+            trajectory.xs[6:20], trajectory.ys[6:20], a.x, a.y, b.x, b.y
+        )
+        np.testing.assert_allclose(
+            soa.chord_deviations(5, 20), expected, atol=1e-9, rtol=1e-9
+        )
+
+    def test_chord_deviations_match_reference_sed(self, trajectory):
+        soa = trajectory.soa()
+        a, b = trajectory[5], trajectory[20]
+        expected = points_sed_distance(
+            trajectory.xs[6:20], trajectory.ys[6:20], trajectory.ts[6:20], a, b
+        )
+        np.testing.assert_allclose(
+            soa.chord_deviations(5, 20, use_sed=True), expected, atol=1e-9, rtol=1e-9
+        )
+
+    def test_max_chord_deviation_returns_absolute_index(self, trajectory):
+        soa = trajectory.soa()
+        deviations = soa.chord_deviations(0, len(soa) - 1)
+        value, index = soa.max_chord_deviation(0, len(soa) - 1)
+        assert index == 1 + int(np.argmax(deviations))
+        assert value == pytest.approx(float(deviations.max()))
+
+    def test_max_chord_deviation_empty_interior(self, trajectory):
+        assert trajectory.soa().max_chord_deviation(3, 4) == (0.0, -1)
+        assert trajectory.soa().max_chord_deviation(3, 3) == (0.0, -1)
+
+    def test_window_within_matches_deviations(self, trajectory):
+        soa = trajectory.soa()
+        deviations = soa.chord_deviations(2, 30)
+        epsilon = float(np.median(deviations))
+        assert soa.window_within(2, 30, epsilon) == bool(np.all(deviations <= epsilon))
+        assert soa.window_within(2, 30, float(deviations.max()))
+        assert soa.window_within(10, 11, 0.0)  # no interior points
+
+    def test_out_of_bounds_range_rejected(self, trajectory):
+        soa = trajectory.soa()
+        with pytest.raises(IndexError):
+            soa.chord_deviations(0, len(soa))
+        with pytest.raises(IndexError):
+            soa.max_chord_deviation(-1, 5)
+        with pytest.raises(IndexError):
+            soa.window_within(10, 5, 1.0)
+
+    def test_segment_directions_range(self, trajectory):
+        directions = trajectory.soa().segment_directions()
+        assert directions.shape == (len(trajectory) - 1,)
+        assert np.all((directions >= 0.0) & (directions < 2.0 * np.pi))
+        assert TrajectoryArray([0.0], [0.0], [0.0]).segment_directions().size == 0
