@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms import get_algorithm
+from repro.api import get_descriptor
 from repro.datasets import generate_trajectory
 from repro.experiments import fig12_efficiency_size
 
@@ -29,7 +29,7 @@ def sized_taxi(request):
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_fig12_running_time(benchmark, sized_taxi, algorithm):
     trajectory, size = sized_taxi
-    function = get_algorithm(algorithm)
+    function = get_descriptor(algorithm).batch
     benchmark.group = f"fig12 Taxi n={size}"
     benchmark.extra_info["size"] = size
     representation = benchmark(function, trajectory, EPSILON)

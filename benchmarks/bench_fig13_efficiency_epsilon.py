@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms import get_algorithm
+from repro.api import get_descriptor
 from repro.experiments import fig13_efficiency_epsilon
 
 from _bench_utils import write_result
@@ -16,7 +16,7 @@ ALGORITHMS = ("dp", "fbqs", "operb", "operb-a")
 @pytest.mark.parametrize("epsilon", EPSILONS)
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
 def test_fig13_running_time(benchmark, taxi_trajectory, algorithm, epsilon):
-    function = get_algorithm(algorithm)
+    function = get_descriptor(algorithm).batch
     benchmark.group = f"fig13 Taxi zeta={epsilon:g}"
     representation = benchmark(function, taxi_trajectory, epsilon)
     assert representation.n_segments >= 1

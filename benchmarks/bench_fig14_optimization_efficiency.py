@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.algorithms import get_algorithm
+from repro.api import get_descriptor
 from repro.experiments import fig14_optimization_efficiency
 
 from _bench_utils import write_result
@@ -14,7 +14,7 @@ PAIR_ALGORITHMS = ("raw-operb", "operb", "raw-operb-a", "operb-a")
 
 @pytest.mark.parametrize("algorithm", PAIR_ALGORITHMS)
 def test_fig14_raw_vs_optimised_running_time(benchmark, taxi_trajectory, algorithm):
-    function = get_algorithm(algorithm)
+    function = get_descriptor(algorithm).batch
     benchmark.group = "fig14 Taxi zeta=40"
     representation = benchmark(function, taxi_trajectory, 40.0)
     assert representation.n_segments >= 1

@@ -85,6 +85,7 @@ from .datasets import (
     load_geolife,
 )
 from .exceptions import (
+    CheckpointError,
     DatasetError,
     ExperimentError,
     FleetExecutionError,
@@ -106,12 +107,20 @@ from .metrics import (
     max_error,
     segment_size_distribution,
 )
-from .streaming import StreamingPipeline, make_streaming_simplifier, run_pipeline
+from .streaming import (
+    StreamHub,
+    StreamingPipeline,
+    make_streaming_simplifier,
+    restore_hub,
+    run_pipeline,
+    save_checkpoint,
+)
 from .trajectory import PiecewiseRepresentation, SegmentRecord, Trajectory
 
 __all__ = [
     "ALGORITHMS",
     "AlgorithmDescriptor",
+    "CheckpointError",
     "DatasetError",
     "DatasetProfile",
     "DirectedSegment",
@@ -136,6 +145,7 @@ __all__ = [
     "SegmentRecord",
     "SimplificationError",
     "Simplifier",
+    "StreamHub",
     "StreamSession",
     "StreamingPipeline",
     "TAXI",
@@ -171,7 +181,9 @@ __all__ = [
     "raw_operb",
     "raw_operb_a",
     "register_algorithm",
+    "restore_hub",
     "run_pipeline",
+    "save_checkpoint",
     "segment_size_distribution",
     "simplify",
     "uniform_sampling",

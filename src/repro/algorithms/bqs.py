@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from ..geometry import kernels
 from ..geometry.clipping import bounding_box_polygon, clip_box_with_wedge
-from ..geometry.point import Point
+from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .base import trivial_representation, validate_epsilon
@@ -104,6 +104,52 @@ class QuadrantBound:
         ]
         return [p for p in witnesses if p is not None]
 
+    def to_dict(self) -> dict | None:
+        """JSON-serialisable state (``None`` for an untouched quadrant).
+
+        An empty quadrant's bounds are the +/-inf sentinels, which strict
+        JSON cannot carry — it is collapsed to ``None`` instead; every bound
+        of a non-empty quadrant is finite.
+        """
+        if self.count == 0:
+            return None
+        return {
+            "min_x": self.min_x,
+            "max_x": self.max_x,
+            "min_y": self.min_y,
+            "max_y": self.max_y,
+            "low_angle": self.low_angle,
+            "high_angle": self.high_angle,
+            "low_point": encode_point(self.low_point),
+            "high_point": encode_point(self.high_point),
+            "point_min_x": encode_point(self.point_min_x),
+            "point_max_x": encode_point(self.point_max_x),
+            "point_min_y": encode_point(self.point_min_y),
+            "point_max_y": encode_point(self.point_max_y),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict | None, anchor: Point) -> "QuadrantBound":
+        """Rebuild a quadrant from :meth:`to_dict` output."""
+        quadrant = cls(anchor)
+        if payload is None:
+            return quadrant
+        quadrant.min_x = float(payload["min_x"])
+        quadrant.max_x = float(payload["max_x"])
+        quadrant.min_y = float(payload["min_y"])
+        quadrant.max_y = float(payload["max_y"])
+        quadrant.low_angle = float(payload["low_angle"])
+        quadrant.high_angle = float(payload["high_angle"])
+        quadrant.low_point = decode_point(payload["low_point"])
+        quadrant.high_point = decode_point(payload["high_point"])
+        quadrant.point_min_x = decode_point(payload["point_min_x"])
+        quadrant.point_max_x = decode_point(payload["point_max_x"])
+        quadrant.point_min_y = decode_point(payload["point_min_y"])
+        quadrant.point_max_y = decode_point(payload["point_max_y"])
+        quadrant.count = int(payload["count"])
+        return quadrant
+
 
 class BoundedQuadrantWindow:
     """The per-window bounding state shared by BQS and FBQS."""
@@ -128,6 +174,24 @@ class BoundedQuadrantWindow:
         """Buffer ``point`` (it becomes part of the window's bounded set)."""
         self.buffered += 1
         self._quadrant_of(point).add(point)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable state of the whole window."""
+        return {
+            "anchor": encode_point(self.anchor),
+            "quadrants": [quadrant.to_dict() for quadrant in self.quadrants],
+            "buffered": self.buffered,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BoundedQuadrantWindow":
+        """Rebuild a window from :meth:`to_dict` output."""
+        window = cls(Point(*payload["anchor"]))
+        window.quadrants = [
+            QuadrantBound.from_dict(entry, window.anchor) for entry in payload["quadrants"]
+        ]
+        window.buffered = int(payload["buffered"])
+        return window
 
     def distance_bounds(self, candidate: Point) -> tuple[float, float]:
         """Lower and upper bounds on the max distance of buffered points.

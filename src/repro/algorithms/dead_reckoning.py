@@ -14,7 +14,7 @@ from __future__ import annotations
 import math
 
 from ..exceptions import SimplificationError
-from ..geometry.point import Point
+from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 from .base import trivial_representation, validate_epsilon
@@ -107,6 +107,29 @@ class DeadReckoningSimplifier:
         return PiecewiseRepresentation(
             segments=segments, source_size=len(trajectory), algorithm=self.name
         )
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state (last kept point, velocity, counters)."""
+        return {
+            "last_kept": encode_point(self._last_kept),
+            "last_kept_index": self._last_kept_index,
+            "velocity": list(self._velocity),
+            "previous": encode_point(self._previous),
+            "index": self._index,
+            "finished": self._finished,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh) simplifier instance."""
+        if self._index >= 0 or self._finished:
+            raise SimplificationError("restore() requires a fresh simplifier instance")
+        self._last_kept = decode_point(state["last_kept"])
+        self._last_kept_index = int(state["last_kept_index"])
+        velocity = state["velocity"]
+        self._velocity = (float(velocity[0]), float(velocity[1]))
+        self._previous = decode_point(state["previous"])
+        self._index = int(state["index"])
+        self._finished = bool(state["finished"])
 
 
 def dead_reckoning(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:

@@ -15,7 +15,7 @@ wrapper used by the experiments.
 from __future__ import annotations
 
 from ..exceptions import SimplificationError
-from ..geometry.point import Point
+from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 from .base import trivial_representation, validate_epsilon
@@ -111,6 +111,31 @@ class FBQSSimplifier:
         return PiecewiseRepresentation(
             segments=segments, source_size=len(trajectory), algorithm=self.name
         )
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state, including the open window's bounds."""
+        return {
+            "window": None if self._window is None else self._window.to_dict(),
+            "anchor": encode_point(self._anchor),
+            "anchor_index": self._anchor_index,
+            "previous": encode_point(self._previous),
+            "previous_index": self._previous_index,
+            "index": self._index,
+            "finished": self._finished,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh) simplifier instance."""
+        if self._index >= 0 or self._finished:
+            raise SimplificationError("restore() requires a fresh simplifier instance")
+        window = state["window"]
+        self._window = None if window is None else BoundedQuadrantWindow.from_dict(window)
+        self._anchor = decode_point(state["anchor"])
+        self._anchor_index = int(state["anchor_index"])
+        self._previous = decode_point(state["previous"])
+        self._previous_index = int(state["previous_index"])
+        self._index = int(state["index"])
+        self._finished = bool(state["finished"])
 
 
 def fbqs(trajectory: Trajectory, epsilon: float) -> PiecewiseRepresentation:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from ..exceptions import SimplificationError
-from ..geometry.point import Point
+from ..geometry.point import Point, encode_point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import SegmentRecord
 from .descriptors import AlgorithmDescriptor, get_descriptor
@@ -71,3 +71,23 @@ class BufferedBatchAdapter:
     def buffered_points(self) -> int:
         """Number of points currently held in memory (the adapter's cost)."""
         return len(self._points)
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state: the whole buffer (the adapter's cost).
+
+        Unlike the O(1) snapshots of the one-pass algorithms, an adapter
+        checkpoint grows linearly with the stream — exactly the memory
+        behaviour the paper's algorithms avoid, now visible in checkpoint
+        size too.
+        """
+        return {
+            "points": [encode_point(point) for point in self._points],
+            "finished": self._finished,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh) adapter instance."""
+        if self._points or self._finished:
+            raise SimplificationError("restore() requires a fresh adapter instance")
+        self._points = [Point(*coords) for coords in state["points"]]
+        self._finished = bool(state["finished"])

@@ -82,6 +82,7 @@ register_algorithm(
 register_algorithm(
     "fbqs",
     streaming_factory=FBQSSimplifier,
+    checkpointable=True,
     streaming_kwargs=(),
     summary="Fast BQS: streaming convex-bound window (buffers the open window)",
 )(fbqs)
@@ -96,6 +97,7 @@ register_algorithm(
 register_algorithm(
     "dead-reckoning",
     streaming_factory=DeadReckoningSimplifier,
+    checkpointable=True,
     streaming_kwargs=(),
     one_pass=True,
     error_metric="sed",
@@ -106,6 +108,7 @@ register_algorithm(
     "operb",
     streaming_factory=_make_operb,
     one_pass=True,
+    checkpointable=True,
     accepted_kwargs=("config",),
     streaming_kwargs=OPERB_TUNING_KWARGS,
     summary="OPERB: one-pass error bounded simplification (all optimisations)",
@@ -115,6 +118,7 @@ register_algorithm(
     "raw-operb",
     streaming_factory=_make_raw_operb,
     one_pass=True,
+    checkpointable=True,
     accepted_kwargs=(),
     streaming_kwargs=OPERB_TUNING_KWARGS,
     summary="Raw-OPERB: the paper's Figure 7 algorithm without optimisations",
@@ -124,6 +128,7 @@ register_algorithm(
     "operb-a",
     streaming_factory=_make_operb_a,
     one_pass=True,
+    checkpointable=True,
     accepted_kwargs=("gamma_max", "config"),
     streaming_kwargs=("gamma_max",),
     summary="OPERB-A: aggressive OPERB with anomalous-segment patching",
@@ -133,6 +138,7 @@ register_algorithm(
     "raw-operb-a",
     streaming_factory=_make_raw_operb_a,
     one_pass=True,
+    checkpointable=True,
     accepted_kwargs=("gamma_max",),
     streaming_kwargs=("gamma_max",),
     summary="Raw-OPERB-A: unoptimised OPERB with patching enabled",

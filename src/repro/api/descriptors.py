@@ -17,6 +17,11 @@ routes on:
     Which deviation the error bound constrains: ``"perpendicular"``
     (distance to the segment line), ``"sed"`` (time-synchronised Euclidean
     distance) or ``"none"`` (not error bounded, e.g. uniform sampling).
+``checkpointable``
+    Instances produced by the streaming factory implement the
+    ``snapshot()``/``restore(state)`` protocol, so live streams can be
+    checkpointed to JSON and resumed byte-identically (the contract the
+    :class:`repro.streaming.StreamHub` relies on).
 ``accepted_kwargs`` / ``streaming_kwargs``
     The keyword arguments the batch callable / the streaming factory accept,
     validated eagerly so misconfiguration fails at construction time rather
@@ -78,6 +83,11 @@ class AlgorithmDescriptor:
     one_pass:
         True when the algorithm touches each point exactly once with O(1)
         state (requires a streaming factory).
+    checkpointable:
+        True when the streaming factory's instances support
+        ``snapshot()``/``restore(state)`` (requires a streaming factory).
+        Batch-only algorithms are always checkpointable behind a
+        :class:`repro.api.BufferedBatchAdapter`, which snapshots its buffer.
     error_metric:
         One of :data:`ERROR_METRICS`.
     accepted_kwargs:
@@ -95,6 +105,7 @@ class AlgorithmDescriptor:
     batch: BatchFunction
     streaming_factory: StreamingFactory | None = None
     one_pass: bool = False
+    checkpointable: bool = False
     error_metric: str = "perpendicular"
     accepted_kwargs: frozenset[str] = field(default_factory=frozenset)
     streaming_kwargs: frozenset[str] | None = None
@@ -118,6 +129,11 @@ class AlgorithmDescriptor:
             raise InvalidParameterError(
                 f"algorithm {self.name!r} is flagged one_pass but has no streaming factory"
             )
+        if self.checkpointable and self.streaming_factory is None:
+            raise InvalidParameterError(
+                f"algorithm {self.name!r} is flagged checkpointable but has no "
+                f"streaming factory"
+            )
 
     # ------------------------------------------------------------------ #
     # Capabilities
@@ -132,12 +148,24 @@ class AlgorithmDescriptor:
         """Whether the output respects an epsilon error bound at all."""
         return self.error_metric != "none"
 
+    @property
+    def snapshot_capable(self) -> bool:
+        """Whether an ``open_stream`` session of this algorithm can snapshot.
+
+        Native streaming algorithms must declare :attr:`checkpointable`;
+        batch-only algorithms always qualify because the
+        :class:`repro.api.BufferedBatchAdapter` wrapping them snapshots its
+        buffer.
+        """
+        return self.checkpointable or not self.streaming
+
     def capabilities(self) -> dict[str, object]:
         """Plain-dict capability summary (for reports and the CLI table)."""
         return {
             "name": self.name,
             "streaming": self.streaming,
             "one_pass": self.one_pass,
+            "checkpointable": self.checkpointable,
             "error_metric": self.error_metric,
             "accepted_kwargs": sorted(self.accepted_kwargs),
             "streaming_kwargs": sorted(self.streaming_kwargs or ()),
@@ -216,6 +244,7 @@ def register_algorithm(
     *,
     streaming_factory: StreamingFactory | None = None,
     one_pass: bool = False,
+    checkpointable: bool = False,
     error_metric: str = "perpendicular",
     accepted_kwargs: Iterable[str] = (),
     streaming_kwargs: Iterable[str] | None = None,
@@ -237,6 +266,7 @@ def register_algorithm(
                 batch=function,
                 streaming_factory=streaming_factory,
                 one_pass=one_pass,
+                checkpointable=checkpointable,
                 error_metric=error_metric,
                 accepted_kwargs=frozenset(accepted_kwargs),
                 streaming_kwargs=None if streaming_kwargs is None else frozenset(streaming_kwargs),

@@ -145,6 +145,51 @@ class StreamSession:
             self._segments.extend(emitted)
         return emitted
 
+    def snapshot(self) -> dict:
+        """JSON-serialisable state of this session (see ``restore_stream``).
+
+        Captures the session book-keeping (push count, lifecycle, retained
+        segments) plus the underlying simplifier's own snapshot.  Resuming
+        via :meth:`Simplifier.restore_stream` and continuing the stream
+        produces byte-identical segments to an uninterrupted run.
+
+        Raises
+        ------
+        SimplificationError
+            When the underlying simplifier does not implement the
+            ``snapshot()``/``restore()`` protocol (check
+            ``descriptor.snapshot_capable`` beforehand).
+        """
+        raw_snapshot = getattr(self._raw, "snapshot", None)
+        if raw_snapshot is None:
+            raise SimplificationError(
+                f"algorithm {self.algorithm!r} streams but does not implement the "
+                f"snapshot()/restore() checkpoint protocol"
+            )
+        return {
+            "pushes": self._pushes,
+            "finished": self._finished,
+            "keep_segments": self._keep_segments,
+            "segments": [segment.to_dict() for segment in self._segments],
+            "raw": raw_snapshot(),
+        }
+
+    def _restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` (fresh sessions only; internal)."""
+        if self._pushes or self._finished or self._segments:
+            raise SimplificationError("cannot restore into a used stream session")
+        raw_restore = getattr(self._raw, "restore", None)
+        if raw_restore is None:
+            raise SimplificationError(
+                f"algorithm {self.algorithm!r} streams but does not implement the "
+                f"snapshot()/restore() checkpoint protocol"
+            )
+        self._pushes = int(state["pushes"])
+        self._finished = bool(state["finished"])
+        self._keep_segments = bool(state["keep_segments"])
+        self._segments = [SegmentRecord.from_dict(entry) for entry in state["segments"]]
+        raw_restore(state["raw"])
+
     def result(self, source_size: int | None = None) -> PiecewiseRepresentation:
         """The complete representation produced by this session.
 
@@ -252,6 +297,19 @@ class Simplifier:
         """
         raw = open_raw_stream(self.descriptor, self.epsilon, **self.opts)
         return StreamSession(self.descriptor, raw, self.epsilon, keep_segments=keep_segments)
+
+    def restore_stream(self, state: dict) -> StreamSession:
+        """Reopen a stream session from a :meth:`StreamSession.snapshot`.
+
+        A fresh raw simplifier is instantiated with this session's epsilon
+        and options (which must match the ones the snapshot was taken under —
+        the snapshot carries only state, not configuration) and the saved
+        state is loaded into it.  Continuing the restored stream yields
+        byte-identical segments to the uninterrupted run.
+        """
+        session = self.open_stream()
+        session._restore(state)
+        return session
 
     def run_many(
         self,

@@ -16,6 +16,9 @@ Sub-commands
 ``perf``
     Run the performance harness (or diff two of its reports) and gate on
     throughput regressions.
+``serve-replay``
+    Replay a multi-device point log through the streaming hub with periodic
+    checkpoints; ``--resume`` continues an interrupted replay byte-identically.
 """
 
 from __future__ import annotations
@@ -84,11 +87,56 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--markdown", help="write a markdown report to this path")
     experiment.set_defaults(handler=commands.cmd_experiment)
 
+    serve = subparsers.add_parser(
+        "serve-replay",
+        help="replay a multi-device point log through the streaming hub",
+    )
+    serve.add_argument(
+        "input",
+        nargs="?",
+        help="JSONL point log ({'device','x','y','t'} per line); "
+        "omit when using --synthetic",
+    )
+    serve.add_argument(
+        "--synthetic",
+        metavar="PROFILE",
+        help="generate the log instead: taxi, truck, sercar or geolife",
+    )
+    serve.add_argument("--devices", type=int, default=64, help="synthetic device count")
+    serve.add_argument(
+        "--points", type=int, default=200, help="synthetic points per device"
+    )
+    serve.add_argument("--seed", type=int, default=2017, help="synthetic log seed")
+    serve.add_argument("--epsilon", type=float, default=40.0, help="error bound in metres")
+    serve.add_argument(
+        "--algorithm", default="operb", help="default algorithm for every device"
+    )
+    serve.add_argument("--shards", type=int, default=4, help="hub worker shards")
+    serve.add_argument(
+        "--checkpoint", metavar="PATH", help="write hub checkpoints to this JSON file"
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N replayed points (0: only at the end)",
+    )
+    serve.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume from this checkpoint (skips the already-ingested points)",
+    )
+    serve.add_argument(
+        "--output", help="stream finalised segments to this CSV file"
+    )
+    serve.set_defaults(handler=commands.cmd_serve_replay)
+
     perf = subparsers.add_parser(
         "perf", help="run the performance harness / compare BENCH reports"
     )
     perf.add_argument(
-        "--suite", default="quick", help="workload suite: smoke, quick or full"
+        "--suite", default="quick", help="workload suite: smoke, quick, hub or full"
     )
     perf.add_argument(
         "--output", help="write the report (BENCH_results.json format) to this path"

@@ -26,7 +26,7 @@ from enum import Enum
 
 from ..geometry.angles import normalize_angle
 from ..geometry.kernels import anchored_ped_point
-from ..geometry.point import Point
+from ..geometry.point import Point, decode_point, encode_point
 
 __all__ = ["PointOutcome", "FittingState", "zone_index", "rotation_sign"]
 
@@ -119,6 +119,44 @@ class FittingState:
         self.d_plus_max = 0.0
         self.d_minus_max = 0.0
         self.stats = FittingStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint protocol
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serialisable state of the fitting function ``F``.
+
+        The configuration is *not* part of the snapshot: a restored state is
+        always rebuilt against the simplifier's own (identical) config, so a
+        checkpoint never has to serialise optimisation flags.
+        """
+        return {
+            "anchor": encode_point(self.anchor),
+            "length": self.length,
+            "theta": self.theta,
+            "has_direction": self.has_direction,
+            "last_active_point": encode_point(self.last_active_point),
+            "last_active_theta": self.last_active_theta,
+            "last_active_zone": self.last_active_zone,
+            "d_plus_max": self.d_plus_max,
+            "d_minus_max": self.d_minus_max,
+            "stats": vars(self.stats).copy(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict, config) -> "FittingState":
+        """Rebuild a fitting state from :meth:`snapshot` output."""
+        state = cls(Point(*payload["anchor"]), config)
+        state.length = float(payload["length"])
+        state.theta = float(payload["theta"])
+        state.has_direction = bool(payload["has_direction"])
+        state.last_active_point = decode_point(payload["last_active_point"])
+        state.last_active_theta = float(payload["last_active_theta"])
+        state.last_active_zone = int(payload["last_active_zone"])
+        state.d_plus_max = float(payload["d_plus_max"])
+        state.d_minus_max = float(payload["d_minus_max"])
+        state.stats = FittingStatistics(**payload["stats"])
+        return state
 
     # ------------------------------------------------------------------ #
     # Geometry helpers

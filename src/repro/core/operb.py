@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from ..exceptions import SimplificationError
 from ..geometry.kernels import ped_point_to_chord
-from ..geometry.point import Point
+from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 from .config import OperbConfig
@@ -214,6 +214,67 @@ class OPERBSimplifier:
         return PiecewiseRepresentation(
             segments=segments, source_size=len(trajectory), algorithm=self.name
         )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint protocol
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serialisable state: resuming from it is byte-identical.
+
+        The configuration is not included — :meth:`restore` must be called on
+        a fresh simplifier built with the same :class:`OperbConfig`, which is
+        the caller's (descriptor's/checkpoint's) responsibility.
+        """
+        segment = self._segment
+        absorption = self._absorption
+        return {
+            "index": self._index,
+            "finished": self._finished,
+            "previous_point": encode_point(self._previous_point),
+            "stats": vars(self.stats).copy(),
+            "segment": None
+            if segment is None
+            else {
+                "anchor": encode_point(segment.anchor),
+                "anchor_index": segment.anchor_index,
+                "fitting": segment.fitting.snapshot(),
+                "last_active": encode_point(segment.last_active),
+                "last_active_index": segment.last_active_index,
+                "points_in_segment": segment.points_in_segment,
+            },
+            "absorption": None
+            if absorption is None
+            else {"segment": absorption.segment.to_dict(), "absorbed": absorption.absorbed},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh) simplifier instance."""
+        if self._index >= 0 or self._finished:
+            raise SimplificationError("restore() requires a fresh simplifier instance")
+        self._index = int(state["index"])
+        self._finished = bool(state["finished"])
+        self._previous_point = decode_point(state["previous_point"])
+        self.stats = OperbStatistics(**state["stats"])
+        segment = state["segment"]
+        if segment is None:
+            self._segment = None
+        else:
+            self._segment = _SegmentInProgress(
+                anchor=Point(*segment["anchor"]),
+                anchor_index=int(segment["anchor_index"]),
+                fitting=FittingState.from_snapshot(segment["fitting"], self.config),
+                last_active=decode_point(segment["last_active"]),
+                last_active_index=int(segment["last_active_index"]),
+                points_in_segment=int(segment["points_in_segment"]),
+            )
+        absorption = state["absorption"]
+        if absorption is None:
+            self._absorption = None
+        else:
+            self._absorption = _AbsorptionState(
+                segment=SegmentRecord.from_dict(absorption["segment"]),
+                absorbed=int(absorption["absorbed"]),
+            )
 
     # ------------------------------------------------------------------ #
     # Internal machinery

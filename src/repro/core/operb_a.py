@@ -117,6 +117,29 @@ class OPERBASimplifier:
         )
 
     # ------------------------------------------------------------------ #
+    # Checkpoint protocol
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """JSON-serialisable state: engine snapshot plus the lazy buffer."""
+        stats = vars(self.stats).copy()
+        stats["rejection_reasons"] = dict(stats["rejection_reasons"] or {})
+        return {
+            "engine": self._engine.snapshot(),
+            "pending": [segment.to_dict() for segment in self._pending],
+            "stats": stats,
+            "finished": self._finished,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (fresh) simplifier instance."""
+        if self._finished or self._pending or self._engine.stats.points_processed:
+            raise SimplificationError("restore() requires a fresh simplifier instance")
+        self._engine.restore(state["engine"])
+        self._pending = [SegmentRecord.from_dict(entry) for entry in state["pending"]]
+        self.stats = OperbAStatistics(**state["stats"])
+        self._finished = bool(state["finished"])
+
+    # ------------------------------------------------------------------ #
     # Lazy output policy
     # ------------------------------------------------------------------ #
     def _accept(self, segment: SegmentRecord) -> list[SegmentRecord]:

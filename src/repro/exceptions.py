@@ -16,6 +16,7 @@ __all__ = [
     "ExperimentError",
     "FleetExecutionError",
     "UnknownAlgorithmError",
+    "CheckpointError",
 ]
 
 
@@ -71,3 +72,11 @@ class FleetExecutionError(ReproError):
 
 class UnknownAlgorithmError(ReproError, KeyError):
     """The requested algorithm name is not present in the registry."""
+
+
+class CheckpointError(ReproError):
+    """A streaming checkpoint could not be written, parsed or restored.
+
+    Raised for malformed or version-incompatible checkpoint payloads and
+    when a hub contains streams that cannot be snapshotted.
+    """

@@ -246,8 +246,12 @@ def sed_to_chord(
         span = bt - at
         if span == 0.0:
             return np.hypot(xs - ax, ys - ay)
-        ratio = (ts - at) / span
-        return np.hypot(xs - (ax + (bx - ax) * ratio), ys - (ay + (by - ay) * ratio))
+        # A subnormal span overflows the ratio to inf, and inf * 0 chords
+        # produce nan — exactly the IEEE results the scalar fallback yields
+        # silently; silence numpy's chatter rather than diverge from it.
+        with np.errstate(over="ignore", invalid="ignore"):
+            ratio = (ts - at) / span
+            return np.hypot(xs - (ax + (bx - ax) * ratio), ys - (ay + (by - ay) * ratio))
     return np.array(
         [
             sed_point(float(x), float(y), float(t), ax, ay, at, bx, by, bt)

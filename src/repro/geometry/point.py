@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["Point"]
+__all__ = ["Point", "encode_point", "decode_point"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,3 +71,18 @@ class Point:
         yield self.x
         yield self.y
         yield self.t
+
+
+def encode_point(point: "Point | None") -> list[float] | None:
+    """``[x, y, t]`` wire form of a point (``None`` passes through).
+
+    The single codec behind every snapshot/checkpoint payload: floats
+    round-trip JSON exactly, so :func:`decode_point` reconstructs the point
+    bit-identically.
+    """
+    return None if point is None else [point.x, point.y, point.t]
+
+
+def decode_point(coords: "list[float] | None") -> "Point | None":
+    """Inverse of :func:`encode_point`."""
+    return None if coords is None else Point(coords[0], coords[1], coords[2])

@@ -3,7 +3,8 @@
 The subsystem has three parts:
 
 * :mod:`repro.perf.workloads` — named, seeded suite declarations
-  (``smoke`` / ``quick`` / ``full``);
+  (``smoke`` / ``quick`` / ``hub`` / ``full``), including multi-device
+  ``hub``-mode ingest cases;
 * :mod:`repro.perf.harness` — runs a suite through the unified
   :class:`repro.api.Simplifier` API and serialises wall time, points/sec and
   compression ratio per algorithm into ``BENCH_results.json`` with machine
@@ -28,9 +29,20 @@ from .harness import (
     run_suite,
     write_report,
 )
-from .workloads import GATING_ALGORITHMS, SUITES, PerfCase, PerfSuite, build_fleet, get_suite
+from .workloads import (
+    CASE_MODES,
+    GATING_ALGORITHMS,
+    SUITES,
+    PerfCase,
+    PerfSuite,
+    build_device_log,
+    build_fleet,
+    get_suite,
+    interleave_fleet,
+)
 
 __all__ = [
+    "CASE_MODES",
     "ComparisonResult",
     "ComparisonRow",
     "GATING_ALGORITHMS",
@@ -39,7 +51,9 @@ __all__ = [
     "PerfReport",
     "PerfSuite",
     "SUITES",
+    "build_device_log",
     "build_fleet",
+    "interleave_fleet",
     "calibration_points_per_second",
     "compare_reports",
     "get_suite",

@@ -34,10 +34,11 @@ from .._version import __version__
 from ..api.session import Simplifier
 from ..core.config import get_kernel_backend
 from ..geometry.kernels import ped_point_to_chord
+from ..geometry.point import Point
 from ..metrics.compression import fleet_compression_ratio
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
-from .workloads import PerfSuite, build_fleet, get_suite
+from .workloads import PerfCase, PerfSuite, build_fleet, get_suite, interleave_fleet
 
 __all__ = [
     "Measurement",
@@ -69,6 +70,9 @@ class Measurement:
     points_per_second: float
     segments: int
     compression_ratio: float
+    mode: str = "batch"
+    """Execution mode of the case: per-trajectory ``batch`` or multi-device
+    ``hub`` ingest (defaulted so pre-hub reports keep loading)."""
 
     @property
     def key(self) -> str:
@@ -208,6 +212,45 @@ def _time_fleet(
     return best, representations
 
 
+_HUB_SHARDS = 8
+"""Shard count the hub-mode measurements run with."""
+
+
+def _time_hub(
+    algorithm: str,
+    case: PerfCase,
+    records: Sequence[tuple[str, Point]],
+    repeats: int,
+) -> tuple[float, int]:
+    """Best wall time over ``repeats`` hub replays and the segment count.
+
+    Each repeat drives a fresh :class:`repro.streaming.StreamHub` (devices
+    pre-registered, so registration cost is not part of the measurement)
+    over the full interleaved log, then flushes every stream.
+    """
+    from ..streaming.hub import StreamHub
+
+    device_ids = sorted({device_id for device_id, _ in records})
+    best = math.inf
+    segments = 0
+    for _ in range(max(1, repeats)):
+        hub = StreamHub(
+            algorithm=algorithm,
+            epsilon=case.epsilon,
+            shards=_HUB_SHARDS,
+            on_error="raise",
+        )
+        for device_id in device_ids:
+            hub.register_device(device_id)
+        started = time.perf_counter()
+        hub.push_many(records)
+        hub.finish_all()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        segments = hub.segments_emitted
+    return best, segments
+
+
 def run_suite(
     suite: PerfSuite | str,
     *,
@@ -233,9 +276,16 @@ def run_suite(
     for case in suite.cases:
         fleet = build_fleet(case)
         total_points = sum(len(trajectory) for trajectory in fleet)
+        records = interleave_fleet(fleet) if case.mode == "hub" else None
         for algorithm in suite.algorithms:
-            session = Simplifier(algorithm, case.epsilon)
-            wall, representations = _time_fleet(session, fleet, effective_repeats)
+            if records is not None:
+                wall, segments = _time_hub(algorithm, case, records, effective_repeats)
+                ratio = segments / total_points if total_points else 0.0
+            else:
+                session = Simplifier(algorithm, case.epsilon)
+                wall, representations = _time_fleet(session, fleet, effective_repeats)
+                segments = sum(rep.n_segments for rep in representations)
+                ratio = fleet_compression_ratio(representations)
             measurement = Measurement(
                 case=case.name,
                 algorithm=algorithm,
@@ -245,8 +295,9 @@ def run_suite(
                 repeats=effective_repeats,
                 wall_seconds=wall,
                 points_per_second=total_points / wall if wall > 0.0 else float("inf"),
-                segments=sum(rep.n_segments for rep in representations),
-                compression_ratio=fleet_compression_ratio(representations),
+                segments=segments,
+                compression_ratio=ratio,
+                mode=case.mode,
             )
             report.results.append(measurement)
             if progress is not None:

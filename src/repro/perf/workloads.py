@@ -8,15 +8,26 @@ today, next month, on another machine — measure exactly the same work and
 their ``BENCH_results.json`` files can be diffed by
 :mod:`repro.perf.compare`.
 
-Three suites ship by default:
+Four suites ship by default:
 
 ``smoke``
     A few hundred points; used by the unit tests and the CLI smoke test.
 ``quick``
-    The CI gating suite (a few seconds): two fleets, the paper's headline
-    algorithms.
+    The CI gating suite (a few seconds): two fleets plus a multi-device
+    ``hub``-mode case, the paper's headline algorithms.
+``hub``
+    Concurrent-ingest workloads: every case replays an interleaved
+    multi-device point log through a :class:`repro.streaming.StreamHub`
+    (one device per trajectory), measuring aggregate hub throughput.
 ``full``
     All four dataset profiles at a larger scale for local investigations.
+
+A case's ``mode`` selects what the harness drives: ``"batch"`` runs the
+fleet through ``Simplifier.run``; ``"hub"`` routes the same points, in
+round-robin arrival order, through a stream hub.  The interleaved log of a
+hub case comes from :func:`build_device_log`, which is also the generator
+the hub tests share (via the ``device_point_log`` fixture) so tests and
+benchmarks measure the same traffic shape.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from dataclasses import dataclass
 from ..datasets.generator import generate_dataset
 from ..datasets.profiles import get_profile
 from ..exceptions import InvalidParameterError
+from ..geometry.point import Point
 from ..trajectory.model import Trajectory
 
 __all__ = [
@@ -33,8 +45,11 @@ __all__ = [
     "PerfSuite",
     "SUITES",
     "GATING_ALGORITHMS",
+    "CASE_MODES",
     "get_suite",
     "build_fleet",
+    "build_device_log",
+    "interleave_fleet",
 ]
 
 GATING_ALGORITHMS = ("dp", "opw", "operb", "operb-a")
@@ -42,9 +57,18 @@ GATING_ALGORITHMS = ("dp", "opw", "operb", "operb-a")
 window baseline (OPW) and the paper's two contributions."""
 
 
+CASE_MODES = ("batch", "hub")
+"""Valid values of :attr:`PerfCase.mode`."""
+
+
 @dataclass(frozen=True, slots=True)
 class PerfCase:
-    """One seeded synthetic fleet measured by a suite."""
+    """One seeded synthetic fleet measured by a suite.
+
+    ``mode="hub"`` turns the fleet into a multi-device ingest workload: one
+    device per trajectory, points interleaved round-robin, driven through a
+    :class:`repro.streaming.StreamHub` instead of per-trajectory batch runs.
+    """
 
     name: str
     profile: str
@@ -52,6 +76,13 @@ class PerfCase:
     points_per_trajectory: int
     epsilon: float = 40.0
     seed: int = 2017
+    mode: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.mode not in CASE_MODES:
+            raise InvalidParameterError(
+                f"case mode must be one of {CASE_MODES}, got {self.mode!r}"
+            )
 
     @property
     def total_points(self) -> int:
@@ -82,8 +113,21 @@ _QUICK = PerfSuite(
     cases=(
         PerfCase("taxi-2x2k", "taxi", n_trajectories=2, points_per_trajectory=2_000),
         PerfCase("sercar-2x2k", "sercar", n_trajectories=2, points_per_trajectory=2_000),
+        PerfCase("hub-64x500", "taxi", n_trajectories=64, points_per_trajectory=500, mode="hub"),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs",),
+    repeats=3,
+)
+
+_HUB = PerfSuite(
+    name="hub",
+    cases=(
+        PerfCase("hub-256x400", "taxi", n_trajectories=256, points_per_trajectory=400, mode="hub"),
+        PerfCase(
+            "hub-1024x100", "sercar", n_trajectories=1024, points_per_trajectory=100, mode="hub"
+        ),
+    ),
+    algorithms=("operb", "operb-a", "fbqs", "dead-reckoning"),
     repeats=3,
 )
 
@@ -94,12 +138,13 @@ _FULL = PerfSuite(
         PerfCase("truck-4x5k", "truck", n_trajectories=4, points_per_trajectory=5_000),
         PerfCase("sercar-4x5k", "sercar", n_trajectories=4, points_per_trajectory=5_000),
         PerfCase("geolife-4x5k", "geolife", n_trajectories=4, points_per_trajectory=5_000),
+        PerfCase("hub-512x400", "taxi", n_trajectories=512, points_per_trajectory=400, mode="hub"),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs", "bqs", "dp-sed", "opw-tr"),
     repeats=3,
 )
 
-SUITES: dict[str, PerfSuite] = {suite.name: suite for suite in (_SMOKE, _QUICK, _FULL)}
+SUITES: dict[str, PerfSuite] = {suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FULL)}
 """The declared suites, by name."""
 
 
@@ -121,3 +166,48 @@ def build_fleet(case: PerfCase) -> list[Trajectory]:
         points_per_trajectory=case.points_per_trajectory,
         seed=case.seed,
     )
+
+
+def interleave_fleet(fleet: list[Trajectory]) -> list[tuple[str, Point]]:
+    """Round-robin interleave a fleet into ``(device_id, point)`` records.
+
+    Device ``i`` of the fleet is named ``dev-{i:04d}``; record order models
+    concurrent devices reporting at the same cadence (one fix per device per
+    round), which is the arrival pattern a stream hub must absorb.
+    """
+    streams = [(f"dev-{i:04d}", iter(trajectory)) for i, trajectory in enumerate(fleet)]
+    records: list[tuple[str, Point]] = []
+    while streams:
+        still_alive: list[tuple[str, object]] = []
+        for device_id, stream in streams:
+            try:
+                records.append((device_id, next(stream)))
+            except StopIteration:
+                continue
+            still_alive.append((device_id, stream))
+        streams = still_alive
+    return records
+
+
+def build_device_log(
+    profile: str = "taxi",
+    n_devices: int = 64,
+    points_per_device: int = 200,
+    *,
+    seed: int = 2017,
+) -> list[tuple[str, Point]]:
+    """Seeded multi-device point log: the hub's canonical synthetic traffic.
+
+    This is the single generator behind the ``hub`` perf cases, the hub test
+    fixture and ``repro-traj serve-replay --synthetic`` — all three replay
+    exactly this traffic shape, so numbers and behaviours line up.
+    """
+    case = PerfCase(
+        name="device-log",
+        profile=profile,
+        n_trajectories=n_devices,
+        points_per_trajectory=points_per_device,
+        seed=seed,
+        mode="hub",
+    )
+    return interleave_fleet(build_fleet(case))

@@ -1,6 +1,15 @@
-"""Streaming (push-based) simplification pipelines and accounting wrappers."""
+"""Streaming (push-based) simplification pipelines, the multi-device hub
+with checkpoint/restore, and accounting wrappers."""
 
+from .checkpoint import (
+    load_checkpoint,
+    read_point_log,
+    restore_hub,
+    save_checkpoint,
+    write_point_log,
+)
 from .counting import CountingPointSource, CountingSimplifier
+from .hub import DeviceError, DeviceStream, HubShard, HubStats, StreamHub, shard_index
 from .interface import STREAMING_ALGORITHMS, BufferedBatchAdapter, make_streaming_simplifier
 from .pipeline import PipelineResult, StreamingPipeline, run_pipeline
 from .sinks import CollectingSink, CsvSegmentSink, StatisticsSink
@@ -12,9 +21,20 @@ __all__ = [
     "CountingPointSource",
     "CountingSimplifier",
     "CsvSegmentSink",
+    "DeviceError",
+    "DeviceStream",
+    "HubShard",
+    "HubStats",
     "PipelineResult",
     "StatisticsSink",
+    "StreamHub",
     "StreamingPipeline",
+    "load_checkpoint",
     "make_streaming_simplifier",
+    "read_point_log",
+    "restore_hub",
     "run_pipeline",
+    "save_checkpoint",
+    "shard_index",
+    "write_point_log",
 ]

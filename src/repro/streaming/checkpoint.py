@@ -1,0 +1,176 @@
+"""Checkpoint persistence and multi-device point logs.
+
+This module is the durability layer under :class:`repro.streaming.StreamHub`:
+
+- :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`restore_hub` persist a hub checkpoint as strict JSON (``NaN`` and
+  ``Infinity`` are rejected — every snapshot in the protocol serialises
+  finite numbers only) and rebuild a live hub from it;
+- :func:`write_point_log` / :func:`read_point_log` store the hub's *input*
+  side: a multi-device point log, one JSON object per line
+  (``{"device": ..., "x": ..., "y": ..., "t": ...}``), in arrival order —
+  the replay format consumed by ``repro-traj serve-replay``.
+
+Checkpoint payloads carry ``format`` (layout version) and ``kind``
+discriminators; loaders refuse payloads they cannot faithfully restore
+instead of guessing.  Floats survive the JSON round-trip exactly (Python
+serialises them via ``repr``), which is what makes a resumed hub's output
+byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, TextIO
+
+from ..exceptions import CheckpointError
+from ..geometry.point import Point
+from .hub import StreamHub
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_hub",
+    "write_point_log",
+    "read_point_log",
+]
+
+
+def save_checkpoint(hub: StreamHub, path: str | Path) -> Path:
+    """Checkpoint ``hub`` to ``path`` as strict JSON.
+
+    The file is written atomically (temp file + rename) so a crash during
+    checkpointing never leaves a truncated checkpoint behind — the previous
+    one, if any, survives intact.
+    """
+    payload = hub.checkpoint()
+    try:
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    except ValueError as error:
+        raise CheckpointError(
+            f"hub state is not strict-JSON serialisable: {error}"
+        ) from error
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    temporary.write_text(text)
+    temporary.replace(path)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Load and structurally validate a checkpoint payload.
+
+    Raises
+    ------
+    CheckpointError
+        When the file is unreadable, not valid JSON, or not a checkpoint
+        payload (missing the ``format``/``kind`` discriminators).
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except OSError as error:
+        raise CheckpointError(f"cannot read checkpoint {str(path)!r}: {error}") from error
+    except ValueError as error:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict) or "format" not in payload or "kind" not in payload:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} is missing the format/kind discriminators"
+        )
+    return payload
+
+
+def restore_hub(
+    source: str | Path | dict,
+    *,
+    sink_factory: Callable[[str], object] | None = None,
+    shared_sink: object | None = None,
+) -> StreamHub:
+    """One-call resume: load a checkpoint (path or payload) into a live hub.
+
+    Sinks are process-local resources and are not checkpointed; pass fresh
+    ones here.
+    """
+    payload = source if isinstance(source, dict) else load_checkpoint(source)
+    return StreamHub.from_checkpoint(
+        payload, sink_factory=sink_factory, shared_sink=shared_sink
+    )
+
+
+def write_point_log(
+    records: Iterable[tuple[str, Point]], destination: str | Path | TextIO
+) -> int:
+    """Write ``(device_id, point)`` records as a JSONL point log.
+
+    Returns the number of records written.  The log preserves arrival order
+    across devices — exactly what a replay needs to reproduce an ingest run.
+    Path destinations are written atomically (temp file + rename), so a
+    failure mid-write — including a non-finite coordinate, reported as
+    :class:`CheckpointError` — never leaves a truncated log behind.
+    """
+    if isinstance(destination, (str, Path)):
+        destination = Path(destination)
+        temporary = destination.with_name(destination.name + ".tmp")
+        try:
+            with open(temporary, "w") as handle:
+                written = _write_point_records(records, handle)
+        except BaseException:
+            temporary.unlink(missing_ok=True)
+            raise
+        temporary.replace(destination)
+        return written
+    return _write_point_records(records, destination)
+
+
+def _write_point_records(records: Iterable[tuple[str, Point]], handle: TextIO) -> int:
+    written = 0
+    for device_id, point in records:
+        try:
+            line = json.dumps(
+                {"device": str(device_id), "x": point.x, "y": point.y, "t": point.t},
+                allow_nan=False,
+            )
+        except ValueError as error:
+            raise CheckpointError(
+                f"point-log record {written} for device {device_id!r} is not "
+                f"strict-JSON serialisable: {error}"
+            ) from error
+        handle.write(line + "\n")
+        written += 1
+    return written
+
+
+def read_point_log(source: str | Path | TextIO) -> Iterator[tuple[str, Point]]:
+    """Iterate the ``(device_id, point)`` records of a JSONL point log.
+
+    Raises
+    ------
+    CheckpointError
+        On a malformed line (bad JSON or missing fields), naming the line
+        number.
+    """
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source)
+        owns_handle = True
+    else:
+        handle = source
+        owns_handle = False
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                device_id = str(record["device"])
+                point = Point(float(record["x"]), float(record["y"]), float(record.get("t", 0.0)))
+            except (ValueError, KeyError, TypeError) as error:
+                raise CheckpointError(
+                    f"malformed point-log line {line_number}: {error!r}"
+                ) from error
+            yield device_id, point
+    finally:
+        if owns_handle:
+            handle.close()

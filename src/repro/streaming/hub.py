@@ -1,0 +1,622 @@
+"""Multi-device streaming hub: thousands of concurrent GPS streams, one process.
+
+The paper's one-pass algorithms are designed to run at the *edge* — one
+simplifier per device, O(1) state each — but a trajectory store ingests the
+other end of that pipe: a single service terminating many device streams at
+once.  :class:`StreamHub` is that ingest surface.  Devices are hash-sharded
+across :class:`HubShard` workers (a deterministic CRC32 shard map, so a
+checkpoint restores onto the same layout), each shard owning a dict of
+``device_id -> DeviceStream``; every device stream wraps one
+:class:`repro.api.StreamSession` opened with ``keep_segments=False`` so hub
+memory stays O(devices), not O(points).
+
+Capabilities:
+
+- **per-device configuration** — each device may use its own algorithm,
+  epsilon and options (defaults come from the hub);
+- **segment routing** — finalised segments are handed to a per-device sink
+  (``sink_factory``) or a shared sink the moment they are emitted;
+- **backpressure accounting** — per-device and hub-wide lag statistics (how
+  many points are pending in the open segment) expose the latency cost of
+  buffering algorithms next to the one-pass ones;
+- **error isolation** — a device stream that raises is quarantined and
+  recorded as a :class:`DeviceError`, mirroring the fleet executor's
+  per-trajectory isolation, instead of sinking the hub;
+- **checkpoint/restore** — :meth:`StreamHub.checkpoint` serialises every
+  live stream via the simplifiers' ``snapshot()`` protocol into one
+  JSON-serialisable payload; :meth:`StreamHub.from_checkpoint` resumes with
+  byte-identical downstream segments (see :mod:`repro.streaming.checkpoint`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..api.session import Simplifier, StreamSession
+from ..exceptions import CheckpointError, InvalidParameterError, SimplificationError
+from ..geometry.point import Point
+from ..trajectory.piecewise import SegmentRecord
+
+__all__ = [
+    "DeviceError",
+    "DeviceStream",
+    "HubShard",
+    "HubStats",
+    "StreamHub",
+    "shard_index",
+]
+
+_ON_ERROR_MODES = ("collect", "raise")
+
+CHECKPOINT_KIND = "stream-hub"
+"""Payload discriminator stamped into every hub checkpoint."""
+
+CHECKPOINT_FORMAT = 1
+"""Version stamp of the checkpoint layout, bumped on incompatible changes."""
+
+
+def shard_index(device_id: str, n_shards: int) -> int:
+    """Deterministic shard of ``device_id`` (CRC32, stable across processes).
+
+    Python's builtin ``hash`` is salted per process, which would scatter a
+    restored hub's devices onto different shards than the checkpointing one;
+    CRC32 keeps the layout reproducible.
+    """
+    return zlib.crc32(str(device_id).encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceError:
+    """One device stream that failed mid-ingest (mirrors ``FleetError``)."""
+
+    device_id: str
+    error_type: str
+    message: str
+    exception: BaseException | None = None
+
+    def __str__(self) -> str:
+        return f"device {self.device_id}: {self.error_type}: {self.message}"
+
+
+@dataclass(slots=True)
+class HubStats:
+    """Aggregate counters of a hub (see :meth:`StreamHub.stats`)."""
+
+    devices: int
+    active: int
+    finished: int
+    failed: int
+    points_pushed: int
+    segments_emitted: int
+    dropped_points: int
+    max_lag: int
+    max_segments_per_push: int
+    shard_devices: list[int]
+    shard_points: list[int]
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (for the CLI and reports)."""
+        return {
+            "devices": self.devices,
+            "active": self.active,
+            "finished": self.finished,
+            "failed": self.failed,
+            "points_pushed": self.points_pushed,
+            "segments_emitted": self.segments_emitted,
+            "dropped_points": self.dropped_points,
+            "max_lag": self.max_lag,
+            "max_segments_per_push": self.max_segments_per_push,
+            "shard_devices": list(self.shard_devices),
+            "shard_points": list(self.shard_points),
+        }
+
+
+class DeviceStream:
+    """One device's open stream inside the hub.
+
+    Wraps a :class:`~repro.api.StreamSession` (``keep_segments=False`` — the
+    sink owns the segments) together with the routing sink and the per-device
+    lag/backpressure counters.  Not constructed directly; use
+    :meth:`StreamHub.register_device` / :meth:`StreamHub.push`.
+    """
+
+    def __init__(self, device_id: str, simplifier: Simplifier, sink: object | None) -> None:
+        self.device_id = device_id
+        self.simplifier = simplifier
+        self.sink = sink
+        self.session: StreamSession = simplifier.open_stream(keep_segments=False)
+        self.points_pushed = 0
+        self.segments_emitted = 0
+        self.max_segments_per_push = 0
+        self.lag = 0
+        """Points pushed since the last emitted segment (open-segment backlog)."""
+        self.max_lag = 0
+        self.dropped_points = 0
+        self.error: DeviceError | None = None
+
+    @property
+    def algorithm(self) -> str:
+        """Name of the algorithm compressing this device's stream."""
+        return self.simplifier.algorithm
+
+    @property
+    def failed(self) -> bool:
+        """Whether this device stream has been quarantined after an error."""
+        return self.error is not None
+
+    @property
+    def finished(self) -> bool:
+        """Whether this device stream has been flushed."""
+        return self.session.finished
+
+    def _route(self, emitted: list[SegmentRecord]) -> None:
+        """Fold emitted segments into the statistics and hand them to the sink."""
+        count = len(emitted)
+        self.segments_emitted += count
+        if count > self.max_segments_per_push:
+            self.max_segments_per_push = count
+        if count:
+            self.lag = 0
+        if self.sink is not None:
+            for segment in emitted:
+                self.sink.accept(segment)
+
+    def push(self, point: Point) -> list[SegmentRecord]:
+        """Feed one fix; returns (and routes) the segments it finalised."""
+        emitted = self.session.push(point)
+        self.points_pushed += 1
+        self.lag += 1
+        if self.lag > self.max_lag:
+            self.max_lag = self.lag
+        self._route(emitted)
+        return emitted
+
+    def finish(self) -> list[SegmentRecord]:
+        """Flush the stream; returns (and routes) the trailing segments."""
+        emitted = self.session.finish()
+        self._route(emitted)
+        self.lag = 0
+        return emitted
+
+    def stats_dict(self) -> dict[str, int]:
+        """The per-device counters as a plain dict (checkpointed verbatim)."""
+        return {
+            "points_pushed": self.points_pushed,
+            "segments_emitted": self.segments_emitted,
+            "max_segments_per_push": self.max_segments_per_push,
+            "lag": self.lag,
+            "max_lag": self.max_lag,
+            "dropped_points": self.dropped_points,
+        }
+
+    def _load_stats(self, stats: dict) -> None:
+        self.points_pushed = int(stats["points_pushed"])
+        self.segments_emitted = int(stats["segments_emitted"])
+        self.max_segments_per_push = int(stats["max_segments_per_push"])
+        self.lag = int(stats["lag"])
+        self.max_lag = int(stats["max_lag"])
+        self.dropped_points = int(stats["dropped_points"])
+
+
+class HubShard:
+    """One worker shard: a slice of the hub's devices plus shard counters.
+
+    Today a shard is an in-process partition; the shard boundary is the seam
+    future scale-out PRs turn into a thread, process or node without touching
+    hub semantics (the checkpoint layout already records the assignment).
+    """
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.devices: dict[str, DeviceStream] = {}
+        self.points_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+
+class StreamHub:
+    """Multiplex many concurrent device streams over the unified API.
+
+    Parameters
+    ----------
+    algorithm, epsilon:
+        Default algorithm and error bound for devices registered without an
+        explicit override (``epsilon`` is required when the default algorithm
+        is error bounded, exactly as for :class:`~repro.api.Simplifier`).
+    options:
+        Default algorithm options for implicitly registered devices.
+    shards:
+        Number of worker shards devices are hash-partitioned across.
+    sink_factory:
+        Optional ``device_id -> sink`` callable; each registered device gets
+        its own sink (any object with ``accept(segment)``).
+    shared_sink:
+        Optional single sink receiving every device's segments.  Mutually
+        exclusive with ``sink_factory``.
+    on_error:
+        ``"collect"`` (default) quarantines a failing device stream and keeps
+        the hub running; ``"raise"`` re-raises immediately.  Either way the
+        failure is recorded in :attr:`errors`.
+    """
+
+    def __init__(
+        self,
+        *,
+        algorithm: str = "operb",
+        epsilon: float | None = None,
+        options: dict | None = None,
+        shards: int = 4,
+        sink_factory: Callable[[str], object] | None = None,
+        shared_sink: object | None = None,
+        on_error: str = "collect",
+    ) -> None:
+        if shards < 1:
+            raise InvalidParameterError(f"shards must be at least 1, got {shards}")
+        if on_error not in _ON_ERROR_MODES:
+            raise InvalidParameterError(
+                f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
+            )
+        if sink_factory is not None and shared_sink is not None:
+            raise InvalidParameterError(
+                "pass either sink_factory or shared_sink, not both"
+            )
+        # Validates the default configuration eagerly (epsilon, options).
+        self._default = Simplifier(algorithm, epsilon, **dict(options or {}))
+        self.on_error = on_error
+        self._sink_factory = sink_factory
+        self._shared_sink = shared_sink
+        self._shards = [HubShard(index) for index in range(shards)]
+        self.errors: list[DeviceError] = []
+        self.points_pushed = 0
+        self.segments_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Device management
+    # ------------------------------------------------------------------ #
+    @property
+    def algorithm(self) -> str:
+        """Default algorithm for implicitly registered devices."""
+        return self._default.algorithm
+
+    @property
+    def epsilon(self) -> float:
+        """Default error bound for implicitly registered devices."""
+        return self._default.epsilon
+
+    @property
+    def n_shards(self) -> int:
+        """Number of worker shards."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[HubShard]:
+        """The worker shards (read-only view for tests and reporting)."""
+        return list(self._shards)
+
+    def shard_of(self, device_id: str) -> HubShard:
+        """The shard owning (or that would own) ``device_id``."""
+        return self._shards[shard_index(device_id, len(self._shards))]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self.shard_of(device_id).devices
+
+    def devices(self) -> Iterator[DeviceStream]:
+        """Iterate over every device stream (shard order, then insertion)."""
+        for shard in self._shards:
+            yield from shard.devices.values()
+
+    def device(self, device_id: str) -> DeviceStream:
+        """Look up one device stream.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the device is not registered.
+        """
+        try:
+            return self.shard_of(device_id).devices[device_id]
+        except KeyError:
+            raise InvalidParameterError(
+                f"device {device_id!r} is not registered with this hub"
+            ) from None
+
+    def register_device(
+        self,
+        device_id: str,
+        *,
+        algorithm: str | None = None,
+        epsilon: float | None = None,
+        **opts,
+    ) -> DeviceStream:
+        """Open a stream for ``device_id``, optionally overriding defaults.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the device is already registered, or the per-device
+            configuration is invalid (unknown algorithm/options, bad
+            epsilon) — configuration fails fast, before any point arrives.
+        """
+        shard = self.shard_of(device_id)
+        if device_id in shard.devices:
+            raise InvalidParameterError(
+                f"device {device_id!r} is already registered with this hub"
+            )
+        if algorithm is None and epsilon is None and not opts:
+            simplifier = self._default
+        else:
+            # Same algorithm: per-device opts overlay the hub defaults.  A
+            # different algorithm starts from a clean slate (the defaults may
+            # not even be valid options for it).
+            effective_opts = {**self._default.opts, **opts} if algorithm is None else opts
+            simplifier = Simplifier(
+                algorithm if algorithm is not None else self._default.algorithm,
+                epsilon if epsilon is not None else self._default.epsilon,
+                **effective_opts,
+            )
+        sink = self._sink_factory(device_id) if self._sink_factory else self._shared_sink
+        device = DeviceStream(device_id, simplifier, sink)
+        shard.devices[device_id] = device
+        return device
+
+    # ------------------------------------------------------------------ #
+    # Ingest
+    # ------------------------------------------------------------------ #
+    def _record_failure(self, device: DeviceStream, error: Exception) -> None:
+        device.error = DeviceError(
+            device_id=device.device_id,
+            error_type=type(error).__name__,
+            message=str(error),
+            exception=error,
+        )
+        self.errors.append(device.error)
+
+    def push(self, device_id: str, point: Point) -> list[SegmentRecord]:
+        """Route one fix to its device stream (registering it on first sight).
+
+        Returns the segments this push finalised (already routed to the
+        device's sink).  A device that raised earlier is quarantined — its
+        stream state is not trusted again: in ``"collect"`` mode its points
+        are counted as dropped and ``[]`` is returned; in ``"raise"`` mode a
+        :class:`SimplificationError` naming the original failure is raised
+        (only the first failing push propagates the original exception).
+        """
+        shard = self.shard_of(device_id)
+        device = shard.devices.get(device_id)
+        if device is None:
+            device = self.register_device(device_id)
+        if device.failed:
+            if self.on_error == "raise":
+                raise SimplificationError(
+                    f"device {device_id!r} is quarantined after "
+                    f"{device.error.error_type}: {device.error.message}"
+                )
+            device.dropped_points += 1
+            return []
+        try:
+            emitted = device.push(point)
+        except Exception as error:
+            self._record_failure(device, error)
+            if self.on_error == "raise":
+                raise
+            # The failing point was consumed but produced nothing: account
+            # for it as dropped so consumed = points_pushed + dropped holds
+            # (what replay resumption uses to find its position).
+            device.dropped_points += 1
+            return []
+        shard.points_pushed += 1
+        self.points_pushed += 1
+        self.segments_emitted += len(emitted)
+        return emitted
+
+    def push_many(self, records: Iterable[tuple[str, Point]]) -> int:
+        """Route a batch of ``(device_id, point)`` records; returns segments emitted."""
+        emitted = 0
+        for device_id, point in records:
+            emitted += len(self.push(device_id, point))
+        return emitted
+
+    def finish_device(self, device_id: str) -> list[SegmentRecord]:
+        """Flush one device stream (idempotent for already-finished devices)."""
+        device = self.device(device_id)
+        if device.finished or device.failed:
+            return []
+        try:
+            emitted = device.finish()
+        except Exception as error:
+            self._record_failure(device, error)
+            if self.on_error == "raise":
+                raise
+            return []
+        self.segments_emitted += len(emitted)
+        return emitted
+
+    def finish_all(self) -> dict[str, list[SegmentRecord]]:
+        """Flush every live device stream; maps device id -> trailing segments."""
+        return {
+            device.device_id: self.finish_device(device.device_id)
+            for device in list(self.devices())
+        }
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def stats(self) -> HubStats:
+        """Aggregate hub statistics (lag, throughput counters, shard fill)."""
+        active = finished = failed = 0
+        dropped = 0
+        max_lag = 0
+        max_burst = 0
+        for device in self.devices():
+            if device.failed:
+                failed += 1
+            elif device.finished:
+                finished += 1
+            else:
+                active += 1
+            dropped += device.dropped_points
+            if device.max_lag > max_lag:
+                max_lag = device.max_lag
+            if device.max_segments_per_push > max_burst:
+                max_burst = device.max_segments_per_push
+        return HubStats(
+            devices=len(self),
+            active=active,
+            finished=finished,
+            failed=failed,
+            points_pushed=self.points_pushed,
+            segments_emitted=self.segments_emitted,
+            dropped_points=dropped,
+            max_lag=max_lag,
+            max_segments_per_push=max_burst,
+            shard_devices=[len(shard) for shard in self._shards],
+            shard_points=[shard.points_pushed for shard in self._shards],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> dict:
+        """JSON-serialisable snapshot of the hub and every device stream.
+
+        Live streams are captured through the simplifiers' ``snapshot()``
+        protocol; finished and failed devices are recorded for bookkeeping
+        (counters, error descriptions) without stream state.  Restoring the
+        payload with :meth:`from_checkpoint` and continuing the ingest
+        produces byte-identical downstream segments.
+
+        Raises
+        ------
+        CheckpointError
+            When a live device uses an algorithm whose streaming
+            implementation does not support snapshots (see
+            ``AlgorithmDescriptor.snapshot_capable``).
+        """
+        devices = []
+        for device in self.devices():
+            entry: dict[str, object] = {
+                "device_id": device.device_id,
+                "algorithm": device.simplifier.algorithm,
+                "epsilon": device.simplifier.epsilon,
+                "options": dict(device.simplifier.opts),
+                "stats": device.stats_dict(),
+                "finished": device.finished,
+                "failed": None
+                if device.error is None
+                else {
+                    "error_type": device.error.error_type,
+                    "message": device.error.message,
+                },
+                "session": None,
+            }
+            if not device.finished and not device.failed:
+                try:
+                    entry["session"] = device.session.snapshot()
+                except Exception as error:
+                    raise CheckpointError(
+                        f"cannot checkpoint device {device.device_id!r} "
+                        f"({device.simplifier.algorithm!r}): {error}"
+                    ) from error
+            devices.append(entry)
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "kind": CHECKPOINT_KIND,
+            "hub": {
+                "algorithm": self._default.algorithm,
+                "epsilon": self._default.epsilon,
+                "options": dict(self._default.opts),
+                "shards": len(self._shards),
+                "on_error": self.on_error,
+                "points_pushed": self.points_pushed,
+                "segments_emitted": self.segments_emitted,
+                "shard_points": [shard.points_pushed for shard in self._shards],
+            },
+            "devices": devices,
+        }
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: dict,
+        *,
+        sink_factory: Callable[[str], object] | None = None,
+        shared_sink: object | None = None,
+    ) -> "StreamHub":
+        """Rebuild a hub (and every live device stream) from a checkpoint.
+
+        Sinks are process-local resources (open files, sockets) and are not
+        part of the checkpoint; pass fresh ones here.
+
+        Raises
+        ------
+        CheckpointError
+            On a malformed payload or an incompatible format version.
+        """
+        if not isinstance(payload, dict) or payload.get("kind") != CHECKPOINT_KIND:
+            raise CheckpointError(
+                f"not a stream-hub checkpoint payload (kind="
+                f"{payload.get('kind')!r})" if isinstance(payload, dict)
+                else "checkpoint payload must be a dict"
+            )
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"unsupported checkpoint format {payload.get('format')!r}; "
+                f"this build reads format {CHECKPOINT_FORMAT}"
+            )
+        try:
+            hub_config = payload["hub"]
+            hub = cls(
+                algorithm=hub_config["algorithm"],
+                epsilon=hub_config["epsilon"],
+                options=dict(hub_config.get("options", {})),
+                shards=int(hub_config["shards"]),
+                sink_factory=sink_factory,
+                shared_sink=shared_sink,
+                on_error=hub_config["on_error"],
+            )
+            hub.points_pushed = int(hub_config["points_pushed"])
+            hub.segments_emitted = int(hub_config["segments_emitted"])
+            for shard, shard_points in zip(hub._shards, hub_config["shard_points"]):
+                shard.points_pushed = int(shard_points)
+            for entry in payload["devices"]:
+                device = hub.register_device(
+                    entry["device_id"],
+                    algorithm=entry["algorithm"],
+                    epsilon=entry["epsilon"],
+                    **dict(entry.get("options", {})),
+                )
+                device._load_stats(entry["stats"])
+                session_state = entry.get("session")
+                if session_state is not None:
+                    device.session = device.simplifier.restore_stream(session_state)
+                elif entry.get("finished"):
+                    # Consume the fresh session so the device reads finished.
+                    device.session.finish()
+                failure = entry.get("failed")
+                if failure is not None:
+                    device.error = DeviceError(
+                        device_id=entry["device_id"],
+                        error_type=failure["error_type"],
+                        message=failure["message"],
+                    )
+                    hub.errors.append(device.error)
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(f"malformed stream-hub checkpoint: {error!r}") from error
+        # The registry may have validated but the snapshot protocol errors
+        # surface as SimplificationError; let those propagate untouched —
+        # they indicate state (not payload-shape) problems.
+        return hub
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamHub(algorithm={self.algorithm!r}, epsilon={self.epsilon!r}, "
+            f"shards={self.n_shards}, devices={len(self)})"
+        )

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Sequence
 
 from ..exceptions import InvalidTrajectoryError
-from ..geometry.point import Point
+from ..geometry.point import Point, encode_point
 from ..geometry.segment import DirectedSegment
 
 __all__ = ["SegmentRecord", "PiecewiseRepresentation"]
@@ -66,6 +66,39 @@ class SegmentRecord:
             end=trajectory[last_index],
             first_index=first_index,
             last_index=last_index,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of this record (see :meth:`from_dict`).
+
+        Points are flattened to ``[x, y, t]`` triples; everything else is a
+        plain int/bool.  Used by the streaming checkpoint protocol, so the
+        representation must round-trip exactly (floats survive JSON via
+        ``repr`` round-tripping).
+        """
+        return {
+            "start": encode_point(self.start),
+            "end": encode_point(self.end),
+            "first_index": self.first_index,
+            "last_index": self.last_index,
+            "point_count": self.point_count,
+            "covered_last_index": self.covered_last_index,
+            "patched_start": self.patched_start,
+            "patched_end": self.patched_end,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SegmentRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            start=Point(*payload["start"]),
+            end=Point(*payload["end"]),
+            first_index=int(payload["first_index"]),
+            last_index=int(payload["last_index"]),
+            point_count=int(payload["point_count"]),
+            covered_last_index=int(payload["covered_last_index"]),
+            patched_start=bool(payload["patched_start"]),
+            patched_end=bool(payload["patched_end"]),
         )
 
     @property

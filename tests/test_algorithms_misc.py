@@ -4,10 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro import InvalidParameterError, UnknownAlgorithmError
+from repro import InvalidParameterError, Simplifier, UnknownAlgorithmError
 from repro.algorithms.dead_reckoning import DeadReckoningSimplifier, dead_reckoning
-from repro.algorithms.registry import ALGORITHMS, get_algorithm, list_algorithms, simplify
 from repro.algorithms.uniform import uniform_sampling
+from repro.api import algorithm_names, get_descriptor
 from repro.metrics import check_error_bound
 
 
@@ -58,25 +58,25 @@ class TestDeadReckoning:
 class TestRegistry:
     def test_all_paper_algorithms_registered(self):
         for name in ("dp", "fbqs", "opw", "bqs", "operb", "operb-a", "raw-operb", "raw-operb-a"):
-            assert name in ALGORITHMS
+            assert name in algorithm_names()
 
     def test_list_is_sorted(self):
-        names = list_algorithms()
+        names = algorithm_names()
         assert names == sorted(names)
 
     def test_lookup_is_case_insensitive(self):
-        assert get_algorithm("DP") is ALGORITHMS["dp"]
+        assert get_descriptor("DP") is get_descriptor("dp")
 
     def test_unknown_algorithm_raises(self):
         with pytest.raises(UnknownAlgorithmError):
-            get_algorithm("does-not-exist")
+            get_descriptor("does-not-exist")
 
-    def test_simplify_dispatches(self, noisy_walk):
-        representation = simplify(noisy_walk, 25.0, algorithm="fbqs")
+    def test_session_dispatches(self, noisy_walk):
+        representation = Simplifier("fbqs", 25.0).run(noisy_walk)
         assert representation.algorithm == "fbqs"
 
     def test_every_registered_algorithm_runs(self, noisy_walk):
-        for name in list_algorithms():
-            representation = simplify(noisy_walk, 30.0, algorithm=name)
+        for name in algorithm_names():
+            representation = Simplifier(name, 30.0).run(noisy_walk)
             assert representation.n_segments >= 1
             assert representation.source_size == len(noisy_walk)

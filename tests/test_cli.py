@@ -169,6 +169,110 @@ class TestPerfCommand:
         assert "unknown perf suite" in capsys.readouterr().err
 
 
+class TestServeReplayCommand:
+    @pytest.fixture
+    def point_log(self, tmp_path, device_point_log):
+        from repro.streaming import write_point_log
+
+        path = tmp_path / "log.jsonl"
+        write_point_log(device_point_log[:3_000], path)
+        return path
+
+    def test_replays_log_and_reports_stats(self, point_log, tmp_path, capsys):
+        output = tmp_path / "segments.csv"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--epsilon",
+                "40",
+                "--shards",
+                "5",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed 3000 points" in out
+        assert "100 device(s)" in out
+        assert "5 shard(s)" in out
+        assert output.exists()
+        assert len(output.read_text().splitlines()) > 1
+
+    def test_synthetic_log_needs_no_input_file(self, capsys):
+        code = main(
+            ["serve-replay", "--synthetic", "taxi", "--devices", "8", "--points", "50"]
+        )
+        assert code == 0
+        assert "points from 8 device(s)" in capsys.readouterr().out
+
+    def test_checkpoint_resume_is_byte_identical(self, point_log, tmp_path, capsys):
+        full = tmp_path / "full.csv"
+        assert main(["serve-replay", str(point_log), "--output", str(full)]) == 0
+
+        # Interrupted run: part one checkpoints mid-stream...
+        from repro.streaming import CsvSegmentSink, StreamHub, read_point_log, save_checkpoint
+
+        records = list(read_point_log(point_log))
+        part1 = tmp_path / "part1.csv"
+        checkpoint = tmp_path / "hub.json"
+        with CsvSegmentSink(part1) as sink:
+            hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4, shared_sink=sink)
+            hub.push_many(records[:1_700])
+            save_checkpoint(hub, checkpoint)
+
+        # ... and part two resumes from the checkpoint via the CLI.
+        part2 = tmp_path / "part2.csv"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--resume",
+                str(checkpoint),
+                "--checkpoint",
+                str(checkpoint),
+                "--output",
+                str(part2),
+            ]
+        )
+        assert code == 0
+        assert "skipping 1700 points" in capsys.readouterr().out
+        stitched = part1.read_text().splitlines() + part2.read_text().splitlines()[1:]
+        assert stitched == full.read_text().splitlines()
+
+    def test_input_and_synthetic_are_exclusive(self, point_log, capsys):
+        assert main(["serve-replay", str(point_log), "--synthetic", "taxi"]) == 2
+        assert "either a point-log file or --synthetic" in capsys.readouterr().err
+        assert main(["serve-replay"]) == 2
+
+    def test_resume_requires_checkpoint(self, point_log, tmp_path, capsys):
+        code = main(
+            ["serve-replay", str(point_log), "--resume", str(tmp_path / "hub.json")]
+        )
+        assert code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_every_requires_checkpoint_path(self, point_log, capsys):
+        code = main(["serve-replay", str(point_log), "--checkpoint-every", "100"])
+        assert code == 2
+        assert "--checkpoint-every requires --checkpoint" in capsys.readouterr().err
+
+    def test_missing_resume_checkpoint_is_reported(self, point_log, tmp_path, capsys):
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--resume",
+                str(tmp_path / "missing.json"),
+                "--checkpoint",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 1
+        assert "cannot read checkpoint" in capsys.readouterr().err
+
+
 class TestExperimentCommand:
     def test_single_experiment_with_markdown(self, tmp_path, capsys):
         report = tmp_path / "table1.md"

@@ -6,10 +6,10 @@ import numpy as np
 import pytest
 
 from repro import (
+    Simplifier,
     evaluate,
     evaluate_fleet,
     generate_dataset,
-    simplify,
 )
 from repro.datasets.noise import inject_duplicates, inject_out_of_order
 from repro.experiments import PAPER_ALGORITHMS
@@ -29,7 +29,7 @@ class TestFleetWorkflow:
     def test_paper_algorithms_produce_bounded_output(self, fleet):
         epsilon = 40.0
         for algorithm in PAPER_ALGORITHMS:
-            representations = [simplify(t, epsilon, algorithm=algorithm) for t in fleet]
+            representations = [Simplifier(algorithm, epsilon).run(t) for t in fleet]
             report = evaluate_fleet(fleet, representations, epsilon)
             assert report.error_bound_satisfied
             assert 0.0 < report.compression_ratio < 1.0
@@ -39,7 +39,7 @@ class TestFleetWorkflow:
         epsilon = 40.0
         ratios = {
             algorithm: fleet_compression_ratio(
-                [simplify(t, epsilon, algorithm=algorithm) for t in fleet]
+                [Simplifier(algorithm, epsilon).run(t) for t in fleet]
             )
             for algorithm in PAPER_ALGORITHMS
         }
@@ -74,7 +74,7 @@ class TestCrossAlgorithmConsistency:
     def test_all_algorithms_cover_all_points(self, sercar_trajectory):
         epsilon = 30.0
         for algorithm in ("dp", "opw", "bqs", "fbqs", "operb", "operb-a"):
-            representation = simplify(sercar_trajectory, epsilon, algorithm=algorithm)
+            representation = Simplifier(algorithm, epsilon).run(sercar_trajectory)
             assert representation.segments[0].first_index == 0
             assert representation.segments[-1].last_index == len(sercar_trajectory) - 1
 
@@ -82,7 +82,7 @@ class TestCrossAlgorithmConsistency:
         for algorithm in ("dp", "fbqs", "operb", "operb-a"):
             previous = None
             for epsilon in (10.0, 40.0, 160.0):
-                segments = simplify(sercar_trajectory, epsilon, algorithm=algorithm).n_segments
+                segments = Simplifier(algorithm, epsilon).run(sercar_trajectory).n_segments
                 if previous is not None:
                     # Allow a small amount of non-monotonicity for the greedy
                     # one-pass methods; DP is strictly monotone.

@@ -14,9 +14,11 @@ from repro.perf import (
     PerfReport,
     PerfSuite,
     SUITES,
+    build_device_log,
     build_fleet,
     compare_reports,
     get_suite,
+    interleave_fleet,
     load_report,
     machine_metadata,
     run_suite,
@@ -30,6 +32,17 @@ TINY_SUITE = PerfSuite(
     repeats=1,
 )
 
+TINY_HUB_SUITE = PerfSuite(
+    name="tiny-hub",
+    cases=(
+        PerfCase(
+            "hub-tiny", "taxi", n_trajectories=12, points_per_trajectory=60, mode="hub"
+        ),
+    ),
+    algorithms=("operb", "dp"),
+    repeats=1,
+)
+
 
 @pytest.fixture(scope="module")
 def tiny_report() -> PerfReport:
@@ -38,7 +51,15 @@ def tiny_report() -> PerfReport:
 
 class TestSuites:
     def test_declared_suites_exist(self):
-        assert {"smoke", "quick", "full"} <= set(SUITES)
+        assert {"smoke", "quick", "hub", "full"} <= set(SUITES)
+
+    def test_quick_suite_tracks_hub_throughput(self):
+        assert any(case.mode == "hub" for case in SUITES["quick"].cases)
+        assert all(case.mode == "hub" for case in SUITES["hub"].cases)
+
+    def test_invalid_case_mode_rejected(self):
+        with pytest.raises(InvalidParameterError, match="mode"):
+            PerfCase("bad", "taxi", n_trajectories=1, points_per_trajectory=10, mode="warp")
 
     def test_gating_algorithms_covered_by_gating_suites(self):
         for name in ("smoke", "quick"):
@@ -96,6 +117,50 @@ class TestRunSuite:
         text = tiny_report.to_text()
         assert "points/s" in text
         assert "taxi-tiny" in text
+
+
+class TestHubWorkloads:
+    def test_interleave_covers_every_point_round_robin(self):
+        fleet = build_fleet(TINY_HUB_SUITE.cases[0])
+        records = interleave_fleet(fleet)
+        assert len(records) == sum(len(trajectory) for trajectory in fleet)
+        # One fix per device per round while every stream is alive.
+        first_round = [device_id for device_id, _ in records[: len(fleet)]]
+        assert first_round == [f"dev-{i:04d}" for i in range(len(fleet))]
+
+    def test_build_device_log_is_deterministic(self):
+        first = build_device_log("taxi", 6, 40, seed=9)
+        second = build_device_log("taxi", 6, 40, seed=9)
+        assert first == second
+        assert 0 < len(first) <= 6 * 40
+
+    def test_hub_mode_measurements(self):
+        report = run_suite(TINY_HUB_SUITE)
+        assert {m.key for m in report.results} == {"hub-tiny:operb", "hub-tiny:dp"}
+        fleet_points = sum(len(t) for t in build_fleet(TINY_HUB_SUITE.cases[0]))
+        for measurement in report.results:
+            assert measurement.mode == "hub"
+            assert measurement.points == fleet_points > 0
+            assert measurement.trajectories == 12
+            assert measurement.points_per_second > 0.0
+            assert measurement.segments > 0
+            assert 0.0 < measurement.compression_ratio <= 1.0
+
+    def test_hub_measurements_serialise_with_mode(self, tmp_path):
+        report = run_suite(TINY_HUB_SUITE)
+        path = write_report(report, tmp_path / "hub.json")
+        loaded = load_report(path)
+        assert loaded.results == report.results
+        assert json.loads(path.read_text())["results"][0]["mode"] == "hub"
+
+    def test_pre_hub_reports_load_with_batch_default(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        for entry in payload["results"]:
+            del entry["mode"]  # a report written before hub mode existed
+        path.write_text(json.dumps(payload))
+        loaded = load_report(path)
+        assert all(measurement.mode == "batch" for measurement in loaded.results)
 
 
 class TestSerialization:

@@ -13,7 +13,7 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Trajectory, simplify
+from repro import Simplifier, Trajectory
 from repro.core.fitting import rotation_sign, zone_index
 from repro.geometry import Point, normalize_angle, point_to_line_distance
 from repro.metrics import check_error_bound, per_point_errors
@@ -49,13 +49,13 @@ class TestErrorBoundProperty:
     @settings(**COMMON_SETTINGS)
     @given(trajectory=random_trajectories(), epsilon=epsilons(), algorithm=st.sampled_from(ERROR_BOUNDED_ALGORITHMS))
     def test_every_algorithm_is_error_bounded(self, trajectory, epsilon, algorithm):
-        representation = simplify(trajectory, epsilon, algorithm=algorithm)
+        representation = Simplifier(algorithm, epsilon).run(trajectory)
         assert check_error_bound(trajectory, representation, epsilon, tolerance=1e-6)
 
     @settings(**COMMON_SETTINGS)
     @given(trajectory=random_trajectories(), epsilon=epsilons())
     def test_operb_containing_segment_error_bounded(self, trajectory, epsilon):
-        representation = simplify(trajectory, epsilon, algorithm="operb")
+        representation = Simplifier("operb", epsilon).run(trajectory)
         if representation.n_segments == 0:
             return
         errors = per_point_errors(trajectory, representation)
@@ -64,8 +64,8 @@ class TestErrorBoundProperty:
     @settings(**COMMON_SETTINGS)
     @given(trajectory=random_trajectories(), epsilon=epsilons())
     def test_operb_a_never_more_segments_than_operb(self, trajectory, epsilon):
-        aggressive = simplify(trajectory, epsilon, algorithm="operb-a")
-        plain = simplify(trajectory, epsilon, algorithm="operb")
+        aggressive = Simplifier("operb-a", epsilon).run(trajectory)
+        plain = Simplifier("operb", epsilon).run(trajectory)
         assert aggressive.n_segments <= plain.n_segments
 
 
@@ -73,7 +73,7 @@ class TestRepresentationStructureProperty:
     @settings(**COMMON_SETTINGS)
     @given(trajectory=random_trajectories(), epsilon=epsilons(), algorithm=st.sampled_from(("operb", "operb-a", "fbqs", "dp")))
     def test_structure_invariants(self, trajectory, epsilon, algorithm):
-        representation = simplify(trajectory, epsilon, algorithm=algorithm)
+        representation = Simplifier(algorithm, epsilon).run(trajectory)
         n = len(trajectory)
         if n < 2:
             assert representation.n_segments == 0
@@ -99,8 +99,8 @@ class TestRepresentationStructureProperty:
     @settings(**COMMON_SETTINGS)
     @given(trajectory=random_trajectories(), epsilon=epsilons())
     def test_monotone_in_epsilon(self, trajectory, epsilon):
-        tight = simplify(trajectory, epsilon, algorithm="dp")
-        loose = simplify(trajectory, epsilon * 4.0, algorithm="dp")
+        tight = Simplifier("dp", epsilon).run(trajectory)
+        loose = Simplifier("dp", epsilon * 4.0).run(trajectory)
         assert loose.n_segments <= tight.n_segments
 
 

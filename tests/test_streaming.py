@@ -6,8 +6,8 @@ import io
 
 import pytest
 
-from repro import InvalidParameterError, SimplificationError, UnknownAlgorithmError
-from repro.core.operb import OPERBSimplifier
+from repro import InvalidParameterError, Point, SimplificationError, UnknownAlgorithmError
+from repro.api import get_descriptor, open_raw_stream
 from repro.metrics import check_error_bound
 from repro.streaming import (
     BufferedBatchAdapter,
@@ -17,31 +17,37 @@ from repro.streaming import (
     CsvSegmentSink,
     StatisticsSink,
     StreamingPipeline,
-    make_streaming_simplifier,
     run_pipeline,
 )
+
+NATIVE_STREAMING = ("operb", "raw-operb", "operb-a", "raw-operb-a", "fbqs", "dead-reckoning")
+
+
+def open_raw(name: str, epsilon: float, **kwargs):
+    """Raw push/finish simplifier by name (native or buffered adapter)."""
+    return open_raw_stream(get_descriptor(name), epsilon, **kwargs)
 
 
 class TestFactory:
     def test_streaming_algorithms_are_native(self):
-        for name in ("operb", "raw-operb", "operb-a", "raw-operb-a", "fbqs", "dead-reckoning"):
-            simplifier = make_streaming_simplifier(name, 20.0)
+        for name in NATIVE_STREAMING:
+            simplifier = open_raw(name, 20.0)
             assert hasattr(simplifier, "push") and hasattr(simplifier, "finish")
             assert not isinstance(simplifier, BufferedBatchAdapter)
 
     def test_batch_algorithms_are_wrapped(self):
-        adapter = make_streaming_simplifier("dp", 20.0)
+        adapter = open_raw("dp", 20.0)
         assert isinstance(adapter, BufferedBatchAdapter)
 
     def test_unknown_algorithm(self):
         with pytest.raises(UnknownAlgorithmError):
-            make_streaming_simplifier("nope", 20.0)
+            open_raw("nope", 20.0)
 
 
 class TestOnePassAccounting:
     def test_operb_touches_each_point_once(self, taxi_trajectory):
         source = CountingPointSource(taxi_trajectory)
-        simplifier = make_streaming_simplifier("operb", 40.0)
+        simplifier = open_raw("operb", 40.0)
         for point in source:
             simplifier.push(point)
         simplifier.finish()
@@ -49,8 +55,7 @@ class TestOnePassAccounting:
         assert source.total_accesses == len(taxi_trajectory)
 
     def test_operb_distance_computations_linear(self, taxi_trajectory):
-        simplifier = OPERBSimplifier.__new__(OPERBSimplifier)  # placate linters
-        simplifier = make_streaming_simplifier("operb", 40.0)
+        simplifier = open_raw("operb", 40.0)
         for point in taxi_trajectory:
             simplifier.push(point)
         simplifier.finish()
@@ -59,7 +64,7 @@ class TestOnePassAccounting:
         assert simplifier.stats.distance_computations <= 4 * len(taxi_trajectory)
 
     def test_counting_simplifier_records_pushes(self, noisy_walk):
-        counting = CountingSimplifier(make_streaming_simplifier("operb", 25.0))
+        counting = CountingSimplifier(open_raw("operb", 25.0))
         for point in noisy_walk:
             counting.push(point)
         counting.finish()
@@ -98,7 +103,7 @@ class TestBufferedAdapter:
 
     def test_factory_validates_batch_fallback_kwargs_eagerly(self):
         with pytest.raises(InvalidParameterError):
-            make_streaming_simplifier("dp", 25.0, bogus=True)
+            open_raw("dp", 25.0, bogus=True)
 
 
 class TestSinks:
@@ -150,3 +155,79 @@ class TestPipeline:
     def test_pipeline_output_is_error_bounded(self, taxi_trajectory):
         result = run_pipeline(taxi_trajectory, 40.0, algorithm="operb-a")
         assert check_error_bound(taxi_trajectory, result.representation, 40.0)
+
+
+class TestStreamingEdgeCases:
+    """Lifecycle and degenerate-stream behaviour of every native simplifier."""
+
+    @pytest.mark.parametrize("name", NATIVE_STREAMING)
+    def test_push_after_finish_raises(self, name):
+        simplifier = open_raw(name, 20.0)
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        simplifier.finish()
+        with pytest.raises(SimplificationError):
+            simplifier.push(Point(1.0, 1.0, 1.0))
+
+    @pytest.mark.parametrize("name", NATIVE_STREAMING)
+    def test_empty_stream_finish_yields_nothing(self, name):
+        simplifier = open_raw(name, 20.0)
+        assert simplifier.finish() == []
+
+    @pytest.mark.parametrize("name", NATIVE_STREAMING)
+    def test_single_point_stream_yields_nothing(self, name):
+        simplifier = open_raw(name, 20.0)
+        assert simplifier.push(Point(3.0, 4.0, 0.0)) == []
+        assert simplifier.finish() == []
+
+    @pytest.mark.parametrize("name", NATIVE_STREAMING)
+    def test_finish_after_finish_is_silent_for_native(self, name):
+        # Native simplifiers treat a second finish() as a no-op flush (the
+        # session layer is what enforces the strict single-finish lifecycle).
+        simplifier = open_raw(name, 20.0)
+        simplifier.push(Point(0.0, 0.0, 0.0))
+        simplifier.finish()
+        assert simplifier.finish() == []
+
+    def test_counting_simplifier_zero_segment_run(self):
+        counting = CountingSimplifier(open_raw("operb", 50.0))
+        # Two nearby points: everything is absorbed, a single trailing
+        # segment appears only at finish.
+        assert counting.push(Point(0.0, 0.0, 0.0)) == []
+        assert counting.push(Point(1.0, 0.0, 1.0)) == []
+        assert counting.segments_emitted == 0
+        assert counting.max_segments_per_push == 0
+        counting.finish()
+        assert counting.segments_emitted == 1
+
+    def test_statistics_sink_zero_segment_run(self):
+        sink = StatisticsSink()
+        assert sink.segments_received == 0
+        assert sink.points_covered == 0
+        assert sink.anomalous_segments == 0
+        assert sink.total_length == 0.0
+
+    def test_collecting_sink_empty_representation(self):
+        sink = CollectingSink(algorithm="operb")
+        representation = sink.as_representation(0)
+        assert representation.n_segments == 0
+        assert representation.source_size == 0
+
+    def test_max_backlog_of_buffered_adapter(self, noisy_walk):
+        # The buffered adapter is the max-backlog extreme: nothing is emitted
+        # until finish(), when the whole compressed stream arrives at once.
+        counting = CountingSimplifier(open_raw("dp", 25.0))
+        for point in noisy_walk:
+            counting.push(point)
+        assert counting.segments_emitted == 0
+        assert counting.max_segments_per_push == 0
+        emitted = counting.finish()
+        assert len(emitted) == counting.segments_emitted
+        assert counting.segments_emitted >= 1
+
+    def test_one_pass_backlog_stays_bounded(self, noisy_walk):
+        # A one-pass algorithm never releases a large burst on a single push.
+        counting = CountingSimplifier(open_raw("operb", 25.0))
+        for point in noisy_walk:
+            counting.push(point)
+        counting.finish()
+        assert counting.max_segments_per_push <= 2

@@ -1,0 +1,201 @@
+"""Checkpoint-correctness tests for the streaming snapshot protocol.
+
+The core invariant (and the property the hub's durability story rests on):
+interrupting any streaming-capable algorithm at an arbitrary point with
+``snapshot()``, restoring into a fresh instance, and continuing the stream
+yields exactly the segment sequence of an uninterrupted run — through a
+strict-JSON round trip, so what holds here holds for checkpoints on disk.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Point, SimplificationError, Trajectory
+from repro.api import Simplifier, algorithm_names, get_descriptor, list_descriptors
+
+# Streaming-capable means open_stream() works at all: native streaming
+# algorithms plus batch-only ones behind the buffered adapter.
+CHECKPOINTABLE_STREAMING = tuple(
+    descriptor.name
+    for descriptor in list_descriptors()
+    if descriptor.error_bounded and descriptor.snapshot_capable
+)
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_trajectories(draw, max_points: int = 60):
+    """Random-walk trajectories from sub-metre jitter to km-scale legs."""
+    n = draw(st.integers(min_value=2, max_value=max_points))
+    step_scale = draw(st.floats(min_value=0.5, max_value=500.0))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    xs = np.cumsum(rng.normal(0.0, step_scale, n))
+    ys = np.cumsum(rng.normal(0.0, step_scale, n))
+    return Trajectory(xs, ys, np.arange(n, dtype=float))
+
+
+def interrupted_run(session: Simplifier, points: list[Point], cut: int):
+    """Stream with a snapshot/JSON/restore interruption after ``cut`` points."""
+    first = session.open_stream()
+    emitted = first.feed(points[:cut])
+    state = json.loads(json.dumps(first.snapshot(), allow_nan=False))
+    resumed = session.restore_stream(state)
+    emitted += resumed.feed(points[cut:]) + resumed.finish()
+    return emitted, resumed
+
+
+class TestCheckpointProperty:
+    @settings(**COMMON_SETTINGS)
+    @given(
+        trajectory=random_trajectories(),
+        epsilon=st.floats(min_value=0.5, max_value=200.0),
+        algorithm=st.sampled_from(CHECKPOINTABLE_STREAMING),
+        cut_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_interrupted_stream_matches_uninterrupted(
+        self, trajectory, epsilon, algorithm, cut_fraction
+    ):
+        session = Simplifier(algorithm, epsilon)
+        points = list(trajectory)
+        cut = int(round(cut_fraction * len(points)))
+
+        uninterrupted = session.open_stream()
+        expected = uninterrupted.feed(points) + uninterrupted.finish()
+
+        emitted, resumed = interrupted_run(session, points, cut)
+        assert emitted == expected
+        assert resumed.points_pushed == len(points)
+
+    @settings(**COMMON_SETTINGS)
+    @given(
+        trajectory=random_trajectories(max_points=40),
+        epsilon=st.floats(min_value=1.0, max_value=100.0),
+        cuts=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=4),
+    )
+    def test_repeated_checkpoints_compose(self, trajectory, epsilon, cuts):
+        """Checkpointing N times along one stream still matches one pass."""
+        session = Simplifier("operb-a", epsilon)
+        points = list(trajectory)
+
+        uninterrupted = session.open_stream()
+        expected = uninterrupted.feed(points) + uninterrupted.finish()
+
+        stream = session.open_stream()
+        emitted = []
+        position = 0
+        for fraction in sorted(cuts):
+            cut = int(round(fraction * len(points)))
+            emitted += stream.feed(points[position:cut])
+            position = max(position, cut)
+            state = json.loads(json.dumps(stream.snapshot(), allow_nan=False))
+            stream = session.restore_stream(state)
+        emitted += stream.feed(points[position:]) + stream.finish()
+        assert emitted == expected
+
+
+class TestSnapshotProtocol:
+    @pytest.mark.parametrize("name", sorted(CHECKPOINTABLE_STREAMING))
+    def test_snapshot_is_strict_json(self, name, noisy_walk):
+        stream = Simplifier(name, 25.0).open_stream()
+        stream.feed(list(noisy_walk)[:57])
+        # allow_nan=False rejects NaN/Infinity: the payload must be portable.
+        payload = json.dumps(stream.snapshot(), allow_nan=False)
+        assert json.loads(payload)["pushes"] == 57
+
+    def test_descriptor_capability_flags(self):
+        for name in ("operb", "raw-operb", "operb-a", "raw-operb-a", "fbqs", "dead-reckoning"):
+            descriptor = get_descriptor(name)
+            assert descriptor.checkpointable
+            assert descriptor.snapshot_capable
+            assert descriptor.capabilities()["checkpointable"]
+        # Batch-only algorithms snapshot through the buffered adapter.
+        assert not get_descriptor("dp").checkpointable
+        assert get_descriptor("dp").snapshot_capable
+
+    def test_restore_requires_fresh_session(self, noisy_walk):
+        session = Simplifier("operb", 25.0)
+        stream = session.open_stream()
+        stream.feed(list(noisy_walk)[:10])
+        state = stream.snapshot()
+        used = session.open_stream()
+        used.push(noisy_walk[0])
+        with pytest.raises(SimplificationError):
+            used._restore(state)
+
+    def test_restore_requires_fresh_raw_simplifier(self):
+        from repro.core.config import OperbConfig
+        from repro.core.operb import OPERBSimplifier
+
+        first = OPERBSimplifier(OperbConfig.optimized(10.0))
+        first.push(Point(0.0, 0.0, 0.0))
+        state = first.snapshot()
+        second = OPERBSimplifier(OperbConfig.optimized(10.0))
+        second.push(Point(0.0, 0.0, 0.0))
+        with pytest.raises(SimplificationError):
+            second.restore(state)
+
+    def test_snapshot_of_finished_session_restores_finished(self, two_points):
+        session = Simplifier("operb", 25.0)
+        stream = session.open_stream()
+        stream.feed(two_points)
+        stream.finish()
+        restored = session.restore_stream(stream.snapshot())
+        assert restored.finished
+        with pytest.raises(SimplificationError):
+            restored.push(Point(0.0, 0.0, 0.0))
+
+    def test_unsupported_streaming_factory_raises(self, noisy_walk):
+        from repro.api import register_algorithm, unregister_algorithm
+
+        class NoSnapshotSimplifier:
+            def __init__(self, epsilon):
+                self.epsilon = epsilon
+
+            def push(self, point):
+                return []
+
+            def finish(self):
+                return []
+
+        register_algorithm(
+            "no-snapshot",
+            streaming_factory=NoSnapshotSimplifier,
+            streaming_kwargs=(),
+            summary="test-only",
+        )(lambda trajectory, epsilon: None)
+        try:
+            descriptor = get_descriptor("no-snapshot")
+            assert not descriptor.snapshot_capable
+            stream = Simplifier("no-snapshot", 10.0).open_stream()
+            stream.push(noisy_walk[0])
+            with pytest.raises(SimplificationError, match="snapshot"):
+                stream.snapshot()
+        finally:
+            unregister_algorithm("no-snapshot")
+
+    def test_adapter_snapshot_carries_the_buffer(self, noisy_walk):
+        session = Simplifier("dp", 25.0)
+        stream = session.open_stream()
+        stream.feed(list(noisy_walk)[:80])
+        state = stream.snapshot()
+        # The adapter's linear-memory cost is visible in its checkpoint.
+        assert len(state["raw"]["points"]) == 80
+        restored = session.restore_stream(state)
+        assert restored.buffered_points == 80
+
+    def test_every_error_bounded_algorithm_is_streamable_and_checkpointable(self):
+        for name in algorithm_names():
+            descriptor = get_descriptor(name)
+            assert descriptor.snapshot_capable or not descriptor.streaming

@@ -1,0 +1,381 @@
+"""Tests for the multi-device streaming hub and its checkpoint persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import CheckpointError, InvalidParameterError, Point
+from repro.api import register_algorithm, unregister_algorithm
+from repro.streaming import (
+    CollectingSink,
+    StreamHub,
+    load_checkpoint,
+    read_point_log,
+    restore_hub,
+    save_checkpoint,
+    shard_index,
+    write_point_log,
+)
+
+
+def drive(records, *, shards=8, resume_at=None, **hub_kwargs):
+    """Replay ``records`` through a hub; optionally crash/resume mid-stream.
+
+    Returns ``(segments, hub)`` where ``segments`` is everything the shared
+    sink received (across both processes when resuming).
+    """
+    sink = CollectingSink()
+    hub = StreamHub(
+        algorithm=hub_kwargs.pop("algorithm", "operb"),
+        epsilon=hub_kwargs.pop("epsilon", 40.0),
+        shards=shards,
+        shared_sink=sink,
+        **hub_kwargs,
+    )
+    if resume_at is None:
+        hub.push_many(records)
+        hub.finish_all()
+        return sink.segments, hub
+    hub.push_many(records[:resume_at])
+    payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+    resumed_sink = CollectingSink()
+    resumed = restore_hub(payload, shared_sink=resumed_sink)
+    resumed.push_many(records[resume_at:])
+    resumed.finish_all()
+    return sink.segments + resumed_sink.segments, resumed
+
+
+class TestHubBasics:
+    def test_devices_register_implicitly_on_first_push(self):
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        assert "cab-1" not in hub
+        hub.push("cab-1", Point(0.0, 0.0, 0.0))
+        assert "cab-1" in hub
+        assert len(hub) == 1
+        assert hub.device("cab-1").algorithm == "operb"
+
+    def test_explicit_registration_with_per_device_config(self):
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        premium = hub.register_device("cab-2", algorithm="operb-a", epsilon=10.0)
+        assert premium.algorithm == "operb-a"
+        assert premium.simplifier.epsilon == 10.0
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            hub.register_device("cab-2")
+
+    def test_per_device_opts_overlay_hub_defaults(self):
+        hub = StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            options={"opt_two_sided_deviation": False, "opt_aggressive_rotation": False},
+        )
+        # Same algorithm: the override merges with (not replaces) the defaults.
+        device = hub.register_device("cab-5", opt_two_sided_deviation=True)
+        assert device.simplifier.opts == {
+            "opt_two_sided_deviation": True,
+            "opt_aggressive_rotation": False,
+        }
+        # Epsilon-only override also inherits the defaults.
+        assert hub.register_device("cab-6", epsilon=20.0).simplifier.opts == {
+            "opt_two_sided_deviation": False,
+            "opt_aggressive_rotation": False,
+        }
+        # A different algorithm starts clean (the defaults may not apply).
+        assert hub.register_device("cab-7", algorithm="fbqs").simplifier.opts == {}
+
+    def test_unknown_device_lookup_rejected(self):
+        hub = StreamHub(algorithm="operb", epsilon=40.0)
+        with pytest.raises(InvalidParameterError, match="not registered"):
+            hub.device("ghost")
+
+    def test_invalid_configuration_fails_fast(self):
+        with pytest.raises(InvalidParameterError):
+            StreamHub(algorithm="operb", epsilon=40.0, shards=0)
+        with pytest.raises(InvalidParameterError):
+            StreamHub(algorithm="operb", epsilon=40.0, on_error="ignore")
+        with pytest.raises(InvalidParameterError):
+            StreamHub(algorithm="operb")  # error bounded without an epsilon
+        hub = StreamHub(algorithm="operb", epsilon=40.0)
+        with pytest.raises(InvalidParameterError):
+            hub.register_device("cab-3", bogus=True)
+
+    def test_sink_factory_and_shared_sink_are_exclusive(self):
+        with pytest.raises(InvalidParameterError, match="not both"):
+            StreamHub(
+                algorithm="operb",
+                epsilon=40.0,
+                sink_factory=lambda device_id: CollectingSink(),
+                shared_sink=CollectingSink(),
+            )
+
+    def test_sharding_is_deterministic_and_total(self):
+        ids = [f"dev-{i}" for i in range(500)]
+        assignment = {device_id: shard_index(device_id, 7) for device_id in ids}
+        assert assignment == {device_id: shard_index(device_id, 7) for device_id in ids}
+        assert set(assignment.values()) <= set(range(7))
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=7)
+        for device_id in ids:
+            hub.register_device(device_id)
+        assert sum(len(shard) for shard in hub.shards) == 500
+        for shard in hub.shards:
+            for device_id in shard.devices:
+                assert shard_index(device_id, 7) == shard.index
+
+    def test_per_device_sinks(self, device_point_log):
+        sinks: dict[str, CollectingSink] = {}
+
+        def factory(device_id: str) -> CollectingSink:
+            sinks[device_id] = CollectingSink()
+            return sinks[device_id]
+
+        hub = StreamHub(algorithm="operb", epsilon=40.0, sink_factory=factory)
+        hub.push_many(device_point_log)
+        hub.finish_all()
+        assert len(sinks) == len(hub)
+        assert sum(len(sink.segments) for sink in sinks.values()) == hub.segments_emitted
+
+    def test_stats_accounting(self, device_point_log):
+        segments, hub = drive(device_point_log)
+        stats = hub.stats()
+        assert stats.devices == 100
+        assert stats.finished == 100
+        assert stats.active == 0 and stats.failed == 0
+        assert stats.points_pushed == len(device_point_log)
+        assert stats.segments_emitted == len(segments) > 0
+        assert stats.max_lag >= 1
+        assert sum(stats.shard_devices) == 100
+        assert sum(stats.shard_points) == len(device_point_log)
+        assert stats.as_dict()["devices"] == 100
+
+    def test_finish_device_is_idempotent(self):
+        hub = StreamHub(algorithm="operb", epsilon=40.0)
+        for i in range(30):
+            hub.push("cab-4", Point(float(i), 0.0, float(i)))
+        first = hub.finish_device("cab-4")
+        assert len(first) >= 1
+        assert hub.finish_device("cab-4") == []
+        assert hub.device("cab-4").finished
+
+
+class TestHubErrorIsolation:
+    @pytest.fixture
+    def exploding_algorithm(self):
+        class ExplodingSimplifier:
+            """Raises on the third push — a misbehaving device stream."""
+
+            def __init__(self, epsilon):
+                self.epsilon = epsilon
+                self._pushes = 0
+
+            def push(self, point):
+                self._pushes += 1
+                if self._pushes >= 3:
+                    raise RuntimeError("device firmware bug")
+                return []
+
+            def finish(self):
+                return []
+
+        register_algorithm(
+            "exploding",
+            streaming_factory=ExplodingSimplifier,
+            streaming_kwargs=(),
+            summary="test-only failing stream",
+        )(lambda trajectory, epsilon: None)
+        yield "exploding"
+        unregister_algorithm("exploding")
+
+    def test_failing_device_is_quarantined_not_fatal(self, exploding_algorithm):
+        hub = StreamHub(algorithm="operb", epsilon=40.0, on_error="collect")
+        hub.register_device("bad", algorithm=exploding_algorithm)
+        emitted = 0
+        for i in range(50):
+            point = Point(float(i * 10), 0.0, float(i))
+            emitted += len(hub.push("good", point))
+            hub.push("bad", point)
+        assert len(hub.errors) == 1
+        error = hub.errors[0]
+        assert error.device_id == "bad"
+        assert error.error_type == "RuntimeError"
+        assert "firmware" in error.message
+        bad = hub.device("bad")
+        assert bad.failed
+        # The failing push and everything after it count as dropped (the
+        # points were consumed but produced nothing), so replay resumption
+        # can rely on consumed == points_pushed + dropped_points.
+        assert bad.dropped_points == 48
+        assert bad.points_pushed + bad.dropped_points == 50
+        # The healthy device was untouched.
+        good = hub.device("good")
+        assert not good.failed
+        assert good.points_pushed == 50
+        assert hub.stats().failed == 1
+        assert hub.finish_device("good")
+
+    def test_on_error_raise_propagates(self, exploding_algorithm):
+        from repro import SimplificationError
+
+        hub = StreamHub(algorithm=exploding_algorithm, epsilon=40.0, on_error="raise")
+        hub.push("bad", Point(0.0, 0.0, 0.0))
+        hub.push("bad", Point(1.0, 0.0, 1.0))
+        with pytest.raises(RuntimeError, match="firmware"):
+            hub.push("bad", Point(2.0, 0.0, 2.0))
+        assert len(hub.errors) == 1
+        # Subsequent pushes never re-enter the corrupted stream: they raise
+        # the quarantine error and do not pile up duplicate DeviceErrors.
+        with pytest.raises(SimplificationError, match="quarantined"):
+            hub.push("bad", Point(3.0, 0.0, 3.0))
+        assert len(hub.errors) == 1
+
+    def test_failed_device_survives_checkpoint_roundtrip(self, exploding_algorithm):
+        hub = StreamHub(algorithm="operb", epsilon=40.0, on_error="collect")
+        hub.register_device("bad", algorithm=exploding_algorithm)
+        for i in range(5):
+            hub.push("bad", Point(float(i), 0.0, float(i)))
+            hub.push("good", Point(float(i * 10), 0.0, float(i)))
+        payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+        restored = restore_hub(payload)
+        assert restored.device("bad").failed
+        assert len(restored.errors) == 1
+        assert restored.device("bad").dropped_points == 3
+        # Pushing to the restored failed device keeps dropping quietly.
+        assert restored.push("bad", Point(9.0, 9.0, 9.0)) == []
+        assert restored.device("bad").dropped_points == 4
+
+
+class TestHubCheckpointRestore:
+    def test_resumed_hub_is_byte_identical_with_100_devices(self, device_point_log):
+        """The acceptance property: >= 100 devices, mid-stream crash/resume."""
+        reference, _ = drive(device_point_log)
+        for resume_at in (1, len(device_point_log) // 2, len(device_point_log) - 1):
+            resumed_segments, resumed = drive(device_point_log, resume_at=resume_at)
+            assert resumed_segments == reference
+            assert len(resumed) == 100
+            assert resumed.stats().finished == 100
+
+    def test_mixed_algorithm_hub_checkpoint(self, device_point_log):
+        def configure(hub: StreamHub) -> None:
+            hub.register_device("dev-0000", algorithm="operb-a", epsilon=20.0)
+            hub.register_device("dev-0001", algorithm="fbqs")
+            hub.register_device("dev-0002", algorithm="dead-reckoning", epsilon=15.0)
+            hub.register_device("dev-0003", algorithm="dp")  # buffered adapter
+
+        sink_a = CollectingSink()
+        reference_hub = StreamHub(algorithm="operb", epsilon=40.0, shared_sink=sink_a)
+        configure(reference_hub)
+        reference_hub.push_many(device_point_log)
+        reference_hub.finish_all()
+
+        cut = len(device_point_log) // 3
+        sink_b = CollectingSink()
+        crashing = StreamHub(algorithm="operb", epsilon=40.0, shared_sink=sink_b)
+        configure(crashing)
+        crashing.push_many(device_point_log[:cut])
+        payload = json.loads(json.dumps(crashing.checkpoint(), allow_nan=False))
+        sink_c = CollectingSink()
+        resumed = restore_hub(payload, shared_sink=sink_c)
+        resumed.push_many(device_point_log[cut:])
+        resumed.finish_all()
+
+        assert sink_b.segments + sink_c.segments == sink_a.segments
+        assert resumed.device("dev-0003").session.buffering
+
+    def test_checkpoint_restores_counters(self, device_point_log):
+        cut = 4_321
+        _, resumed = drive(device_point_log, resume_at=cut)
+        assert resumed.points_pushed == len(device_point_log)
+        stats = resumed.stats()
+        assert stats.points_pushed == len(device_point_log)
+        assert stats.segments_emitted == resumed.segments_emitted
+        # Per-shard load survives the round trip too.
+        assert sum(stats.shard_points) == len(device_point_log)
+        assert all(points > 0 for points in stats.shard_points)
+
+    def test_save_and_load_checkpoint_file(self, device_point_log, tmp_path):
+        _, hub = drive(device_point_log[:2_000])
+        path = save_checkpoint(hub, tmp_path / "hub.json")
+        payload = load_checkpoint(path)
+        assert payload["kind"] == "stream-hub"
+        assert payload["format"] == 1
+        restored = restore_hub(path)
+        assert len(restored) == len(hub)
+
+    def test_checkpoint_rejects_wrong_kind_and_format(self):
+        with pytest.raises(CheckpointError, match="kind"):
+            StreamHub.from_checkpoint({"format": 1, "kind": "other"})
+        with pytest.raises(CheckpointError, match="format"):
+            StreamHub.from_checkpoint({"format": 99, "kind": "stream-hub"})
+
+    def test_malformed_payload_raises_checkpoint_error(self):
+        with pytest.raises(CheckpointError, match="malformed"):
+            StreamHub.from_checkpoint({"format": 1, "kind": "stream-hub", "hub": {}})
+
+    def test_load_checkpoint_rejects_garbage_files(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(missing)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_checkpoint(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(CheckpointError, match="discriminators"):
+            load_checkpoint(wrong)
+
+    def test_unsnapshottable_live_stream_fails_checkpoint(self):
+        class OpaqueSimplifier:
+            def __init__(self, epsilon):
+                self.epsilon = epsilon
+
+            def push(self, point):
+                return []
+
+            def finish(self):
+                return []
+
+        register_algorithm(
+            "opaque",
+            streaming_factory=OpaqueSimplifier,
+            streaming_kwargs=(),
+            summary="test-only",
+        )(lambda trajectory, epsilon: None)
+        try:
+            hub = StreamHub(algorithm="opaque", epsilon=10.0)
+            hub.push("dev", Point(0.0, 0.0, 0.0))
+            with pytest.raises(CheckpointError, match="opaque"):
+                hub.checkpoint()
+        finally:
+            unregister_algorithm("opaque")
+
+
+class TestPointLog:
+    def test_round_trip(self, device_point_log, tmp_path):
+        path = tmp_path / "log.jsonl"
+        written = write_point_log(device_point_log, path)
+        assert written == len(device_point_log)
+        loaded = list(read_point_log(path))
+        assert loaded == device_point_log
+
+    def test_malformed_line_is_named(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"device": "a", "x": 1.0, "y": 2.0, "t": 0.0}\n{"x": 1.0}\n')
+        with pytest.raises(CheckpointError, match="line 2"):
+            list(read_point_log(path))
+
+    def test_blank_lines_skipped_and_t_defaults(self, tmp_path):
+        path = tmp_path / "sparse.jsonl"
+        path.write_text('\n{"device": "a", "x": 1.0, "y": 2.0}\n\n')
+        records = list(read_point_log(path))
+        assert records == [("a", Point(1.0, 2.0, 0.0))]
+
+    def test_non_finite_coordinates_rejected_without_truncated_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        write_point_log([("a", Point(0.0, 0.0, 0.0))], path)
+        bad = [("a", Point(1.0, 1.0, 1.0)), ("b", Point(float("nan"), 0.0, 0.0))]
+        with pytest.raises(CheckpointError, match="not .*serialisable"):
+            write_point_log(bad, path)
+        # The previous log survives intact; no .tmp residue either.
+        assert list(read_point_log(path)) == [("a", Point(0.0, 0.0, 0.0))]
+        assert list(tmp_path.iterdir()) == [path]

@@ -7,7 +7,7 @@ import io
 import numpy as np
 import pytest
 
-from repro import simplify
+from repro import Simplifier
 from repro.exceptions import DatasetError
 from repro.trajectory.io import (
     parse_plt,
@@ -97,7 +97,7 @@ class TestPlt:
 
 class TestPiecewiseCsv:
     def test_writes_one_row_per_vertex(self, noisy_walk, tmp_path):
-        representation = simplify(noisy_walk, 30.0, algorithm="dp")
+        representation = Simplifier("dp", 30.0).run(noisy_walk)
         path = tmp_path / "compressed.csv"
         write_piecewise_csv(representation, path)
         lines = path.read_text().strip().splitlines()
