@@ -87,6 +87,7 @@ from .datasets import (
 from .exceptions import (
     CheckpointError,
     DatasetError,
+    ExecutionError,
     ExperimentError,
     FleetExecutionError,
     InvalidParameterError,
@@ -122,6 +123,7 @@ __all__ = [
     "AlgorithmDescriptor",
     "CheckpointError",
     "DatasetError",
+    "ExecutionError",
     "DatasetProfile",
     "DirectedSegment",
     "EvaluationReport",

@@ -1,31 +1,35 @@
-"""Fleet-scale batch executor with process parallelism and error isolation.
+"""Fleet-scale batch executor with pluggable parallelism and error isolation.
 
 A production deployment compresses millions of trajectories, not one; this
 module is the single choke point every fleet workload goes through
 (:meth:`repro.api.Simplifier.run_many`, :func:`repro.metrics.evaluate_fleet`,
 the experiment harness and the CLI).  It offers:
 
-- a serial fast path (``workers=1``) with zero multiprocessing overhead,
-- a :class:`concurrent.futures.ProcessPoolExecutor` backend (``workers>1``)
-  that resolves algorithms by name inside each worker, so only trajectories
-  and plain options cross process boundaries,
+- pluggable execution through :mod:`repro.exec`: a serial fast path, a
+  thread pool, or a process pool (``backend="serial" | "thread" |
+  "process" | "auto"``, ``auto`` picking serial for one worker and process
+  otherwise).  Algorithms are resolved by name inside each worker, so only
+  trajectories and plain options cross process boundaries;
 - per-trajectory error isolation: one malformed trajectory yields a
   :class:`FleetError` entry instead of sinking the whole fleet run
   (``on_error="collect"``), or a :class:`FleetExecutionError` summarising
   every failure (``on_error="raise"``, the default).
 
-Both backends produce bit-identical representations for the same input, a
-property locked in by the test suite.
+Every backend produces bit-identical representations for the same input, a
+property locked in by the test suite.  The :class:`FleetResult` records the
+backend and worker count *actually used* — e.g. a one-trajectory fleet
+requested with ``workers=8`` collapses to serial and reports ``workers=1``,
+and a two-trajectory fleet with ``workers=8`` reports ``workers=2``.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..exceptions import FleetExecutionError, InvalidParameterError, UnknownAlgorithmError
+from ..exec import ExecutionBackend, SerialBackend, resolve_backend
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
 from .descriptors import AlgorithmDescriptor, get_descriptor
@@ -40,8 +44,9 @@ class FleetError:
     """One trajectory that failed to compress during a fleet run.
 
     ``exception`` carries the original exception object when the failure
-    happened in-process (serial backend); failures crossing a process
-    boundary are described by ``error_type``/``message`` strings only.
+    happened in-process (serial and thread backends); failures crossing a
+    process boundary are described by ``error_type``/``message`` strings
+    only.
     """
 
     index: int
@@ -61,7 +66,9 @@ class FleetResult:
 
     ``representations`` is index-aligned with the input trajectories; failed
     entries are ``None`` and described by a :class:`FleetError` in
-    ``errors``.
+    ``errors``.  ``workers`` and ``backend`` record the worker count and
+    execution backend *actually used* (a requested pool silently collapses
+    to serial for degenerate fleets — that collapse is visible here).
     """
 
     algorithm: str
@@ -70,6 +77,7 @@ class FleetResult:
     seconds: float
     representations: list[PiecewiseRepresentation | None] = field(default_factory=list)
     errors: list[FleetError] = field(default_factory=list)
+    backend: str = "serial"
 
     @property
     def n_total(self) -> int:
@@ -105,8 +113,8 @@ class FleetResult:
     def raise_if_failed(self) -> None:
         """Raise :class:`FleetExecutionError` if any trajectory failed.
 
-        When the first failure carries its original exception (serial
-        backend), the raised error is chained from it so type and traceback
+        When the first failure carries its original exception (in-process
+        backends), the raised error is chained from it so type and traceback
         stay inspectable.
         """
         if not self.errors:
@@ -130,30 +138,17 @@ class FleetResult:
         return iter(self.representations)
 
 
-def _compress_one(task: tuple) -> tuple:
-    """Worker body: compress one trajectory, capturing any failure.
+def _compress_task(task: tuple) -> PiecewiseRepresentation:
+    """Worker body: compress one trajectory.
 
     ``spec`` is the algorithm name for registered algorithms (resolved
     against the registry inside the worker, so only trajectories and plain
     options cross process boundaries) or the descriptor itself for
-    unregistered ad-hoc descriptors.
+    unregistered ad-hoc descriptors.  Failures are captured per task by the
+    execution backend's isolation contract, not here.
     """
-    index, trajectory, spec, epsilon, opts = task
-    try:
-        representation = get_descriptor(spec).batch(trajectory, epsilon, **opts)
-        return index, representation, None
-    except Exception as error:  # noqa: BLE001 — isolation is the contract
-        trajectory_id = getattr(trajectory, "trajectory_id", "") or ""
-        return index, None, (trajectory_id, type(error).__name__, str(error), error)
-
-
-def _compress_one_remote(task: tuple) -> tuple:
-    """Pool wrapper: strip the exception object before it crosses the
-    process boundary (arbitrary exceptions do not reliably pickle)."""
-    index, representation, failure = _compress_one(task)
-    if failure is not None:
-        failure = failure[:3] + (None,)
-    return index, representation, failure
+    trajectory, spec, epsilon, opts = task
+    return get_descriptor(spec).batch(trajectory, epsilon, **opts)
 
 
 def run_many(
@@ -163,6 +158,7 @@ def run_many(
     *,
     opts: dict | None = None,
     workers: int = 1,
+    backend: str | ExecutionBackend = "auto",
     on_error: str = "raise",
     chunksize: int | None = None,
 ) -> FleetResult:
@@ -171,15 +167,20 @@ def run_many(
     Parameters
     ----------
     workers:
-        ``1`` runs serially in-process; ``>1`` fans out over a
-        ``ProcessPoolExecutor`` with that many workers.
+        Worker count for the concurrent backends.  With the default
+        ``backend="auto"``, ``1`` runs serially in-process and ``>1`` fans
+        out over a process pool — the historical behaviour.
+    backend:
+        Execution backend: ``"serial"``, ``"thread"``, ``"process"``,
+        ``"auto"``, or a :class:`repro.exec.ExecutionBackend` instance.
+        Fleets with fewer than two trajectories always collapse to serial.
     on_error:
         ``"raise"`` (default) raises :class:`FleetExecutionError` after the
         whole fleet has been attempted; ``"collect"`` records failures in
         :attr:`FleetResult.errors` and keeps going.
     chunksize:
-        Tasks handed to each worker at a time; defaults to a value that
-        gives each worker a handful of batches.
+        Tasks handed to each process worker at a time; defaults to a value
+        that gives each worker a handful of batches.
 
     Notes
     -----
@@ -190,9 +191,12 @@ def run_many(
     happens at import time of some module the workers also import; on Linux
     (``fork``) runtime registrations carry over.  Unregistered ad-hoc
     descriptors are shipped whole (their callables must be picklable for
-    ``workers > 1``).
+    the process backend).
     """
     descriptor = get_descriptor(algorithm)
+    # Materialised once: the error path maps outcome indices back to their
+    # trajectories, which must work for generator inputs too.
+    trajectories = list(trajectories)
     opts = dict(opts or {})
     descriptor.validate_kwargs(opts)
     if workers < 1:
@@ -201,6 +205,7 @@ def run_many(
         raise InvalidParameterError(
             f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
         )
+    executor = resolve_backend(backend, workers=workers)
 
     # Registered algorithms travel by name (cheap, spawn-safe); ad-hoc
     # descriptors that were never registered travel whole.
@@ -209,43 +214,38 @@ def run_many(
     except UnknownAlgorithmError:
         spec = descriptor
     tasks = [
-        (index, trajectory, spec, epsilon, opts)
-        for index, trajectory in enumerate(trajectories)
+        (trajectory, spec, epsilon, opts) for trajectory in trajectories
     ]
+    if len(tasks) < 2 and executor.name != "serial":
+        executor = SerialBackend()
     started = time.perf_counter()
-    if workers == 1 or len(tasks) < 2:
-        outcomes = [_compress_one(task) for task in tasks]
-    else:
-        pool_size = min(workers, len(tasks))
-        if chunksize is None:
-            chunksize = max(1, len(tasks) // (pool_size * 4))
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            outcomes = list(pool.map(_compress_one_remote, tasks, chunksize=chunksize))
+    outcomes = executor.map_isolated(_compress_task, tasks, chunksize=chunksize)
     elapsed = time.perf_counter() - started
 
     representations: list[PiecewiseRepresentation | None] = [None] * len(tasks)
     errors: list[FleetError] = []
-    for index, representation, failure in outcomes:
-        if failure is None:
-            representations[index] = representation
+    for outcome in outcomes:
+        if outcome.ok:
+            representations[outcome.index] = outcome.value
         else:
-            trajectory_id, error_type, message, exception = failure
+            trajectory = trajectories[outcome.index]
             errors.append(
                 FleetError(
-                    index=index,
-                    trajectory_id=trajectory_id,
-                    error_type=error_type,
-                    message=message,
-                    exception=exception,
+                    index=outcome.index,
+                    trajectory_id=getattr(trajectory, "trajectory_id", "") or "",
+                    error_type=outcome.failure.error_type,
+                    message=outcome.failure.message,
+                    exception=outcome.failure.exception,
                 )
             )
     result = FleetResult(
         algorithm=descriptor.name,
         epsilon=epsilon,
-        workers=workers,
+        workers=executor.effective_workers(len(tasks)),
         seconds=elapsed,
         representations=representations,
         errors=errors,
+        backend=executor.name,
     )
     if on_error == "raise":
         result.raise_if_failed()

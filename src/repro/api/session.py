@@ -15,8 +15,8 @@ validates options eagerly against the descriptor's capability flags, and
 routes each mode accordingly: ``open_stream`` uses the native streaming
 factory when the algorithm has one and transparently wraps batch-only
 algorithms in a :class:`~repro.api.BufferedBatchAdapter`; ``run_many`` fans
-the fleet out over a :class:`concurrent.futures.ProcessPoolExecutor` with
-per-trajectory error isolation.
+the fleet out over a pluggable :mod:`repro.exec` backend (serial, thread
+pool or process pool) with per-trajectory error isolation.
 """
 
 from __future__ import annotations
@@ -316,14 +316,19 @@ class Simplifier:
         trajectories: Sequence[Trajectory],
         *,
         workers: int = 1,
+        backend: str = "auto",
         on_error: str = "raise",
         chunksize: int | None = None,
     ):
-        """Compress a fleet of trajectories, optionally across processes.
+        """Compress a fleet of trajectories, optionally in parallel.
 
-        See :func:`repro.api.executor.run_many` for the full contract; the
+        ``backend`` selects the :mod:`repro.exec` execution backend
+        (``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` — serial
+        for one worker, a process pool otherwise).  See
+        :func:`repro.api.executor.run_many` for the full contract; the
         returned :class:`~repro.api.FleetResult` keeps per-trajectory error
-        isolation so one malformed trajectory cannot sink a fleet job.
+        isolation so one malformed trajectory cannot sink a fleet job, and
+        records the backend and worker count actually used.
         """
         from .executor import run_many
 
@@ -333,6 +338,7 @@ class Simplifier:
             self.epsilon,
             opts=self.opts,
             workers=workers,
+            backend=backend,
             on_error=on_error,
             chunksize=chunksize,
         )

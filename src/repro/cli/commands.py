@@ -208,21 +208,33 @@ def cmd_serve_replay(args) -> int:
         sink = CsvSegmentSink(args.output)
     else:
         sink = StatisticsSink()
+    hub = None
+    replay_ok = False
     try:
         skip = 0
         if args.resume:
-            hub = restore_hub(args.resume, shared_sink=sink)
+            # --shards re-shards the restored devices; omitted, the
+            # checkpoint's own layout is kept.
+            hub = restore_hub(
+                args.resume,
+                shared_sink=sink,
+                shards=args.shards,
+                backend=args.backend,
+                workers=args.workers,
+            )
             skip = hub.points_pushed + hub.stats().dropped_points
             print(
-                f"resumed {len(hub)} device stream(s) from {args.resume} "
-                f"(skipping {skip} points)"
+                f"resumed {len(hub)} device stream(s) from {args.resume} onto "
+                f"{hub.n_shards} shard(s) (skipping {skip} points)"
             )
         else:
             hub = StreamHub(
                 algorithm=args.algorithm,
                 epsilon=args.epsilon,
-                shards=args.shards,
+                shards=args.shards if args.shards is not None else 4,
                 shared_sink=sink,
+                backend=args.backend,
+                workers=args.workers,
             )
         if skip:
             # Drain the already-ingested prefix outside the timed window so
@@ -230,21 +242,48 @@ def cmd_serve_replay(args) -> int:
             next(itertools.islice(records, skip - 1, skip), None)
         replayed = 0
         started = time.perf_counter()
-        for position, (device_id, point) in enumerate(records, start=skip):
-            hub.push(device_id, point)
-            replayed += 1
-            if args.checkpoint_every and (position + 1) % args.checkpoint_every == 0:
-                save_checkpoint(hub, args.checkpoint)
+        # Records ship in batches: push_many lets the concurrent backends
+        # ride chunked shard messages instead of one message per point.
+        # The batch is capped so a huge --checkpoint-every cannot buffer
+        # the log in memory (the hub must stay O(devices), not O(points));
+        # checkpoints land every --checkpoint-every replayed points, to
+        # within one batch when the interval exceeds the cap.
+        batch_size = min(args.checkpoint_every or 4096, 4096)
+        batch: list = []
+        since_checkpoint = 0
+        for record in records:
+            batch.append(record)
+            if len(batch) >= batch_size:
+                hub.push_many(batch)
+                replayed += len(batch)
+                since_checkpoint += len(batch)
+                batch.clear()
+                if args.checkpoint_every and since_checkpoint >= args.checkpoint_every:
+                    save_checkpoint(hub, args.checkpoint)
+                    since_checkpoint = 0
+        if batch:
+            hub.push_many(batch)
+            replayed += len(batch)
         hub.finish_all()
         elapsed = time.perf_counter() - started
         if args.checkpoint:
             save_checkpoint(hub, args.checkpoint)
             print(f"wrote final checkpoint to {args.checkpoint}")
+        stats = hub.stats()
+        replay_ok = True
     finally:
-        if args.output:
-            sink.close()
+        try:
+            if hub is not None:
+                hub.close()
+        except Exception:
+            # The replay already failed: closing errors must neither mask
+            # the original exception nor keep the sink from being closed.
+            if replay_ok:
+                raise
+        finally:
+            if args.output:
+                sink.close()
 
-    stats = hub.stats()
     throughput = replayed / elapsed if elapsed > 0.0 else float("inf")
     print(
         f"replayed {replayed} points from {stats.devices} device(s) across "
@@ -291,7 +330,13 @@ def cmd_perf(args) -> int:
             return 2
     else:
         suite = get_suite(args.suite)
-        report = run_suite(suite, repeats=args.repeats, progress=print)
+        report = run_suite(
+            suite,
+            repeats=args.repeats,
+            progress=print,
+            backend=args.backend,
+            workers=args.workers,
+        )
         print()
         print(report.to_text())
         if args.output:

@@ -111,7 +111,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--algorithm", default="operb", help="default algorithm for every device"
     )
-    serve.add_argument("--shards", type=int, default=4, help="hub worker shards")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="hub shard partitions (default 4; with --resume, re-shards the "
+        "restored devices instead of keeping the checkpoint layout)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "thread", "process"],
+        help="execution backend driving the hub shards (default serial)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process backends (default: CPU count, "
+        "clamped to the shard count)",
+    )
     serve.add_argument(
         "--checkpoint", metavar="PATH", help="write hub checkpoints to this JSON file"
     )
@@ -136,7 +155,9 @@ def build_parser() -> argparse.ArgumentParser:
         "perf", help="run the performance harness / compare BENCH reports"
     )
     perf.add_argument(
-        "--suite", default="quick", help="workload suite: smoke, quick, hub or full"
+        "--suite",
+        default="quick",
+        help="workload suite: smoke, quick, hub, fleet or full",
     )
     perf.add_argument(
         "--output", help="write the report (BENCH_results.json format) to this path"
@@ -160,6 +181,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf.add_argument(
         "--repeats", type=int, default=None, help="override the suite's timing repeats"
+    )
+    perf.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="override the execution backend of every hub/fleet case",
+    )
+    perf.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the worker count of every hub/fleet case",
     )
     perf.set_defaults(handler=commands.cmd_perf)
 

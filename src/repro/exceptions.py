@@ -17,6 +17,7 @@ __all__ = [
     "FleetExecutionError",
     "UnknownAlgorithmError",
     "CheckpointError",
+    "ExecutionError",
 ]
 
 
@@ -79,4 +80,14 @@ class CheckpointError(ReproError):
 
     Raised for malformed or version-incompatible checkpoint payloads and
     when a hub contains streams that cannot be snapshotted.
+    """
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """The execution runtime itself failed.
+
+    Raised by :mod:`repro.exec` when a worker actor crashes outside the
+    per-task/per-device isolation contract (for example a handler bug, a
+    dead worker process, or an unpicklable reply) — as opposed to
+    :class:`FleetExecutionError`, which reports isolated task failures.
     """

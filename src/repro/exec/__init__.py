@@ -1,0 +1,55 @@
+"""One execution runtime for every parallel surface of the package.
+
+``repro.exec`` is where *how work runs* is decided, exactly once: the fleet
+executor (:meth:`repro.api.Simplifier.run_many`), the streaming hub
+(:class:`repro.streaming.StreamHub`), the perf harness and the CLI all
+resolve their ``backend=`` / ``--backend`` knobs through
+:func:`resolve_backend` and execute through the same
+:class:`ExecutionBackend` objects.
+
+Two execution shapes are offered:
+
+- **isolated task maps** (:meth:`ExecutionBackend.map_isolated`) for
+  fleet-style batch fan-out with per-task error quarantine, and
+- **actor groups** (:meth:`ExecutionBackend.start_actors`,
+  :mod:`repro.exec.actors`) for long-lived stateful workers such as the
+  hub's shards.
+
+All three backends (``serial``, ``thread``, ``process``) are contractually
+equivalent: for deterministic work they produce byte-identical results, a
+property the test suite locks in across both consumers.
+"""
+
+from .actors import (
+    ActorCrash,
+    ActorGroup,
+    ProcessActorGroup,
+    SerialActorGroup,
+    ThreadActorGroup,
+)
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    TaskFailure,
+    TaskOutcome,
+    ThreadBackend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ActorCrash",
+    "ActorGroup",
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ProcessActorGroup",
+    "ProcessBackend",
+    "SerialActorGroup",
+    "SerialBackend",
+    "TaskFailure",
+    "TaskOutcome",
+    "ThreadActorGroup",
+    "ThreadBackend",
+    "resolve_backend",
+]

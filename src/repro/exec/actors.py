@@ -1,0 +1,633 @@
+"""Long-lived stateful workers ("actors") behind a uniform mailbox protocol.
+
+The streaming hub needs something a task pool cannot give it: workers that
+*own mutable state* (a shard's device streams) for the lifetime of the hub,
+process messages strictly in order, and stream events (finalised segments,
+device failures) back to the parent as they happen.  An
+:class:`ActorGroup` provides exactly that, with one implementation per
+execution backend:
+
+``SerialActorGroup``
+    Handlers live in the caller; ``tell``/``ask`` dispatch inline and
+    handler exceptions propagate directly.  The reference semantics.
+``ThreadActorGroup``
+    One worker thread + FIFO queue per actor.  Handlers still share the
+    caller's memory (``local_handlers``), but only their own thread touches
+    them between barriers — single-owner state, no locks in handler code.
+``ProcessActorGroup``
+    One worker process + duplex pipe per actor; a parent-side router thread
+    multiplexes replies and events.  Messages, replies and events must be
+    picklable; exceptions are reduced to ``(type name, message)`` and
+    revived by name on the parent side.
+
+The handler contract is deliberately tiny: ``factory(emit) -> handler``
+builds the handler inside its worker, ``handler.handle(message) -> reply``
+processes one message, and ``emit(event)`` (usable mid-``handle``) routes an
+event to the group's ``on_event(actor_index, event)`` callback.  ``on_event``
+is always invoked under a group-wide lock, so callbacks never run
+concurrently with each other.
+
+Delivery guarantees: messages to one actor are processed FIFO; events an
+actor emitted before replying to an ``ask`` (or acknowledging a
+``barrier``) are delivered to ``on_event`` before that call returns.
+Handler exceptions during a ``tell`` are recorded as crashes and re-raised
+as :class:`~repro.exceptions.ExecutionError` at the next
+``ask``/``barrier``/``close`` — a crashed handler never deadlocks the
+group.
+"""
+
+from __future__ import annotations
+
+import builtins
+import itertools
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Callable, Sequence
+
+from .. import exceptions as _exceptions
+from ..exceptions import ExecutionError
+
+__all__ = [
+    "ActorCrash",
+    "ActorGroup",
+    "SerialActorGroup",
+    "ThreadActorGroup",
+    "ProcessActorGroup",
+]
+
+_BARRIER = "__barrier__"
+_STOP = "__stop__"
+
+_CTL = "__repro.exec.control__"
+_STOP_MSG = (_CTL, "stop")
+_BARRIER_MSG = (_CTL, "barrier")
+"""Control messages crossing the process boundary travel as namespaced
+tagged tuples: identity comparison does not survive pickling, and matching
+bare strings with ``==`` would hijack legitimate string messages (the
+in-process groups use the ``_STOP``/``_BARRIER`` sentinel objects with
+``is``)."""
+
+_MAILBOX_CAPACITY = 128
+"""Bound on a thread actor's queued messages.  A full mailbox blocks the
+producer (``tell`` waits), so a fast producer cannot balloon hub memory to
+O(points) — the backpressure the process backend gets from its pipe buffer.
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class ActorCrash:
+    """One unhandled handler exception that happened during a ``tell``."""
+
+    actor: int
+    error_type: str
+    message: str
+    exception: BaseException | None = None
+
+    def __str__(self) -> str:
+        return f"actor {self.actor}: {self.error_type}: {self.message}"
+
+
+def _revive_exception(error_type: str, message: str) -> BaseException:
+    """Best-effort reconstruction of an exception that crossed a process
+    boundary: repro exceptions and builtins revive by name, everything else
+    becomes an :class:`ExecutionError`."""
+    cls = getattr(_exceptions, error_type, None) or getattr(builtins, error_type, None)
+    if not (isinstance(cls, type) and issubclass(cls, BaseException)):
+        return ExecutionError(f"{error_type}: {message}")
+    try:
+        return cls(message)
+    except Exception:  # noqa: BLE001 — exotic constructor signatures
+        return ExecutionError(f"{error_type}: {message}")
+
+
+class ActorGroup:
+    """Common bookkeeping for the three actor-group implementations."""
+
+    #: Name of the backend that spawned this group.
+    backend_name: str = "serial"
+
+    def __init__(self, n_actors: int) -> None:
+        if n_actors < 1:
+            raise ExecutionError("an actor group needs at least one actor")
+        self.n_actors = n_actors
+        self.crashes: list[ActorCrash] = []
+        self._closed = False
+
+    # -- interface ------------------------------------------------------- #
+    def tell(self, actor: int, message: object) -> None:
+        """Fire-and-forget: enqueue ``message`` for ``actor``."""
+        raise NotImplementedError
+
+    def ask(self, actor: int, message: object) -> object:
+        """Round trip: process ``message`` on ``actor`` and return the reply.
+
+        Re-raises the handler's exception (revived by name when it crossed a
+        process boundary).
+        """
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        """Block until every actor has processed all previously sent
+        messages and their events have been delivered, then surface any
+        crashes recorded since the last barrier."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop every actor and release its worker (idempotent)."""
+        raise NotImplementedError
+
+    @property
+    def local_handlers(self) -> list | None:
+        """The live handler objects when they share the caller's memory
+        (serial and thread groups); ``None`` for process groups.  Thread
+        groups barrier first, so the handlers are quiescent."""
+        return None
+
+    def handler(self, actor: int):
+        """One live handler *without* synchronisation (``None`` when handlers
+        don't share the caller's memory).
+
+        Unlike :attr:`local_handlers` this never barriers; the caller must
+        ensure the state it reads has quiesced — e.g. by reading only what
+        a just-completed ``ask`` round-trip produced.
+        """
+        return None
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # -- shared helpers -------------------------------------------------- #
+    def _check_actor(self, actor: int) -> None:
+        if self._closed:
+            raise ExecutionError("actor group is closed")
+        if not 0 <= actor < self.n_actors:
+            raise ExecutionError(
+                f"actor index {actor} out of range (group has {self.n_actors})"
+            )
+
+    def raise_crashes(self) -> None:
+        """Raise :class:`ExecutionError` if any actor crashed on a ``tell``."""
+        if not self.crashes:
+            return
+        crashes, self.crashes = list(self.crashes), []
+        shown = "; ".join(str(crash) for crash in crashes[:3])
+        more = f" (+{len(crashes) - 3} more)" if len(crashes) > 3 else ""
+        failure = ExecutionError(
+            f"{len(crashes)} actor message(s) crashed outside the isolation "
+            f"contract: {shown}{more}"
+        )
+        cause = crashes[0].exception
+        if cause is not None:
+            raise failure from cause
+        raise failure
+
+    def __enter__(self) -> "ActorGroup":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class SerialActorGroup(ActorGroup):
+    """Inline dispatch: the reference implementation of the protocol."""
+
+    backend_name = "serial"
+
+    def __init__(
+        self,
+        factories: Sequence[Callable],
+        *,
+        on_event: Callable[[int, object], None] | None = None,
+    ) -> None:
+        super().__init__(len(factories))
+        self._handlers = [
+            factory(self._make_emit(index)) for index, factory in enumerate(factories)
+        ]
+        self._on_event = on_event
+
+    def _make_emit(self, index: int) -> Callable[[object], None]:
+        def emit(event: object) -> None:
+            if self._on_event is not None:
+                self._on_event(index, event)
+
+        return emit
+
+    @property
+    def local_handlers(self) -> list:
+        return list(self._handlers)
+
+    def handler(self, actor: int):
+        self._check_actor(actor)
+        return self._handlers[actor]
+
+    def tell(self, actor, message):
+        self._check_actor(actor)
+        try:
+            self._handlers[actor].handle(message)
+        except Exception as error:  # noqa: BLE001 — uniform crash contract
+            self.crashes.append(
+                ActorCrash(actor, type(error).__name__, str(error), error)
+            )
+
+    def ask(self, actor, message):
+        self._check_actor(actor)
+        return self._handlers[actor].handle(message)
+
+    def barrier(self):
+        if self._closed:
+            raise ExecutionError("actor group is closed")
+        self.raise_crashes()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self.raise_crashes()
+
+
+class ThreadActorGroup(ActorGroup):
+    """One worker thread per actor; handlers share the caller's memory."""
+
+    backend_name = "thread"
+
+    def __init__(
+        self,
+        factories: Sequence[Callable],
+        *,
+        on_event: Callable[[int, object], None] | None = None,
+    ) -> None:
+        import queue
+
+        super().__init__(len(factories))
+        self._on_event = on_event
+        self._event_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, list] = {}  # token -> [threading.Event, ok, value]
+        self._tokens = itertools.count()
+        self._handlers: list = [None] * len(factories)
+        self._queues = [queue.Queue(maxsize=_MAILBOX_CAPACITY) for _ in factories]
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(index, factory),
+                name=f"repro-actor-{index}",
+                daemon=True,
+            )
+            for index, factory in enumerate(factories)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- worker side ----------------------------------------------------- #
+    def _worker(self, index: int, factory: Callable) -> None:
+        def emit(event: object) -> None:
+            if self._on_event is None:
+                return
+            with self._event_lock:
+                try:
+                    self._on_event(index, event)
+                except Exception as error:  # noqa: BLE001 — a broken event
+                    # callback must not kill the worker (or, via an
+                    # unwinding handler, wedge the group); surface it as a
+                    # crash at the next barrier instead.
+                    self._record_crash(index, error)
+
+        try:
+            handler = factory(emit)
+            self._handlers[index] = handler
+        except Exception as error:  # noqa: BLE001 — surfaced as a crash
+            handler = None
+            self._record_crash(index, error)
+        while True:
+            token, message = self._queues[index].get()
+            if message is _STOP:
+                break
+            if message is _BARRIER:
+                self._resolve(token, True, None)
+                continue
+            if handler is None:
+                failure = ExecutionError(f"actor {index} failed to initialise")
+                if token is None:
+                    self._record_crash(index, failure)
+                else:
+                    self._resolve(token, False, failure)
+                continue
+            try:
+                reply = handler.handle(message)
+            except Exception as error:  # noqa: BLE001 — shipped to the caller
+                if token is None:
+                    self._record_crash(index, error)
+                else:
+                    self._resolve(token, False, error)
+            else:
+                if token is not None:
+                    self._resolve(token, True, reply)
+
+    def _record_crash(self, index: int, error: BaseException) -> None:
+        with self._pending_lock:
+            self.crashes.append(
+                ActorCrash(index, type(error).__name__, str(error), error)
+            )
+
+    def _resolve(self, token: int, ok: bool, value: object) -> None:
+        with self._pending_lock:
+            slot = self._pending[token]
+        slot[1] = ok
+        slot[2] = value
+        slot[0].set()
+
+    # -- caller side ----------------------------------------------------- #
+    @property
+    def local_handlers(self) -> list:
+        self.barrier()
+        return list(self._handlers)
+
+    def handler(self, actor: int):
+        self._check_actor(actor)
+        return self._handlers[actor]
+
+    def tell(self, actor, message):
+        self._check_actor(actor)
+        self._queues[actor].put((None, message))
+
+    def _ask_raw(self, actor: int, message: object) -> object:
+        token = next(self._tokens)
+        slot = [threading.Event(), False, None]
+        with self._pending_lock:
+            self._pending[token] = slot
+        self._queues[actor].put((token, message))
+        slot[0].wait()
+        with self._pending_lock:
+            del self._pending[token]
+        if not slot[1]:
+            raise slot[2]
+        return slot[2]
+
+    def ask(self, actor, message):
+        self._check_actor(actor)
+        return self._ask_raw(actor, message)
+
+    def barrier(self):
+        if self._closed:
+            raise ExecutionError("actor group is closed")
+        tokens = []
+        with self._pending_lock:
+            for actor in range(self.n_actors):
+                token = next(self._tokens)
+                self._pending[token] = [threading.Event(), False, None]
+                tokens.append(token)
+        for actor, token in enumerate(tokens):
+            self._queues[actor].put((token, _BARRIER))
+        for token in tokens:
+            with self._pending_lock:
+                slot = self._pending[token]
+            slot[0].wait()
+            with self._pending_lock:
+                del self._pending[token]
+        self.raise_crashes()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for queue_ in self._queues:
+            queue_.put((None, _STOP))
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self.raise_crashes()
+
+
+def _actor_process_main(factory: Callable, conn) -> None:
+    """Entry point of one actor worker process."""
+
+    def emit(event: object) -> None:
+        conn.send(("event", event))
+
+    try:
+        handler = factory(emit)
+    except Exception as error:  # noqa: BLE001 — surfaced as a crash
+        handler = None
+        conn.send(("crash", (type(error).__name__, str(error))))
+    while True:
+        try:
+            token, message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if isinstance(message, tuple) and len(message) == 2 and message[0] == _CTL:
+            if message[1] == "stop":
+                break
+            conn.send(("reply", token, True, None))
+            continue
+        if handler is None:
+            info = ("ExecutionError", "actor failed to initialise")
+            conn.send(("crash", info) if token is None else ("reply", token, False, info))
+            continue
+        try:
+            reply = handler.handle(message)
+        except Exception as error:  # noqa: BLE001 — shipped to the caller
+            info = (type(error).__name__, str(error))
+            conn.send(("crash", info) if token is None else ("reply", token, False, info))
+        else:
+            if token is None:
+                continue
+            try:
+                conn.send(("reply", token, True, reply))
+            except Exception as error:  # noqa: BLE001 — unpicklable reply
+                conn.send(
+                    ("reply", token, False, ("ExecutionError", f"reply not sendable: {error}"))
+                )
+    conn.close()
+
+
+class ProcessActorGroup(ActorGroup):
+    """One worker process per actor, multiplexed by a parent router thread."""
+
+    backend_name = "process"
+
+    def __init__(
+        self,
+        factories: Sequence[Callable],
+        *,
+        on_event: Callable[[int, object], None] | None = None,
+    ) -> None:
+        super().__init__(len(factories))
+        self._on_event = on_event
+        self._event_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, list] = {}
+        self._tokens = itertools.count()
+        self._dead: set[int] = set()
+        self._closing = False
+        context = multiprocessing.get_context()
+        self._conns = []
+        self._processes = []
+        for factory in factories:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_actor_process_main, args=(factory, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._processes.append(process)
+        self._conn_index = {conn: index for index, conn in enumerate(self._conns)}
+        self._router_stop = threading.Event()
+        self._router = threading.Thread(
+            target=self._route, name="repro-actor-router", daemon=True
+        )
+        self._router.start()
+
+    # -- router thread --------------------------------------------------- #
+    def _route(self) -> None:
+        live = list(self._conns)
+        while live and not self._router_stop.is_set():
+            for conn in _connection_wait(live, timeout=0.05):
+                index = self._conn_index[conn]
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    live.remove(conn)
+                    self._mark_dead(index)
+                    continue
+                except Exception as error:  # noqa: BLE001 — e.g. a payload
+                    # that unpickles only in the worker.  The router must
+                    # survive (its death would hang every pending ask), and
+                    # the lost payload may have been someone's reply — fail
+                    # the actor over instead of guessing.
+                    live.remove(conn)
+                    with self._pending_lock:
+                        self.crashes.append(
+                            ActorCrash(index, type(error).__name__, str(error))
+                        )
+                    self._mark_dead(index)
+                    continue
+                kind = payload[0]
+                if kind == "event":
+                    if self._on_event is not None:
+                        with self._event_lock:
+                            try:
+                                self._on_event(index, payload[1])
+                            except Exception as error:  # noqa: BLE001
+                                # The router must survive a broken event
+                                # callback — its death would deadlock every
+                                # pending and future ask.
+                                with self._pending_lock:
+                                    self.crashes.append(
+                                        ActorCrash(
+                                            index, type(error).__name__, str(error)
+                                        )
+                                    )
+                elif kind == "reply":
+                    _, token, ok, value = payload
+                    if not ok:
+                        value = _revive_exception(*value)
+                    self._resolve(token, ok, value)
+                elif kind == "crash":
+                    error_type, message = payload[1]
+                    with self._pending_lock:
+                        self.crashes.append(ActorCrash(index, error_type, message))
+
+    def _mark_dead(self, index: int) -> None:
+        """Fail every pending ask so a dead worker never deadlocks callers."""
+        self._dead.add(index)
+        error = ExecutionError(f"actor {index} worker process died")
+        with self._pending_lock:
+            if not self._closing:  # EOF during close is a normal shutdown
+                self.crashes.append(ActorCrash(index, "ExecutionError", str(error)))
+            slots = [slot for slot in self._pending.values() if slot[3] == index]
+        for slot in slots:
+            slot[1] = False
+            slot[2] = error
+            slot[0].set()
+
+    def _resolve(self, token: int, ok: bool, value: object) -> None:
+        with self._pending_lock:
+            slot = self._pending.get(token)
+        if slot is None:  # already failed over by _mark_dead
+            return
+        slot[1] = ok
+        slot[2] = value
+        slot[0].set()
+
+    # -- caller side ----------------------------------------------------- #
+    def _send(self, actor: int, token: int | None, message: object) -> None:
+        if actor in self._dead:
+            raise ExecutionError(f"actor {actor} worker process died")
+        try:
+            self._conns[actor].send((token, message))
+        except (OSError, BrokenPipeError) as error:
+            self._mark_dead(actor)
+            raise ExecutionError(f"actor {actor} is unreachable: {error}") from error
+
+    def tell(self, actor, message):
+        self._check_actor(actor)
+        self._send(actor, None, message)
+
+    def _ask_raw(self, actor: int, message: object) -> object:
+        token = next(self._tokens)
+        slot = [threading.Event(), False, None, actor]
+        with self._pending_lock:
+            self._pending[token] = slot
+        try:
+            self._send(actor, token, message)
+        except BaseException:
+            # Includes pickling errors from conn.send (unpicklable message):
+            # the slot must not outlive the failed send.
+            with self._pending_lock:
+                del self._pending[token]
+            raise
+        slot[0].wait()
+        with self._pending_lock:
+            del self._pending[token]
+        if not slot[1]:
+            raise slot[2]
+        return slot[2]
+
+    def ask(self, actor, message):
+        self._check_actor(actor)
+        return self._ask_raw(actor, message)
+
+    def barrier(self):
+        if self._closed:
+            raise ExecutionError("actor group is closed")
+        for actor in range(self.n_actors):
+            if actor in self._dead:
+                continue
+            self._ask_raw(actor, _BARRIER_MSG)
+        self.raise_crashes()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self._closing = True
+        for actor, conn in enumerate(self._conns):
+            if actor in self._dead:
+                continue
+            try:
+                conn.send((None, _STOP_MSG))
+            except (OSError, BrokenPipeError):
+                pass
+        for process in self._processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover — defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)
+        # Let the router drain every pipe to EOF before it stops: events
+        # (and crash reports) the workers sent just before exiting are still
+        # buffered, and dropping them would lose finalised segments at the
+        # hub's sinks.  The stop flag is only a fallback for a router wedged
+        # on a connection that never reaches EOF.
+        self._router.join(timeout=30.0)
+        if self._router.is_alive():  # pragma: no cover — defensive teardown
+            self._router_stop.set()
+            self._router.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        for process in self._processes:
+            process.close()
+        self.raise_crashes()

@@ -91,6 +91,7 @@ def evaluate_fleet(
     *,
     algorithm: str | None = None,
     workers: int = 1,
+    backend: str = "auto",
     tolerance: float = 1e-9,
     **algorithm_opts,
 ) -> EvaluationReport:
@@ -98,8 +99,9 @@ def evaluate_fleet(
 
     Either pass precomputed ``representations`` (index-aligned with
     ``trajectories``), or pass ``algorithm=`` to have the fleet compressed
-    here through the unified API — ``workers > 1`` fans the compression out
-    over a process pool.
+    here through the unified API — ``workers``/``backend`` select the
+    :mod:`repro.exec` execution backend (``workers > 1`` fans out over a
+    process pool by default).
     """
     if epsilon is None:
         raise InvalidParameterError("evaluate_fleet requires an epsilon")
@@ -111,17 +113,18 @@ def evaluate_fleet(
         from ..api.session import Simplifier  # local import; metrics is a lower layer
 
         fleet_run = Simplifier(algorithm, epsilon, **algorithm_opts).run_many(
-            trajectories, workers=workers
+            trajectories, workers=workers, backend=backend
         )
         representations = fleet_run.successful()
     elif algorithm is not None:
         raise InvalidParameterError(
             "pass either representations or algorithm=, not both"
         )
-    elif algorithm_opts or workers != 1:
+    elif algorithm_opts or workers != 1 or backend != "auto":
         # Without algorithm= these would be silently ignored (or are typos of
         # tolerance); fail loudly instead.
         stray = sorted(algorithm_opts) + (["workers"] if workers != 1 else [])
+        stray += ["backend"] if backend != "auto" else []
         raise InvalidParameterError(
             f"unexpected keyword argument(s) {', '.join(stray)}: "
             f"compression options require the algorithm= path"

@@ -30,6 +30,7 @@ from .harness import (
     write_report,
 )
 from .workloads import (
+    CASE_BACKENDS,
     CASE_MODES,
     GATING_ALGORITHMS,
     SUITES,
@@ -42,6 +43,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "CASE_BACKENDS",
     "CASE_MODES",
     "ComparisonResult",
     "ComparisonRow",

@@ -24,7 +24,7 @@ import os
 import platform
 import subprocess
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -71,13 +71,29 @@ class Measurement:
     segments: int
     compression_ratio: float
     mode: str = "batch"
-    """Execution mode of the case: per-trajectory ``batch`` or multi-device
-    ``hub`` ingest (defaulted so pre-hub reports keep loading)."""
+    """Execution mode of the case: per-trajectory ``batch``, multi-device
+    ``hub`` ingest, or ``fleet`` executor fan-out (defaulted so pre-hub
+    reports keep loading)."""
+    backend: str = "serial"
+    """Execution backend the cell ran on (``serial``/``thread``/``process``;
+    defaulted so pre-backend reports keep loading)."""
+    workers: int = 1
+    """Worker count of the execution backend."""
 
     @property
     def key(self) -> str:
-        """Stable identity used when diffing two reports."""
-        return f"{self.case}:{self.algorithm}"
+        """Stable identity used when diffing two reports.
+
+        Concurrent-backend cells carry their backend in the key, so a run
+        overridden with ``--backend``/``--workers`` is never silently gated
+        against a baseline measured on a different backend — mismatched
+        cells show up as added/missing instead of bogus regressions.
+        Serial cells keep the historical ``case:algorithm`` form, so old
+        baselines stay comparable.
+        """
+        if self.backend == "serial" and self.workers == 1:
+            return f"{self.case}:{self.algorithm}"
+        return f"{self.case}:{self.algorithm}@{self.backend}x{self.workers}"
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dict view for JSON serialisation."""
@@ -126,13 +142,15 @@ class PerfReport:
     def to_text(self) -> str:
         """Fixed-width summary table of the measurements."""
         header = (
-            f"{'case':<14} {'algorithm':<10} {'points':>8} {'wall s':>9} "
-            f"{'points/s':>12} {'ratio':>7}"
+            f"{'case':<16} {'algorithm':<10} {'backend':<10} {'points':>8} "
+            f"{'wall s':>9} {'points/s':>12} {'ratio':>7}"
         )
         lines = [header, "-" * len(header)]
         for measurement in self.results:
+            backend = f"{measurement.backend}x{measurement.workers}"
             lines.append(
-                f"{measurement.case:<14} {measurement.algorithm:<10} "
+                f"{measurement.case:<16} {measurement.algorithm:<10} "
+                f"{backend:<10} "
                 f"{measurement.points:>8} {measurement.wall_seconds:>9.4f} "
                 f"{measurement.points_per_second:>12.0f} "
                 f"{measurement.compression_ratio:>7.4f}"
@@ -221,34 +239,73 @@ def _time_hub(
     case: PerfCase,
     records: Sequence[tuple[str, Point]],
     repeats: int,
-) -> tuple[float, int]:
-    """Best wall time over ``repeats`` hub replays and the segment count.
+) -> tuple[float, int, str, int]:
+    """Best wall time over ``repeats`` hub replays, the segment count, and
+    the backend/worker-count the hub *actually* ran with.
 
-    Each repeat drives a fresh :class:`repro.streaming.StreamHub` (devices
-    pre-registered, so registration cost is not part of the measurement)
-    over the full interleaved log, then flushes every stream.
+    Each repeat drives a fresh :class:`repro.streaming.StreamHub` on the
+    case's execution backend (devices pre-registered, so registration cost
+    is not part of the measurement) over the full interleaved log, then
+    flushes every stream — ``finish_all`` synchronises the shard workers,
+    so concurrent backends are timed to full drain.
     """
     from ..streaming.hub import StreamHub
 
     device_ids = sorted({device_id for device_id, _ in records})
     best = math.inf
     segments = 0
+    backend = case.backend
+    workers = case.workers
     for _ in range(max(1, repeats)):
         hub = StreamHub(
             algorithm=algorithm,
             epsilon=case.epsilon,
             shards=_HUB_SHARDS,
             on_error="raise",
+            backend=case.backend,
+            workers=case.workers,
         )
-        for device_id in device_ids:
-            hub.register_device(device_id)
+        try:
+            backend, workers = hub.backend, hub.n_workers
+            for device_id in device_ids:
+                hub.register_device(device_id)
+            started = time.perf_counter()
+            hub.push_many(records)
+            hub.finish_all()
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+            segments = hub.stats().segments_emitted
+        finally:
+            hub.close()
+    return best, segments, backend, workers
+
+
+def _time_fleet_executor(
+    algorithm: str,
+    case: PerfCase,
+    fleet: Sequence[Trajectory],
+    repeats: int,
+) -> tuple[float, list[PiecewiseRepresentation], str, int]:
+    """Best wall time over ``repeats`` ``run_many`` fan-outs, plus the
+    backend/worker-count the executor *actually* used."""
+    session = Simplifier(algorithm, case.epsilon)
+    best = math.inf
+    representations: list[PiecewiseRepresentation] = []
+    backend = case.backend
+    workers = case.workers
+    for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        hub.push_many(records)
-        hub.finish_all()
+        result = session.run_many(
+            fleet,
+            workers=case.workers,
+            backend=case.backend,
+            on_error="raise",
+        )
         elapsed = time.perf_counter() - started
         best = min(best, elapsed)
-        segments = hub.segments_emitted
-    return best, segments
+        representations = result.successful()
+        backend, workers = result.backend, result.workers
+    return best, representations, backend, workers
 
 
 def run_suite(
@@ -256,6 +313,8 @@ def run_suite(
     *,
     repeats: int | None = None,
     progress: Callable[[str], None] | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> PerfReport:
     """Run a declared suite and return the populated report.
 
@@ -263,29 +322,51 @@ def run_suite(
     ----------
     suite:
         A :class:`~repro.perf.workloads.PerfSuite` or the name of a declared
-        one (``smoke``, ``quick``, ``full``).
+        one (``smoke``, ``quick``, ``hub``, ``fleet``, ``full``).
     repeats:
         Override the suite's timing repeats (best-of semantics).
     progress:
         Optional sink for one-line progress messages (e.g. ``print``).
+    backend, workers:
+        Override the execution backend / worker count of every ``hub`` and
+        ``fleet`` case (``batch`` cases always run inline).  Handy for ad-hoc
+        scaling experiments; declared suites stay the reproducible record.
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
     effective_repeats = suite.repeats if repeats is None else max(1, repeats)
     report = PerfReport(suite=suite.name, meta=machine_metadata())
     for case in suite.cases:
+        if case.mode in ("hub", "fleet") and (backend is not None or workers is not None):
+            case = replace(
+                case,
+                backend=backend if backend is not None else case.backend,
+                workers=workers if workers is not None else case.workers,
+            )
         fleet = build_fleet(case)
         total_points = sum(len(trajectory) for trajectory in fleet)
         records = interleave_fleet(fleet) if case.mode == "hub" else None
         for algorithm in suite.algorithms:
-            if records is not None:
-                wall, segments = _time_hub(algorithm, case, records, effective_repeats)
+            # ``backend``/``workers`` record what actually ran — a serial
+            # cell requested with workers=4 reports serial/1, a hub case
+            # with more workers than shards reports the clamped count.
+            if case.mode == "hub":
+                wall, segments, ran_backend, ran_workers = _time_hub(
+                    algorithm, case, records, effective_repeats
+                )
                 ratio = segments / total_points if total_points else 0.0
+            elif case.mode == "fleet":
+                wall, representations, ran_backend, ran_workers = _time_fleet_executor(
+                    algorithm, case, fleet, effective_repeats
+                )
+                segments = sum(rep.n_segments for rep in representations)
+                ratio = fleet_compression_ratio(representations)
             else:
                 session = Simplifier(algorithm, case.epsilon)
                 wall, representations = _time_fleet(session, fleet, effective_repeats)
                 segments = sum(rep.n_segments for rep in representations)
                 ratio = fleet_compression_ratio(representations)
+                ran_backend, ran_workers = "serial", 1
             measurement = Measurement(
                 case=case.name,
                 algorithm=algorithm,
@@ -298,11 +379,14 @@ def run_suite(
                 segments=segments,
                 compression_ratio=ratio,
                 mode=case.mode,
+                backend=ran_backend,
+                workers=ran_workers,
             )
             report.results.append(measurement)
             if progress is not None:
                 progress(
                     f"{measurement.case}:{measurement.algorithm} "
+                    f"[{measurement.backend}x{measurement.workers}] "
                     f"{measurement.points_per_second:,.0f} points/s "
                     f"(wall {measurement.wall_seconds:.4f}s, "
                     f"ratio {measurement.compression_ratio:.4f})"

@@ -8,26 +8,34 @@ today, next month, on another machine — measure exactly the same work and
 their ``BENCH_results.json`` files can be diffed by
 :mod:`repro.perf.compare`.
 
-Four suites ship by default:
+Five suites ship by default:
 
 ``smoke``
     A few hundred points; used by the unit tests and the CLI smoke test.
 ``quick``
-    The CI gating suite (a few seconds): two fleets plus a multi-device
-    ``hub``-mode case, the paper's headline algorithms.
+    The CI gating suite (a few seconds): two fleets plus two multi-device
+    ``hub``-mode cases — one serial, one on the thread backend — covering
+    the paper's headline algorithms.
 ``hub``
     Concurrent-ingest workloads: every case replays an interleaved
     multi-device point log through a :class:`repro.streaming.StreamHub`
-    (one device per trajectory), measuring aggregate hub throughput.
+    (one device per trajectory), measuring aggregate hub throughput across
+    the serial, thread and process execution backends.
+``fleet``
+    Backend-scaling cases for the fleet executor: the same fleet through
+    ``Simplifier.run_many`` on every :mod:`repro.exec` backend.
 ``full``
     All four dataset profiles at a larger scale for local investigations.
 
 A case's ``mode`` selects what the harness drives: ``"batch"`` runs the
 fleet through ``Simplifier.run``; ``"hub"`` routes the same points, in
-round-robin arrival order, through a stream hub.  The interleaved log of a
-hub case comes from :func:`build_device_log`, which is also the generator
-the hub tests share (via the ``device_point_log`` fixture) so tests and
-benchmarks measure the same traffic shape.
+round-robin arrival order, through a stream hub; ``"fleet"`` fans the fleet
+out over ``Simplifier.run_many``.  ``backend``/``workers`` pick the
+:mod:`repro.exec` execution backend for the ``hub`` and ``fleet`` modes.
+The interleaved log of a hub case comes from :func:`build_device_log`,
+which is also the generator the hub tests share (via the
+``device_point_log`` fixture) so tests and benchmarks measure the same
+traffic shape.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ __all__ = [
     "PerfSuite",
     "SUITES",
     "GATING_ALGORITHMS",
+    "CASE_BACKENDS",
     "CASE_MODES",
     "get_suite",
     "build_fleet",
@@ -57,8 +66,12 @@ GATING_ALGORITHMS = ("dp", "opw", "operb", "operb-a")
 window baseline (OPW) and the paper's two contributions."""
 
 
-CASE_MODES = ("batch", "hub")
+CASE_MODES = ("batch", "hub", "fleet")
 """Valid values of :attr:`PerfCase.mode`."""
+
+CASE_BACKENDS = ("serial", "thread", "process")
+"""Valid values of :attr:`PerfCase.backend` (declared cases are explicit —
+no ``auto`` — so a suite measures the same runtime everywhere)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -68,6 +81,10 @@ class PerfCase:
     ``mode="hub"`` turns the fleet into a multi-device ingest workload: one
     device per trajectory, points interleaved round-robin, driven through a
     :class:`repro.streaming.StreamHub` instead of per-trajectory batch runs.
+    ``mode="fleet"`` drives the fleet through the batch executor
+    (``Simplifier.run_many``).  ``backend`` and ``workers`` select the
+    :mod:`repro.exec` execution backend for those two modes (batch cases
+    always run inline).
     """
 
     name: str
@@ -77,11 +94,21 @@ class PerfCase:
     epsilon: float = 40.0
     seed: int = 2017
     mode: str = "batch"
+    backend: str = "serial"
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in CASE_MODES:
             raise InvalidParameterError(
                 f"case mode must be one of {CASE_MODES}, got {self.mode!r}"
+            )
+        if self.backend not in CASE_BACKENDS:
+            raise InvalidParameterError(
+                f"case backend must be one of {CASE_BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise InvalidParameterError(
+                f"case workers must be at least 1, got {self.workers}"
             )
 
     @property
@@ -114,6 +141,15 @@ _QUICK = PerfSuite(
         PerfCase("taxi-2x2k", "taxi", n_trajectories=2, points_per_trajectory=2_000),
         PerfCase("sercar-2x2k", "sercar", n_trajectories=2, points_per_trajectory=2_000),
         PerfCase("hub-64x500", "taxi", n_trajectories=64, points_per_trajectory=500, mode="hub"),
+        PerfCase(
+            "hub-64x500-t4",
+            "taxi",
+            n_trajectories=64,
+            points_per_trajectory=500,
+            mode="hub",
+            backend="thread",
+            workers=4,
+        ),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs",),
     repeats=3,
@@ -124,10 +160,55 @@ _HUB = PerfSuite(
     cases=(
         PerfCase("hub-256x400", "taxi", n_trajectories=256, points_per_trajectory=400, mode="hub"),
         PerfCase(
+            "hub-256x400-t8",
+            "taxi",
+            n_trajectories=256,
+            points_per_trajectory=400,
+            mode="hub",
+            backend="thread",
+            workers=8,
+        ),
+        PerfCase(
+            "hub-256x400-p4",
+            "taxi",
+            n_trajectories=256,
+            points_per_trajectory=400,
+            mode="hub",
+            backend="process",
+            workers=4,
+        ),
+        PerfCase(
             "hub-1024x100", "sercar", n_trajectories=1024, points_per_trajectory=100, mode="hub"
         ),
     ),
     algorithms=("operb", "operb-a", "fbqs", "dead-reckoning"),
+    repeats=3,
+)
+
+_FLEET = PerfSuite(
+    name="fleet",
+    cases=(
+        PerfCase("fleet-16x2k", "taxi", n_trajectories=16, points_per_trajectory=2_000, mode="fleet"),
+        PerfCase(
+            "fleet-16x2k-t4",
+            "taxi",
+            n_trajectories=16,
+            points_per_trajectory=2_000,
+            mode="fleet",
+            backend="thread",
+            workers=4,
+        ),
+        PerfCase(
+            "fleet-16x2k-p4",
+            "taxi",
+            n_trajectories=16,
+            points_per_trajectory=2_000,
+            mode="fleet",
+            backend="process",
+            workers=4,
+        ),
+    ),
+    algorithms=("operb", "operb-a"),
     repeats=3,
 )
 
@@ -139,12 +220,32 @@ _FULL = PerfSuite(
         PerfCase("sercar-4x5k", "sercar", n_trajectories=4, points_per_trajectory=5_000),
         PerfCase("geolife-4x5k", "geolife", n_trajectories=4, points_per_trajectory=5_000),
         PerfCase("hub-512x400", "taxi", n_trajectories=512, points_per_trajectory=400, mode="hub"),
+        PerfCase(
+            "hub-512x400-t8",
+            "taxi",
+            n_trajectories=512,
+            points_per_trajectory=400,
+            mode="hub",
+            backend="thread",
+            workers=8,
+        ),
+        PerfCase(
+            "fleet-8x5k-p4",
+            "taxi",
+            n_trajectories=8,
+            points_per_trajectory=5_000,
+            mode="fleet",
+            backend="process",
+            workers=4,
+        ),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs", "bqs", "dp-sed", "opw-tr"),
     repeats=3,
 )
 
-SUITES: dict[str, PerfSuite] = {suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FULL)}
+SUITES: dict[str, PerfSuite] = {
+    suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL)
+}
 """The declared suites, by name."""
 
 

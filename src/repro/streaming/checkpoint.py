@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, TextIO
 
 from ..exceptions import CheckpointError
+from ..exec import ExecutionBackend
 from ..geometry.point import Point
 from .hub import StreamHub
 
@@ -87,15 +88,26 @@ def restore_hub(
     *,
     sink_factory: Callable[[str], object] | None = None,
     shared_sink: object | None = None,
+    shards: int | None = None,
+    backend: str | ExecutionBackend = "serial",
+    workers: int | None = None,
 ) -> StreamHub:
     """One-call resume: load a checkpoint (path or payload) into a live hub.
 
     Sinks are process-local resources and are not checkpointed; pass fresh
-    ones here.
+    ones here.  ``shards`` re-shards the devices onto a different partition
+    count, and ``backend``/``workers`` pick the execution backend of the
+    restored hub — both independent of the checkpointing hub's layout (see
+    :meth:`StreamHub.from_checkpoint`).
     """
     payload = source if isinstance(source, dict) else load_checkpoint(source)
     return StreamHub.from_checkpoint(
-        payload, sink_factory=sink_factory, shared_sink=shared_sink
+        payload,
+        sink_factory=sink_factory,
+        shared_sink=shared_sink,
+        shards=shards,
+        backend=backend,
+        workers=workers,
     )
 
 

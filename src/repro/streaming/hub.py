@@ -1,41 +1,72 @@
-"""Multi-device streaming hub: thousands of concurrent GPS streams, one process.
+"""Multi-device streaming hub: thousands of concurrent GPS streams, any backend.
 
 The paper's one-pass algorithms are designed to run at the *edge* — one
 simplifier per device, O(1) state each — but a trajectory store ingests the
 other end of that pipe: a single service terminating many device streams at
 once.  :class:`StreamHub` is that ingest surface.  Devices are hash-sharded
-across :class:`HubShard` workers (a deterministic CRC32 shard map, so a
+across :class:`HubShard` partitions (a deterministic CRC32 shard map, so a
 checkpoint restores onto the same layout), each shard owning a dict of
 ``device_id -> DeviceStream``; every device stream wraps one
 :class:`repro.api.StreamSession` opened with ``keep_segments=False`` so hub
 memory stays O(devices), not O(points).
+
+Shards execute on a pluggable :mod:`repro.exec` backend (``backend=``):
+``"serial"`` keeps every shard inline in the caller (the reference
+semantics), while ``"thread"`` and ``"process"`` drive the shards on real
+worker actors — per-shard FIFO mailboxes, single-owner shard state (no
+locks in the ingest path), segments and failures streamed back to the hub
+as events.  All backends are contractually equivalent: the same device log
+produces byte-identical per-device segments and byte-identical checkpoints,
+a property the test suite locks in.
 
 Capabilities:
 
 - **per-device configuration** — each device may use its own algorithm,
   epsilon and options (defaults come from the hub);
 - **segment routing** — finalised segments are handed to a per-device sink
-  (``sink_factory``) or a shared sink the moment they are emitted;
+  (``sink_factory``) or a shared sink the moment they are emitted; sinks
+  always live in the hub's process, whatever the backend;
 - **backpressure accounting** — per-device and hub-wide lag statistics (how
   many points are pending in the open segment) expose the latency cost of
   buffering algorithms next to the one-pass ones;
 - **error isolation** — a device stream that raises is quarantined and
   recorded as a :class:`DeviceError`, mirroring the fleet executor's
-  per-trajectory isolation, instead of sinking the hub;
-- **checkpoint/restore** — :meth:`StreamHub.checkpoint` serialises every
-  live stream via the simplifiers' ``snapshot()`` protocol into one
-  JSON-serialisable payload; :meth:`StreamHub.from_checkpoint` resumes with
-  byte-identical downstream segments (see :mod:`repro.streaming.checkpoint`).
+  per-trajectory isolation, instead of sinking the hub (or its sibling
+  shards);
+- **checkpoint/restore** — :meth:`StreamHub.checkpoint` barriers every
+  shard, then serialises every live stream via the simplifiers'
+  ``snapshot()`` protocol into one JSON-serialisable payload;
+  :meth:`StreamHub.from_checkpoint` resumes with byte-identical downstream
+  segments — on any backend, and optionally onto a *different* shard count
+  (devices re-shard through the same CRC32 map).
+
+Concurrency caveats (``thread``/``process`` backends only): ``push`` routes
+asynchronously and returns ``[]`` (segments still reach the sinks);
+``on_error="raise"`` surfaces a device failure at the next hub call instead
+of mid-push (``push_many`` drains its own batches so its failures surface
+on return; ``checkpoint()`` alone never raises for device failures, so a
+failed hub can always be checkpointed); counters (``points_pushed``,
+``segments_emitted``) are authoritative after a synchronising call
+(``stats()``, ``checkpoint()``, ``finish_all()``).  Under the process backend, per-device stream objects
+live in worker processes and are not addressable — use ``stats()`` and
+``checkpoint()``.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterable, Iterator
 
 from ..api.session import Simplifier, StreamSession
-from ..exceptions import CheckpointError, InvalidParameterError, SimplificationError
+from ..exceptions import (
+    CheckpointError,
+    ExecutionError,
+    InvalidParameterError,
+    SimplificationError,
+)
+from ..exec import ExecutionBackend, resolve_backend
 from ..geometry.point import Point
 from ..trajectory.piecewise import SegmentRecord
 
@@ -56,6 +87,9 @@ CHECKPOINT_KIND = "stream-hub"
 CHECKPOINT_FORMAT = 1
 """Version stamp of the checkpoint layout, bumped on incompatible changes."""
 
+_PUSH_BATCH = 512
+"""Records buffered per actor before ``push_many`` flushes a batch message."""
+
 
 def shard_index(device_id: str, n_shards: int) -> int:
     """Deterministic shard of ``device_id`` (CRC32, stable across processes).
@@ -69,7 +103,12 @@ def shard_index(device_id: str, n_shards: int) -> int:
 
 @dataclass(frozen=True, slots=True)
 class DeviceError:
-    """One device stream that failed mid-ingest (mirrors ``FleetError``)."""
+    """One device stream that failed mid-ingest (mirrors ``FleetError``).
+
+    ``exception`` carries the original exception object when the failure
+    happened in the hub's process (serial and thread backends); failures
+    crossing a process boundary are described by ``error_type``/``message``.
+    """
 
     device_id: str
     error_type: str
@@ -117,15 +156,16 @@ class DeviceStream:
     """One device's open stream inside the hub.
 
     Wraps a :class:`~repro.api.StreamSession` (``keep_segments=False`` — the
-    sink owns the segments) together with the routing sink and the per-device
-    lag/backpressure counters.  Not constructed directly; use
+    sinks own the segments) together with the per-device lag/backpressure
+    counters.  Segment routing happens in the owning shard worker, which
+    emits every finalised batch back to the hub; the stream itself holds no
+    sink reference.  Not constructed directly; use
     :meth:`StreamHub.register_device` / :meth:`StreamHub.push`.
     """
 
-    def __init__(self, device_id: str, simplifier: Simplifier, sink: object | None) -> None:
+    def __init__(self, device_id: str, simplifier: Simplifier) -> None:
         self.device_id = device_id
         self.simplifier = simplifier
-        self.sink = sink
         self.session: StreamSession = simplifier.open_stream(keep_segments=False)
         self.points_pushed = 0
         self.segments_emitted = 0
@@ -151,32 +191,29 @@ class DeviceStream:
         """Whether this device stream has been flushed."""
         return self.session.finished
 
-    def _route(self, emitted: list[SegmentRecord]) -> None:
-        """Fold emitted segments into the statistics and hand them to the sink."""
+    def _account(self, emitted: list[SegmentRecord]) -> None:
+        """Fold emitted segments into the per-device statistics."""
         count = len(emitted)
         self.segments_emitted += count
         if count > self.max_segments_per_push:
             self.max_segments_per_push = count
         if count:
             self.lag = 0
-        if self.sink is not None:
-            for segment in emitted:
-                self.sink.accept(segment)
 
     def push(self, point: Point) -> list[SegmentRecord]:
-        """Feed one fix; returns (and routes) the segments it finalised."""
+        """Feed one fix; returns the segments it finalised."""
         emitted = self.session.push(point)
         self.points_pushed += 1
         self.lag += 1
         if self.lag > self.max_lag:
             self.max_lag = self.lag
-        self._route(emitted)
+        self._account(emitted)
         return emitted
 
     def finish(self) -> list[SegmentRecord]:
-        """Flush the stream; returns (and routes) the trailing segments."""
+        """Flush the stream; returns the trailing segments."""
         emitted = self.session.finish()
-        self._route(emitted)
+        self._account(emitted)
         self.lag = 0
         return emitted
 
@@ -201,11 +238,12 @@ class DeviceStream:
 
 
 class HubShard:
-    """One worker shard: a slice of the hub's devices plus shard counters.
+    """One hub partition: a slice of the hub's devices plus shard counters.
 
-    Today a shard is an in-process partition; the shard boundary is the seam
-    future scale-out PRs turn into a thread, process or node without touching
-    hub semantics (the checkpoint layout already records the assignment).
+    A shard is owned by exactly one shard worker (a :mod:`repro.exec`
+    actor); between barriers, only that worker touches the shard's state —
+    which is what lets the thread and process backends run shards
+    concurrently without locks in the ingest path.
     """
 
     def __init__(self, index: int) -> None:
@@ -215,6 +253,278 @@ class HubShard:
 
     def __len__(self) -> int:
         return len(self.devices)
+
+
+@dataclass(frozen=True, slots=True)
+class _HubConfig:
+    """Picklable shard-worker configuration (crosses process boundaries)."""
+
+    algorithm: str
+    epsilon: float
+    options: dict
+    on_error: str
+    carry_exceptions: bool
+    """Whether device-error events may carry the original exception object
+    (true for in-process backends; exceptions do not reliably pickle)."""
+
+
+class _ShardCore:
+    """Owns a slice of the hub's shards; runs wherever the backend puts it.
+
+    This is the single implementation of shard semantics for every
+    backend: the serial hub calls it inline (through a
+    :class:`~repro.exec.SerialActorGroup`), the concurrent hubs run one
+    core per worker actor.  The core never raises for *device* failures —
+    those are quarantined and emitted as ``("device_error", ...)`` events,
+    so one bad stream cannot crash its worker or poison sibling shards.
+    """
+
+    def __init__(
+        self,
+        config: _HubConfig,
+        shard_indices: tuple[int, ...],
+        emit: Callable[[object], None],
+    ) -> None:
+        self._config = config
+        self._emit = emit
+        self._default = Simplifier(
+            config.algorithm, config.epsilon, **dict(config.options)
+        )
+        self.shards: dict[int, HubShard] = {
+            index: HubShard(index) for index in shard_indices
+        }
+
+    # ------------------------------------------------------------------ #
+    # Message dispatch (the actor mailbox entry point)
+    # ------------------------------------------------------------------ #
+    def handle(self, message: tuple):
+        kind = message[0]
+        if kind == "push":
+            return self.push(*message[1:])
+        if kind == "push_batch":
+            for shard_i, device_id, point in message[1]:
+                self.push(shard_i, device_id, point)
+            return None
+        if kind == "register":
+            return self.register(*message[1:])
+        if kind == "finish_device":
+            return self.finish_device(*message[1:])
+        if kind == "finish_all":
+            return self.finish_all()
+        if kind == "checkpoint":
+            return self.checkpoint_entries()
+        if kind == "stats":
+            return self.stats()
+        if kind == "restore":
+            return self.restore(*message[1:])
+        if kind == "load_shard_points":
+            return self.load_shard_points(message[1])
+        raise SimplificationError(f"unknown hub shard message {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Shard semantics
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        shard_i: int,
+        device_id: str,
+        algorithm: str | None,
+        epsilon: float | None,
+        opts: dict,
+    ) -> None:
+        shard = self.shards[shard_i]
+        if device_id in shard.devices:
+            raise InvalidParameterError(
+                f"device {device_id!r} is already registered with this hub"
+            )
+        if algorithm is None and epsilon is None and not opts:
+            simplifier = self._default
+        else:
+            # Same algorithm: per-device opts overlay the hub defaults.  A
+            # different algorithm starts from a clean slate (the defaults may
+            # not even be valid options for it).
+            effective_opts = (
+                {**self._default.opts, **opts} if algorithm is None else dict(opts)
+            )
+            simplifier = Simplifier(
+                algorithm if algorithm is not None else self._default.algorithm,
+                epsilon if epsilon is not None else self._default.epsilon,
+                **effective_opts,
+            )
+        shard.devices[device_id] = DeviceStream(device_id, simplifier)
+        return None
+
+    def _record_failure(self, device: DeviceStream, error: Exception) -> None:
+        device.error = DeviceError(
+            device_id=device.device_id,
+            error_type=type(error).__name__,
+            message=str(error),
+            exception=error,
+        )
+        carried = error if self._config.carry_exceptions else None
+        self._emit(
+            ("device_error", device.device_id, type(error).__name__, str(error), carried)
+        )
+
+    def push(
+        self, shard_i: int, device_id: str, point: Point
+    ) -> tuple[list[SegmentRecord], bool]:
+        """Route one fix; returns ``(emitted segments, counted?)``."""
+        shard = self.shards[shard_i]
+        device = shard.devices.get(device_id)
+        if device is None:
+            # The hub registers every device (and its parent-side sink)
+            # before dispatching points; registering here instead would
+            # desync the parent's device set and silently drop segments.
+            raise SimplificationError(
+                f"device {device_id!r} reached shard {shard_i} without "
+                f"registration — hub/worker device sets are out of sync"
+            )
+        if device.error is not None:
+            # Quarantined: count the point as dropped so consumed ==
+            # points_pushed + dropped holds (what replay resumption uses).
+            # In serial "raise" mode the hub raises before dispatching here.
+            device.dropped_points += 1
+            return [], False
+        try:
+            emitted = device.push(point)
+        except Exception as error:  # noqa: BLE001 — isolation is the contract
+            self._record_failure(device, error)
+            if self._config.on_error == "collect":
+                # The failing point was consumed but produced nothing.
+                device.dropped_points += 1
+            return [], False
+        shard.points_pushed += 1
+        if emitted:
+            self._emit(("segments", device_id, emitted))
+        return emitted, True
+
+    def finish_device(self, shard_i: int, device_id: str) -> list[SegmentRecord]:
+        shard = self.shards[shard_i]
+        device = shard.devices.get(device_id)
+        if device is None:
+            raise InvalidParameterError(
+                f"device {device_id!r} is not registered with this hub"
+            )
+        if device.finished or device.error is not None:
+            return []
+        try:
+            emitted = device.finish()
+        except Exception as error:  # noqa: BLE001 — isolation is the contract
+            self._record_failure(device, error)
+            return []
+        if emitted:
+            self._emit(("segments", device_id, emitted))
+        return emitted
+
+    def finish_all(self) -> list[tuple[int, list[tuple[str, list[SegmentRecord]]]]]:
+        out = []
+        for shard_i in sorted(self.shards):
+            flushed = [
+                (device_id, self.finish_device(shard_i, device_id))
+                for device_id in list(self.shards[shard_i].devices)
+            ]
+            out.append((shard_i, flushed))
+        return out
+
+    def checkpoint_entries(self) -> list[tuple[int, list[dict], int]]:
+        out = []
+        for shard_i in sorted(self.shards):
+            shard = self.shards[shard_i]
+            entries: list[dict] = []
+            for device in shard.devices.values():
+                entry: dict[str, object] = {
+                    "device_id": device.device_id,
+                    "algorithm": device.simplifier.algorithm,
+                    "epsilon": device.simplifier.epsilon,
+                    "options": dict(device.simplifier.opts),
+                    "stats": device.stats_dict(),
+                    "finished": device.finished,
+                    "failed": None
+                    if device.error is None
+                    else {
+                        "error_type": device.error.error_type,
+                        "message": device.error.message,
+                    },
+                    "session": None,
+                }
+                if not device.finished and device.error is None:
+                    try:
+                        entry["session"] = device.session.snapshot()
+                    except Exception as error:
+                        raise CheckpointError(
+                            f"cannot checkpoint device {device.device_id!r} "
+                            f"({device.simplifier.algorithm!r}): {error}"
+                        ) from error
+                entries.append(entry)
+            out.append((shard_i, entries, shard.points_pushed))
+        return out
+
+    def stats(self) -> dict:
+        active = finished = failed = 0
+        devices = dropped = segments = points = 0
+        max_lag = max_burst = 0
+        shard_rows = []
+        for shard_i in sorted(self.shards):
+            shard = self.shards[shard_i]
+            shard_rows.append((shard_i, len(shard.devices), shard.points_pushed))
+            points += shard.points_pushed
+            for device in shard.devices.values():
+                devices += 1
+                segments += device.segments_emitted
+                if device.error is not None:
+                    failed += 1
+                elif device.finished:
+                    finished += 1
+                else:
+                    active += 1
+                dropped += device.dropped_points
+                if device.max_lag > max_lag:
+                    max_lag = device.max_lag
+                if device.max_segments_per_push > max_burst:
+                    max_burst = device.max_segments_per_push
+        return {
+            "shards": shard_rows,
+            "devices": devices,
+            "active": active,
+            "finished": finished,
+            "failed": failed,
+            "dropped": dropped,
+            "max_lag": max_lag,
+            "max_burst": max_burst,
+            "points_pushed": points,
+            "segments_emitted": segments,
+        }
+
+    def restore(self, shard_i: int, entry: dict) -> None:
+        self.register(
+            shard_i,
+            entry["device_id"],
+            entry["algorithm"],
+            entry["epsilon"],
+            dict(entry.get("options", {})),
+        )
+        device = self.shards[shard_i].devices[entry["device_id"]]
+        device._load_stats(entry["stats"])
+        session_state = entry.get("session")
+        if session_state is not None:
+            device.session = device.simplifier.restore_stream(session_state)
+        elif entry.get("finished"):
+            # Consume the fresh session so the device reads finished.
+            device.session.finish()
+        failure = entry.get("failed")
+        if failure is not None:
+            device.error = DeviceError(
+                device_id=entry["device_id"],
+                error_type=failure["error_type"],
+                message=failure["message"],
+            )
+        return None
+
+    def load_shard_points(self, mapping: dict) -> None:
+        for shard_i, points in mapping.items():
+            self.shards[int(shard_i)].points_pushed = int(points)
+        return None
 
 
 class StreamHub:
@@ -229,7 +539,7 @@ class StreamHub:
     options:
         Default algorithm options for implicitly registered devices.
     shards:
-        Number of worker shards devices are hash-partitioned across.
+        Number of partitions devices are hash-sharded across.
     sink_factory:
         Optional ``device_id -> sink`` callable; each registered device gets
         its own sink (any object with ``accept(segment)``).
@@ -238,8 +548,18 @@ class StreamHub:
         exclusive with ``sink_factory``.
     on_error:
         ``"collect"`` (default) quarantines a failing device stream and keeps
-        the hub running; ``"raise"`` re-raises immediately.  Either way the
+        the hub running; ``"raise"`` re-raises — immediately on the serial
+        backend, at the next hub call on concurrent ones.  Either way the
         failure is recorded in :attr:`errors`.
+    backend:
+        Execution backend for the shards: ``"serial"`` (default),
+        ``"thread"``, ``"process"``, ``"auto"``, or a
+        :class:`repro.exec.ExecutionBackend`.  See the module docstring for
+        the concurrent-backend caveats.
+    workers:
+        Worker count for concurrent backends (clamped to ``shards``; each
+        worker owns the shard slice ``[worker::n_workers]``).  Defaults to
+        the backend's own default (CPU count).
     """
 
     def __init__(
@@ -252,6 +572,8 @@ class StreamHub:
         sink_factory: Callable[[str], object] | None = None,
         shared_sink: object | None = None,
         on_error: str = "collect",
+        backend: str | ExecutionBackend = "serial",
+        workers: int | None = None,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"shards must be at least 1, got {shards}")
@@ -268,10 +590,188 @@ class StreamHub:
         self.on_error = on_error
         self._sink_factory = sink_factory
         self._shared_sink = shared_sink
-        self._shards = [HubShard(index) for index in range(shards)]
+        self._n_shards = shards
+        self._backend = resolve_backend(backend, workers=workers)
+        self._concurrent = self._backend.name != "serial"
+        self._n_actors = min(self._backend.workers, shards) if self._concurrent else 1
         self.errors: list[DeviceError] = []
         self.points_pushed = 0
         self.segments_emitted = 0
+        self._known: set[str] = set()
+        self._failed: set[str] = set()
+        self._sinks: dict[str, object] = {}
+        self._raise_cursor = 0
+        config = _HubConfig(
+            algorithm=self._default.algorithm,
+            epsilon=self._default.epsilon,
+            options=dict(self._default.opts),
+            on_error=on_error,
+            carry_exceptions=self._backend.name != "process",
+        )
+        factories = [
+            partial(_ShardCore, config, tuple(range(actor, shards, self._n_actors)))
+            for actor in range(self._n_actors)
+        ]
+        self._group = self._backend.start_actors(factories, on_event=self._on_actor_event)
+        # Serial fast path: the single core is called directly on the hot
+        # ingest path, skipping message-tuple construction and dispatch.
+        self._serial_core: _ShardCore | None = (
+            None if self._concurrent else self._group.handler(0)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Backend plumbing
+    # ------------------------------------------------------------------ #
+    def _actor_of(self, shard_i: int) -> int:
+        return shard_i % self._n_actors
+
+    def _on_actor_event(self, actor: int, event: tuple) -> None:
+        """Route one shard-worker event (serialised by the actor group)."""
+        kind = event[0]
+        if kind == "segments":
+            _, device_id, segments = event
+            self.segments_emitted += len(segments)
+            sink = self._sinks.get(device_id)
+            if sink is not None:
+                try:
+                    for segment in segments:
+                        sink.accept(segment)
+                except Exception as error:  # noqa: BLE001 — sink isolation
+                    # A raising sink (full disk, closed socket) must not
+                    # crash the ingest on any backend: record one
+                    # DeviceError, stop routing to the sink, keep the hub
+                    # running.  The device stream itself keeps compressing
+                    # and is NOT quarantined — sinks are process-local
+                    # resources, not stream state (so the device stays out
+                    # of ``_failed`` and checkpoints as healthy).  In
+                    # ``"raise"`` mode the recorded error still surfaces
+                    # once, with the original exception, at the next hub
+                    # call — loud, but the hub stays usable.  Nulling the
+                    # sink also dedupes: this branch runs once per device.
+                    self._sinks[device_id] = None
+                    self.errors.append(
+                        DeviceError(
+                            device_id=device_id,
+                            error_type=type(error).__name__,
+                            message=f"sink rejected segments: {error}",
+                            exception=error,
+                        )
+                    )
+        elif kind == "device_error":
+            _, device_id, error_type, message, exception = event
+            self.errors.append(
+                DeviceError(
+                    device_id=device_id,
+                    error_type=error_type,
+                    message=message,
+                    exception=exception,
+                )
+            )
+            self._failed.add(device_id)
+
+    def _surface_new_failures(self) -> None:
+        """In ``"raise"`` mode, raise the oldest not-yet-surfaced failure.
+
+        On the serial backend this runs synchronously after each dispatch,
+        reproducing raise-on-the-failing-push semantics with the original
+        exception; on concurrent backends it runs at every hub entry point,
+        surfacing asynchronous failures at the next call.
+        """
+        if self.on_error != "raise" or self._raise_cursor >= len(self.errors):
+            return
+        error = self.errors[self._raise_cursor]
+        self._raise_cursor += 1
+        if error.exception is not None:
+            raise error.exception
+        raise SimplificationError(
+            f"device {error.device_id!r} failed mid-stream: "
+            f"{error.error_type}: {error.message}"
+        )
+
+    def _error_for(self, device_id: str) -> DeviceError:
+        return next(
+            error for error in reversed(self.errors) if error.device_id == device_id
+        )
+
+    def _register_parent(self, device_id: str) -> None:
+        self._known.add(device_id)
+        self._attach_sink(device_id)
+
+    def _attach_sink(self, device_id: str) -> None:
+        """Create/route the device's sink (runs caller-supplied code)."""
+        if self._sink_factory is not None:
+            self._sinks[device_id] = self._sink_factory(device_id)
+        elif self._shared_sink is not None:
+            self._sinks[device_id] = self._shared_sink
+
+    def _ask_all(self, message: tuple) -> list:
+        """Ask every shard worker, overlapping the round-trips.
+
+        Sequential asks would serialise drain/snapshot work across workers
+        (worker 1 idles while worker 0 flushes); fanning the asks out from
+        short-lived threads makes the cost ~max instead of ~sum.  Replies
+        come back indexed by actor.
+        """
+        if self._n_actors == 1:
+            return [self._group.ask(0, message)]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self._n_actors) as pool:
+            return list(
+                pool.map(
+                    lambda actor: self._group.ask(actor, message),
+                    range(self._n_actors),
+                )
+            )
+
+    def _sync(self) -> list[dict]:
+        """Barrier the shard workers and refresh the hub-level counters."""
+        if self._concurrent:
+            self._group.barrier()
+        replies = self._ask_all(("stats",))
+        self.points_pushed = sum(reply["points_pushed"] for reply in replies)
+        self.segments_emitted = sum(reply["segments_emitted"] for reply in replies)
+        return replies
+
+    def _local_shards(self) -> list[HubShard]:
+        if self._group.closed:  # uniform across backends (serial included)
+            raise ExecutionError("actor group is closed")
+        # local_handlers synchronises: the thread group barriers internally,
+        # so the returned shard state is quiescent.
+        handlers = self._group.local_handlers
+        if handlers is None:
+            raise SimplificationError(
+                "per-device stream objects are not addressable under the "
+                "process backend; use stats() or checkpoint()"
+            )
+        return [
+            handlers[self._actor_of(index)].shards[index]
+            for index in range(self._n_shards)
+        ]
+
+    def close(self) -> None:
+        """Shut down the shard workers (idempotent).
+
+        Serial hubs have nothing to release; thread/process hubs stop their
+        workers — pending asynchronous pushes are processed first.  In
+        ``"raise"`` mode, a device failure that has not surfaced yet raises
+        here, after the workers have stopped: ``close()`` is a hub call too,
+        and must not swallow the failure when it is the last one.
+        """
+        self._group.close()
+        self._surface_new_failures()
+
+    def __enter__(self) -> "StreamHub":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+            return
+        try:
+            self._group.close()
+        except Exception:  # noqa: BLE001 — never mask the in-flight exception
+            pass
 
     # ------------------------------------------------------------------ #
     # Device management
@@ -287,28 +787,46 @@ class StreamHub:
         return self._default.epsilon
 
     @property
+    def backend(self) -> str:
+        """Name of the execution backend driving the shards."""
+        return self._backend.name
+
+    @property
+    def n_workers(self) -> int:
+        """Number of shard workers (1 on the serial backend)."""
+        return self._n_actors
+
+    @property
     def n_shards(self) -> int:
-        """Number of worker shards."""
-        return len(self._shards)
+        """Number of hash partitions."""
+        return self._n_shards
 
     @property
     def shards(self) -> list[HubShard]:
-        """The worker shards (read-only view for tests and reporting)."""
-        return list(self._shards)
+        """The live shard objects, in shard order.
+
+        Serial and thread backends share the caller's memory (the thread
+        backend barriers first); under the process backend shard state is
+        not addressable and this raises :class:`SimplificationError`.
+        """
+        return self._local_shards()
 
     def shard_of(self, device_id: str) -> HubShard:
         """The shard owning (or that would own) ``device_id``."""
-        return self._shards[shard_index(device_id, len(self._shards))]
+        return self._local_shards()[shard_index(device_id, self._n_shards)]
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self._shards)
+        return len(self._known)
 
     def __contains__(self, device_id: str) -> bool:
-        return device_id in self.shard_of(device_id).devices
+        return device_id in self._known
 
     def devices(self) -> Iterator[DeviceStream]:
-        """Iterate over every device stream (shard order, then insertion)."""
-        for shard in self._shards:
+        """Iterate over every device stream (shard order, then insertion).
+
+        Not available under the process backend (see :attr:`shards`).
+        """
+        for shard in self._local_shards():
             yield from shard.devices.values()
 
     def device(self, device_id: str) -> DeviceStream:
@@ -318,13 +836,17 @@ class StreamHub:
         ------
         InvalidParameterError
             If the device is not registered.
+        SimplificationError
+            Under the process backend (stream objects live in workers).
+        ExecutionError
+            When the hub has been closed (any backend).
         """
-        try:
-            return self.shard_of(device_id).devices[device_id]
-        except KeyError:
+        if device_id not in self._known:
             raise InvalidParameterError(
                 f"device {device_id!r} is not registered with this hub"
-            ) from None
+            )
+        shard_i = shard_index(device_id, self._n_shards)
+        return self._local_shards()[shard_i].devices[device_id]
 
     def register_device(
         self,
@@ -333,8 +855,11 @@ class StreamHub:
         algorithm: str | None = None,
         epsilon: float | None = None,
         **opts,
-    ) -> DeviceStream:
+    ) -> DeviceStream | None:
         """Open a stream for ``device_id``, optionally overriding defaults.
+
+        Returns the live :class:`DeviceStream` on in-process backends;
+        ``None`` under the process backend (the stream lives in a worker).
 
         Raises
         ------
@@ -343,140 +868,193 @@ class StreamHub:
             configuration is invalid (unknown algorithm/options, bad
             epsilon) — configuration fails fast, before any point arrives.
         """
-        shard = self.shard_of(device_id)
-        if device_id in shard.devices:
+        if device_id in self._known:
             raise InvalidParameterError(
                 f"device {device_id!r} is already registered with this hub"
             )
-        if algorithm is None and epsilon is None and not opts:
-            simplifier = self._default
-        else:
-            # Same algorithm: per-device opts overlay the hub defaults.  A
-            # different algorithm starts from a clean slate (the defaults may
-            # not even be valid options for it).
-            effective_opts = {**self._default.opts, **opts} if algorithm is None else opts
-            simplifier = Simplifier(
-                algorithm if algorithm is not None else self._default.algorithm,
-                epsilon if epsilon is not None else self._default.epsilon,
-                **effective_opts,
-            )
-        sink = self._sink_factory(device_id) if self._sink_factory else self._shared_sink
-        device = DeviceStream(device_id, simplifier, sink)
-        shard.devices[device_id] = device
-        return device
+        shard_i = shard_index(device_id, self._n_shards)
+        actor = self._actor_of(shard_i)
+        self._group.ask(
+            actor, ("register", shard_i, device_id, algorithm, epsilon, dict(opts))
+        )
+        self._register_parent(device_id)
+        # The ask round-trip guarantees the registration was processed, so
+        # the new entry is readable without a group-wide barrier.
+        core = self._group.handler(actor)
+        if core is None:
+            return None
+        return core.shards[shard_i].devices[device_id]
 
     # ------------------------------------------------------------------ #
     # Ingest
     # ------------------------------------------------------------------ #
-    def _record_failure(self, device: DeviceStream, error: Exception) -> None:
-        device.error = DeviceError(
-            device_id=device.device_id,
-            error_type=type(error).__name__,
-            message=str(error),
-            exception=error,
-        )
-        self.errors.append(device.error)
-
     def push(self, device_id: str, point: Point) -> list[SegmentRecord]:
         """Route one fix to its device stream (registering it on first sight).
 
-        Returns the segments this push finalised (already routed to the
-        device's sink).  A device that raised earlier is quarantined — its
-        stream state is not trusted again: in ``"collect"`` mode its points
-        are counted as dropped and ``[]`` is returned; in ``"raise"`` mode a
+        On the serial backend, returns the segments this push finalised
+        (already routed to the device's sink); concurrent backends route
+        asynchronously and return ``[]`` (sinks still receive every
+        segment).  A device that raised earlier is quarantined — its stream
+        state is not trusted again: in ``"collect"`` mode its points are
+        counted as dropped and ``[]`` is returned; in ``"raise"`` mode a
         :class:`SimplificationError` naming the original failure is raised
-        (only the first failing push propagates the original exception).
+        (only the first failing push propagates the original exception,
+        synchronously on serial, at the next hub call on concurrent
+        backends).
         """
-        shard = self.shard_of(device_id)
-        device = shard.devices.get(device_id)
-        if device is None:
-            device = self.register_device(device_id)
-        if device.failed:
-            if self.on_error == "raise":
-                raise SimplificationError(
-                    f"device {device_id!r} is quarantined after "
-                    f"{device.error.error_type}: {device.error.message}"
-                )
-            device.dropped_points += 1
+        shard_i = shard_index(device_id, self._n_shards)
+        actor = self._actor_of(shard_i)
+        if self._concurrent:
+            self._surface_new_failures()
+        if device_id not in self._known:
+            self._group.ask(actor, ("register", shard_i, device_id, None, None, {}))
+            self._register_parent(device_id)
+        elif device_id in self._failed and self.on_error == "raise":
+            error = self._error_for(device_id)
+            raise SimplificationError(
+                f"device {device_id!r} is quarantined after "
+                f"{error.error_type}: {error.message}"
+            )
+        if self._concurrent:
+            self._group.tell(actor, ("push", shard_i, device_id, point))
             return []
-        try:
-            emitted = device.push(point)
-        except Exception as error:
-            self._record_failure(device, error)
-            if self.on_error == "raise":
-                raise
-            # The failing point was consumed but produced nothing: account
-            # for it as dropped so consumed = points_pushed + dropped holds
-            # (what replay resumption uses to find its position).
-            device.dropped_points += 1
-            return []
-        shard.points_pushed += 1
-        self.points_pushed += 1
-        self.segments_emitted += len(emitted)
+        if self._group.closed:  # the fast path must not outlive close()
+            raise ExecutionError("actor group is closed")
+        emitted, counted = self._serial_core.push(shard_i, device_id, point)
+        if counted:
+            self.points_pushed += 1
+        self._surface_new_failures()
         return emitted
 
     def push_many(self, records: Iterable[tuple[str, Point]]) -> int:
-        """Route a batch of ``(device_id, point)`` records; returns segments emitted."""
-        emitted = 0
+        """Route a batch of ``(device_id, point)`` records.
+
+        Returns the number of segments emitted on the serial backend;
+        concurrent backends ingest asynchronously (records are shipped to
+        the shard workers in batches) and return ``0`` — read
+        ``stats().segments_emitted`` after a synchronising call instead.
+        """
+        if not self._concurrent:
+            emitted = 0
+            for device_id, point in records:
+                emitted += len(self.push(device_id, point))
+            return emitted
+        self._surface_new_failures()  # pending originals surface before any
+        # quarantine error derived from them, matching push()'s ordering
+        buffers: list[list[tuple[int, str, Point]]] = [
+            [] for _ in range(self._n_actors)
+        ]
+
+        def flush_all() -> None:
+            for actor, buffer in enumerate(buffers):
+                if buffer:
+                    self._group.tell(actor, ("push_batch", buffer))
+                    buffers[actor] = []
+
         for device_id, point in records:
-            emitted += len(self.push(device_id, point))
-        return emitted
+            shard_i = shard_index(device_id, self._n_shards)
+            actor = self._actor_of(shard_i)
+            if device_id not in self._known:
+                # Ship the buffered records before surfacing: a failure
+                # raising here must not strand other devices' buffered
+                # points, exactly as in the quarantine branch below.
+                flush_all()
+                self._surface_new_failures()
+                self._group.ask(actor, ("register", shard_i, device_id, None, None, {}))
+                self._register_parent(device_id)
+            elif device_id in self._failed and self.on_error == "raise":
+                # Same quarantine contract as push() and the serial path —
+                # but ship the already-buffered records first, so the
+                # records preceding the quarantined one are ingested exactly
+                # as they would have been serially.
+                flush_all()
+                error = self._error_for(device_id)
+                raise SimplificationError(
+                    f"device {device_id!r} is quarantined after "
+                    f"{error.error_type}: {error.message}"
+                )
+            buffers[actor].append((shard_i, device_id, point))
+            if len(buffers[actor]) >= _PUSH_BATCH:
+                self._group.tell(actor, ("push_batch", buffers[actor]))
+                buffers[actor] = []
+        flush_all()
+        if self.on_error == "raise":
+            # Deterministic raise semantics: drain this call's own batches
+            # so a device failure inside them surfaces here, not at some
+            # later call (or never, if the caller goes straight to close()).
+            self._group.barrier()
+        self._surface_new_failures()
+        return 0
 
     def finish_device(self, device_id: str) -> list[SegmentRecord]:
         """Flush one device stream (idempotent for already-finished devices)."""
-        device = self.device(device_id)
-        if device.finished or device.failed:
-            return []
-        try:
-            emitted = device.finish()
-        except Exception as error:
-            self._record_failure(device, error)
-            if self.on_error == "raise":
-                raise
-            return []
-        self.segments_emitted += len(emitted)
+        if device_id not in self._known:
+            raise InvalidParameterError(
+                f"device {device_id!r} is not registered with this hub"
+            )
+        shard_i = shard_index(device_id, self._n_shards)
+        if self._concurrent:
+            self._surface_new_failures()
+        emitted = self._group.ask(
+            self._actor_of(shard_i), ("finish_device", shard_i, device_id)
+        )
+        self._surface_new_failures()
         return emitted
 
     def finish_all(self) -> dict[str, list[SegmentRecord]]:
-        """Flush every live device stream; maps device id -> trailing segments."""
-        return {
-            device.device_id: self.finish_device(device.device_id)
-            for device in list(self.devices())
-        }
+        """Flush every live device stream; maps device id -> trailing segments.
+
+        Synchronises all backends: pending asynchronous pushes are processed
+        before the flush, and the returned mapping is complete on return.
+        """
+        if self._concurrent:
+            self._surface_new_failures()
+        by_shard: dict[int, list] = {}
+        for reply in self._ask_all(("finish_all",)):
+            for shard_i, flushed in reply:
+                by_shard[shard_i] = flushed
+        result: dict[str, list[SegmentRecord]] = {}
+        for shard_i in range(self._n_shards):
+            for device_id, emitted in by_shard.get(shard_i, []):
+                result[device_id] = emitted
+        # The flush already drained every mailbox; refresh the hub-level
+        # counters so they are authoritative on return, as documented.
+        self._sync()
+        self._surface_new_failures()
+        return result
 
     # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
     def stats(self) -> HubStats:
-        """Aggregate hub statistics (lag, throughput counters, shard fill)."""
-        active = finished = failed = 0
-        dropped = 0
-        max_lag = 0
-        max_burst = 0
-        for device in self.devices():
-            if device.failed:
-                failed += 1
-            elif device.finished:
-                finished += 1
-            else:
-                active += 1
-            dropped += device.dropped_points
-            if device.max_lag > max_lag:
-                max_lag = device.max_lag
-            if device.max_segments_per_push > max_burst:
-                max_burst = device.max_segments_per_push
+        """Aggregate hub statistics (lag, throughput counters, shard fill).
+
+        Synchronising: barriers the shard workers first, so the counters
+        reflect every push routed before the call.  In ``"raise"`` mode a
+        not-yet-surfaced device failure raises here (``checkpoint()`` is the
+        one synchronising call that never raises for device failures, so a
+        failed hub can always be checkpointed).
+        """
+        replies = self._sync()
+        self._surface_new_failures()
+        shard_devices = [0] * self._n_shards
+        shard_points = [0] * self._n_shards
+        for reply in replies:
+            for shard_i, n_devices, points in reply["shards"]:
+                shard_devices[shard_i] = n_devices
+                shard_points[shard_i] = points
         return HubStats(
-            devices=len(self),
-            active=active,
-            finished=finished,
-            failed=failed,
+            devices=sum(reply["devices"] for reply in replies),
+            active=sum(reply["active"] for reply in replies),
+            finished=sum(reply["finished"] for reply in replies),
+            failed=sum(reply["failed"] for reply in replies),
             points_pushed=self.points_pushed,
             segments_emitted=self.segments_emitted,
-            dropped_points=dropped,
-            max_lag=max_lag,
-            max_segments_per_push=max_burst,
-            shard_devices=[len(shard) for shard in self._shards],
-            shard_points=[shard.points_pushed for shard in self._shards],
+            dropped_points=sum(reply["dropped"] for reply in replies),
+            max_lag=max(reply["max_lag"] for reply in replies),
+            max_segments_per_push=max(reply["max_burst"] for reply in replies),
+            shard_devices=shard_devices,
+            shard_points=shard_points,
         )
 
     # ------------------------------------------------------------------ #
@@ -485,9 +1063,16 @@ class StreamHub:
     def checkpoint(self) -> dict:
         """JSON-serialisable snapshot of the hub and every device stream.
 
-        Live streams are captured through the simplifiers' ``snapshot()``
+        Barriers the shard workers first (every routed point is reflected),
+        then captures live streams through the simplifiers' ``snapshot()``
         protocol; finished and failed devices are recorded for bookkeeping
-        (counters, error descriptions) without stream state.  Restoring the
+        (counters, error descriptions) without stream state.  For the same
+        ingested records the payload is byte-identical whichever backend
+        produced it (in ``"raise"`` mode, a surfaced failure interrupts the
+        serial backend mid-batch while concurrent workers drain records
+        already in flight, so post-failure ``dropped_points`` accounting may
+        differ — quarantine a failing device via ``"collect"`` when
+        byte-stable checkpoints across backends matter).  Restoring the
         payload with :meth:`from_checkpoint` and continuing the ingest
         produces byte-identical downstream segments.
 
@@ -498,32 +1083,23 @@ class StreamHub:
             implementation does not support snapshots (see
             ``AlgorithmDescriptor.snapshot_capable``).
         """
-        devices = []
-        for device in self.devices():
-            entry: dict[str, object] = {
-                "device_id": device.device_id,
-                "algorithm": device.simplifier.algorithm,
-                "epsilon": device.simplifier.epsilon,
-                "options": dict(device.simplifier.opts),
-                "stats": device.stats_dict(),
-                "finished": device.finished,
-                "failed": None
-                if device.error is None
-                else {
-                    "error_type": device.error.error_type,
-                    "message": device.error.message,
-                },
-                "session": None,
-            }
-            if not device.finished and not device.failed:
-                try:
-                    entry["session"] = device.session.snapshot()
-                except Exception as error:
-                    raise CheckpointError(
-                        f"cannot checkpoint device {device.device_id!r} "
-                        f"({device.simplifier.algorithm!r}): {error}"
-                    ) from error
-            devices.append(entry)
+        self._group.barrier()
+        by_shard: dict[int, list[dict]] = {}
+        shard_points = [0] * self._n_shards
+        for reply in self._ask_all(("checkpoint",)):
+            for shard_i, entries, points in reply:
+                by_shard[shard_i] = entries
+                shard_points[shard_i] = points
+        devices: list[dict] = []
+        for shard_i in range(self._n_shards):
+            devices.extend(by_shard.get(shard_i, []))
+        # The hub-level counters are fully derivable from the entries (they
+        # were recomputed the same way by _sync() before) — refreshing them
+        # here spares the periodic-checkpoint path a second per-device walk.
+        self.points_pushed = sum(shard_points)
+        self.segments_emitted = sum(
+            int(entry["stats"]["segments_emitted"]) for entry in devices
+        )
         return {
             "format": CHECKPOINT_FORMAT,
             "kind": CHECKPOINT_KIND,
@@ -531,11 +1107,11 @@ class StreamHub:
                 "algorithm": self._default.algorithm,
                 "epsilon": self._default.epsilon,
                 "options": dict(self._default.opts),
-                "shards": len(self._shards),
+                "shards": self._n_shards,
                 "on_error": self.on_error,
                 "points_pushed": self.points_pushed,
                 "segments_emitted": self.segments_emitted,
-                "shard_points": [shard.points_pushed for shard in self._shards],
+                "shard_points": shard_points,
             },
             "devices": devices,
         }
@@ -547,11 +1123,20 @@ class StreamHub:
         *,
         sink_factory: Callable[[str], object] | None = None,
         shared_sink: object | None = None,
+        shards: int | None = None,
+        backend: str | ExecutionBackend = "serial",
+        workers: int | None = None,
     ) -> "StreamHub":
         """Rebuild a hub (and every live device stream) from a checkpoint.
 
         Sinks are process-local resources (open files, sockets) and are not
-        part of the checkpoint; pass fresh ones here.
+        part of the checkpoint; pass fresh ones here.  ``shards`` restores
+        onto a different shard count: devices re-shard deterministically
+        through the CRC32 map and per-shard counters are recomputed from the
+        per-device ones (the default keeps the checkpointing layout).
+        ``backend``/``workers`` choose the execution backend of the restored
+        hub independently of the one that checkpointed — checkpoints are
+        mutually restorable across backends.
 
         Raises
         ------
@@ -569,54 +1154,105 @@ class StreamHub:
                 f"unsupported checkpoint format {payload.get('format')!r}; "
                 f"this build reads format {CHECKPOINT_FORMAT}"
             )
+        # Caller-supplied arguments are validated before the payload-shape
+        # try block: a bad backend/workers/shards argument is the caller's
+        # InvalidParameterError, not a "malformed checkpoint".
+        executor = resolve_backend(backend, workers=workers)
+        if shards is not None and int(shards) < 1:
+            raise InvalidParameterError(f"shards must be at least 1, got {shards}")
         try:
             hub_config = payload["hub"]
+            n_shards = int(shards) if shards is not None else int(hub_config["shards"])
             hub = cls(
                 algorithm=hub_config["algorithm"],
                 epsilon=hub_config["epsilon"],
                 options=dict(hub_config.get("options", {})),
-                shards=int(hub_config["shards"]),
+                shards=n_shards,
                 sink_factory=sink_factory,
                 shared_sink=shared_sink,
                 on_error=hub_config["on_error"],
+                backend=executor,
+                workers=workers,
             )
-            hub.points_pushed = int(hub_config["points_pushed"])
-            hub.segments_emitted = int(hub_config["segments_emitted"])
-            for shard, shard_points in zip(hub._shards, hub_config["shard_points"]):
-                shard.points_pushed = int(shard_points)
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointError(f"malformed stream-hub checkpoint: {error!r}") from error
+        try:
+            stored_points = [int(points) for points in hub_config["shard_points"]]
+            recomputed = [0] * n_shards
+            restored_ids: list[str] = []
             for entry in payload["devices"]:
-                device = hub.register_device(
-                    entry["device_id"],
-                    algorithm=entry["algorithm"],
-                    epsilon=entry["epsilon"],
-                    **dict(entry.get("options", {})),
-                )
-                device._load_stats(entry["stats"])
-                session_state = entry.get("session")
-                if session_state is not None:
-                    device.session = device.simplifier.restore_stream(session_state)
-                elif entry.get("finished"):
-                    # Consume the fresh session so the device reads finished.
-                    device.session.finish()
+                device_id = entry["device_id"]
+                if device_id in hub._known:
+                    raise InvalidParameterError(
+                        f"device {device_id!r} appears twice in the checkpoint"
+                    )
+                shard_i = shard_index(device_id, n_shards)
+                hub._group.ask(hub._actor_of(shard_i), ("restore", shard_i, entry))
+                # Sinks are attached after this payload-domain block: a
+                # raising caller-supplied sink_factory must not be relabelled
+                # as a malformed checkpoint.
+                hub._known.add(device_id)
+                restored_ids.append(device_id)
+                recomputed[shard_i] += int(entry["stats"]["points_pushed"])
                 failure = entry.get("failed")
                 if failure is not None:
-                    device.error = DeviceError(
-                        device_id=entry["device_id"],
+                    error = DeviceError(
+                        device_id=device_id,
                         error_type=failure["error_type"],
                         message=failure["message"],
                     )
-                    hub.errors.append(device.error)
-        except CheckpointError:
+                    hub.errors.append(error)
+                    hub._failed.add(device_id)
+            # Same layout: restore the exact shard counters.  Re-sharded:
+            # recompute them from the per-device counters (their sums agree).
+            shard_points = (
+                stored_points if len(stored_points) == n_shards else recomputed
+            )
+            per_actor: list[dict[int, int]] = [{} for _ in range(hub._n_actors)]
+            for shard_i, points in enumerate(shard_points):
+                per_actor[hub._actor_of(shard_i)][shard_i] = points
+            for actor, mapping in enumerate(per_actor):
+                hub._group.ask(actor, ("load_shard_points", mapping))
+            hub.points_pushed = int(hub_config["points_pushed"])
+            hub.segments_emitted = int(hub_config["segments_emitted"])
+            # Restored failures were surfaced in the checkpointing process;
+            # only failures after the restore are new.
+            hub._raise_cursor = len(hub.errors)
+        except BaseException as error:
+            # The hub already spawned its shard workers: never leak them on
+            # a failed restore (a resume-retry loop would pile up worker
+            # processes otherwise).
+            try:
+                hub.close()
+            except Exception:  # noqa: BLE001 — teardown must not mask the cause
+                pass
+            if isinstance(error, CheckpointError):
+                raise
+            if isinstance(error, (KeyError, TypeError, ValueError)):
+                raise CheckpointError(
+                    f"malformed stream-hub checkpoint: {error!r}"
+                ) from error
+            # The registry may have validated but the snapshot protocol
+            # errors surface as SimplificationError; those (and anything
+            # else) propagate untouched — they indicate state (not
+            # payload-shape) problems.
             raise
-        except (KeyError, TypeError, ValueError) as error:
-            raise CheckpointError(f"malformed stream-hub checkpoint: {error!r}") from error
-        # The registry may have validated but the snapshot protocol errors
-        # surface as SimplificationError; let those propagate untouched —
-        # they indicate state (not payload-shape) problems.
+        try:
+            # Caller-supplied sink code runs outside the payload-shape
+            # mapping: its exceptions are the caller's, raised untouched.
+            for device_id in restored_ids:
+                hub._attach_sink(device_id)
+        except BaseException:
+            try:
+                hub.close()
+            except Exception:  # noqa: BLE001 — teardown must not mask
+                pass
+            raise
         return hub
 
     def __repr__(self) -> str:
         return (
             f"StreamHub(algorithm={self.algorithm!r}, epsilon={self.epsilon!r}, "
-            f"shards={self.n_shards}, devices={len(self)})"
+            f"shards={self.n_shards}, devices={len(self)}, "
+            f"backend={self.backend!r})"
         )

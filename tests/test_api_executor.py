@@ -11,6 +11,11 @@ from repro.datasets import generate_dataset
 EPSILON = 40.0
 
 
+def _raise_value_error(trajectory, epsilon=0.0):
+    """Module-level failing batch body (picklable, importable in workers)."""
+    raise ValueError("deliberate failure")
+
+
 @pytest.fixture(scope="module")
 def fleet():
     return generate_dataset(
@@ -52,6 +57,60 @@ class TestRunMany:
         ]
 
 
+class TestEffectiveBackendReporting:
+    """FleetResult.workers/backend report what actually ran, not the request."""
+
+    def test_serial_run_reports_serial_backend(self, fleet):
+        result = Simplifier("operb", EPSILON).run_many(fleet, workers=1)
+        assert result.backend == "serial"
+        assert result.workers == 1
+
+    def test_degenerate_fleet_collapses_to_serial(self, two_points):
+        # Requesting 8 workers for a single trajectory silently runs
+        # serially — and the result says so.
+        result = Simplifier("operb", EPSILON).run_many([two_points], workers=8)
+        assert result.backend == "serial"
+        assert result.workers == 1
+
+    def test_worker_count_clamped_to_fleet_size(self, fleet):
+        result = Simplifier("operb", EPSILON).run_many(fleet, workers=100)
+        assert result.backend == "process"
+        assert result.workers == len(fleet)
+
+    def test_explicit_thread_backend_reported(self, fleet):
+        result = Simplifier("operb", EPSILON).run_many(
+            fleet, workers=2, backend="thread"
+        )
+        assert result.backend == "thread"
+        assert result.workers == 2
+
+    def test_thread_backend_matches_serial(self, fleet):
+        session = Simplifier("operb-a", EPSILON)
+        serial = session.run_many(fleet, workers=1)
+        threaded = session.run_many(fleet, workers=3, backend="thread")
+        for a, b in zip(serial.representations, threaded.representations):
+            assert a.segments == b.segments
+
+    def test_unknown_backend_rejected(self, fleet):
+        with pytest.raises(InvalidParameterError, match="unknown execution backend"):
+            Simplifier("operb", EPSILON).run_many(fleet, backend="warp")
+
+    def test_thread_backend_keeps_original_exception_objects(self, noisy_walk):
+        from repro.api import AlgorithmDescriptor
+
+        adhoc = AlgorithmDescriptor(
+            name="adhoc-raiser",
+            batch=_raise_value_error,
+            error_metric="none",
+            summary="always fails",
+        )
+        result = Simplifier(adhoc).run_many(
+            [noisy_walk, noisy_walk], workers=2, backend="thread", on_error="collect"
+        )
+        assert result.n_failed == 2
+        assert all(isinstance(e.exception, ValueError) for e in result.errors)
+
+
 class TestErrorIsolation:
     @pytest.fixture()
     def flaky_registered(self):
@@ -91,6 +150,18 @@ class TestErrorIsolation:
             Simplifier(flaky_registered).run_many([noisy_walk], workers=1)
         assert isinstance(excinfo.value.__cause__, ValueError)
         assert isinstance(excinfo.value.errors[0].exception, ValueError)
+
+    def test_generator_input_survives_the_failure_path(
+        self, flaky_registered, two_points, noisy_walk
+    ):
+        # A lazily-produced fleet must work even when a trajectory fails
+        # (the error path maps outcome indices back to trajectories).
+        result = Simplifier(flaky_registered).run_many(
+            (t for t in [two_points, noisy_walk, two_points]), on_error="collect"
+        )
+        assert result.n_total == 3
+        assert result.n_failed == 1
+        assert result.errors[0].index == 1
 
 
 class TestUnregisteredDescriptor:

@@ -168,6 +168,10 @@ class TestPerfCommand:
         assert main(["perf", "--suite", "warp"]) == 1
         assert "unknown perf suite" in capsys.readouterr().err
 
+    def test_backend_flag_rejects_unknown_backends(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--backend", "warp"])
+
 
 class TestServeReplayCommand:
     @pytest.fixture
@@ -257,6 +261,56 @@ class TestServeReplayCommand:
         code = main(["serve-replay", str(point_log), "--checkpoint-every", "100"])
         assert code == 2
         assert "--checkpoint-every requires --checkpoint" in capsys.readouterr().err
+
+    def test_thread_backend_replay_matches_serial(self, point_log, tmp_path, capsys):
+        serial_csv = tmp_path / "serial.csv"
+        assert main(["serve-replay", str(point_log), "--output", str(serial_csv)]) == 0
+        threaded_csv = tmp_path / "threaded.csv"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--backend",
+                "thread",
+                "--workers",
+                "3",
+                "--output",
+                str(threaded_csv),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed 3000 points" in out
+        # Same segment multiset; ordering across devices is backend-dependent
+        # in a shared CSV sink.
+        serial_rows = serial_csv.read_text().splitlines()
+        threaded_rows = threaded_csv.read_text().splitlines()
+        assert sorted(serial_rows) == sorted(threaded_rows)
+
+    def test_resume_can_reshard_the_hub(self, point_log, tmp_path, capsys):
+        from repro.streaming import StreamHub, read_point_log, save_checkpoint
+
+        records = list(read_point_log(point_log))
+        checkpoint = tmp_path / "hub.json"
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        hub.push_many(records[:1_500])
+        save_checkpoint(hub, checkpoint)
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--resume",
+                str(checkpoint),
+                "--checkpoint",
+                str(checkpoint),
+                "--shards",
+                "9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "onto 9 shard(s)" in out
+        assert "9 shard(s)" in out
 
     def test_missing_resume_checkpoint_is_reported(self, point_log, tmp_path, capsys):
         code = main(

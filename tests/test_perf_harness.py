@@ -51,15 +51,46 @@ def tiny_report() -> PerfReport:
 
 class TestSuites:
     def test_declared_suites_exist(self):
-        assert {"smoke", "quick", "hub", "full"} <= set(SUITES)
+        assert {"smoke", "quick", "hub", "fleet", "full"} <= set(SUITES)
 
     def test_quick_suite_tracks_hub_throughput(self):
         assert any(case.mode == "hub" for case in SUITES["quick"].cases)
         assert all(case.mode == "hub" for case in SUITES["hub"].cases)
 
+    def test_gated_quick_suite_covers_the_thread_backend(self):
+        # CI gates the quick suite, so a thread-backend hub case regressing
+        # fails the build.
+        assert any(
+            case.mode == "hub" and case.backend == "thread" and case.workers > 1
+            for case in SUITES["quick"].cases
+        )
+
+    def test_hub_and_fleet_suites_scale_across_backends(self):
+        assert {case.backend for case in SUITES["hub"].cases} == {
+            "serial",
+            "thread",
+            "process",
+        }
+        assert all(case.mode == "fleet" for case in SUITES["fleet"].cases)
+        assert {case.backend for case in SUITES["fleet"].cases} == {
+            "serial",
+            "thread",
+            "process",
+        }
+
     def test_invalid_case_mode_rejected(self):
         with pytest.raises(InvalidParameterError, match="mode"):
             PerfCase("bad", "taxi", n_trajectories=1, points_per_trajectory=10, mode="warp")
+
+    def test_invalid_case_backend_and_workers_rejected(self):
+        with pytest.raises(InvalidParameterError, match="backend"):
+            PerfCase(
+                "bad", "taxi", n_trajectories=1, points_per_trajectory=10, backend="auto"
+            )
+        with pytest.raises(InvalidParameterError, match="workers"):
+            PerfCase(
+                "bad", "taxi", n_trajectories=1, points_per_trajectory=10, workers=0
+            )
 
     def test_gating_algorithms_covered_by_gating_suites(self):
         for name in ("smoke", "quick"):
@@ -158,9 +189,123 @@ class TestHubWorkloads:
         payload = json.loads(path.read_text())
         for entry in payload["results"]:
             del entry["mode"]  # a report written before hub mode existed
+            del entry["backend"]  # ... or before execution backends
+            del entry["workers"]
         path.write_text(json.dumps(payload))
         loaded = load_report(path)
         assert all(measurement.mode == "batch" for measurement in loaded.results)
+        assert all(measurement.backend == "serial" for measurement in loaded.results)
+        assert all(measurement.workers == 1 for measurement in loaded.results)
+
+
+TINY_BACKEND_SUITE = PerfSuite(
+    name="tiny-backends",
+    cases=(
+        PerfCase(
+            "hub-tiny-t2",
+            "taxi",
+            n_trajectories=8,
+            points_per_trajectory=40,
+            mode="hub",
+            backend="thread",
+            workers=2,
+        ),
+        PerfCase(
+            "fleet-tiny-p2",
+            "taxi",
+            n_trajectories=4,
+            points_per_trajectory=60,
+            mode="fleet",
+            backend="process",
+            workers=2,
+        ),
+    ),
+    algorithms=("operb",),
+    repeats=1,
+)
+
+
+class TestBackendMeasurements:
+    def test_backend_recorded_per_measurement(self, tiny_report):
+        # Batch cells always run inline and say so.
+        assert all(m.backend == "serial" and m.workers == 1 for m in tiny_report.results)
+
+    def test_hub_and_fleet_cells_record_their_backend(self, tmp_path):
+        report = run_suite(TINY_BACKEND_SUITE)
+        by_key = report.by_key()
+        # Concurrent cells carry their backend in the key, so cross-backend
+        # comparisons can never silently match.
+        hub_cell = by_key["hub-tiny-t2:operb@threadx2"]
+        assert hub_cell.mode == "hub"
+        assert hub_cell.backend == "thread"
+        assert hub_cell.workers == 2
+        assert hub_cell.segments > 0 and hub_cell.points_per_second > 0.0
+        fleet_cell = by_key["fleet-tiny-p2:operb@processx2"]
+        assert fleet_cell.mode == "fleet"
+        assert fleet_cell.backend == "process"
+        assert fleet_cell.workers == 2
+        assert 0.0 < fleet_cell.compression_ratio <= 1.0
+        # The backend survives the JSON round trip.
+        loaded = load_report(write_report(report, tmp_path / "backends.json"))
+        assert loaded.results == report.results
+        payload = json.loads((tmp_path / "backends.json").read_text())
+        assert {entry["backend"] for entry in payload["results"]} == {
+            "thread",
+            "process",
+        }
+
+    def test_fleet_mode_matches_batch_segments(self):
+        fleet_suite = PerfSuite(
+            name="tiny-fleet",
+            cases=(
+                PerfCase(
+                    "fleet-tiny",
+                    "taxi",
+                    n_trajectories=3,
+                    points_per_trajectory=80,
+                    mode="fleet",
+                ),
+            ),
+            algorithms=("operb",),
+            repeats=1,
+        )
+        batch_suite = PerfSuite(
+            name="tiny-batch",
+            cases=(
+                PerfCase(
+                    "batch-tiny", "taxi", n_trajectories=3, points_per_trajectory=80
+                ),
+            ),
+            algorithms=("operb",),
+            repeats=1,
+        )
+        fleet_cell = run_suite(fleet_suite).results[0]
+        batch_cell = run_suite(batch_suite).results[0]
+        assert fleet_cell.segments == batch_cell.segments
+        assert fleet_cell.compression_ratio == batch_cell.compression_ratio
+
+    def test_run_suite_backend_override_applies_to_hub_and_fleet_only(self):
+        mixed = PerfSuite(
+            name="tiny-mixed",
+            cases=(
+                PerfCase("batch-tiny", "taxi", n_trajectories=1, points_per_trajectory=60),
+                PerfCase(
+                    "hub-tiny",
+                    "taxi",
+                    n_trajectories=6,
+                    points_per_trajectory=30,
+                    mode="hub",
+                ),
+            ),
+            algorithms=("operb",),
+            repeats=1,
+        )
+        report = run_suite(mixed, backend="thread", workers=2)
+        by_key = report.by_key()
+        assert by_key["batch-tiny:operb"].backend == "serial"
+        overridden = by_key["hub-tiny:operb@threadx2"]
+        assert overridden.backend == "thread"
+        assert overridden.workers == 2
 
 
 class TestSerialization:

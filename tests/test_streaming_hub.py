@@ -158,34 +158,36 @@ class TestHubBasics:
         assert hub.device("cab-4").finished
 
 
+class ExplodingSimplifier:
+    """Raises on the third push — a misbehaving device stream."""
+
+    def __init__(self, epsilon):
+        self.epsilon = epsilon
+        self._pushes = 0
+
+    def push(self, point):
+        self._pushes += 1
+        if self._pushes >= 3:
+            raise RuntimeError("device firmware bug")
+        return []
+
+    def finish(self):
+        return []
+
+
+@pytest.fixture
+def exploding_algorithm():
+    register_algorithm(
+        "exploding",
+        streaming_factory=ExplodingSimplifier,
+        streaming_kwargs=(),
+        summary="test-only failing stream",
+    )(lambda trajectory, epsilon: None)
+    yield "exploding"
+    unregister_algorithm("exploding")
+
+
 class TestHubErrorIsolation:
-    @pytest.fixture
-    def exploding_algorithm(self):
-        class ExplodingSimplifier:
-            """Raises on the third push — a misbehaving device stream."""
-
-            def __init__(self, epsilon):
-                self.epsilon = epsilon
-                self._pushes = 0
-
-            def push(self, point):
-                self._pushes += 1
-                if self._pushes >= 3:
-                    raise RuntimeError("device firmware bug")
-                return []
-
-            def finish(self):
-                return []
-
-        register_algorithm(
-            "exploding",
-            streaming_factory=ExplodingSimplifier,
-            streaming_kwargs=(),
-            summary="test-only failing stream",
-        )(lambda trajectory, epsilon: None)
-        yield "exploding"
-        unregister_algorithm("exploding")
-
     def test_failing_device_is_quarantined_not_fatal(self, exploding_algorithm):
         hub = StreamHub(algorithm="operb", epsilon=40.0, on_error="collect")
         hub.register_device("bad", algorithm=exploding_algorithm)
@@ -348,6 +350,439 @@ class TestHubCheckpointRestore:
                 hub.checkpoint()
         finally:
             unregister_algorithm("opaque")
+
+
+class TestReshardRestore:
+    def test_restore_onto_a_different_shard_count(self, device_point_log):
+        reference, _ = drive(device_point_log)
+
+        cut = len(device_point_log) // 2
+        sink_before = CollectingSink()
+        hub = StreamHub(
+            algorithm="operb", epsilon=40.0, shards=8, shared_sink=sink_before
+        )
+        hub.push_many(device_point_log[:cut])
+        payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+
+        segment_key = lambda s: (s.start.x, s.start.y, s.start.t, s.first_index)  # noqa: E731
+        for new_shards in (1, 3, 13):
+            sink_after = CollectingSink()
+            resumed = restore_hub(payload, shared_sink=sink_after, shards=new_shards)
+            assert resumed.n_shards == new_shards
+            resumed.push_many(device_point_log[cut:])
+            resumed.finish_all()
+            # finish_all flushes in shard order, so the trailing segments of
+            # a re-sharded hub arrive in a different device order; the
+            # segment multiset is unchanged.
+            assert sorted(
+                sink_before.segments + sink_after.segments, key=segment_key
+            ) == sorted(reference, key=segment_key)
+            stats = resumed.stats()
+            # Per-shard counters are recomputed from the per-device ones.
+            assert len(stats.shard_points) == new_shards
+            assert sum(stats.shard_points) == len(device_point_log)
+            assert sum(stats.shard_devices) == 100
+            for shard in resumed.shards:
+                for device_id in shard.devices:
+                    assert shard_index(device_id, new_shards) == shard.index
+
+    def test_resharded_checkpoint_chain_stays_consistent(self, device_point_log):
+        cut = len(device_point_log) // 3
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        hub.push_many(device_point_log[:cut])
+        payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+        resharded = restore_hub(payload, shards=7)
+        # A checkpoint of the re-sharded hub restores again, and the device
+        # set and counters survive both hops.
+        second = json.loads(json.dumps(resharded.checkpoint(), allow_nan=False))
+        assert second["hub"]["shards"] == 7
+        final = restore_hub(second)
+        assert len(final) == len(hub)
+        assert final.points_pushed == cut
+        assert {entry["device_id"] for entry in second["devices"]} == {
+            entry["device_id"] for entry in payload["devices"]
+        }
+
+
+class TestHubBackends:
+    """The hub on concurrent execution backends (threads / processes)."""
+
+    @pytest.fixture(params=["thread", "process"])
+    def backend(self, request):
+        return request.param
+
+    def test_concurrent_hub_matches_serial(self, device_point_log, backend):
+        reference, _ = drive(device_point_log)
+        sink = CollectingSink()
+        with StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=8,
+            shared_sink=sink,
+            backend=backend,
+            workers=3,
+        ) as hub:
+            assert hub.backend == backend
+            assert hub.n_workers == 3
+            # Concurrent push routes asynchronously and returns [].
+            device_id, point = device_point_log[0]
+            assert hub.push(device_id, point) == []
+            hub.push_many(device_point_log[1:])
+            hub.finish_all()
+            stats = hub.stats()
+        assert stats.points_pushed == len(device_point_log)
+        assert stats.finished == 100
+        # The shared sink interleaves devices nondeterministically across
+        # worker shards, but the segment multiset is byte-identical (the
+        # per-device subsequences are locked in by test_exec_equivalence).
+        assert len(sink.segments) == len(reference)
+        assert sorted(
+            sink.segments, key=lambda s: (s.start.x, s.start.y, s.start.t, s.first_index)
+        ) == sorted(
+            reference, key=lambda s: (s.start.x, s.start.y, s.start.t, s.first_index)
+        )
+
+    def test_quarantine_does_not_poison_siblings_or_checkpoint(
+        self, exploding_algorithm, backend
+    ):
+        with StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=4,
+            on_error="collect",
+            backend=backend,
+            workers=2,
+        ) as hub:
+            hub.register_device("bad", algorithm=exploding_algorithm)
+            for i in range(50):
+                point = Point(float(i * 10), 0.0, float(i))
+                hub.push("good", point)
+                hub.push("bad", point)
+            # checkpoint() barriers the workers; a quarantined device must
+            # neither deadlock it nor corrupt the payload.
+            payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+            stats = hub.stats()
+        assert stats.failed == 1
+        assert len(hub.errors) == 1
+        error = hub.errors[0]
+        assert error.device_id == "bad"
+        assert error.error_type == "RuntimeError"
+        assert "firmware" in error.message
+        # Failures crossing a process boundary carry no exception object.
+        assert (error.exception is None) == (backend == "process")
+        bad_entry = next(e for e in payload["devices"] if e["device_id"] == "bad")
+        assert bad_entry["failed"]["error_type"] == "RuntimeError"
+        assert bad_entry["stats"]["dropped_points"] == 48
+        good_entry = next(e for e in payload["devices"] if e["device_id"] == "good")
+        assert good_entry["failed"] is None
+        assert good_entry["stats"]["points_pushed"] == 50
+        # The healthy device's stream restores and keeps going.
+        resumed = restore_hub(payload)
+        assert resumed.device("bad").failed
+        assert not resumed.device("good").failed
+
+    def test_raise_mode_surfaces_failures_at_the_next_call(
+        self, exploding_algorithm, backend
+    ):
+        from repro import SimplificationError
+
+        with StreamHub(
+            algorithm=exploding_algorithm,
+            epsilon=40.0,
+            shards=2,
+            on_error="raise",
+            backend=backend,
+            workers=2,
+        ) as hub:
+            for i in range(3):  # the third push explodes inside the worker
+                hub.push("bad", Point(float(i), 0.0, float(i)))
+            with pytest.raises((RuntimeError, SimplificationError), match="firmware"):
+                for _ in range(20):  # surfaced at one of the next hub calls
+                    hub.push("bad", Point(9.0, 9.0, 9.0))
+                    hub.stats()
+            assert len(hub.errors) == 1
+
+    def test_error_isolation_between_devices_matches_serial(
+        self, exploding_algorithm, backend, device_point_log
+    ):
+        def build(backend_name, workers=None):
+            sink = CollectingSink()
+            hub = StreamHub(
+                algorithm="operb",
+                epsilon=40.0,
+                shards=4,
+                shared_sink=sink,
+                on_error="collect",
+                backend=backend_name,
+                workers=workers,
+            )
+            hub.register_device("bad", algorithm=exploding_algorithm)
+            return hub, sink
+
+        serial_hub, serial_sink = build("serial")
+        concurrent_hub, concurrent_sink = build(backend, workers=2)
+        records = [("bad", point) for _, point in device_point_log[:40]]
+        traffic = device_point_log[:400] + records
+        payloads = {}
+        for name, hub in (("serial", serial_hub), (backend, concurrent_hub)):
+            with hub:
+                hub.push_many(traffic)
+                hub.finish_all()
+                payloads[name] = json.dumps(
+                    hub.checkpoint(), allow_nan=False, sort_keys=True
+                )
+            assert len(hub.errors) == 1
+        # Checkpoints are byte-identical across backends even with a
+        # quarantined device in the mix.
+        assert payloads[backend] == payloads["serial"]
+        assert sorted(
+            concurrent_sink.segments,
+            key=lambda s: (s.start.x, s.start.y, s.start.t, s.first_index),
+        ) == sorted(
+            serial_sink.segments,
+            key=lambda s: (s.start.x, s.start.y, s.start.t, s.first_index),
+        )
+
+    def test_process_backend_restricts_device_object_access(self, device_point_log):
+        from repro import SimplificationError
+
+        with StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=4,
+            backend="process",
+            workers=2,
+        ) as hub:
+            assert hub.register_device("dev-0000") is None
+            hub.push_many(device_point_log[:200])
+            with pytest.raises(SimplificationError, match="not addressable"):
+                hub.device("dev-0000")
+            with pytest.raises(SimplificationError, match="not addressable"):
+                hub.shards
+            # Unregistered devices still report the parameter error first.
+            with pytest.raises(InvalidParameterError, match="not registered"):
+                hub.device("ghost")
+            stats = hub.stats()
+            assert stats.points_pushed == 200
+
+    def test_thread_backend_exposes_live_devices_after_barrier(self, device_point_log):
+        with StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=4,
+            backend="thread",
+            workers=2,
+        ) as hub:
+            hub.push_many(device_point_log[:500])
+            device = hub.device("dev-0000")
+            assert device.points_pushed > 0
+            assert sum(len(shard) for shard in hub.shards) == len(hub)
+
+    def test_finish_all_makes_counters_authoritative(self, device_point_log, backend):
+        with StreamHub(
+            algorithm="operb", epsilon=40.0, shards=4, backend=backend, workers=2
+        ) as hub:
+            hub.push_many(device_point_log[:300])
+            hub.finish_all()
+            # No further synchronising call needed: finish_all() itself
+            # refreshes the hub-level counters.
+            assert hub.points_pushed == 300
+            assert hub.segments_emitted > 0
+
+    def test_bad_restore_arguments_are_not_blamed_on_the_checkpoint(
+        self, device_point_log
+    ):
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        hub.push_many(device_point_log[:100])
+        payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+        with pytest.raises(InvalidParameterError, match="unknown execution backend"):
+            restore_hub(payload, backend="warp")
+        with pytest.raises(InvalidParameterError, match="shards"):
+            restore_hub(payload, shards=0)
+        with pytest.raises(InvalidParameterError, match="workers"):
+            restore_hub(payload, backend="thread", workers=0)
+
+    def test_sink_factory_errors_are_not_blamed_on_the_checkpoint(
+        self, device_point_log
+    ):
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        hub.push_many(device_point_log[:200])
+        payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+
+        def broken_factory(device_id):
+            raise KeyError(device_id)  # caller bug, not a payload problem
+
+        with pytest.raises(KeyError):
+            restore_hub(payload, sink_factory=broken_factory)
+
+    def test_failed_restore_does_not_leak_workers(self, device_point_log, backend):
+        import multiprocessing
+
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shards=4)
+        hub.push_many(device_point_log[:500])
+        payload = json.loads(json.dumps(hub.checkpoint(), allow_nan=False))
+        payload["devices"][3] = {"device_id": "broken"}  # malformed entry
+        baseline_children = len(multiprocessing.active_children())
+        with pytest.raises(CheckpointError, match="malformed"):
+            restore_hub(payload, backend=backend, workers=2)
+        # The partially-restored hub's workers were shut down, not leaked.
+        assert len(multiprocessing.active_children()) <= baseline_children
+
+    @pytest.mark.parametrize("close_backend", ["serial", "thread", "process"])
+    def test_close_is_idempotent_and_final(self, close_backend):
+        from repro.exceptions import ExecutionError
+
+        hub = StreamHub(
+            algorithm="operb", epsilon=40.0, shards=2, backend=close_backend, workers=2
+        )
+        hub.push("dev", Point(0.0, 0.0, 0.0))
+        hub.close()
+        hub.close()
+        with pytest.raises(ExecutionError, match="closed"):
+            hub.push("dev", Point(1.0, 0.0, 1.0))
+
+    def test_push_many_honours_quarantine_in_raise_mode(
+        self, exploding_algorithm, backend
+    ):
+        from repro import SimplificationError
+
+        with StreamHub(
+            algorithm=exploding_algorithm,
+            epsilon=40.0,
+            shards=2,
+            on_error="raise",
+            backend=backend,
+            workers=2,
+        ) as hub:
+            points = [Point(float(i), 0.0, float(i)) for i in range(10)]
+            with pytest.raises((RuntimeError, SimplificationError), match="firmware"):
+                hub.push_many(("bad", point) for point in points)
+            # The failure is known now; routing more traffic to the
+            # quarantined device must raise exactly like push() and the
+            # serial backend do — not silently drop the records.
+            with pytest.raises(SimplificationError, match="quarantined"):
+                hub.push_many(("bad", point) for point in points)
+
+    def test_close_surfaces_a_pending_raise_mode_failure(
+        self, exploding_algorithm, backend
+    ):
+        from repro import SimplificationError
+
+        hub = StreamHub(
+            algorithm=exploding_algorithm,
+            epsilon=40.0,
+            shards=2,
+            on_error="raise",
+            backend=backend,
+            workers=2,
+        )
+        for i in range(3):  # third push fails inside the worker
+            hub.push("bad", Point(float(i), 0.0, float(i)))
+        # close() is the caller's last hub call; raise mode must not let
+        # the failure vanish just because nothing else synchronised first.
+        with pytest.raises((RuntimeError, SimplificationError), match="firmware"):
+            hub.close()
+        assert len(hub.errors) == 1
+
+    def test_push_many_flushes_buffers_before_surfacing_a_failure(
+        self, exploding_algorithm
+    ):
+        from repro import SimplificationError
+
+        hub = StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=1,
+            on_error="raise",
+            backend="thread",
+            workers=1,
+        )
+        hub.register_device("bad", algorithm=exploding_algorithm)
+        point = lambda i: Point(float(i * 31 % 89), float(i * 17 % 53), float(i))  # noqa: E731
+        # The failing record flushes at the 512 cap; later registrations
+        # surface the failure while healthy records sit in the buffer —
+        # those must be shipped, not stranded.
+        batch = [("bad", point(i)) for i in range(3)]
+        batch += [("H", point(i)) for i in range(509)]
+        batch += [("N1", point(0))]
+        batch += [("H", point(509 + i)) for i in range(50)]
+        batch += [("N2", point(0))]
+        consumed = 0
+
+        def feed():
+            nonlocal consumed
+            for record in batch:
+                consumed += 1
+                yield record
+
+        with pytest.raises((RuntimeError, SimplificationError), match="firmware"):
+            hub.push_many(feed())
+        stats = hub.stats()
+        hub.close()
+        # WHERE the failure surfaces depends on event-delivery timing, but
+        # every consumed record must have been shipped (pushed or dropped)
+        # except at most the record in hand when the raise fired and the
+        # failing push itself — buffered records are never stranded.
+        assert consumed - (stats.points_pushed + stats.dropped_points) <= 2
+
+    def test_sink_failure_does_not_quarantine_the_device_stream(self):
+        class OneShotBrokenSink:
+            def __init__(self):
+                self.accepted = 0
+
+            def accept(self, segment):
+                if self.accepted >= 1:
+                    raise OSError("disk full")
+                self.accepted += 1
+
+        hub = StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=2,
+            shared_sink=OneShotBrokenSink(),
+            on_error="raise",
+        )
+        with pytest.raises(OSError, match="disk full"):
+            for i in range(200):
+                hub.push("dev", Point(float(i * 37 % 113), float(i * 59 % 97), float(i)))
+        # The sink error was surfaced once; the device stream itself is
+        # healthy — further pushes work, nothing reads as quarantined.
+        hub.push("dev", Point(0.0, 0.0, 1_000.0))
+        assert not hub.device("dev").failed
+        assert hub.stats().failed == 0
+        payload = hub.checkpoint()
+        entry = next(e for e in payload["devices"] if e["device_id"] == "dev")
+        assert entry["failed"] is None
+        assert any("sink rejected" in error.message for error in hub.errors)
+
+    @pytest.mark.parametrize("sink_backend", ["serial", "thread", "process"])
+    def test_raising_sink_is_isolated_not_fatal(self, sink_backend, device_point_log):
+        class BrokenSink:
+            def __init__(self):
+                self.accepted = 0
+
+            def accept(self, segment):
+                if self.accepted >= 2:
+                    raise OSError("disk full")
+                self.accepted += 1
+
+        sink = BrokenSink()
+        with StreamHub(
+            algorithm="operb",
+            epsilon=40.0,
+            shards=4,
+            shared_sink=sink,
+            backend=sink_backend,
+            workers=2,
+        ) as hub:
+            # Must neither crash the ingest nor deadlock the synchronising
+            # calls on any backend.
+            hub.push_many(device_point_log[:600])
+            hub.finish_all()
+            stats = hub.stats()
+            hub.checkpoint()
+        assert stats.points_pushed == 600
+        assert any("sink rejected segments" in error.message for error in hub.errors)
 
 
 class TestPointLog:
