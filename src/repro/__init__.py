@@ -116,7 +116,7 @@ from .streaming import (
     run_pipeline,
     save_checkpoint,
 )
-from .trajectory import PiecewiseRepresentation, SegmentRecord, Trajectory
+from .trajectory import PiecewiseRepresentation, PointBlock, SegmentRecord, Trajectory
 
 __all__ = [
     "ALGORITHMS",
@@ -142,6 +142,7 @@ __all__ = [
     "PROFILES",
     "PiecewiseRepresentation",
     "Point",
+    "PointBlock",
     "ReproError",
     "SERCAR",
     "SegmentRecord",

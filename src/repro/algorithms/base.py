@@ -7,18 +7,50 @@ baselines it is compared against — consumes a
 algorithms are exposed as plain functions with that signature; streaming
 algorithms additionally implement the :class:`StreamingSimplifier` protocol
 (``push`` / ``finish``).
+
+Block ingest
+------------
+Streaming simplifiers may additionally implement the *batched* ingest
+protocol over :class:`~repro.trajectory.soa.PointBlock`:
+
+``push_block(block) -> list[SegmentRecord]``
+    Feed a whole SoA block of points; byte-identical (segments, statistics,
+    snapshots) to pushing the same points one at a time, but with the inner
+    loops running the vectorized prefix kernels of
+    :mod:`repro.geometry.kernels`.
+
+``push_block_steps(block) -> Iterator[tuple[int, list[SegmentRecord]]]``
+    The traced form the streaming hub consumes: each ``(count, segments)``
+    step means "``count`` further points were ingested and the last of them
+    emitted ``segments``".  Driving the steps reproduces the exact per-push
+    emission positions, which is what keeps per-device lag accounting (and
+    therefore hub checkpoints) byte-identical to per-point ingest.
+
+:func:`iter_block_steps` bridges the two worlds: it uses a simplifier's
+native ``push_block_steps`` when present and otherwise falls back to a
+correct (if slow) per-point loop, so *every* streaming simplifier — including
+third-party ones that predate the protocol — accepts blocks.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 from ..exceptions import InvalidParameterError
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 
-__all__ = ["SimplificationFunction", "StreamingSimplifier", "validate_epsilon", "trivial_representation"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectory.soa import PointBlock
+
+__all__ = [
+    "SimplificationFunction",
+    "StreamingSimplifier",
+    "validate_epsilon",
+    "trivial_representation",
+    "iter_block_steps",
+]
 
 
 @runtime_checkable
@@ -40,6 +72,30 @@ class StreamingSimplifier(Protocol):
 
     def finish(self) -> list[SegmentRecord]:  # pragma: no cover
         ...
+
+
+def _per_point_steps(
+    simplifier: StreamingSimplifier, block: "PointBlock"
+) -> Iterator[tuple[int, list[SegmentRecord]]]:
+    """Generic per-point fallback for :func:`iter_block_steps`."""
+    for i in range(len(block)):
+        yield 1, list(simplifier.push(block.point(i)))
+
+
+def iter_block_steps(
+    simplifier: object, block: "PointBlock"
+) -> Iterator[tuple[int, list[SegmentRecord]]]:
+    """Traced block ingest over any streaming simplifier.
+
+    Uses the simplifier's native ``push_block_steps`` when it implements the
+    batched protocol; otherwise pushes the block point by point (one step per
+    point) — correct for every push/finish simplifier, just without the
+    vectorized fast path.
+    """
+    native = getattr(simplifier, "push_block_steps", None)
+    if native is not None:
+        return native(block)
+    return _per_point_steps(simplifier, block)
 
 
 def validate_epsilon(epsilon: float) -> float:

@@ -11,13 +11,18 @@ an extension baseline for the examples.
 
 from __future__ import annotations
 
-import math
+from typing import TYPE_CHECKING, Iterator
 
 from ..exceptions import SimplificationError
+from ..geometry import kernels
 from ..geometry.point import Point, decode_point, encode_point
+from ..trajectory.blocks import drive_block_steps
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 from .base import trivial_representation, validate_epsilon
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectory.soa import PointBlock
 
 __all__ = ["DeadReckoningSimplifier", "dead_reckoning"]
 
@@ -35,6 +40,9 @@ class DeadReckoningSimplifier:
         self._previous: Point | None = None
         self._index = -1
         self._finished = False
+        # Block-ingest probe spacing (acceleration state only; not part of
+        # the snapshot protocol).
+        self._probe_backoff = 0
 
     def push(self, point: Point) -> list[SegmentRecord]:
         """Feed the next point; return the segment closed by it, if any."""
@@ -49,10 +57,19 @@ class DeadReckoningSimplifier:
             self._previous = point
             return emitted
 
-        dt = point.t - self._last_kept.t
-        predicted_x = self._last_kept.x + self._velocity[0] * dt
-        predicted_y = self._last_kept.y + self._velocity[1] * dt
-        error = math.hypot(point.x - predicted_x, point.y - predicted_y)
+        # Routed through the scalar prediction kernel so the vectorized
+        # block path (prediction_prefix_within) makes bit-identical
+        # keep/transmit decisions.
+        error = kernels.prediction_error_point(
+            point.x,
+            point.y,
+            point.t,
+            self._last_kept.x,
+            self._last_kept.y,
+            self._last_kept.t,
+            self._velocity[0],
+            self._velocity[1],
+        )
         if error > self.epsilon:
             emitted.append(
                 SegmentRecord(
@@ -75,6 +92,62 @@ class DeadReckoningSimplifier:
             self._last_kept_index = self._index
         self._previous = point
         return emitted
+
+    def push_block(self, block: "PointBlock") -> list[SegmentRecord]:
+        """Feed a whole SoA block of points; return the finalised segments.
+
+        Between transmissions the sender state (last kept point, velocity)
+        is frozen, so a whole run of within-bound fixes is detected with one
+        vectorized prediction-error kernel call; only the fixes that force a
+        transmission take the scalar :meth:`push`.  Byte-identical to
+        per-point ingest.
+        """
+        emitted: list[SegmentRecord] = []
+        for _, segments in self.push_block_steps(block):
+            emitted.extend(segments)
+        return emitted
+
+    def push_block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        """Traced form of :meth:`push_block` (see ``OPERBSimplifier``)."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        if len(block) == 0:
+            return iter(())
+        return self._block_steps(block)
+
+    def _block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        xs = block.xs
+        ys = block.ys
+        ts = block.ts
+        n = xs.shape[0]
+
+        def probe(start: int) -> tuple[int, bool, bool]:
+            kept = self._last_kept
+            if kept is None:
+                return 0, False, False
+            stop = start + min(n - start, kernels.BLOCK_LOOKAHEAD)
+            count = kernels.prediction_prefix_within(
+                xs[start:stop],
+                ys[start:stop],
+                ts[start:stop],
+                kept.x,
+                kept.y,
+                kept.t,
+                self._velocity[0],
+                self._velocity[1],
+                self.epsilon,
+            )
+            if count:
+                # Within-bound fixes leave the sender state untouched.
+                self._index += count
+                self._previous = block.point(start + count - 1)
+            return count, True, start + count == stop
+
+        return drive_block_steps(self, block, probe)
 
     def finish(self) -> list[SegmentRecord]:
         """Flush the final segment up to the last seen point."""

@@ -14,12 +14,19 @@ wrapper used by the experiments.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterator
+
 from ..exceptions import SimplificationError
+from ..geometry import kernels
 from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..trajectory.blocks import drive_block_steps
 from .base import trivial_representation, validate_epsilon
 from .bqs import BoundedQuadrantWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectory.soa import PointBlock
 
 __all__ = ["FBQSSimplifier", "fbqs"]
 
@@ -38,6 +45,9 @@ class FBQSSimplifier:
         self._previous_index = -1
         self._index = -1
         self._finished = False
+        # Block-ingest probe spacing (acceleration state only; not part of
+        # the snapshot protocol).
+        self._probe_backoff = 0
 
     def push(self, point: Point) -> list[SegmentRecord]:
         """Feed the next point; return the segment closed by it, if any."""
@@ -81,6 +91,84 @@ class FBQSSimplifier:
         self._previous = point
         self._previous_index = self._index
         return emitted
+
+    def push_block(self, block: "PointBlock") -> list[SegmentRecord]:
+        """Feed a whole SoA block of points; return the finalised segments.
+
+        Runs of candidates are bulk-accepted through the vectorized
+        corner-radius screen
+        (:func:`repro.geometry.kernels.quadrant_corner_screen`): when the
+        window's quadrant boxes — extended by a whole slice of points — stay
+        within ``epsilon`` of the anchor, every candidate in the slice is
+        provably acceptable and only the cheap ``add`` bookkeeping runs.
+        Inconclusive slices replay through the scalar :meth:`push`, so
+        decisions and state — including :meth:`snapshot` — are
+        byte-identical to per-point ingest.
+        """
+        emitted: list[SegmentRecord] = []
+        for _, segments in self.push_block_steps(block):
+            emitted.extend(segments)
+        return emitted
+
+    def push_block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        """Traced form of :meth:`push_block` (see ``OPERBSimplifier``)."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        if len(block) == 0:
+            return iter(())
+        return self._block_steps(block)
+
+    def _block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        xs = block.xs
+        ys = block.ys
+        n = len(block)
+
+        def probe(start: int) -> tuple[int, bool, bool]:
+            window = self._window
+            if window is None:
+                return 0, False, False
+            width = min(n - start, kernels.BLOCK_LOOKAHEAD)
+            anchor = window.anchor
+            bounds = tuple(
+                (q.min_x, q.max_x, q.min_y, q.max_y) for q in window.quadrants
+            )
+            # Shrink the slice on an inconclusive screen: a run that ends
+            # inside the lookahead is still bulk-accepted in chunks.
+            while width >= kernels.BLOCK_MIN_RUN:
+                stop = start + width
+                if kernels.quadrant_corner_screen(
+                    xs[start:stop], ys[start:stop], anchor.x, anchor.y, bounds, self.epsilon
+                ):
+                    self._bulk_accept(block, start, stop)
+                    return width, True, True
+                width //= 8
+            # Inconclusive at every width: the window is near its bound (or
+            # the stream is leaving the anchor) — the exact scalar path
+            # decides, with the driver's growing probe spacing.
+            return 0, True, False
+
+        return drive_block_steps(self, block, probe)
+
+    def _bulk_accept(self, block: "PointBlock", start: int, stop: int) -> None:
+        """Accept ``[start, stop)`` into the open window (screen-verified).
+
+        Performs exactly the state updates of :meth:`push`'s accept branch
+        for each point, in order — the window's quadrant bounds, witness
+        points and angles evolve identically to per-point ingest.
+        """
+        window = self._window
+        assert window is not None
+        add = window.add
+        for offset in range(start, stop):
+            point = block.point(offset)
+            self._index += 1
+            add(point)
+            self._previous = point
+            self._previous_index = self._index
 
     def finish(self) -> list[SegmentRecord]:
         """Flush the final open window."""

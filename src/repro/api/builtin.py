@@ -83,6 +83,7 @@ register_algorithm(
     "fbqs",
     streaming_factory=FBQSSimplifier,
     checkpointable=True,
+    batched=True,
     streaming_kwargs=(),
     summary="Fast BQS: streaming convex-bound window (buffers the open window)",
 )(fbqs)
@@ -98,6 +99,7 @@ register_algorithm(
     "dead-reckoning",
     streaming_factory=DeadReckoningSimplifier,
     checkpointable=True,
+    batched=True,
     streaming_kwargs=(),
     one_pass=True,
     error_metric="sed",
@@ -109,6 +111,7 @@ register_algorithm(
     streaming_factory=_make_operb,
     one_pass=True,
     checkpointable=True,
+    batched=True,
     accepted_kwargs=("config",),
     streaming_kwargs=OPERB_TUNING_KWARGS,
     summary="OPERB: one-pass error bounded simplification (all optimisations)",
@@ -119,6 +122,7 @@ register_algorithm(
     streaming_factory=_make_raw_operb,
     one_pass=True,
     checkpointable=True,
+    batched=True,
     accepted_kwargs=(),
     streaming_kwargs=OPERB_TUNING_KWARGS,
     summary="Raw-OPERB: the paper's Figure 7 algorithm without optimisations",
@@ -129,6 +133,7 @@ register_algorithm(
     streaming_factory=_make_operb_a,
     one_pass=True,
     checkpointable=True,
+    batched=True,
     accepted_kwargs=("gamma_max", "config"),
     streaming_kwargs=("gamma_max",),
     summary="OPERB-A: aggressive OPERB with anomalous-segment patching",
@@ -139,6 +144,7 @@ register_algorithm(
     streaming_factory=_make_raw_operb_a,
     one_pass=True,
     checkpointable=True,
+    batched=True,
     accepted_kwargs=("gamma_max",),
     streaming_kwargs=("gamma_max",),
     summary="Raw-OPERB-A: unoptimised OPERB with patching enabled",

@@ -22,6 +22,13 @@ routes on:
     ``snapshot()``/``restore(state)`` protocol, so live streams can be
     checkpointed to JSON and resumed byte-identically (the contract the
     :class:`repro.streaming.StreamHub` relies on).
+``batched``
+    Instances produced by the streaming factory implement the block-ingest
+    protocol (``push_block``/``push_block_steps`` over
+    :class:`repro.trajectory.PointBlock`), feeding SoA point blocks to the
+    vectorized kernels instead of per-point Python.  Algorithms without it
+    still accept blocks everywhere — sessions and the hub fall back to a
+    correct per-point loop.
 ``accepted_kwargs`` / ``streaming_kwargs``
     The keyword arguments the batch callable / the streaming factory accept,
     validated eagerly so misconfiguration fails at construction time rather
@@ -88,6 +95,11 @@ class AlgorithmDescriptor:
         ``snapshot()``/``restore(state)`` (requires a streaming factory).
         Batch-only algorithms are always checkpointable behind a
         :class:`repro.api.BufferedBatchAdapter`, which snapshots its buffer.
+    batched:
+        True when the streaming factory's instances support native block
+        ingest (``push_block``/``push_block_steps``; requires a streaming
+        factory).  Batch-only algorithms always ingest blocks natively
+        behind the buffered adapter, which appends each block in O(1).
     error_metric:
         One of :data:`ERROR_METRICS`.
     accepted_kwargs:
@@ -106,6 +118,7 @@ class AlgorithmDescriptor:
     streaming_factory: StreamingFactory | None = None
     one_pass: bool = False
     checkpointable: bool = False
+    batched: bool = False
     error_metric: str = "perpendicular"
     accepted_kwargs: frozenset[str] = field(default_factory=frozenset)
     streaming_kwargs: frozenset[str] | None = None
@@ -134,6 +147,11 @@ class AlgorithmDescriptor:
                 f"algorithm {self.name!r} is flagged checkpointable but has no "
                 f"streaming factory"
             )
+        if self.batched and self.streaming_factory is None:
+            raise InvalidParameterError(
+                f"algorithm {self.name!r} is flagged batched but has no "
+                f"streaming factory"
+            )
 
     # ------------------------------------------------------------------ #
     # Capabilities
@@ -159,6 +177,17 @@ class AlgorithmDescriptor:
         """
         return self.checkpointable or not self.streaming
 
+    @property
+    def block_capable(self) -> bool:
+        """Whether an ``open_stream`` session ingests blocks natively.
+
+        Native streaming algorithms must declare :attr:`batched`; batch-only
+        algorithms always qualify because the buffered adapter appends each
+        block in O(1).  Sessions of algorithms without this flag still accept
+        ``push_block`` through the generic per-point fallback.
+        """
+        return self.batched or not self.streaming
+
     def capabilities(self) -> dict[str, object]:
         """Plain-dict capability summary (for reports and the CLI table)."""
         return {
@@ -166,6 +195,7 @@ class AlgorithmDescriptor:
             "streaming": self.streaming,
             "one_pass": self.one_pass,
             "checkpointable": self.checkpointable,
+            "batched": self.batched,
             "error_metric": self.error_metric,
             "accepted_kwargs": sorted(self.accepted_kwargs),
             "streaming_kwargs": sorted(self.streaming_kwargs or ()),
@@ -245,6 +275,7 @@ def register_algorithm(
     streaming_factory: StreamingFactory | None = None,
     one_pass: bool = False,
     checkpointable: bool = False,
+    batched: bool = False,
     error_metric: str = "perpendicular",
     accepted_kwargs: Iterable[str] = (),
     streaming_kwargs: Iterable[str] | None = None,
@@ -267,6 +298,7 @@ def register_algorithm(
                 streaming_factory=streaming_factory,
                 one_pass=one_pass,
                 checkpointable=checkpointable,
+                batched=batched,
                 error_metric=error_metric,
                 accepted_kwargs=frozenset(accepted_kwargs),
                 streaming_kwargs=None if streaming_kwargs is None else frozenset(streaming_kwargs),

@@ -22,12 +22,14 @@ pool or process pool) with per-trajectory error isolation.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
+from ..algorithms.base import iter_block_steps
 from ..exceptions import InvalidParameterError, SimplificationError
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..trajectory.soa import PointBlock
 from .adapters import BufferedBatchAdapter
 from .descriptors import AlgorithmDescriptor, get_descriptor
 
@@ -126,6 +128,60 @@ class StreamSession:
         for point in points:
             emitted.extend(self.push(point))
         return emitted
+
+    def push_block(self, block: PointBlock) -> list[SegmentRecord]:
+        """Feed a whole SoA block of points; returns the finalised segments.
+
+        Produces byte-identical segments (and session snapshots) to pushing
+        the block's points one at a time — the block boundary is purely an
+        execution choice.  Algorithms whose simplifier implements the native
+        block protocol (``descriptor.batched``, or any batch-only algorithm
+        behind the buffered adapter) run their vectorized fast path; others
+        fall back to a correct per-point loop.  An empty block is a cheap
+        no-op that touches no statistics.
+        """
+        if self._finished:
+            raise SimplificationError(
+                f"cannot push to a finished {self.algorithm!r} stream session"
+            )
+        n = len(block)
+        if n == 0:
+            return []
+        native = getattr(self._raw, "push_block", None)
+        if native is not None:
+            emitted = list(native(block))
+        else:
+            emitted = []
+            for _, segments in iter_block_steps(self._raw, block):
+                emitted.extend(segments)
+        self._pushes += n
+        if self._keep_segments:
+            self._segments.extend(emitted)
+        return emitted
+
+    def iter_block(self, block: PointBlock) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        """Traced block ingest: yields ``(count, segments)`` steps.
+
+        Each step ingests ``count`` further points, the last of which
+        finalised ``segments`` (empty for silent runs).  This is the form
+        the streaming hub drives so per-push accounting (lag, burst sizes)
+        stays byte-identical to per-point ingest; :meth:`push_block` is the
+        flattened convenience wrapper.
+        """
+        if self._finished:
+            raise SimplificationError(
+                f"cannot push to a finished {self.algorithm!r} stream session"
+            )
+        if len(block) == 0:
+            return iter(())
+        return self._iter_block(block)
+
+    def _iter_block(self, block: PointBlock) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        for count, segments in iter_block_steps(self._raw, block):
+            self._pushes += count
+            if self._keep_segments and segments:
+                self._segments.extend(segments)
+            yield count, segments
 
     def finish(self) -> list[SegmentRecord]:
         """Flush the simplifier and close the session.
@@ -290,6 +346,11 @@ class Simplifier:
         batch-only algorithms are transparently wrapped in a
         :class:`BufferedBatchAdapter` (which buffers the whole stream — the
         cost the paper's one-pass algorithms avoid).
+
+        Sessions accept points one at a time (:meth:`StreamSession.push`)
+        or as SoA blocks (:meth:`StreamSession.push_block`) — the batched
+        form runs the vectorized block kernels for algorithms with the
+        ``batched`` capability and is byte-identical to per-point ingest.
 
         ``keep_segments=False`` opens a fire-and-forget session that retains
         no segment history (O(1) session state for one-pass algorithms);

@@ -55,7 +55,10 @@ def cmd_list_algorithms(args) -> int:
         for descriptor in descriptors:
             print(descriptor.name)
         return 0
-    columns = ["name", "streaming", "one-pass", "checkpoint", "error metric", "options", "summary"]
+    columns = [
+        "name", "streaming", "one-pass", "checkpoint", "batched",
+        "error metric", "options", "summary",
+    ]
     rows = []
     for descriptor in descriptors:
         options = sorted(descriptor.accepted_kwargs)
@@ -71,6 +74,11 @@ def cmd_list_algorithms(args) -> int:
                 # adapter: capable, at linear snapshot size.
                 "checkpoint": "yes" if descriptor.checkpointable
                 else ("buffered" if descriptor.snapshot_capable else "no"),
+                # Likewise for block ingest: the adapter appends whole
+                # blocks in O(1); non-batched streaming algorithms fall
+                # back to a correct per-point loop.
+                "batched": "yes" if descriptor.batched
+                else ("buffered" if descriptor.block_capable else "fallback"),
                 "error metric": descriptor.error_metric,
                 "options": ", ".join(options) or "-",
                 "summary": descriptor.summary,
@@ -221,6 +229,7 @@ def cmd_serve_replay(args) -> int:
                 shards=args.shards,
                 backend=args.backend,
                 workers=args.workers,
+                block_size=args.block_size,
             )
             skip = hub.points_pushed + hub.stats().dropped_points
             print(
@@ -235,6 +244,7 @@ def cmd_serve_replay(args) -> int:
                 shared_sink=sink,
                 backend=args.backend,
                 workers=args.workers,
+                block_size=args.block_size,
             )
         if skip:
             # Drain the already-ingested prefix outside the timed window so
@@ -243,12 +253,14 @@ def cmd_serve_replay(args) -> int:
         replayed = 0
         started = time.perf_counter()
         # Records ship in batches: push_many lets the concurrent backends
-        # ride chunked shard messages instead of one message per point.
-        # The batch is capped so a huge --checkpoint-every cannot buffer
-        # the log in memory (the hub must stay O(devices), not O(points));
-        # checkpoints land every --checkpoint-every replayed points, to
-        # within one batch when the interval exceeds the cap.
-        batch_size = min(args.checkpoint_every or 4096, 4096)
+        # ride chunked shard messages (regrouped worker-side into per-device
+        # SoA blocks of up to --block-size points) instead of one message
+        # per point.  The batch is capped so a huge --checkpoint-every
+        # cannot buffer the log in memory (the hub must stay O(devices),
+        # not O(points)); checkpoints land every --checkpoint-every
+        # replayed points, to within one batch when the interval exceeds
+        # the cap.
+        batch_size = min(args.checkpoint_every or args.block_size, args.block_size)
         batch: list = []
         since_checkpoint = 0
         for record in records:
@@ -336,6 +348,7 @@ def cmd_perf(args) -> int:
             progress=print,
             backend=args.backend,
             workers=args.workers,
+            block_size=args.block_size,
         )
         print()
         print(report.to_text())

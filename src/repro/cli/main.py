@@ -132,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
         "clamped to the shard count)",
     )
     serve.add_argument(
+        "--block-size",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="records per shipped ingest batch; shard workers regroup each "
+        "batch into per-device SoA point blocks for the vectorized "
+        "push_block path (default 4096; purely an execution knob — any "
+        "value produces byte-identical output)",
+    )
+    serve.add_argument(
         "--checkpoint", metavar="PATH", help="write hub checkpoints to this JSON file"
     )
     serve.add_argument(
@@ -157,7 +167,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--suite",
         default="quick",
-        help="workload suite: smoke, quick, hub, fleet or full",
+        help="workload suite: smoke, quick, hub, fleet, blocks or full",
     )
     perf.add_argument(
         "--output", help="write the report (BENCH_results.json format) to this path"
@@ -193,6 +203,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the worker count of every hub/fleet case",
+    )
+    perf.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the hub ingest block size of every hub case",
     )
     perf.set_defaults(handler=commands.cmd_perf)
 

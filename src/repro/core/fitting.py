@@ -25,7 +25,11 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..geometry.angles import normalize_angle
-from ..geometry.kernels import anchored_ped_point
+from ..geometry.kernels import (
+    anchored_ped_point,
+    radial_length_point,
+    rotation_sign_components,
+)
 from ..geometry.point import Point, decode_point, encode_point
 
 __all__ = ["PointOutcome", "FittingState", "zone_index", "rotation_sign"]
@@ -210,19 +214,24 @@ class FittingState:
         The point is examined exactly once; at most three scalar distance
         computations are performed, which is what gives OPERB its ``O(n)``
         time and ``O(1)`` space behaviour.
+
+        The radial length uses ``sqrt(dx*dx + dy*dy)`` and the rotation sign
+        is decided from the cross/dot components of the radial vector (see
+        :func:`repro.geometry.kernels.rotation_sign_components`) rather than
+        via ``hypot``/``atan2``: the block kernel
+        :func:`repro.geometry.kernels.operb_fitting_prefix` performs the
+        identical IEEE operations on whole arrays, so the batched ingest
+        path reproduces these per-point decisions bit for bit.
         """
         self.stats.points_observed += 1
         dx = point.x - self.anchor.x
         dy = point.y - self.anchor.y
-        r_len = math.hypot(dx, dy)
-        r_theta = math.atan2(dy, dx) if (dx != 0.0 or dy != 0.0) else 0.0
-        if r_theta < 0.0:
-            r_theta += 2.0 * math.pi
+        r_len = radial_length_point(dx, dy)
 
         if not self.has_direction:
             # No active point yet: L is still the zero-length segment at Ps.
             if r_len > self.config.first_active_threshold:
-                self._become_first_active(point, r_len, r_theta)
+                self._become_first_active(point, r_len, self._radial_direction(dx, dy))
                 self.stats.active_points += 1
                 return PointOutcome.ACTIVE
             # Every line through Ps is within r_len <= threshold <= zeta of P.
@@ -230,8 +239,14 @@ class FittingState:
             return PointOutcome.ABSORBED
 
         is_active = (r_len - self.length) > self.config.quarter_epsilon
-        deviation = self._distance_to_fitted_line(point)
-        sign = rotation_sign(r_theta, self.theta)
+        cos_t = math.cos(self.theta)
+        sin_t = math.sin(self.theta)
+        cross = cos_t * dy - sin_t * dx
+        deviation = abs(cross)
+        self.stats.distance_computations += 1
+        sign = rotation_sign_components(
+            cross, cos_t * dx + sin_t * dy, dx, dy, self.theta
+        )
 
         if not is_active:
             if not self._deviation_acceptable(deviation, sign):
@@ -248,9 +263,22 @@ class FittingState:
             self.stats.violations += 1
             return PointOutcome.VIOLATION
         self._record_deviation(deviation, sign)
-        self._advance_active(point, r_len, r_theta, deviation, sign)
+        self._advance_active(point, r_len, self._radial_direction(dx, dy), deviation, sign)
         self.stats.active_points += 1
         return PointOutcome.ACTIVE
+
+    @staticmethod
+    def _radial_direction(dx: float, dy: float) -> float:
+        """Direction of the radial vector in ``[0, 2*pi)`` (zero vector -> 0).
+
+        Only active points need the actual angle (for the rotation update);
+        absorbed points are classified without ``atan2``, which is what the
+        block kernels vectorize.
+        """
+        r_theta = math.atan2(dy, dx) if (dx != 0.0 or dy != 0.0) else 0.0
+        if r_theta < 0.0:
+            r_theta += 2.0 * math.pi
+        return r_theta
 
     # ------------------------------------------------------------------ #
     # Fitting function cases

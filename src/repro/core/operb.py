@@ -14,14 +14,20 @@ whole :class:`~repro.trajectory.model.Trajectory` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
 from ..exceptions import SimplificationError
+from ..geometry import kernels
 from ..geometry.kernels import ped_point_to_chord
 from ..geometry.point import Point, decode_point, encode_point
+from ..trajectory.blocks import drive_block_steps
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 from .config import OperbConfig
 from .fitting import FittingState, PointOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectory.soa import PointBlock
 
 __all__ = ["OperbStatistics", "OPERBSimplifier", "operb", "raw_operb"]
 
@@ -94,6 +100,9 @@ class OPERBSimplifier:
         self._index = -1
         self._previous_point: Point | None = None
         self._finished = False
+        # Block-ingest probe spacing (acceleration state only: never part of
+        # a snapshot, never observable in segments or statistics).
+        self._probe_backoff = 0
 
     # ------------------------------------------------------------------ #
     # Public streaming API
@@ -134,6 +143,140 @@ class OPERBSimplifier:
         self._process_in_segment(point, index, emitted)
         self._previous_point = point
         return emitted
+
+    def push_block(self, block: "PointBlock") -> list[SegmentRecord]:
+        """Feed a whole SoA block of points; return the finalised segments.
+
+        Byte-identical to pushing the block's points one at a time — same
+        segments, same statistics, same :meth:`snapshot` — but runs of
+        absorbed points (pre-direction points near the anchor, inactive
+        points inside the deviation budget, trailing points absorbed by
+        optimisation 5) are detected with one vectorized prefix-kernel call
+        each instead of per-point Python.  Only the run-breaking points go
+        through the scalar :meth:`push`.
+        """
+        emitted: list[SegmentRecord] = []
+        for _, segments in self.push_block_steps(block):
+            emitted.extend(segments)
+        return emitted
+
+    def push_block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        """Traced form of :meth:`push_block`: ``(count, segments)`` steps.
+
+        Each step ingests ``count`` further points of the block; ``segments``
+        are the ones finalised by the last of them (empty for bulk-absorbed
+        runs).  Consumers that account per-push emission positions (the
+        stream hub's lag counters) drive this instead of :meth:`push_block`.
+        """
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        if len(block) == 0:
+            return iter(())
+        return self._block_steps(block)
+
+    def _block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        xs = block.xs
+        ys = block.ys
+        n = xs.shape[0]
+        config = self.config
+
+        def probe(start: int) -> tuple[int, bool, bool]:
+            if self._absorption is not None:
+                absorbed = self._absorption.segment
+                stop = start + min(n - start, kernels.BLOCK_LOOKAHEAD)
+                count = kernels.chord_prefix_within(
+                    xs[start:stop],
+                    ys[start:stop],
+                    absorbed.start.x,
+                    absorbed.start.y,
+                    absorbed.end.x,
+                    absorbed.end.y,
+                    config.epsilon,
+                )
+                if count:
+                    self._bulk_absorb(block, start, count)
+                return count, True, start + count == stop
+            if self._segment is not None:
+                room = config.max_points_per_segment - self._segment.points_in_segment
+                if room > 0:
+                    stop = start + min(n - start, room, kernels.BLOCK_LOOKAHEAD)
+                    count = self._bulk_inactive(block, start, stop)
+                    return count, True, start + count == stop
+            # Segment cap exhausted (forced break) or the stream's very
+            # first point: nothing to probe against.
+            return 0, False, False
+
+        return drive_block_steps(self, block, probe)
+
+    def _bulk_absorb(self, block: "PointBlock", start: int, count: int) -> None:
+        """Apply ``count`` successful absorptions (optimisation 5) at once."""
+        absorption = self._absorption
+        assert absorption is not None
+        self._index += count
+        self.stats.points_processed += count
+        self.stats.distance_computations += count
+        self.stats.absorbed_points += count
+        absorption.absorbed += count
+        absorption.segment = absorption.segment.with_point_count(
+            absorption.segment.point_count + count
+        ).with_covered_last_index(self._index)
+        self._previous_point = block.point(start + count - 1)
+
+    def _bulk_inactive(self, block: "PointBlock", start: int, stop: int) -> int:
+        """Bulk-ingest the leading absorbed-inactive run of ``[start, stop)``.
+
+        Returns the run length; all state a per-point loop would have touched
+        for those points (fitting statistics, one-sided deviation maxima,
+        indices, segment fill) is updated to the identical values.
+        """
+        segment = self._segment
+        assert segment is not None
+        fitting = segment.fitting
+        config = self.config
+        anchor = fitting.anchor
+        xs = block.xs[start:stop]
+        ys = block.ys[start:stop]
+        if not fitting.has_direction:
+            count = kernels.prefix_within_radius(
+                xs, ys, anchor.x, anchor.y, config.first_active_threshold
+            )
+            if not count:
+                return 0
+            fitting.stats.points_observed += count
+            fitting.stats.inactive_points += count
+        else:
+            count, d_plus, d_minus = kernels.operb_fitting_prefix(
+                xs,
+                ys,
+                anchor.x,
+                anchor.y,
+                fitting.theta,
+                fitting.last_active_theta,
+                fitting.length,
+                config.epsilon,
+                config.quarter_epsilon,
+                config.half_epsilon,
+                config.opt_two_sided_deviation,
+                fitting.d_plus_max,
+                fitting.d_minus_max,
+            )
+            if not count:
+                return 0
+            fitting.d_plus_max = d_plus
+            fitting.d_minus_max = d_minus
+            fitting.stats.points_observed += count
+            fitting.stats.inactive_points += count
+            # One fitted-line and one last-active-line check per point.
+            fitting.stats.distance_computations += 2 * count
+        segment.points_in_segment += count
+        self._index += count
+        self.stats.points_processed += count
+        self._previous_point = block.point(start + count - 1)
+        return count
 
     def finish(self) -> list[SegmentRecord]:
         """Flush and return the remaining segment(s); further pushes are rejected."""

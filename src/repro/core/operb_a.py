@@ -12,6 +12,7 @@ space (the buffer holds at most two segments).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterator
 
 from ..exceptions import SimplificationError
 from ..geometry.point import Point
@@ -20,6 +21,9 @@ from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 from .config import OperbAConfig, OperbConfig
 from .operb import OPERBSimplifier, OperbStatistics
 from .patching import compute_patch_point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectory.soa import PointBlock
 
 __all__ = ["OperbAStatistics", "OPERBASimplifier", "operb_a", "raw_operb_a"]
 
@@ -91,6 +95,60 @@ class OPERBASimplifier:
         for segment in self._engine.push(point):
             emitted.extend(self._accept(segment))
         return emitted
+
+    def push_block(self, block: "PointBlock") -> list[SegmentRecord]:
+        """Feed a whole SoA block of points; return the finalised segments.
+
+        The OPERB engine underneath ingests the block through its vectorized
+        fast path; every segment it finalises runs through the same lazy
+        patching buffer as in per-point mode, so the output (and
+        :meth:`snapshot`) is byte-identical to pushing point by point.
+        """
+        emitted: list[SegmentRecord] = []
+        for _, segments in self.push_block_steps(block):
+            emitted.extend(segments)
+        return emitted
+
+    def push_block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        """Traced form of :meth:`push_block` (see ``OPERBSimplifier``)."""
+        if self._finished:
+            raise SimplificationError("push() called after finish()")
+        if len(block) == 0:
+            return iter(())
+        return self._block_steps(block)
+
+    def _block_steps(
+        self, block: "PointBlock"
+    ) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        silent = 0
+        steps = self._engine.push_block_steps(block)
+        while True:
+            try:
+                count, segments = next(steps)
+                emitted: list[SegmentRecord] = []
+                for segment in segments:
+                    emitted.extend(self._accept(segment))
+            except StopIteration:
+                break
+            except BaseException:
+                # Deliver the coalesced silent prefix before the failure
+                # surfaces, so traced consumers account the ingested points
+                # exactly as per-point routing would (the engine has already
+                # delivered its own pending prefix the same way).
+                if silent:
+                    yield silent, []
+                raise
+            # The lazy buffer may hold everything back, turning an emitting
+            # engine step into a silent one at this level.
+            if emitted:
+                yield silent + count, emitted
+                silent = 0
+            else:
+                silent += count
+        if silent:
+            yield silent, []
 
     def finish(self) -> list[SegmentRecord]:
         """Flush the engine and the lazy buffer."""

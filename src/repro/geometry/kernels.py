@@ -37,15 +37,29 @@ re-exported by :mod:`repro.core.config` as the user-facing switch::
 Reductions (:func:`max_ped_to_chord`, :func:`all_within_chord`, ...) are
 fused into the kernels so the vectorized path performs a single NumPy pass
 without materialising intermediate Python objects.
+
+The *prefix kernels* (:func:`prefix_within_radius`,
+:func:`operb_fitting_prefix`, :func:`chord_prefix_within`,
+:func:`prediction_prefix_within`) power the block-based streaming ingest:
+each answers "how many leading points of this block does the current
+simplifier state absorb without changing?" in one array pass.  Their
+floating-point operations are chosen to be *bit-identical* to the scalar
+per-point streaming code (``sqrt(dx*dx + dy*dy)`` instead of ``hypot``,
+cross/dot sign tests instead of ``atan2`` comparisons), which is what lets
+``push_block`` produce byte-identical segments and checkpoints to per-point
+``push`` — the scalar backend of each prefix kernel performs the identical
+per-point arithmetic and serves as the equivalence oracle.
 """
 
 from __future__ import annotations
 
 import math
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
+
+from .angles import normalize_angle
 
 __all__ = [
     "KERNEL_BACKENDS",
@@ -57,6 +71,10 @@ __all__ = [
     "ped_point_to_segment",
     "sed_point",
     "anchored_ped_point",
+    "prediction_error_point",
+    "radial_length_point",
+    "rotation_sign_components",
+    "zero_vector_rotation_sign",
     "ped_to_chord",
     "ped_to_segment",
     "sed_to_chord",
@@ -65,6 +83,11 @@ __all__ = [
     "max_sed_to_chord",
     "all_within_chord",
     "all_within_sed",
+    "prefix_within_radius",
+    "operb_fitting_prefix",
+    "chord_prefix_within",
+    "prediction_prefix_within",
+    "quadrant_corner_screen",
     "direction_angles",
     "angular_ranges_overlap",
     "angular_range_intersection",
@@ -179,6 +202,71 @@ def anchored_ped_point(x: float, y: float, ax: float, ay: float, theta: float) -
     the direction.
     """
     return abs(math.cos(theta) * (y - ay) - math.sin(theta) * (x - ax))
+
+
+def radial_length_point(dx: float, dy: float) -> float:
+    """Length of the vector ``(dx, dy)`` as ``sqrt(dx*dx + dy*dy)``.
+
+    Deliberately *not* ``math.hypot``: NumPy's and libm's ``hypot`` may
+    differ from CPython's in the last ulp, whereas ``sqrt`` of the explicit
+    dot product performs the same IEEE operations scalar and vectorized.
+    Every streaming radial-distance check routes through this form so the
+    block kernels reproduce the per-point decisions bit for bit.
+    """
+    return math.sqrt(dx * dx + dy * dy)
+
+
+def prediction_error_point(
+    x: float, y: float, t: float, x0: float, y0: float, t0: float, vx: float, vy: float
+) -> float:
+    """Dead-reckoning prediction error of one fix.
+
+    Distance between the observed position and the position linearly
+    extrapolated from ``(x0, y0, t0)`` with velocity ``(vx, vy)``; uses the
+    same operation order as the vectorized :func:`prediction_prefix_within`.
+    """
+    dt = t - t0
+    ex = x - (x0 + vx * dt)
+    ey = y - (y0 + vy * dt)
+    return math.sqrt(ex * ex + ey * ey)
+
+
+def zero_vector_rotation_sign(theta: float) -> int:
+    """Rotation sign of a zero radial vector against direction ``theta``.
+
+    A point that coincides with the anchor has the conventional direction
+    ``0.0``; this replicates ``rotation_sign(0.0, theta)`` from the fitting
+    layer without the upward import.
+    """
+    delta = normalize_angle(normalize_angle(0.0) - normalize_angle(theta))
+    half_pi = 0.5 * math.pi
+    if 0.0 <= delta <= half_pi or math.pi <= delta < 1.5 * math.pi:
+        return 1
+    return -1
+
+
+def rotation_sign_components(
+    cross: float, dot: float, dx: float, dy: float, theta: float
+) -> int:
+    """The fitting function's rotation sign from cross/dot components.
+
+    ``cross``/``dot`` are the components of the radial vector ``(dx, dy)``
+    perpendicular and parallel to the fitted direction ``theta``
+    (``cross = cos(theta)*dy - sin(theta)*dx``, ``dot = cos(theta)*dx +
+    sin(theta)*dy``).  Sign-testing them is equivalent to classifying the
+    included angle ``delta = angle(R) - theta`` into the paper's quadrant
+    rule (+1 for ``delta`` in ``[0, pi/2] U [pi, 3*pi/2)``), but avoids
+    ``atan2`` entirely — which makes the decision bit-identical between the
+    scalar streaming path and the vectorized block kernels.  A zero radial
+    vector falls back to the ``angle(R) = 0`` convention.
+    """
+    if dx == 0.0 and dy == 0.0:
+        return zero_vector_rotation_sign(theta)
+    if dot > 0.0:
+        return 1 if cross >= 0.0 else -1
+    if dot < 0.0:
+        return 1 if cross <= 0.0 else -1
+    return 1 if cross > 0.0 else -1
 
 
 # ---------------------------------------------------------------------- #
@@ -383,6 +471,300 @@ def all_within_sed(
         if d > epsilon:
             return False
     return True
+
+
+# ---------------------------------------------------------------------- #
+# Streaming prefix kernels — the block-ingest hot path
+# ---------------------------------------------------------------------- #
+BLOCK_LOOKAHEAD = 1024
+"""Maximum points a prefix-kernel probe examines at once.
+
+Array element cost is tiny next to the per-call dispatch overhead, so
+probes look far ahead — but not unboundedly, or a run-poor stream would pay
+O(block²) element work re-scanning the remainder after every boundary.
+"""
+
+BLOCK_MIN_RUN = 8
+"""Run length at which one prefix-kernel call beats per-point Python.
+
+Below this, NumPy's per-call overhead exceeds the scalar loop it replaces;
+probes that find shorter runs trigger the scalar backoff.
+"""
+
+BLOCK_PROBE_BACKOFF_MAX = 256
+"""Cap on the scalar backoff after repeated unprofitable probes.
+
+On a run-poor stream (sparse sampling relative to epsilon) the block path
+doubles its probe spacing up to this cap, bounding its overhead versus
+per-point ingest to one wasted kernel call per this many points while still
+rediscovering dense phases (e.g. GeoLife's walking legs) quickly.
+"""
+
+
+def _prefix_from_mask(blocked: np.ndarray) -> int:
+    """Index of the first True in ``blocked``, or its length when all False."""
+    if not blocked.any():
+        return int(blocked.shape[0])
+    return int(np.argmax(blocked))
+
+
+def prefix_within_radius(xs, ys, ax: float, ay: float, radius: float) -> int:
+    """Length of the leading run of points within ``radius`` of the anchor.
+
+    The radial length is ``sqrt(dx*dx + dy*dy)`` (see
+    :func:`radial_length_point`); a point at exactly ``radius`` counts as
+    within.  This is OPERB's pre-direction phase: points this close to the
+    anchor are absorbed without fixing a segment direction.
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if xs.size == 0:
+        return 0
+    if use_vectorized_kernels():
+        dxs = xs - ax
+        dys = ys - ay
+        with np.errstate(over="ignore", invalid="ignore"):
+            lengths = np.sqrt(dxs * dxs + dys * dys)
+        return _prefix_from_mask(lengths > radius)
+    for offset in range(xs.shape[0]):
+        if radial_length_point(float(xs[offset]) - ax, float(ys[offset]) - ay) > radius:
+            return offset
+    return int(xs.shape[0])
+
+
+def operb_fitting_prefix(
+    xs,
+    ys,
+    ax: float,
+    ay: float,
+    theta: float,
+    last_theta: float,
+    length: float,
+    epsilon: float,
+    quarter_epsilon: float,
+    half_epsilon: float,
+    two_sided: bool,
+    d_plus: float,
+    d_minus: float,
+) -> tuple[int, float, float]:
+    """Longest inactive-absorbable prefix for OPERB's fitting state.
+
+    A point of the prefix is absorbed when, against the fitted line
+    ``(anchor, theta, length)``, it is (a) not active
+    (``r_len - length <= quarter_epsilon``), (b) within the deviation budget
+    (two-sided ``d+ + d- <= epsilon`` or plain ``d <= half_epsilon``), and
+    (c) within ``epsilon`` of the last-active line ``last_theta``.  Returns
+    ``(count, new_d_plus, new_d_minus)`` — the run length and the one-sided
+    deviation maxima after recording every absorbed point.  The first point
+    that fails any condition is *not* classified here; the caller replays it
+    through the scalar ``observe`` (which performs the identical arithmetic)
+    to decide active versus violation.
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if xs.size == 0:
+        return 0, d_plus, d_minus
+    cos_t = math.cos(theta)
+    sin_t = math.sin(theta)
+    cos_l = math.cos(last_theta)
+    sin_l = math.sin(last_theta)
+    if use_vectorized_kernels():
+        dxs = xs - ax
+        dys = ys - ay
+        with np.errstate(over="ignore", invalid="ignore"):
+            r_len = np.sqrt(dxs * dxs + dys * dys)
+            cross = cos_t * dys - sin_t * dxs
+            dot = cos_t * dxs + sin_t * dys
+            deviation = np.abs(cross)
+            active = (r_len - length) > quarter_epsilon
+            positive = np.where(
+                dot > 0.0, cross >= 0.0, np.where(dot < 0.0, cross <= 0.0, cross > 0.0)
+            )
+            zero = (dxs == 0.0) & (dys == 0.0)
+            if zero.any():
+                positive = np.where(zero, zero_vector_rotation_sign(theta) > 0, positive)
+            plus_run = np.maximum(
+                np.maximum.accumulate(np.where(positive, deviation, -math.inf)), d_plus
+            )
+            minus_run = np.maximum(
+                np.maximum.accumulate(np.where(positive, -math.inf, deviation)), d_minus
+            )
+            if two_sided:
+                acceptable = (plus_run + minus_run) <= epsilon
+            else:
+                acceptable = deviation <= half_epsilon
+            last_deviation = np.abs(cos_l * dys - sin_l * dxs)
+            blocked = active | ~acceptable | (last_deviation > epsilon)
+        count = _prefix_from_mask(blocked)
+        if count == 0:
+            return 0, d_plus, d_minus
+        return count, float(plus_run[count - 1]), float(minus_run[count - 1])
+    plus = d_plus
+    minus = d_minus
+    for offset in range(xs.shape[0]):
+        dx = float(xs[offset]) - ax
+        dy = float(ys[offset]) - ay
+        r_len = radial_length_point(dx, dy)
+        if (r_len - length) > quarter_epsilon:
+            return offset, plus, minus
+        cross = cos_t * dy - sin_t * dx
+        deviation = abs(cross)
+        sign = rotation_sign_components(cross, cos_t * dx + sin_t * dy, dx, dy, theta)
+        if two_sided:
+            candidate_plus = max(plus, deviation) if sign > 0 else plus
+            candidate_minus = max(minus, deviation) if sign <= 0 else minus
+            if candidate_plus + candidate_minus > epsilon:
+                return offset, plus, minus
+        elif deviation > half_epsilon:
+            return offset, plus, minus
+        if abs(cos_l * dy - sin_l * dx) > epsilon:
+            return offset, plus, minus
+        if sign > 0:
+            if deviation > plus:
+                plus = deviation
+        elif deviation > minus:
+            minus = deviation
+    return int(xs.shape[0]), plus, minus
+
+
+def chord_prefix_within(
+    xs, ys, ax: float, ay: float, bx: float, by: float, epsilon: float
+) -> int:
+    """Length of the leading run whose PED to the chord is at most ``epsilon``.
+
+    The absorption test of OPERB's optimisation 5: trailing points within
+    ``epsilon`` of an already-finalised segment are absorbed into it.
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if xs.size == 0:
+        return 0
+    abx = bx - ax
+    aby = by - ay
+    norm = math.hypot(abx, aby)
+    # A zero-length chord degenerates to the distance to its start point,
+    # which the scalar oracle computes with math.hypot — np.hypot may differ
+    # in the last ulp, so the degenerate case stays on the scalar loop.
+    if use_vectorized_kernels() and norm != 0.0:
+        with np.errstate(over="ignore", invalid="ignore"):
+            distances = np.abs(abx * (ys - ay) - aby * (xs - ax)) / norm
+        return _prefix_from_mask(distances > epsilon)
+    for offset in range(xs.shape[0]):
+        if ped_point_to_chord(float(xs[offset]), float(ys[offset]), ax, ay, bx, by) > epsilon:
+            return offset
+    return int(xs.shape[0])
+
+
+def prediction_prefix_within(
+    xs,
+    ys,
+    ts,
+    x0: float,
+    y0: float,
+    t0: float,
+    vx: float,
+    vy: float,
+    epsilon: float,
+) -> int:
+    """Length of the leading run whose dead-reckoning error is within bound.
+
+    Errors are measured against the position extrapolated from
+    ``(x0, y0, t0)`` with velocity ``(vx, vy)`` — the sender-side prediction
+    of the dead-reckoning scheme (see :func:`prediction_error_point`).
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    ts = _as_float_array(ts)
+    if xs.size == 0:
+        return 0
+    if use_vectorized_kernels():
+        with np.errstate(over="ignore", invalid="ignore"):
+            dts = ts - t0
+            exs = xs - (x0 + vx * dts)
+            eys = ys - (y0 + vy * dts)
+            errors = np.sqrt(exs * exs + eys * eys)
+        return _prefix_from_mask(errors > epsilon)
+    for offset in range(xs.shape[0]):
+        error = prediction_error_point(
+            float(xs[offset]), float(ys[offset]), float(ts[offset]), x0, y0, t0, vx, vy
+        )
+        if error > epsilon:
+            return offset
+    return int(xs.shape[0])
+
+
+def quadrant_corner_screen(
+    xs,
+    ys,
+    ax: float,
+    ay: float,
+    bounds: "Sequence[tuple[float, float, float, float]]",
+    epsilon: float,
+) -> bool:
+    """Conservative bulk-accept screen for FBQS's bounded-quadrant window.
+
+    ``bounds`` holds the current ``(min_x, max_x, min_y, max_y)`` box of each
+    of the four anchor quadrants (``+inf``/``-inf`` sentinels when empty, in
+    the quadrant order of ``BoundedQuadrantWindow``).  The screen folds every
+    candidate point into its quadrant's box — using exactly the quadrant
+    assignment ``add`` would use — and checks whether the farthest box corner
+    of any occupied quadrant stays within ``epsilon`` of the anchor.
+
+    When it returns True, *every* candidate in the slice passes FBQS's exact
+    per-point check: each significant vertex lies inside its quadrant's box,
+    whose corners bound its distance to the anchor, which in turn bounds its
+    PED to any candidate line through the anchor.  A False result is merely
+    inconclusive — the caller replays the points through the exact scalar
+    path — so the screen's own floating-point slop can never change a
+    decision, only how much work takes the fast path.
+    """
+    xs = _as_float_array(xs)
+    ys = _as_float_array(ys)
+    if use_vectorized_kernels() and xs.size > 1:
+        dxs = xs - ax
+        dys = ys - ay
+        east = dxs >= 0.0
+        north = dys >= 0.0
+        masks = (east & north, ~east & north, ~east & ~north, east & ~north)
+        worst = 0.0
+        for mask, (min_x, max_x, min_y, max_y) in zip(masks, bounds):
+            if mask.any():
+                min_x = min(min_x, float(xs[mask].min()))
+                max_x = max(max_x, float(xs[mask].max()))
+                min_y = min(min_y, float(ys[mask].min()))
+                max_y = max(max_y, float(ys[mask].max()))
+            elif min_x > max_x:
+                continue
+            reach_x = max(abs(min_x - ax), abs(max_x - ax))
+            reach_y = max(abs(min_y - ay), abs(max_y - ay))
+            worst = max(worst, math.hypot(reach_x, reach_y))
+        return worst <= epsilon
+    boxes = [list(box) for box in bounds]
+    for offset in range(xs.shape[0]):
+        x = float(xs[offset])
+        y = float(ys[offset])
+        dx = x - ax
+        dy = y - ay
+        if dx >= 0.0 and dy >= 0.0:
+            box = boxes[0]
+        elif dx < 0.0 and dy >= 0.0:
+            box = boxes[1]
+        elif dx < 0.0 and dy < 0.0:
+            box = boxes[2]
+        else:
+            box = boxes[3]
+        box[0] = min(box[0], x)
+        box[1] = max(box[1], x)
+        box[2] = min(box[2], y)
+        box[3] = max(box[3], y)
+    worst = 0.0
+    for min_x, max_x, min_y, max_y in boxes:
+        if min_x > max_x:
+            continue
+        reach_x = max(abs(min_x - ax), abs(max_x - ax))
+        reach_y = max(abs(min_y - ay), abs(max_y - ay))
+        worst = max(worst, math.hypot(reach_x, reach_y))
+    return worst <= epsilon
 
 
 # ---------------------------------------------------------------------- #

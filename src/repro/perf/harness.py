@@ -79,6 +79,9 @@ class Measurement:
     defaulted so pre-backend reports keep loading)."""
     workers: int = 1
     """Worker count of the execution backend."""
+    block_size: int = 512
+    """Hub ingest block size the cell ran with (``hub`` mode; defaulted so
+    pre-block reports keep loading)."""
 
     @property
     def key(self) -> str:
@@ -264,6 +267,7 @@ def _time_hub(
             on_error="raise",
             backend=case.backend,
             workers=case.workers,
+            block_size=case.block_size,
         )
         try:
             backend, workers = hub.backend, hub.n_workers
@@ -315,6 +319,7 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    block_size: int | None = None,
 ) -> PerfReport:
     """Run a declared suite and return the populated report.
 
@@ -322,7 +327,7 @@ def run_suite(
     ----------
     suite:
         A :class:`~repro.perf.workloads.PerfSuite` or the name of a declared
-        one (``smoke``, ``quick``, ``hub``, ``fleet``, ``full``).
+        one (``smoke``, ``quick``, ``hub``, ``fleet``, ``blocks``, ``full``).
     repeats:
         Override the suite's timing repeats (best-of semantics).
     progress:
@@ -331,6 +336,8 @@ def run_suite(
         Override the execution backend / worker count of every ``hub`` and
         ``fleet`` case (``batch`` cases always run inline).  Handy for ad-hoc
         scaling experiments; declared suites stay the reproducible record.
+    block_size:
+        Override the hub ingest block size of every ``hub`` case.
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
@@ -343,6 +350,8 @@ def run_suite(
                 backend=backend if backend is not None else case.backend,
                 workers=workers if workers is not None else case.workers,
             )
+        if case.mode == "hub" and block_size is not None:
+            case = replace(case, block_size=block_size)
         fleet = build_fleet(case)
         total_points = sum(len(trajectory) for trajectory in fleet)
         records = interleave_fleet(fleet) if case.mode == "hub" else None
@@ -381,6 +390,7 @@ def run_suite(
                 mode=case.mode,
                 backend=ran_backend,
                 workers=ran_workers,
+                block_size=case.block_size,
             )
             report.results.append(measurement)
             if progress is not None:

@@ -24,6 +24,12 @@ Five suites ship by default:
 ``fleet``
     Backend-scaling cases for the fleet executor: the same fleet through
     ``Simplifier.run_many`` on every :mod:`repro.exec` backend.
+``blocks``
+    Block-ingest workloads: an idle-heavy fleet (dense dwell phases, the
+    regime the SoA ``push_block`` path is built for) replayed through the
+    hub with a large ``block_size`` on the serial, thread and process
+    backends — the suite that demonstrates the thread backend beating
+    serial on hub ingest once shard workers do vectorized block work.
 ``full``
     All four dataset profiles at a larger scale for local investigations.
 
@@ -40,7 +46,10 @@ traffic shape.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..datasets.generator import generate_dataset
 from ..datasets.profiles import get_profile
@@ -55,8 +64,10 @@ __all__ = [
     "GATING_ALGORITHMS",
     "CASE_BACKENDS",
     "CASE_MODES",
+    "IDLE_FLEET_PROFILE",
     "get_suite",
     "build_fleet",
+    "build_idle_fleet",
     "build_device_log",
     "interleave_fleet",
 ]
@@ -72,6 +83,19 @@ CASE_MODES = ("batch", "hub", "fleet")
 CASE_BACKENDS = ("serial", "thread", "process")
 """Valid values of :attr:`PerfCase.backend` (declared cases are explicit —
 no ``auto`` — so a suite measures the same runtime everywhere)."""
+
+IDLE_FLEET_PROFILE = "idle-fleet"
+"""Pseudo-profile name selecting :func:`build_idle_fleet` in a case.
+
+An idle-heavy fleet: short driving bursts separated by long stationary
+dwells, during which devices keep reporting at full cadence (half the
+dwells re-send the exact last fix — parked hardware — and half jitter
+around it by GPS noise).  This is the regime the block-ingest path is built
+for: dwell phases form long absorbable runs that the vectorized prefix
+kernels consume in one call each, while the paper's dataset profiles
+(sparse sampling relative to epsilon) exercise the scalar-backoff side.
+"""
+
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +120,9 @@ class PerfCase:
     mode: str = "batch"
     backend: str = "serial"
     workers: int = 1
+    block_size: int = 512
+    """Hub ``block_size`` (records per shipped worker batch; ``hub`` mode
+    only).  Execution knob: any value measures the same semantic work."""
 
     def __post_init__(self) -> None:
         if self.mode not in CASE_MODES:
@@ -109,6 +136,10 @@ class PerfCase:
         if self.workers < 1:
             raise InvalidParameterError(
                 f"case workers must be at least 1, got {self.workers}"
+            )
+        if self.block_size < 1:
+            raise InvalidParameterError(
+                f"case block_size must be at least 1, got {self.block_size}"
             )
 
     @property
@@ -149,6 +180,16 @@ _QUICK = PerfSuite(
             mode="hub",
             backend="thread",
             workers=4,
+        ),
+        PerfCase(
+            "hub-blocks-16x1k-t4",
+            IDLE_FLEET_PROFILE,
+            n_trajectories=16,
+            points_per_trajectory=1_000,
+            mode="hub",
+            backend="thread",
+            workers=4,
+            block_size=4_096,
         ),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs",),
@@ -243,8 +284,44 @@ _FULL = PerfSuite(
     repeats=3,
 )
 
+_BLOCKS = PerfSuite(
+    name="blocks",
+    cases=(
+        PerfCase(
+            "blocks-16x2k",
+            IDLE_FLEET_PROFILE,
+            n_trajectories=16,
+            points_per_trajectory=2_000,
+            mode="hub",
+            block_size=4_096,
+        ),
+        PerfCase(
+            "blocks-16x2k-t4",
+            IDLE_FLEET_PROFILE,
+            n_trajectories=16,
+            points_per_trajectory=2_000,
+            mode="hub",
+            backend="thread",
+            workers=4,
+            block_size=4_096,
+        ),
+        PerfCase(
+            "blocks-16x2k-p4",
+            IDLE_FLEET_PROFILE,
+            n_trajectories=16,
+            points_per_trajectory=2_000,
+            mode="hub",
+            backend="process",
+            workers=4,
+            block_size=4_096,
+        ),
+    ),
+    algorithms=("operb", "operb-a", "dead-reckoning"),
+    repeats=3,
+)
+
 SUITES: dict[str, PerfSuite] = {
-    suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL)
+    suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL, _BLOCKS)
 }
 """The declared suites, by name."""
 
@@ -259,8 +336,52 @@ def get_suite(name: str) -> PerfSuite:
         ) from None
 
 
+_IDLE_MOVING_POINTS = 50
+_IDLE_DWELL_POINTS = 950
+_IDLE_SPEED = 9.0
+_IDLE_NOISE = 1.0
+_IDLE_JITTER = 0.5
+
+
+def build_idle_fleet(case: PerfCase) -> list[Trajectory]:
+    """Synthesise the (seeded, deterministic) idle-heavy fleet of one case."""
+    fleet: list[Trajectory] = []
+    for index in range(case.n_trajectories):
+        rng = np.random.default_rng((case.seed, index))
+        n = case.points_per_trajectory
+        xs = np.empty(n)
+        ys = np.empty(n)
+        x = y = 0.0
+        produced = 0
+        cycle = 0
+        while produced < n:
+            heading = rng.uniform(0.0, 2.0 * math.pi)
+            for _ in range(min(_IDLE_MOVING_POINTS, n - produced)):
+                x += _IDLE_SPEED * math.cos(heading) + rng.normal(0.0, _IDLE_NOISE)
+                y += _IDLE_SPEED * math.sin(heading) + rng.normal(0.0, _IDLE_NOISE)
+                xs[produced] = x
+                ys[produced] = y
+                produced += 1
+            exact = cycle % 2 == 0
+            for _ in range(min(_IDLE_DWELL_POINTS, n - produced)):
+                if exact:
+                    xs[produced] = x
+                    ys[produced] = y
+                else:
+                    xs[produced] = x + rng.normal(0.0, _IDLE_JITTER)
+                    ys[produced] = y + rng.normal(0.0, _IDLE_JITTER)
+                produced += 1
+            cycle += 1
+        fleet.append(
+            Trajectory(xs, ys, np.arange(n, dtype=float), trajectory_id=f"idle-{index:04d}")
+        )
+    return fleet
+
+
 def build_fleet(case: PerfCase) -> list[Trajectory]:
     """Synthesise the (seeded, deterministic) fleet of one case."""
+    if case.profile == IDLE_FLEET_PROFILE:
+        return build_idle_fleet(case)
     return generate_dataset(
         get_profile(case.profile),
         n_trajectories=case.n_trajectories,

@@ -9,12 +9,21 @@ from .checkpoint import (
     write_point_log,
 )
 from .counting import CountingPointSource, CountingSimplifier
-from .hub import DeviceError, DeviceStream, HubShard, HubStats, StreamHub, shard_index
+from .hub import (
+    DEFAULT_BLOCK_SIZE,
+    DeviceError,
+    DeviceStream,
+    HubShard,
+    HubStats,
+    StreamHub,
+    shard_index,
+)
 from .interface import STREAMING_ALGORITHMS, BufferedBatchAdapter, make_streaming_simplifier
 from .pipeline import PipelineResult, StreamingPipeline, run_pipeline
 from .sinks import CollectingSink, CsvSegmentSink, StatisticsSink
 
 __all__ = [
+    "DEFAULT_BLOCK_SIZE",
     "STREAMING_ALGORITHMS",
     "BufferedBatchAdapter",
     "CollectingSink",

@@ -27,7 +27,7 @@ from typing import Callable, Iterable, Iterator, TextIO
 from ..exceptions import CheckpointError
 from ..exec import ExecutionBackend
 from ..geometry.point import Point
-from .hub import StreamHub
+from .hub import DEFAULT_BLOCK_SIZE, StreamHub
 
 __all__ = [
     "save_checkpoint",
@@ -91,14 +91,15 @@ def restore_hub(
     shards: int | None = None,
     backend: str | ExecutionBackend = "serial",
     workers: int | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
 ) -> StreamHub:
     """One-call resume: load a checkpoint (path or payload) into a live hub.
 
     Sinks are process-local resources and are not checkpointed; pass fresh
     ones here.  ``shards`` re-shards the devices onto a different partition
-    count, and ``backend``/``workers`` pick the execution backend of the
-    restored hub — both independent of the checkpointing hub's layout (see
-    :meth:`StreamHub.from_checkpoint`).
+    count, and ``backend``/``workers``/``block_size`` pick the execution
+    shape of the restored hub — all independent of the checkpointing hub's
+    layout (see :meth:`StreamHub.from_checkpoint`).
     """
     payload = source if isinstance(source, dict) else load_checkpoint(source)
     return StreamHub.from_checkpoint(
@@ -108,6 +109,7 @@ def restore_hub(
         shards=shards,
         backend=backend,
         workers=workers,
+        block_size=block_size,
     )
 
 

@@ -19,6 +19,17 @@ as events.  All backends are contractually equivalent: the same device log
 produces byte-identical per-device segments and byte-identical checkpoints,
 a property the test suite locks in.
 
+Concurrent workers ingest in *blocks*: every ``push_many`` batch a worker
+receives (``block_size`` records, default :data:`DEFAULT_BLOCK_SIZE`) is
+regrouped into per-device :class:`~repro.trajectory.PointBlock` SoA blocks
+and fed through the simplifiers' ``push_block`` fast path, so shard workers
+run the vectorized prefix kernels of :mod:`repro.geometry.kernels` instead
+of per-point Python — which both cuts the GIL-bound interpreter work per
+record and is what finally lets the thread backend beat serial on hub
+ingest for dense streams.  The block boundary is invisible downstream:
+per-device segments, statistics and checkpoint payloads are byte-identical
+to per-point routing (the serial backend's reference path).
+
 Capabilities:
 
 - **per-device configuration** — each device may use its own algorithm,
@@ -69,6 +80,7 @@ from ..exceptions import (
 from ..exec import ExecutionBackend, resolve_backend
 from ..geometry.point import Point
 from ..trajectory.piecewise import SegmentRecord
+from ..trajectory.soa import PointBlock
 
 __all__ = [
     "DeviceError",
@@ -87,8 +99,17 @@ CHECKPOINT_KIND = "stream-hub"
 CHECKPOINT_FORMAT = 1
 """Version stamp of the checkpoint layout, bumped on incompatible changes."""
 
-_PUSH_BATCH = 512
-"""Records buffered per actor before ``push_many`` flushes a batch message."""
+DEFAULT_BLOCK_SIZE = 512
+"""Default records buffered per actor before ``push_many`` flushes a batch.
+
+Each flushed batch is regrouped by the receiving shard worker into
+per-device :class:`~repro.trajectory.PointBlock` SoA blocks, so this is also
+the upper bound on the block sizes the vectorized ingest kernels see (a
+device's share of a batch is what actually forms its block).  Larger values
+amortise more per-record overhead and give the kernels longer runs at the
+cost of ingest latency; tune via ``StreamHub(block_size=...)`` /
+``serve-replay --block-size``.
+"""
 
 
 def shard_index(device_id: str, n_shards: int) -> int:
@@ -210,6 +231,30 @@ class DeviceStream:
         self._account(emitted)
         return emitted
 
+    def iter_block(self, block: PointBlock) -> Iterator[tuple[int, list[SegmentRecord]]]:
+        """Feed a block of fixes, yielding traced ``(count, segments)`` steps.
+
+        Driving the session's traced steps lets the per-device backpressure
+        counters (lag, max lag, burst size) evolve exactly as they would
+        under per-point :meth:`push` — each step covers ``count`` pushes of
+        which only the last emitted — so checkpoints stay byte-identical
+        whichever ingest form fed the device.
+        """
+        for count, emitted in self.session.iter_block(block):
+            self.points_pushed += count
+            self.lag += count
+            if self.lag > self.max_lag:
+                self.max_lag = self.lag
+            self._account(emitted)
+            yield count, emitted
+
+    def push_block(self, block: PointBlock) -> list[SegmentRecord]:
+        """Feed a block of fixes; returns all segments it finalised."""
+        emitted: list[SegmentRecord] = []
+        for _, segments in self.iter_block(block):
+            emitted.extend(segments)
+        return emitted
+
     def finish(self) -> list[SegmentRecord]:
         """Flush the stream; returns the trailing segments."""
         emitted = self.session.finish()
@@ -302,9 +347,7 @@ class _ShardCore:
         if kind == "push":
             return self.push(*message[1:])
         if kind == "push_batch":
-            for shard_i, device_id, point in message[1]:
-                self.push(shard_i, device_id, point)
-            return None
+            return self.push_batch(message[1])
         if kind == "register":
             return self.register(*message[1:])
         if kind == "finish_device":
@@ -398,6 +441,79 @@ class _ShardCore:
         if emitted:
             self._emit(("segments", device_id, emitted))
         return emitted, True
+
+    def push_batch(self, records: list[tuple[int, str, Point]]) -> None:
+        """Ingest one shipped batch, regrouped into per-device SoA blocks.
+
+        Arrival order *within* each device is preserved (which is all the
+        simplifier state depends on), so per-device segments, statistics and
+        checkpoints are byte-identical to per-point routing; only the
+        cross-device interleaving of sink deliveries changes, which the hub
+        has never guaranteed across backends.  Single-point groups skip the
+        block machinery.
+        """
+        grouped: dict[str, list[Point]] = {}
+        shard_of: dict[str, int] = {}
+        for shard_i, device_id, point in records:
+            bucket = grouped.get(device_id)
+            if bucket is None:
+                grouped[device_id] = [point]
+                shard_of[device_id] = shard_i
+            else:
+                bucket.append(point)
+        for device_id, points in grouped.items():
+            if len(points) == 1:
+                self.push(shard_of[device_id], device_id, points[0])
+            else:
+                self.push_block(shard_of[device_id], device_id, PointBlock.from_points(points))
+        return None
+
+    def push_block(
+        self, shard_i: int, device_id: str, block: PointBlock
+    ) -> list[SegmentRecord]:
+        """Route a block of fixes to one device stream.
+
+        Matches :meth:`push`'s quarantine and accounting semantics point for
+        point: a failure mid-block quarantines the device, counts the
+        already-ingested prefix as pushed, and counts the failing point and
+        the rest of the block as dropped exactly as per-point routing would.
+        """
+        shard = self.shards[shard_i]
+        device = shard.devices.get(device_id)
+        if device is None:
+            raise SimplificationError(
+                f"device {device_id!r} reached shard {shard_i} without "
+                f"registration — hub/worker device sets are out of sync"
+            )
+        if device.error is not None:
+            device.dropped_points += len(block)
+            return []
+        emitted: list[SegmentRecord] = []
+        consumed = 0
+        try:
+            for count, segments in device.iter_block(block):
+                consumed += count
+                if segments:
+                    emitted.extend(segments)
+        except Exception as error:  # noqa: BLE001 — isolation is the contract
+            shard.points_pushed += consumed
+            if emitted:
+                self._emit(("segments", device_id, emitted))
+            self._record_failure(device, error)
+            remaining = len(block) - consumed
+            if self._config.on_error == "collect":
+                # The failing point was consumed but produced nothing, and
+                # the rest of the block hits the quarantine branch.
+                device.dropped_points += remaining
+            else:
+                # In "raise" mode the failing push itself is not dropped;
+                # the points after it are.
+                device.dropped_points += remaining - 1
+            return []
+        shard.points_pushed += consumed
+        if emitted:
+            self._emit(("segments", device_id, emitted))
+        return emitted
 
     def finish_device(self, shard_i: int, device_id: str) -> list[SegmentRecord]:
         shard = self.shards[shard_i]
@@ -560,6 +676,14 @@ class StreamHub:
         Worker count for concurrent backends (clamped to ``shards``; each
         worker owns the shard slice ``[worker::n_workers]``).  Defaults to
         the backend's own default (CPU count).
+    block_size:
+        Records buffered per shard worker before ``push_many`` ships a
+        batch (default :data:`DEFAULT_BLOCK_SIZE`).  Shard workers regroup
+        each batch into per-device SoA point blocks and drive the
+        simplifiers' vectorized ``push_block`` path, so a device's share of
+        a batch is the block size its kernels see.  Purely an execution
+        knob: any value produces byte-identical per-device segments and
+        checkpoints.
     """
 
     def __init__(
@@ -574,9 +698,14 @@ class StreamHub:
         on_error: str = "collect",
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"shards must be at least 1, got {shards}")
+        if block_size < 1:
+            raise InvalidParameterError(
+                f"block_size must be at least 1, got {block_size}"
+            )
         if on_error not in _ON_ERROR_MODES:
             raise InvalidParameterError(
                 f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}"
@@ -588,6 +717,7 @@ class StreamHub:
         # Validates the default configuration eagerly (epsilon, options).
         self._default = Simplifier(algorithm, epsilon, **dict(options or {}))
         self.on_error = on_error
+        self._block_size = block_size
         self._sink_factory = sink_factory
         self._shared_sink = shared_sink
         self._n_shards = shards
@@ -802,6 +932,11 @@ class StreamHub:
         return self._n_shards
 
     @property
+    def block_size(self) -> int:
+        """Records buffered per worker before ``push_many`` ships a batch."""
+        return self._block_size
+
+    @property
     def shards(self) -> list[HubShard]:
         """The live shard objects, in shard order.
 
@@ -931,8 +1066,13 @@ class StreamHub:
 
         Returns the number of segments emitted on the serial backend;
         concurrent backends ingest asynchronously (records are shipped to
-        the shard workers in batches) and return ``0`` — read
+        the shard workers in ``block_size``-record batches, which each
+        worker regroups into per-device SoA blocks for the simplifiers'
+        vectorized ``push_block`` path) and return ``0`` — read
         ``stats().segments_emitted`` after a synchronising call instead.
+        The serial backend stays on the per-point reference path, which is
+        also what keeps its ``on_error="raise"`` semantics (raise at the
+        failing record, later records untouched) exact.
         """
         if not self._concurrent:
             emitted = 0
@@ -974,7 +1114,7 @@ class StreamHub:
                     f"{error.error_type}: {error.message}"
                 )
             buffers[actor].append((shard_i, device_id, point))
-            if len(buffers[actor]) >= _PUSH_BATCH:
+            if len(buffers[actor]) >= self._block_size:
                 self._group.tell(actor, ("push_batch", buffers[actor]))
                 buffers[actor] = []
         flush_all()
@@ -1126,6 +1266,7 @@ class StreamHub:
         shards: int | None = None,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
     ) -> "StreamHub":
         """Rebuild a hub (and every live device stream) from a checkpoint.
 
@@ -1134,9 +1275,9 @@ class StreamHub:
         onto a different shard count: devices re-shard deterministically
         through the CRC32 map and per-shard counters are recomputed from the
         per-device ones (the default keeps the checkpointing layout).
-        ``backend``/``workers`` choose the execution backend of the restored
-        hub independently of the one that checkpointed — checkpoints are
-        mutually restorable across backends.
+        ``backend``/``workers``/``block_size`` choose the execution shape of
+        the restored hub independently of the one that checkpointed —
+        checkpoints are mutually restorable across backends and block sizes.
 
         Raises
         ------
@@ -1173,6 +1314,7 @@ class StreamHub:
                 on_error=hub_config["on_error"],
                 backend=executor,
                 workers=workers,
+                block_size=block_size,
             )
         except (KeyError, TypeError, ValueError) as error:
             raise CheckpointError(f"malformed stream-hub checkpoint: {error!r}") from error

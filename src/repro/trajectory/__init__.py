@@ -21,11 +21,12 @@ from .operations import (
     translate,
 )
 from .piecewise import PiecewiseRepresentation, SegmentRecord
-from .soa import TrajectoryArray
+from .soa import PointBlock, TrajectoryArray
 
 __all__ = [
     "Trajectory",
     "TrajectoryArray",
+    "PointBlock",
     "PiecewiseRepresentation",
     "SegmentRecord",
     "concatenate",

@@ -16,7 +16,7 @@ per call, and dispatch through the kernel layer so the
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -27,7 +27,7 @@ from ..geometry.point import Point
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .model import Trajectory
 
-__all__ = ["TrajectoryArray"]
+__all__ = ["TrajectoryArray", "PointBlock"]
 
 
 class TrajectoryArray:
@@ -99,7 +99,7 @@ class TrajectoryArray:
 
     def __repr__(self) -> str:
         ident = f" id={self.trajectory_id!r}" if self.trajectory_id else ""
-        return f"TrajectoryArray(n={len(self)}{ident})"
+        return f"{type(self).__name__}(n={len(self)}{ident})"
 
     # ------------------------------------------------------------------ #
     # Chord-range kernels
@@ -207,3 +207,105 @@ class TrajectoryArray:
         if len(self) < 2:
             return np.array([], dtype=float)
         return kernels.direction_angles(np.diff(self.xs), np.diff(self.ys))
+
+
+class PointBlock(TrajectoryArray):
+    """A structure-of-arrays batch of streamed points.
+
+    The unit of the block-based ingest protocol: where per-point streaming
+    pushes one :class:`~repro.geometry.point.Point` at a time,
+    ``push_block(block)`` hands a whole SoA batch to the simplifier so its
+    inner loops can run the vectorized prefix kernels of
+    :mod:`repro.geometry.kernels` instead of per-point Python.  A block
+    carries no trajectory semantics — it is simply "the next ``n`` points of
+    one stream, in arrival order"; splitting a stream into blocks at *any*
+    boundaries yields byte-identical segments and checkpoints to per-point
+    pushes, which the equivalence suite locks in.
+
+    Blocks share :class:`TrajectoryArray`'s contiguous ``float64``
+    ``(xs, ys, ts)`` arrays and validation; construction from an existing
+    trajectory or from contiguous arrays is zero-copy.  A block built with
+    :meth:`from_points` additionally keeps the source :class:`Point` objects
+    so consumers that fall back to per-point processing (the scalar boundary
+    pushes, the generic fallback for non-batched algorithms) never rebuild
+    them from the arrays.
+    """
+
+    __slots__ = ("_points",)
+
+    def __init__(self, xs, ys, ts, *, trajectory_id: str = "") -> None:
+        super().__init__(xs, ys, ts, trajectory_id=trajectory_id)
+        self._points: Sequence[Point] | None = None
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "PointBlock":
+        """Pack an iterable of points into one block (arrival order kept)."""
+        pts = points if isinstance(points, (list, tuple)) else list(points)
+        block = cls(
+            np.array([p.x for p in pts], dtype=float),
+            np.array([p.y for p in pts], dtype=float),
+            np.array([p.t for p in pts], dtype=float),
+        )
+        block._points = pts
+        return block
+
+    @classmethod
+    def concat(cls, blocks: Sequence["PointBlock"]) -> "PointBlock":
+        """Concatenate several blocks into one (empty input gives an empty block)."""
+        if not blocks:
+            return cls.empty()
+        if len(blocks) == 1:
+            block = blocks[0]
+            merged = cls(block.xs, block.ys, block.ts)
+            merged._points = block._points
+            return merged
+        return cls(
+            np.concatenate([block.xs for block in blocks]),
+            np.concatenate([block.ys for block in blocks]),
+            np.concatenate([block.ts for block in blocks]),
+        )
+
+    @classmethod
+    def empty(cls) -> "PointBlock":
+        """A zero-length block (pushing it is a cheap no-op)."""
+        return cls(
+            np.array([], dtype=float), np.array([], dtype=float), np.array([], dtype=float)
+        )
+
+    def point(self, index: int) -> Point:
+        """The :class:`Point` at ``index`` (cached when built from points)."""
+        if self._points is not None:
+            return self._points[index]
+        return super().point(index)
+
+    def slice(self, start: int, stop: int) -> "PointBlock":
+        """Sub-block view of ``[start, stop)`` (no array copy)."""
+        block = type(self)(self.xs[start:stop], self.ys[start:stop], self.ts[start:stop])
+        if self._points is not None:
+            block._points = self._points[start:stop]
+        return block
+
+    def split(self, block_size: int) -> "list[PointBlock]":
+        """Chop into consecutive sub-blocks of at most ``block_size`` points."""
+        if block_size < 1:
+            raise InvalidTrajectoryError(
+                f"block_size must be at least 1, got {block_size}"
+            )
+        return [
+            self.slice(start, min(start + block_size, len(self)))
+            for start in range(0, len(self), block_size)
+        ]
+
+    def iter_points(self) -> Iterator[Point]:
+        """Iterate the block as :class:`Point` objects (the per-point view)."""
+        if self._points is not None:
+            return iter(self._points)
+        return self._materialize_points()
+
+    def _materialize_points(self) -> Iterator[Point]:
+        xs, ys, ts = self.xs, self.ys, self.ts
+        for i in range(xs.shape[0]):
+            yield Point(float(xs[i]), float(ys[i]), float(ts[i]))
+
+    def __iter__(self) -> Iterator[Point]:
+        return self.iter_points()

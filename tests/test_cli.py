@@ -287,6 +287,36 @@ class TestServeReplayCommand:
         threaded_rows = threaded_csv.read_text().splitlines()
         assert sorted(serial_rows) == sorted(threaded_rows)
 
+    def test_block_size_is_a_pure_execution_knob(self, point_log, tmp_path, capsys):
+        """Any --block-size replays to byte-identical per-device output."""
+        serial_csv = tmp_path / "serial.csv"
+        assert main(["serve-replay", str(point_log), "--output", str(serial_csv)]) == 0
+        blocked_csv = tmp_path / "blocked.csv"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--backend",
+                "thread",
+                "--workers",
+                "2",
+                "--block-size",
+                "97",
+                "--output",
+                str(blocked_csv),
+            ]
+        )
+        assert code == 0
+        assert "replayed 3000 points" in capsys.readouterr().out
+        assert sorted(serial_csv.read_text().splitlines()) == sorted(
+            blocked_csv.read_text().splitlines()
+        )
+
+    def test_block_size_must_be_positive(self, point_log, capsys):
+        code = main(["serve-replay", str(point_log), "--block-size", "0"])
+        assert code == 1
+        assert "block_size" in capsys.readouterr().err
+
     def test_resume_can_reshard_the_hub(self, point_log, tmp_path, capsys):
         from repro.streaming import StreamHub, read_point_log, save_checkpoint
 

@@ -284,6 +284,58 @@ class TestBackendMeasurements:
         assert fleet_cell.segments == batch_cell.segments
         assert fleet_cell.compression_ratio == batch_cell.compression_ratio
 
+    def test_block_size_is_recorded_and_overridable(self):
+        tiny_blocks = PerfSuite(
+            name="tiny-blocks",
+            cases=(
+                PerfCase(
+                    "hub-tiny-blocks",
+                    "idle-fleet",
+                    n_trajectories=4,
+                    points_per_trajectory=50,
+                    mode="hub",
+                    backend="thread",
+                    workers=2,
+                    block_size=64,
+                ),
+            ),
+            algorithms=("operb",),
+            repeats=1,
+        )
+        cell = run_suite(tiny_blocks).results[0]
+        assert cell.block_size == 64
+        overridden = run_suite(tiny_blocks, block_size=128).results[0]
+        assert overridden.block_size == 128
+        # The knob is purely an execution choice: identical semantic output.
+        assert overridden.segments == cell.segments
+        assert overridden.compression_ratio == cell.compression_ratio
+
+    def test_blocks_suite_is_declared(self):
+        from repro.perf.workloads import SUITES, IDLE_FLEET_PROFILE
+
+        suite = SUITES["blocks"]
+        assert {case.backend for case in suite.cases} == {"serial", "thread", "process"}
+        assert all(case.mode == "hub" for case in suite.cases)
+        assert all(case.profile == IDLE_FLEET_PROFILE for case in suite.cases)
+        # The CI-gated quick suite carries one thread-backend blocks case.
+        quick = SUITES["quick"]
+        assert any(
+            case.profile == IDLE_FLEET_PROFILE and case.backend == "thread"
+            for case in quick.cases
+        )
+
+    def test_idle_fleet_is_deterministic(self):
+        from repro.perf.workloads import build_idle_fleet
+
+        case = PerfCase(
+            "idle", "idle-fleet", n_trajectories=2, points_per_trajectory=300, mode="hub"
+        )
+        first = build_idle_fleet(case)
+        second = build_idle_fleet(case)
+        assert len(first) == 2 and all(len(t) == 300 for t in first)
+        for a, b in zip(first, second):
+            assert a == b
+
     def test_run_suite_backend_override_applies_to_hub_and_fleet_only(self):
         mixed = PerfSuite(
             name="tiny-mixed",
