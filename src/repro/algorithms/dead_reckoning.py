@@ -32,6 +32,11 @@ class DeadReckoningSimplifier:
 
     name = "dead-reckoning"
 
+    # Not snapshot state (RPA001): ``epsilon`` is immutable configuration the
+    # restoring side supplies, ``_probe_backoff`` is block-ingest probe
+    # spacing — pure acceleration state that never affects output.
+    _SNAPSHOT_EXCLUDE = frozenset({"epsilon", "_probe_backoff"})
+
     def __init__(self, epsilon: float) -> None:
         self.epsilon = validate_epsilon(epsilon)
         self._last_kept: Point | None = None

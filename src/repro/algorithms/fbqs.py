@@ -36,6 +36,11 @@ class FBQSSimplifier:
 
     name = "fbqs"
 
+    # Not snapshot state (RPA001): ``epsilon`` is immutable configuration the
+    # restoring side supplies, ``_probe_backoff`` is block-ingest probe
+    # spacing — pure acceleration state that never affects output.
+    _SNAPSHOT_EXCLUDE = frozenset({"epsilon", "_probe_backoff"})
+
     def __init__(self, epsilon: float) -> None:
         self.epsilon = validate_epsilon(epsilon)
         self._window: BoundedQuadrantWindow | None = None

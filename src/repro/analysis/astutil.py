@@ -1,0 +1,311 @@
+"""Shared AST infrastructure for the invariant rules.
+
+Every rule sees the same two inputs: a :class:`ModuleInfo` (one parsed file)
+and a :class:`ProjectIndex` (the cross-file view: class name -> definition,
+function name -> return annotation).  The index is what lets the capability
+rule follow ``streaming_factory=_make_operb`` from the registration in
+``api/builtin.py`` to the :class:`OPERBSimplifier` methods defined in
+``core/operb.py`` without importing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "ModuleInfo",
+    "ClassInfo",
+    "ProjectIndex",
+    "parse_source",
+    "iter_classes",
+    "class_methods",
+    "self_attribute_stores",
+    "self_attribute_reads",
+    "string_literal_set",
+    "dotted_name",
+    "in_packages",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleInfo:
+    """One parsed source file, as the rules see it.
+
+    ``path`` uses POSIX separators and is reported verbatim in findings;
+    scope predicates (:func:`in_packages`) match against it.
+    """
+
+    path: str
+    tree: ast.Module
+
+
+@dataclass(slots=True)
+class ClassInfo:
+    """One class definition in the project index."""
+
+    name: str
+    node: ast.ClassDef
+    module: ModuleInfo
+    base_names: tuple[str, ...]
+    methods: dict[str, FunctionNode] = field(default_factory=dict)
+
+
+def parse_source(source: str, path: str) -> ModuleInfo:
+    """Parse one file's source into a :class:`ModuleInfo`.
+
+    Raises
+    ------
+    SyntaxError
+        Propagated from :func:`ast.parse`; the runner converts it into a
+        parse-error finding.
+    """
+    return ModuleInfo(path=path.replace("\\", "/"), tree=ast.parse(source, filename=path))
+
+
+def iter_classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    """Every class definition in ``tree``, nested ones included."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def class_methods(node: ast.ClassDef) -> dict[str, FunctionNode]:
+    """Directly defined methods of ``node`` (no inheritance)."""
+    return {
+        item.name: item
+        for item in node.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _base_name(base: ast.expr) -> str | None:
+    """The usable name of one class base (``Name`` or dotted ``Attribute``)."""
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        # ``module.ClassName`` — the index keys on the bare class name.
+        return base.attr
+    return None
+
+
+def class_base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    """Resolvable base-class names of ``node`` (subscripted bases skipped)."""
+    names = []
+    for base in node.bases:
+        name = _base_name(base)
+        if name is not None:
+            names.append(name)
+    return tuple(names)
+
+
+def self_attribute_stores(func: FunctionNode) -> list[tuple[str, int]]:
+    """``(attribute, line)`` pairs for every ``self.X = ...`` in ``func``.
+
+    Covers plain, annotated and augmented assignments, tuple-unpacking
+    targets, and ``self.X`` loop/with targets.  Attributes of attributes
+    (``self.a.b = ...``) are *not* stores of ``self`` state and are skipped.
+    """
+    stores: list[tuple[str, int]] = []
+    for node in ast.walk(func):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        for target in targets:
+            for leaf in ast.walk(target):
+                if (
+                    isinstance(leaf, ast.Attribute)
+                    and isinstance(leaf.ctx, ast.Store)
+                    and isinstance(leaf.value, ast.Name)
+                    and leaf.value.id == "self"
+                ):
+                    stores.append((leaf.attr, leaf.lineno))
+    return stores
+
+
+def self_attribute_reads(node: ast.AST) -> set[str]:
+    """Names of every ``self.X`` attribute accessed anywhere under ``node``."""
+    return {
+        leaf.attr
+        for leaf in ast.walk(node)
+        if isinstance(leaf, ast.Attribute)
+        and isinstance(leaf.value, ast.Name)
+        and leaf.value.id == "self"
+    }
+
+
+def string_literal_set(node: ast.ClassDef, name: str) -> frozenset[str] | None:
+    """The string constants of a class-level ``name = frozenset({...})``.
+
+    Accepts a set/tuple/list literal, optionally wrapped in a single
+    ``frozenset(...)``/``set(...)`` call.  Returns ``None`` when the class
+    has no such assignment (distinct from an empty set).
+    """
+    for item in node.body:
+        value: ast.expr | None = None
+        if isinstance(item, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == name for t in item.targets):
+                value = item.value
+        elif isinstance(item, ast.AnnAssign):
+            if isinstance(item.target, ast.Name) and item.target.id == name:
+                value = item.value
+        if value is None:
+            continue
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("frozenset", "set")
+            and len(value.args) == 1
+        ):
+            value = value.args[0]
+        if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+            return frozenset(
+                elt.value
+                for elt in value.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+            )
+        return frozenset()
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``"a.b.c"`` for a pure ``Name``/``Attribute`` chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def in_packages(path: str, packages: tuple[str, ...]) -> bool:
+    """Whether ``path`` lies inside one of the ``repro`` sub-``packages``."""
+    posix = path.replace("\\", "/")
+    return any(f"repro/{package}/" in posix for package in packages)
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """Node visitor tracking the enclosing class/function qualname.
+
+    Rules subclass this to anchor findings to a stable symbol
+    (``Class.method`` rather than a line number).
+    """
+
+    def __init__(self) -> None:
+        self._scope: list[str] = []
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self._scope) or "<module>"
+
+    def _enter(self, node: ast.ClassDef | FunctionNode) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._enter(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter(node)
+
+
+class ProjectIndex:
+    """Cross-module view: class and factory-function resolution by name.
+
+    Names are indexed bare (``OPERBSimplifier``, not the dotted module
+    path); the repo keeps class names unique, and a colliding name would at
+    worst make a rule stay silent — rules must treat unresolved names as
+    "don't know", never as a finding.
+    """
+
+    def __init__(self, modules: list[ModuleInfo]) -> None:
+        self.modules = modules
+        self.classes: dict[str, ClassInfo] = {}
+        #: Top-level function name -> return-annotation name (or ``None``).
+        self.function_returns: dict[str, str | None] = {}
+        for module in modules:
+            for node in iter_classes(module.tree):
+                self.classes[node.name] = ClassInfo(
+                    name=node.name,
+                    node=node,
+                    module=module,
+                    base_names=class_base_names(node),
+                    methods=class_methods(node),
+                )
+            for item in module.tree.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.function_returns[item.name] = _annotation_name(item.returns)
+
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        """The project-local class called ``name``, if any."""
+        return self.classes.get(name)
+
+    def resolve_factory(self, name: str) -> ClassInfo | None:
+        """Resolve a streaming-factory name to the class it instantiates.
+
+        A factory is either the simplifier class itself or a module-level
+        helper whose return annotation names the class.  Unresolvable names
+        (imports from outside the scanned tree, un-annotated helpers)
+        return ``None`` — the caller must stay silent on them.
+        """
+        direct = self.classes.get(name)
+        if direct is not None:
+            return direct
+        returns = self.function_returns.get(name)
+        if returns is not None:
+            return self.classes.get(returns)
+        return None
+
+    def class_defines(self, info: ClassInfo, method: str) -> bool | None:
+        """Whether ``info`` (or a project-local base) defines ``method``.
+
+        Returns ``None`` ("don't know") when the method is not found but
+        some transitive base could not be resolved inside the project, so
+        rules never report against inherited behaviour they cannot see.
+        ``object`` counts as resolved.
+        """
+        seen: set[str] = set()
+        unresolved = False
+        stack = [info]
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if method in current.methods:
+                return True
+            for base in current.base_names:
+                if base == "object":
+                    continue
+                resolved = self.classes.get(base)
+                if resolved is None:
+                    unresolved = True
+                else:
+                    stack.append(resolved)
+        return None if unresolved else False
+
+
+def _annotation_name(annotation: ast.expr | None) -> str | None:
+    """The class name an annotation refers to (``Name``, dotted, or string)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        # String annotation: "OPERBSimplifier" (possibly dotted).
+        return annotation.value.split(".")[-1].strip() or None
+    name = dotted_name(annotation)
+    if name is not None:
+        return name.split(".")[-1]
+    return None

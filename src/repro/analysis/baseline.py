@@ -1,0 +1,108 @@
+"""Baseline allowlist: tracked, justified findings that do not fail the lint.
+
+The committed ``analysis_baseline.json`` records findings that are
+*deliberate* — each entry carries a one-line justification — so the linter
+can gate on "no new findings" instead of "no findings ever".  Entries match
+on the line-independent fingerprint (rule id, path, symbol); fixing the
+underlying code makes the entry stale, and ``--format json`` output plus
+:func:`baseline_payload` regenerate the file when the set changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+from .findings import Finding, sort_findings
+
+__all__ = ["Baseline", "load_baseline", "baseline_payload"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Fingerprint -> justification map of allowlisted findings."""
+
+    entries: dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into ``(new, baselined)``."""
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            (baselined if finding.fingerprint in self.entries else new).append(finding)
+        return new, baselined
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file.
+
+    Raises
+    ------
+    InvalidParameterError
+        When the file is unreadable or not a valid baseline document
+        (missing justifications included — an unjustified allowlist entry
+        defeats the point of tracking).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise InvalidParameterError(f"cannot read baseline {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise InvalidParameterError(
+            f"baseline {path!r} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise InvalidParameterError(
+            f"baseline {path!r} must be a version-{BASELINE_VERSION} document"
+        )
+    entries: dict[str, str] = {}
+    for row in payload.get("findings", ()):
+        if not isinstance(row, dict):
+            raise InvalidParameterError(f"baseline {path!r} has a non-object entry")
+        try:
+            rule = row["rule"]
+            rel = row["path"]
+            symbol = row["symbol"]
+            justification = row["justification"]
+        except KeyError as error:
+            raise InvalidParameterError(
+                f"baseline {path!r} entry is missing key {error.args[0]!r}"
+            ) from error
+        if not justification:
+            raise InvalidParameterError(
+                f"baseline {path!r}: entry {rule}::{rel}::{symbol} has an "
+                f"empty justification"
+            )
+        entries[f"{rule}::{rel}::{symbol}"] = justification
+    return Baseline(entries)
+
+
+def baseline_payload(findings: list[Finding], justifications: dict[str, str]) -> dict:
+    """Build a baseline document for ``findings``.
+
+    ``justifications`` maps fingerprints to one-line reasons; every finding
+    must have one.
+    """
+    rows = []
+    for finding in sort_findings(findings):
+        justification = justifications.get(finding.fingerprint, "")
+        if not justification:
+            raise InvalidParameterError(
+                f"no justification provided for {finding.fingerprint}"
+            )
+        rows.append(
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "justification": justification,
+            }
+        )
+    return {"version": BASELINE_VERSION, "findings": rows}

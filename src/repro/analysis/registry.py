@@ -1,0 +1,97 @@
+"""Rule registry of the invariant linter.
+
+Each rule is a class with a stable ``rule_id`` (``RPA...``), registered at
+import time with :func:`register_rule`.  The runner instantiates every
+registered rule (or the requested subset) and calls ``check`` once per
+module; rules that need the cross-file view use the shared
+:class:`~repro.analysis.astutil.ProjectIndex`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from ..exceptions import InvalidParameterError
+from .astutil import ModuleInfo, ProjectIndex
+from .findings import Finding
+
+__all__ = ["Rule", "register_rule", "all_rules", "get_rule", "rule_ids"]
+
+
+class Rule(ABC):
+    """One machine-checked repo invariant.
+
+    Subclasses set ``rule_id`` (stable, referenced by baselines and
+    ``--rule``), ``name`` (short slug used in docs) and ``description``,
+    and implement :meth:`check`.
+    """
+
+    rule_id: str
+    name: str
+    description: str
+
+    @abstractmethod
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        """Yield every violation of this invariant in ``module``."""
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        symbol: str,
+        message: str,
+        *,
+        hint: str = "",
+        col: int = 0,
+    ) -> Finding:
+        """Convenience constructor stamping this rule's id and the module path."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=line,
+            symbol=symbol,
+            message=message,
+            hint=hint,
+            col=col,
+        )
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    rule_id = getattr(cls, "rule_id", "")
+    if not rule_id:
+        raise InvalidParameterError(f"rule class {cls.__name__} has no rule_id")
+    if rule_id in _RULES:
+        raise InvalidParameterError(f"rule id {rule_id!r} is already registered")
+    _RULES[rule_id] = cls
+    return cls
+
+
+def rule_ids() -> list[str]:
+    """Registered rule ids, sorted."""
+    return sorted(_RULES)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one rule by id.
+
+    Raises
+    ------
+    InvalidParameterError
+        For an unknown rule id (names the available ones).
+    """
+    key = rule_id.strip().upper()
+    if key not in _RULES:
+        raise InvalidParameterError(
+            f"unknown rule {rule_id!r}; available: {', '.join(rule_ids())}"
+        )
+    return _RULES[key]()
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in id order."""
+    return [_RULES[rule_id]() for rule_id in rule_ids()]

@@ -1,0 +1,17 @@
+"""Built-in invariant rules (importing this package registers them all)."""
+
+from __future__ import annotations
+
+from .capabilities import CapabilityConsistencyRule
+from .checkpoint import CheckpointDriftRule
+from .determinism import DeterminismRule
+from .ownership import ActorOwnershipRule
+from .process_safety import ProcessSafetyRule
+
+__all__ = [
+    "CheckpointDriftRule",
+    "CapabilityConsistencyRule",
+    "DeterminismRule",
+    "ActorOwnershipRule",
+    "ProcessSafetyRule",
+]

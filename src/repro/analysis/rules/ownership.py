@@ -1,0 +1,183 @@
+"""RPA004 — actor ownership and shared mutable state.
+
+The execution runtime's lock-free design rests on single ownership: between
+barriers, a shard worker's state is touched only by that worker's handler
+core (``_ShardCore`` in the hub, actor handlers in :mod:`repro.exec`).  A
+handler that writes through a module global or another object's attribute
+re-introduces exactly the shared mutable state the actor model removed —
+correct on the serial backend, racy on threads, silently diverging on
+processes.  Two checks enforce the discipline:
+
+- inside any class that defines a ``handle`` method (the actor-handler
+  contract), every attribute or subscript assignment must be rooted at
+  ``self`` or a method-local name; writes through module-level names and
+  ``global``/``nonlocal`` declarations are findings;
+- mutable default arguments (``def f(x=[])``) anywhere in ``src/repro`` —
+  one shared instance per process is the same bug in miniature, and a
+  pickled default diverging from the parent's makes it backend-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..astutil import ModuleInfo, ProjectIndex, ScopedVisitor, class_methods, iter_classes
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+__all__ = ["ActorOwnershipRule"]
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` an attribute/subscript chain hangs off, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Parameters plus every name the method itself binds."""
+    args = func.args
+    locals_: set[str] = {
+        arg.arg
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    if args.vararg is not None:
+        locals_.add(args.vararg.arg)
+    if args.kwarg is not None:
+        locals_.add(args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            locals_.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            locals_.add(node.name)
+    return locals_
+
+
+class _DefaultsVisitor(ScopedVisitor):
+    def __init__(self, rule: "ActorOwnershipRule", module: ModuleInfo) -> None:
+        super().__init__()
+        self.rule = rule
+        self.module = module
+        self.findings: list[Finding] = []
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            self._check_one(node, arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                self._check_one(node, arg.arg, default)
+
+    def _check_one(self, func: ast.AST, arg: str, default: ast.expr) -> None:
+        if _is_mutable_default(default):
+            self.findings.append(
+                self.rule.finding(
+                    self.module,
+                    default.lineno,
+                    f"{self.qualname}.{func.name}.{arg}",
+                    f"parameter {arg!r} of {func.name} has a mutable default "
+                    f"shared across calls (and across pickles, backends "
+                    f"permitting)",
+                    hint="default to None and build the container inside the function",
+                    col=default.col_offset,
+                )
+            )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._enter(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._enter(node)
+
+
+@register_rule
+class ActorOwnershipRule(Rule):
+    rule_id = "RPA004"
+    name = "actor-ownership"
+    description = (
+        "actor handler cores may only mutate state they own (self or "
+        "locals); mutable default arguments are banned everywhere"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        defaults = _DefaultsVisitor(self, module)
+        defaults.visit(module.tree)
+        yield from defaults.findings
+        for node in iter_classes(module.tree):
+            methods = class_methods(node)
+            if "handle" not in methods:
+                continue
+            for method in methods.values():
+                yield from self._check_handler(module, node.name, method)
+
+    def _check_handler(
+        self,
+        module: ModuleInfo,
+        class_name: str,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        locals_ = _local_names(method)
+        reported: set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                for name in node.names:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{class_name}.{method.name}:{name}",
+                        f"handler {class_name}.{method.name} declares "
+                        f"{type(node).__name__.lower()} {name!r} — handler "
+                        f"cores must not rebind shared names",
+                        hint="keep the state on the core object (self)",
+                    )
+                continue
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if not isinstance(leaf, (ast.Attribute, ast.Subscript)):
+                        continue
+                    if not isinstance(leaf.ctx, ast.Store):
+                        continue
+                    root = _root_name(leaf)
+                    if root is None or root == "self" or root in locals_:
+                        continue
+                    if root in reported:
+                        continue
+                    reported.add(root)
+                    yield self.finding(
+                        module,
+                        leaf.lineno,
+                        f"{class_name}.{method.name}:{root}",
+                        f"handler {class_name}.{method.name} mutates "
+                        f"{root!r}, which the handler core does not own",
+                        hint=(
+                            "route the mutation through self (the core's own "
+                            "state) or emit an event for the hub to apply"
+                        ),
+                    )

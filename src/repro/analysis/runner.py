@@ -1,0 +1,135 @@
+"""Two-pass analysis driver: build the project index, then run every rule.
+
+The runner walks the requested paths, parses each ``.py`` file once, builds
+the shared :class:`~repro.analysis.astutil.ProjectIndex` from *all* parsed
+modules (so cross-file rules see the whole tree even when a single file is
+analysed alongside it), and feeds each module through each rule.  Files
+that fail to parse become ``RPA000`` findings instead of crashing the run —
+a linter must always produce a report.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from ..exceptions import InvalidParameterError
+from . import rules as _builtin_rules  # noqa: F401 — registers the rule set
+from .astutil import ModuleInfo, ProjectIndex, parse_source
+from .findings import Finding, sort_findings
+from .registry import Rule, all_rules, get_rule
+
+__all__ = ["analyze_paths", "analyze_source", "iter_python_files", "resolve_rules"]
+
+PARSE_ERROR_RULE = "RPA000"
+
+
+def resolve_rules(rule_ids: Iterable[str] | None) -> list[Rule]:
+    """The requested rules (all registered ones when ``rule_ids`` is None)."""
+    if rule_ids is None:
+        return all_rules()
+    resolved = [get_rule(rule_id) for rule_id in rule_ids]
+    if not resolved:
+        raise InvalidParameterError("no rules selected")
+    return resolved
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` file paths.
+
+    Raises
+    ------
+    InvalidParameterError
+        For a path that does not exist (a silent skip would report a clean
+        lint over nothing).
+    """
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs.sort()
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise InvalidParameterError(f"no such file or directory: {path!r}")
+    return sorted(dict.fromkeys(out))
+
+
+def _display_path(path: str) -> str:
+    """POSIX-style path as reported in findings (and matched by baselines).
+
+    Paths are kept relative when given relative, so a repo-root invocation
+    (the committed baseline's frame of reference) reports ``src/repro/...``.
+    """
+    return os.path.normpath(path).replace(os.sep, "/")
+
+
+def _parse_modules(files: Iterable[str]) -> tuple[list[ModuleInfo], list[Finding]]:
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
+    for path in files:
+        display = _display_path(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as error:
+            raise InvalidParameterError(f"cannot read {path!r}: {error}") from error
+        try:
+            modules.append(parse_source(source, display))
+        except SyntaxError as error:
+            errors.append(
+                Finding(
+                    rule_id=PARSE_ERROR_RULE,
+                    path=display,
+                    line=error.lineno or 1,
+                    symbol="<parse>",
+                    message=f"file does not parse: {error.msg}",
+                    hint="fix the syntax error; no rules ran on this file",
+                )
+            )
+    return modules, errors
+
+
+def _run(modules: list[ModuleInfo], rules: list[Rule]) -> list[Finding]:
+    project = ProjectIndex(modules)
+    findings: list[Finding] = []
+    for module in modules:
+        for rule in rules:
+            findings.extend(rule.check(module, project))
+    return findings
+
+
+def analyze_paths(
+    paths: Iterable[str], *, rule_ids: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` with the selected rules."""
+    rules = resolve_rules(rule_ids)
+    modules, findings = _parse_modules(iter_python_files(paths))
+    findings.extend(_run(modules, rules))
+    return sort_findings(findings)
+
+
+def analyze_source(
+    source: str,
+    *,
+    path: str = "src/repro/snippet.py",
+    rule_ids: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source string (the fixture-test entry point).
+
+    ``path`` participates in the path-scoped rules exactly as on disk —
+    pass e.g. ``src/repro/core/fixture.py`` to put the snippet on the
+    deterministic paths.
+    """
+    rules = resolve_rules(rule_ids)
+    try:
+        module = parse_source(source, path)
+    except SyntaxError as error:
+        raise InvalidParameterError(
+            f"fixture source does not parse: {error.msg} (line {error.lineno})"
+        ) from error
+    return sort_findings(_run([module], rules))

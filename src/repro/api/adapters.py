@@ -35,6 +35,11 @@ class BufferedBatchAdapter:
     have been buffered rather than at :meth:`finish`.
     """
 
+    # Not snapshot state (RPA001): descriptor/name/epsilon/_kwargs are the
+    # immutable configuration the restoring side supplies; ``_buffered`` is
+    # derived from the chunk lengths and recomputed on restore.
+    _SNAPSHOT_EXCLUDE = frozenset({"descriptor", "name", "epsilon", "_kwargs", "_buffered"})
+
     def __init__(
         self, algorithm: str | AlgorithmDescriptor, epsilon: float, **kwargs
     ) -> None:

@@ -224,12 +224,14 @@ class AlgorithmDescriptor:
                 f"{', '.join(unknown)}; accepted: {accepted_text}"
             )
 
-    def run(self, trajectory: Trajectory, epsilon: float, **kwargs) -> PiecewiseRepresentation:
+    def run(
+        self, trajectory: Trajectory, epsilon: float, **kwargs: object
+    ) -> PiecewiseRepresentation:
         """Validate ``kwargs`` and run the batch callable."""
         self.validate_kwargs(kwargs)
         return self.batch(trajectory, epsilon, **kwargs)
 
-    def make_streaming(self, epsilon: float, **kwargs) -> object:
+    def make_streaming(self, epsilon: float, **kwargs: object) -> object:
         """Validate ``kwargs`` and instantiate the native streaming simplifier.
 
         Raises

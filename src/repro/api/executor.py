@@ -46,7 +46,8 @@ class FleetError:
     ``exception`` carries the original exception object when the failure
     happened in-process (serial and thread backends); failures crossing a
     process boundary are described by ``error_type``/``message`` strings
-    only.
+    only.  ``traceback`` carries the originally formatted traceback on
+    every backend (it crosses the pickle boundary as a plain string).
     """
 
     index: int
@@ -54,6 +55,7 @@ class FleetError:
     error_type: str
     message: str
     exception: BaseException | None = None
+    traceback: str | None = None
 
     def __str__(self) -> str:
         label = self.trajectory_id or f"#{self.index}"
@@ -236,6 +238,7 @@ def run_many(
                     error_type=outcome.failure.error_type,
                     message=outcome.failure.message,
                     exception=outcome.failure.exception,
+                    traceback=outcome.failure.traceback,
                 )
             )
     result = FleetResult(

@@ -69,6 +69,10 @@ class StreamSession:
     access on the session.
     """
 
+    # Not snapshot state (RPA001): the descriptor and epsilon are the
+    # immutable configuration ``restore_stream`` resolves by name.
+    _SNAPSHOT_EXCLUDE = frozenset({"descriptor", "epsilon"})
+
     def __init__(
         self,
         descriptor: AlgorithmDescriptor,

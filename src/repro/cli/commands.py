@@ -9,11 +9,13 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 from ..api import Simplifier, list_descriptors
+from ..exceptions import ReproError
 from ..datasets.generator import generate_dataset
 from ..datasets.profiles import get_profile
 from ..experiments import EXPERIMENTS, WorkloadScale, standard_datasets
@@ -30,8 +32,40 @@ __all__ = [
     "cmd_experiment",
     "cmd_perf",
     "cmd_serve_replay",
+    "cmd_lint",
     "load_trajectory",
 ]
+
+DEFAULT_LINT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+def cmd_lint(args) -> int:
+    """``repro-traj lint`` — run the invariant linter (see :mod:`repro.analysis`).
+
+    Lints the requested paths (default ``src/repro``) with the registered
+    ``RPA...`` rules, subtracts the committed baseline, and exits non-zero
+    when any *new* finding remains.  ``--rule`` restricts to specific rules,
+    ``--format json`` emits a machine-readable report, ``--baseline`` points
+    at an alternative allowlist (the default ``analysis_baseline.json`` is
+    used only when it exists).
+    """
+    from .. import analysis
+
+    paths = list(args.paths) if args.paths else list(DEFAULT_LINT_PATHS)
+    rule_ids = list(args.rule) if args.rule else None
+    findings = analysis.analyze_paths(paths, rule_ids=rule_ids)
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    baseline = (
+        analysis.load_baseline(baseline_path)
+        if baseline_path is not None
+        else analysis.Baseline()
+    )
+    new, baselined = baseline.split(findings)
+    print(analysis.format_findings(new, fmt=args.format, baselined=len(baselined)))
+    return 1 if new else 0
 
 
 def load_trajectory(path: str) -> Trajectory:
@@ -287,9 +321,11 @@ def cmd_serve_replay(args) -> int:
         try:
             if hub is not None:
                 hub.close()
-        except Exception:
-            # The replay already failed: closing errors must neither mask
-            # the original exception nor keep the sink from being closed.
+        except ReproError:
+            # The hub closes with a library error (a worker that died, a
+            # not-yet-surfaced device failure); when the replay already
+            # failed it must neither mask the original exception nor keep
+            # the sink from being closed.
             if replay_ok:
                 raise
         finally:

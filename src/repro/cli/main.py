@@ -19,6 +19,9 @@ Sub-commands
 ``serve-replay``
     Replay a multi-device point log through the streaming hub with periodic
     checkpoints; ``--resume`` continues an interrupted replay byte-identically.
+``lint``
+    Run the AST-based invariant linter (:mod:`repro.analysis`) over the
+    source tree, gated on the committed ``analysis_baseline.json``.
 """
 
 from __future__ import annotations
@@ -160,6 +163,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="stream finalised segments to this CSV file"
     )
     serve.set_defaults(handler=commands.cmd_serve_replay)
+
+    lint = subparsers.add_parser(
+        "lint", help="run the invariant linter over the source tree"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable; default: all registered rules)",
+    )
+    lint.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline allowlist of tracked findings "
+        "(default: analysis_baseline.json when present)",
+    )
+    lint.set_defaults(handler=commands.cmd_lint)
 
     perf = subparsers.add_parser(
         "perf", help="run the performance harness / compare BENCH reports"

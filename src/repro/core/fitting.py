@@ -111,6 +111,10 @@ class FittingState:
         "stats",
     )
 
+    # Not snapshot state (RPA001): the config is immutable and supplied by
+    # the restoring simplifier, which owns it.
+    _SNAPSHOT_EXCLUDE = frozenset({"config"})
+
     def __init__(self, anchor: Point, config) -> None:
         self.anchor = anchor
         self.config = config

@@ -92,6 +92,11 @@ class OPERBSimplifier:
 
     name = "operb"
 
+    # Not snapshot state (RPA001): ``config`` is immutable configuration the
+    # restoring side supplies, ``_probe_backoff`` is block-ingest probe
+    # spacing — pure acceleration state that never affects output.
+    _SNAPSHOT_EXCLUDE = frozenset({"config", "_probe_backoff"})
+
     def __init__(self, config: OperbConfig) -> None:
         self.config = config
         self.stats = OperbStatistics()

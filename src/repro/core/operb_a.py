@@ -62,6 +62,10 @@ class OPERBASimplifier:
 
     name = "operb-a"
 
+    # Not snapshot state (RPA001): the config is immutable and supplied by
+    # the restoring side.
+    _SNAPSHOT_EXCLUDE = frozenset({"config"})
+
     def __init__(self, config: OperbAConfig) -> None:
         self.config = config
         self._engine = OPERBSimplifier(config.base)

@@ -43,7 +43,9 @@ import itertools
 import multiprocessing
 import threading
 from dataclasses import dataclass
+from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as _connection_wait
+from types import TracebackType
 from typing import Callable, Sequence
 
 from .. import exceptions as _exceptions
@@ -98,8 +100,37 @@ def _revive_exception(error_type: str, message: str) -> BaseException:
         return ExecutionError(f"{error_type}: {message}")
     try:
         return cls(message)
-    except Exception:  # noqa: BLE001 — exotic constructor signatures
+    except TypeError:
+        # Exotic constructor signature (extra required arguments); RPA005
+        # lints project exceptions against exactly this.
         return ExecutionError(f"{error_type}: {message}")
+
+
+class _PendingSlot:
+    """Parent-side wait state of one in-flight ``ask``/``barrier`` round trip."""
+
+    __slots__ = ("event", "ok", "value", "actor")
+
+    def __init__(self, actor: int = -1) -> None:
+        self.event = threading.Event()
+        self.ok = False
+        self.value: object = None
+        self.actor = actor
+
+    def resolve(self, ok: bool, value: object) -> None:
+        self.ok = ok
+        self.value = value
+        self.event.set()
+
+    def result(self) -> object:
+        """The reply, or re-raise the failure the worker shipped."""
+        if self.ok:
+            return self.value
+        failure = self.value
+        if isinstance(failure, BaseException):
+            raise failure
+        # A non-exception failure value would be a protocol bug; never lose it.
+        raise ExecutionError(f"actor round trip failed: {failure!r}")
 
 
 class ActorGroup:
@@ -145,7 +176,7 @@ class ActorGroup:
         groups barrier first, so the handlers are quiescent."""
         return None
 
-    def handler(self, actor: int):
+    def handler(self, actor: int) -> object | None:
         """One live handler *without* synchronisation (``None`` when handlers
         don't share the caller's memory).
 
@@ -188,7 +219,12 @@ class ActorGroup:
     def __enter__(self) -> "ActorGroup":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
@@ -220,11 +256,11 @@ class SerialActorGroup(ActorGroup):
     def local_handlers(self) -> list:
         return list(self._handlers)
 
-    def handler(self, actor: int):
+    def handler(self, actor: int) -> object | None:
         self._check_actor(actor)
         return self._handlers[actor]
 
-    def tell(self, actor, message):
+    def tell(self, actor: int, message: object) -> None:
         self._check_actor(actor)
         try:
             self._handlers[actor].handle(message)
@@ -233,16 +269,16 @@ class SerialActorGroup(ActorGroup):
                 ActorCrash(actor, type(error).__name__, str(error), error)
             )
 
-    def ask(self, actor, message):
+    def ask(self, actor: int, message: object) -> object:
         self._check_actor(actor)
         return self._handlers[actor].handle(message)
 
-    def barrier(self):
+    def barrier(self) -> None:
         if self._closed:
             raise ExecutionError("actor group is closed")
         self.raise_crashes()
 
-    def close(self):
+    def close(self) -> None:
         if self._closed:
             return
         self._closed = True
@@ -266,7 +302,7 @@ class ThreadActorGroup(ActorGroup):
         self._on_event = on_event
         self._event_lock = threading.Lock()
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, list] = {}  # token -> [threading.Event, ok, value]
+        self._pending: dict[int, _PendingSlot] = {}
         self._tokens = itertools.count()
         self._handlers: list = [None] * len(factories)
         self._queues = [queue.Queue(maxsize=_MAILBOX_CAPACITY) for _ in factories]
@@ -336,9 +372,7 @@ class ThreadActorGroup(ActorGroup):
     def _resolve(self, token: int, ok: bool, value: object) -> None:
         with self._pending_lock:
             slot = self._pending[token]
-        slot[1] = ok
-        slot[2] = value
-        slot[0].set()
+        slot.resolve(ok, value)
 
     # -- caller side ----------------------------------------------------- #
     @property
@@ -346,51 +380,49 @@ class ThreadActorGroup(ActorGroup):
         self.barrier()
         return list(self._handlers)
 
-    def handler(self, actor: int):
+    def handler(self, actor: int) -> object | None:
         self._check_actor(actor)
         return self._handlers[actor]
 
-    def tell(self, actor, message):
+    def tell(self, actor: int, message: object) -> None:
         self._check_actor(actor)
         self._queues[actor].put((None, message))
 
     def _ask_raw(self, actor: int, message: object) -> object:
         token = next(self._tokens)
-        slot = [threading.Event(), False, None]
+        slot = _PendingSlot()
         with self._pending_lock:
             self._pending[token] = slot
         self._queues[actor].put((token, message))
-        slot[0].wait()
+        slot.event.wait()
         with self._pending_lock:
             del self._pending[token]
-        if not slot[1]:
-            raise slot[2]
-        return slot[2]
+        return slot.result()
 
-    def ask(self, actor, message):
+    def ask(self, actor: int, message: object) -> object:
         self._check_actor(actor)
         return self._ask_raw(actor, message)
 
-    def barrier(self):
+    def barrier(self) -> None:
         if self._closed:
             raise ExecutionError("actor group is closed")
         tokens = []
         with self._pending_lock:
-            for actor in range(self.n_actors):
+            for _ in range(self.n_actors):
                 token = next(self._tokens)
-                self._pending[token] = [threading.Event(), False, None]
+                self._pending[token] = _PendingSlot()
                 tokens.append(token)
         for actor, token in enumerate(tokens):
             self._queues[actor].put((token, _BARRIER))
         for token in tokens:
             with self._pending_lock:
                 slot = self._pending[token]
-            slot[0].wait()
+            slot.event.wait()
             with self._pending_lock:
                 del self._pending[token]
         self.raise_crashes()
 
-    def close(self):
+    def close(self) -> None:
         if self._closed:
             return
         self._closed = True
@@ -401,7 +433,7 @@ class ThreadActorGroup(ActorGroup):
         self.raise_crashes()
 
 
-def _actor_process_main(factory: Callable, conn) -> None:
+def _actor_process_main(factory: Callable, conn: Connection) -> None:
     """Entry point of one actor worker process."""
 
     def emit(event: object) -> None:
@@ -458,12 +490,12 @@ class ProcessActorGroup(ActorGroup):
         self._on_event = on_event
         self._event_lock = threading.Lock()
         self._pending_lock = threading.Lock()
-        self._pending: dict[int, list] = {}
+        self._pending: dict[int, _PendingSlot] = {}
         self._tokens = itertools.count()
         self._dead: set[int] = set()
         self._closing = False
         context = multiprocessing.get_context()
-        self._conns = []
+        self._conns: list[Connection] = []
         self._processes = []
         for factory in factories:
             parent_conn, child_conn = context.Pipe(duplex=True)
@@ -538,20 +570,16 @@ class ProcessActorGroup(ActorGroup):
         with self._pending_lock:
             if not self._closing:  # EOF during close is a normal shutdown
                 self.crashes.append(ActorCrash(index, "ExecutionError", str(error)))
-            slots = [slot for slot in self._pending.values() if slot[3] == index]
+            slots = [slot for slot in self._pending.values() if slot.actor == index]
         for slot in slots:
-            slot[1] = False
-            slot[2] = error
-            slot[0].set()
+            slot.resolve(False, error)
 
     def _resolve(self, token: int, ok: bool, value: object) -> None:
         with self._pending_lock:
             slot = self._pending.get(token)
         if slot is None:  # already failed over by _mark_dead
             return
-        slot[1] = ok
-        slot[2] = value
-        slot[0].set()
+        slot.resolve(ok, value)
 
     # -- caller side ----------------------------------------------------- #
     def _send(self, actor: int, token: int | None, message: object) -> None:
@@ -563,13 +591,13 @@ class ProcessActorGroup(ActorGroup):
             self._mark_dead(actor)
             raise ExecutionError(f"actor {actor} is unreachable: {error}") from error
 
-    def tell(self, actor, message):
+    def tell(self, actor: int, message: object) -> None:
         self._check_actor(actor)
         self._send(actor, None, message)
 
     def _ask_raw(self, actor: int, message: object) -> object:
         token = next(self._tokens)
-        slot = [threading.Event(), False, None, actor]
+        slot = _PendingSlot(actor)
         with self._pending_lock:
             self._pending[token] = slot
         try:
@@ -580,18 +608,16 @@ class ProcessActorGroup(ActorGroup):
             with self._pending_lock:
                 del self._pending[token]
             raise
-        slot[0].wait()
+        slot.event.wait()
         with self._pending_lock:
             del self._pending[token]
-        if not slot[1]:
-            raise slot[2]
-        return slot[2]
+        return slot.result()
 
-    def ask(self, actor, message):
+    def ask(self, actor: int, message: object) -> object:
         self._check_actor(actor)
         return self._ask_raw(actor, message)
 
-    def barrier(self):
+    def barrier(self) -> None:
         if self._closed:
             raise ExecutionError("actor group is closed")
         for actor in range(self.n_actors):
@@ -600,7 +626,7 @@ class ProcessActorGroup(ActorGroup):
             self._ask_raw(actor, _BARRIER_MSG)
         self.raise_crashes()
 
-    def close(self):
+    def close(self) -> None:
         if self._closed:
             return
         self._closed = True

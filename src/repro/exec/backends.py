@@ -42,6 +42,7 @@ Three backends implement both shapes:
 from __future__ import annotations
 
 import os
+import traceback as _traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
@@ -73,11 +74,15 @@ class TaskFailure:
     ``exception`` carries the original exception object when the failure
     happened in-process (serial and thread backends); failures crossing a
     process boundary are described by ``error_type``/``message`` only.
+    ``traceback`` records the originally formatted traceback on every
+    backend — unlike the exception object it is a plain string and
+    survives the pickle boundary.
     """
 
     error_type: str
     message: str
     exception: BaseException | None = None
+    traceback: str | None = None
 
     def __str__(self) -> str:
         return f"{self.error_type}: {self.message}"
@@ -102,14 +107,19 @@ def _isolated_call(fn: Callable, index: int, task: object) -> TaskOutcome:
     try:
         return TaskOutcome(index, fn(task))
     except Exception as error:  # noqa: BLE001 — isolation is the contract
+        formatted = "".join(
+            _traceback.format_exception(type(error), error, error.__traceback__)
+        )
         return TaskOutcome(
-            index, None, TaskFailure(type(error).__name__, str(error), error)
+            index, None, TaskFailure(type(error).__name__, str(error), error, formatted)
         )
 
 
 def _isolated_call_remote(fn: Callable, pair: tuple[int, object]) -> TaskOutcome:
     """Pool wrapper: strip the exception object before it crosses the
-    process boundary (arbitrary exceptions do not reliably pickle)."""
+    process boundary (arbitrary exceptions do not reliably pickle).  The
+    formatted ``traceback`` string stays — it is the only record of the
+    original failure site the parent ever sees."""
     index, task = pair
     outcome = _isolated_call(fn, index, task)
     if outcome.failure is not None and outcome.failure.exception is not None:
@@ -182,10 +192,17 @@ class SerialBackend(ExecutionBackend):
     def effective_workers(self, n_tasks: int) -> int:
         return 1
 
-    def map_isolated(self, fn, tasks, *, chunksize=None):
+    def map_isolated(
+        self, fn: Callable, tasks: Sequence, *, chunksize: int | None = None
+    ) -> list[TaskOutcome]:
         return [_isolated_call(fn, index, task) for index, task in enumerate(tasks)]
 
-    def start_actors(self, factories, *, on_event=None):
+    def start_actors(
+        self,
+        factories: Sequence[Callable],
+        *,
+        on_event: Callable[[int, object], None] | None = None,
+    ) -> ActorGroup:
         return SerialActorGroup(factories, on_event=on_event)
 
 
@@ -194,13 +211,20 @@ class ThreadBackend(ExecutionBackend):
 
     name = "thread"
 
-    def map_isolated(self, fn, tasks, *, chunksize=None):
+    def map_isolated(
+        self, fn: Callable, tasks: Sequence, *, chunksize: int | None = None
+    ) -> list[TaskOutcome]:
         if not tasks:
             return []
         with ThreadPoolExecutor(max_workers=self.effective_workers(len(tasks))) as pool:
             return list(pool.map(partial(_isolated_call_local, fn), enumerate(tasks)))
 
-    def start_actors(self, factories, *, on_event=None):
+    def start_actors(
+        self,
+        factories: Sequence[Callable],
+        *,
+        on_event: Callable[[int, object], None] | None = None,
+    ) -> ActorGroup:
         return ThreadActorGroup(factories, on_event=on_event)
 
 
@@ -215,7 +239,9 @@ class ProcessBackend(ExecutionBackend):
 
     name = "process"
 
-    def map_isolated(self, fn, tasks, *, chunksize=None):
+    def map_isolated(
+        self, fn: Callable, tasks: Sequence, *, chunksize: int | None = None
+    ) -> list[TaskOutcome]:
         if not tasks:
             return []
         pool_size = self.effective_workers(len(tasks))
@@ -230,7 +256,12 @@ class ProcessBackend(ExecutionBackend):
                 )
             )
 
-    def start_actors(self, factories, *, on_event=None):
+    def start_actors(
+        self,
+        factories: Sequence[Callable],
+        *,
+        on_event: Callable[[int, object], None] | None = None,
+    ) -> ActorGroup:
         return ProcessActorGroup(factories, on_event=on_event)
 
 

@@ -172,12 +172,12 @@ def read_point_log(source: str | Path | TextIO) -> Iterator[tuple[str, Point]]:
         handle = source
         owns_handle = False
     try:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+        for line_number, raw_line in enumerate(handle, start=1):
+            text = raw_line.strip()
+            if not text:
                 continue
             try:
-                record = json.loads(line)
+                record = json.loads(text)
                 device_id = str(record["device"])
                 point = Point(float(record["x"]), float(record["y"]), float(record.get("t", 0.0)))
             except (ValueError, KeyError, TypeError) as error:

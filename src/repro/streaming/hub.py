@@ -65,6 +65,7 @@ live in worker processes and are not addressable — use ``stats()`` and
 
 from __future__ import annotations
 
+import traceback as _traceback
 import zlib
 from dataclasses import dataclass
 from functools import partial
@@ -75,6 +76,7 @@ from ..exceptions import (
     CheckpointError,
     ExecutionError,
     InvalidParameterError,
+    ReproError,
     SimplificationError,
 )
 from ..exec import ExecutionBackend, resolve_backend
@@ -129,12 +131,17 @@ class DeviceError:
     ``exception`` carries the original exception object when the failure
     happened in the hub's process (serial and thread backends); failures
     crossing a process boundary are described by ``error_type``/``message``.
+    ``traceback`` preserves the originally formatted traceback on every
+    backend (it crosses process boundaries as a plain string); it is
+    diagnostic only and never enters checkpoints — formatted frames differ
+    between backends, and checkpoints are byte-identical across them.
     """
 
     device_id: str
     error_type: str
     message: str
     exception: BaseException | None = None
+    traceback: str | None = None
 
     def __str__(self) -> str:
         return f"device {self.device_id}: {self.error_type}: {self.message}"
@@ -398,15 +405,28 @@ class _ShardCore:
         return None
 
     def _record_failure(self, device: DeviceStream, error: Exception) -> None:
+        formatted = "".join(
+            _traceback.format_exception(type(error), error, error.__traceback__)
+        )
         device.error = DeviceError(
             device_id=device.device_id,
             error_type=type(error).__name__,
             message=str(error),
             exception=error,
+            traceback=formatted,
         )
+        # The exception object only survives in-process transport; the
+        # formatted traceback is a plain string and survives every backend.
         carried = error if self._config.carry_exceptions else None
         self._emit(
-            ("device_error", device.device_id, type(error).__name__, str(error), carried)
+            (
+                "device_error",
+                device.device_id,
+                type(error).__name__,
+                str(error),
+                carried,
+                formatted,
+            )
         )
 
     def push(
@@ -785,16 +805,22 @@ class StreamHub:
                             error_type=type(error).__name__,
                             message=f"sink rejected segments: {error}",
                             exception=error,
+                            traceback="".join(
+                                _traceback.format_exception(
+                                    type(error), error, error.__traceback__
+                                )
+                            ),
                         )
                     )
         elif kind == "device_error":
-            _, device_id, error_type, message, exception = event
+            _, device_id, error_type, message, exception, formatted = event
             self.errors.append(
                 DeviceError(
                     device_id=device_id,
                     error_type=error_type,
                     message=message,
                     exception=exception,
+                    traceback=formatted,
                 )
             )
             self._failed.add(device_id)
@@ -900,7 +926,9 @@ class StreamHub:
             return
         try:
             self._group.close()
-        except Exception:  # noqa: BLE001 — never mask the in-flight exception
+        except ReproError:
+            # Library errors from the teardown (a dead worker, an
+            # unpicklable reply) must never mask the in-flight exception.
             pass
 
     # ------------------------------------------------------------------ #
@@ -1366,7 +1394,9 @@ class StreamHub:
             # processes otherwise).
             try:
                 hub.close()
-            except Exception:  # noqa: BLE001 — teardown must not mask the cause
+            except ReproError:
+                # Teardown errors (dead workers, restored failures surfacing
+                # in "raise" mode) must not mask the restore failure.
                 pass
             if isinstance(error, CheckpointError):
                 raise
@@ -1387,7 +1417,8 @@ class StreamHub:
         except BaseException:
             try:
                 hub.close()
-            except Exception:  # noqa: BLE001 — teardown must not mask
+            except ReproError:
+                # Same teardown rule: never mask the sink factory's error.
                 pass
             raise
         return hub

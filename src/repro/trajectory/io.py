@@ -124,11 +124,11 @@ def read_jsonl(source: str | Path | TextIO) -> list[Trajectory]:
         handle = source
     try:
         trajectories: list[Trajectory] = []
-        for line in handle:
-            line = line.strip()
-            if not line:
+        for raw_line in handle:
+            text = raw_line.strip()
+            if not text:
                 continue
-            record = json.loads(line)
+            record = json.loads(text)
             trajectories.append(
                 Trajectory(
                     record["x"],
@@ -162,13 +162,13 @@ def parse_plt(
     lats: list[float] = []
     lons: list[float] = []
     ts: list[float] = []
-    for line in lines[_PLT_HEADER_LINES:]:
-        line = line.strip()
-        if not line:
+    for raw_line in lines[_PLT_HEADER_LINES:]:
+        text = raw_line.strip()
+        if not text:
             continue
-        fields = line.split(",")
+        fields = text.split(",")
         if len(fields) < 7:
-            raise DatasetError(f"malformed PLT record: {line!r}")
+            raise DatasetError(f"malformed PLT record: {text!r}")
         lats.append(float(fields[0]))
         lons.append(float(fields[1]))
         # Field 4 is the timestamp in days since 1899-12-30 (Excel/Delphi epoch).

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from ..exceptions import InvalidTrajectoryError
 from ..geometry import kernels
@@ -45,20 +46,32 @@ class TrajectoryArray:
 
     __slots__ = ("xs", "ys", "ts", "trajectory_id")
 
-    def __init__(self, xs, ys, ts, *, trajectory_id: str = "") -> None:
-        xs = np.ascontiguousarray(xs, dtype=float)
-        ys = np.ascontiguousarray(ys, dtype=float)
-        ts = np.ascontiguousarray(ts, dtype=float)
-        if xs.ndim != 1 or ys.ndim != 1 or ts.ndim != 1:
+    xs: np.ndarray
+    ys: np.ndarray
+    ts: np.ndarray
+    trajectory_id: str
+
+    def __init__(
+        self,
+        xs: npt.ArrayLike,
+        ys: npt.ArrayLike,
+        ts: npt.ArrayLike,
+        *,
+        trajectory_id: str = "",
+    ) -> None:
+        xs_arr = np.ascontiguousarray(xs, dtype=float)
+        ys_arr = np.ascontiguousarray(ys, dtype=float)
+        ts_arr = np.ascontiguousarray(ts, dtype=float)
+        if xs_arr.ndim != 1 or ys_arr.ndim != 1 or ts_arr.ndim != 1:
             raise InvalidTrajectoryError("coordinate arrays must be one-dimensional")
-        if not (xs.shape == ys.shape == ts.shape):
+        if not (xs_arr.shape == ys_arr.shape == ts_arr.shape):
             raise InvalidTrajectoryError(
                 f"coordinate arrays have mismatched lengths: "
-                f"{xs.shape[0]}, {ys.shape[0]}, {ts.shape[0]}"
+                f"{xs_arr.shape[0]}, {ys_arr.shape[0]}, {ts_arr.shape[0]}"
             )
-        self.xs = xs
-        self.ys = ys
-        self.ts = ts
+        self.xs = xs_arr
+        self.ys = ys_arr
+        self.ts = ts_arr
         self.trajectory_id = trajectory_id
 
     @classmethod
@@ -233,9 +246,18 @@ class PointBlock(TrajectoryArray):
 
     __slots__ = ("_points",)
 
-    def __init__(self, xs, ys, ts, *, trajectory_id: str = "") -> None:
+    _points: Sequence[Point] | None
+
+    def __init__(
+        self,
+        xs: npt.ArrayLike,
+        ys: npt.ArrayLike,
+        ts: npt.ArrayLike,
+        *,
+        trajectory_id: str = "",
+    ) -> None:
         super().__init__(xs, ys, ts, trajectory_id=trajectory_id)
-        self._points: Sequence[Point] | None = None
+        self._points = None
 
     @classmethod
     def from_points(cls, points: Iterable[Point]) -> "PointBlock":

@@ -1,0 +1,205 @@
+"""Tests for the analysis framework itself: findings, formatting, baseline
+handling, the rule registry and the runner (as opposed to the individual
+rules, covered by ``test_analysis_rules.py``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    analyze_paths,
+    analyze_source,
+    baseline_payload,
+    format_findings,
+    get_rule,
+    iter_python_files,
+    load_baseline,
+    resolve_rules,
+    rule_ids,
+    sort_findings,
+)
+from repro.analysis.baseline import Baseline
+from repro.exceptions import InvalidParameterError
+
+
+def make_finding(**overrides) -> Finding:
+    values = {
+        "rule_id": "RPA001",
+        "path": "src/repro/core/x.py",
+        "line": 10,
+        "symbol": "C.attr",
+        "message": "something drifted",
+        "hint": "fix it",
+    }
+    values.update(overrides)
+    return Finding(**values)
+
+
+class TestFinding:
+    def test_fingerprint_is_line_independent(self):
+        a = make_finding(line=10)
+        b = make_finding(line=99)
+        assert a.fingerprint == b.fingerprint == "RPA001::src/repro/core/x.py::C.attr"
+
+    def test_str_carries_location_rule_and_hint(self):
+        text = str(make_finding())
+        assert text == (
+            "src/repro/core/x.py:10: RPA001 something drifted (hint: fix it)"
+        )
+
+    def test_str_without_hint(self):
+        assert str(make_finding(hint="")).endswith("RPA001 something drifted")
+
+    def test_as_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(make_finding().as_dict()))
+        assert payload["rule"] == "RPA001"
+        assert payload["path"] == "src/repro/core/x.py"
+        assert payload["line"] == 10
+        assert payload["symbol"] == "C.attr"
+
+
+class TestFormatting:
+    def test_sort_orders_by_path_line_rule(self):
+        unsorted = [
+            make_finding(path="src/b.py", line=5),
+            make_finding(path="src/a.py", line=9),
+            make_finding(path="src/a.py", line=2, rule_id="RPA003"),
+            make_finding(path="src/a.py", line=2, rule_id="RPA001"),
+        ]
+        ordered = sort_findings(unsorted)
+        assert [(f.path, f.line, f.rule_id) for f in ordered] == [
+            ("src/a.py", 2, "RPA001"),
+            ("src/a.py", 2, "RPA003"),
+            ("src/a.py", 9, "RPA001"),
+            ("src/b.py", 5, "RPA001"),
+        ]
+
+    def test_text_format_ends_with_summary(self):
+        report = format_findings([make_finding()], fmt="text", baselined=2)
+        lines = report.splitlines()
+        assert lines[-1] == "1 finding(s), 2 baselined"
+
+    def test_text_format_clean_run(self):
+        assert format_findings([], fmt="text") == "0 finding(s)"
+
+    def test_json_format_is_versioned_and_parseable(self):
+        report = format_findings([make_finding()], fmt="json", baselined=1)
+        payload = json.loads(report)
+        assert payload["version"] == 1
+        assert payload["baselined"] == 1
+        assert len(payload["findings"]) == 1
+        assert payload["findings"][0]["rule"] == "RPA001"
+
+
+class TestBaseline:
+    def test_split_partitions_on_fingerprint(self):
+        known = make_finding()
+        fresh = make_finding(symbol="C.other")
+        baseline = Baseline({known.fingerprint: "deliberate"})
+        new, baselined = baseline.split([known, fresh])
+        assert new == [fresh]
+        assert baselined == [known]
+
+    def test_payload_and_load_round_trip(self, tmp_path):
+        finding = make_finding()
+        payload = baseline_payload([finding], {finding.fingerprint: "by design"})
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(payload))
+        baseline = load_baseline(str(path))
+        assert baseline.entries == {finding.fingerprint: "by design"}
+
+    def test_payload_requires_a_justification(self):
+        with pytest.raises(InvalidParameterError, match="justification"):
+            baseline_payload([make_finding()], {})
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="cannot read"):
+            load_baseline(str(tmp_path / "absent.json"))
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            load_baseline(str(path))
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "v9.json"
+        path.write_text(json.dumps({"version": 9, "findings": []}))
+        with pytest.raises(InvalidParameterError, match="version"):
+            load_baseline(str(path))
+
+    def test_load_rejects_empty_justification(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [
+                        {
+                            "rule": "RPA001",
+                            "path": "src/x.py",
+                            "symbol": "C.a",
+                            "justification": "",
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(InvalidParameterError, match="empty justification"):
+            load_baseline(str(path))
+
+
+class TestRegistry:
+    def test_all_five_rules_are_registered(self):
+        assert set(rule_ids()) >= {"RPA001", "RPA002", "RPA003", "RPA004", "RPA005"}
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_rule("rpa001").rule_id == "RPA001"
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(InvalidParameterError, match="unknown rule"):
+            get_rule("RPA999")
+
+    def test_resolve_rules_none_selects_all(self):
+        assert {rule.rule_id for rule in resolve_rules(None)} == set(rule_ids())
+
+    def test_rules_carry_descriptions(self):
+        for rule in resolve_rules(None):
+            assert rule.name
+            assert rule.description
+
+
+class TestRunner:
+    def test_iter_python_files_walks_sorted_and_deduplicates(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "c.py").write_text("z = 3\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        files = iter_python_files([str(tmp_path), str(tmp_path / "a.py")])
+        names = [f.rsplit("/", 1)[-1] for f in files]
+        assert names == ["a.py", "b.py", "c.py"]
+
+    def test_iter_python_files_rejects_missing_path(self):
+        with pytest.raises(InvalidParameterError, match="no such file"):
+            iter_python_files(["definitely/not/here"])
+
+    def test_syntax_error_file_becomes_rpa000_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        findings = analyze_paths([str(bad)])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "RPA000"
+        assert findings[0].symbol == "<parse>"
+
+    def test_analyze_source_rejects_syntax_errors(self):
+        with pytest.raises(InvalidParameterError, match="does not parse"):
+            analyze_source("def oops(:")
+
+    def test_rule_selection_restricts_output(self):
+        source = "def f(x=[]):\n    return x\n"
+        assert analyze_source(source, rule_ids=["RPA001"]) == []
+        assert len(analyze_source(source, rule_ids=["RPA004"])) == 1

@@ -1,0 +1,98 @@
+"""Self-check: the invariant linter holds over the live ``src/repro`` tree.
+
+This is the test the analysis gate hangs off: every rule runs over the real
+package and must report nothing beyond the committed baseline.  A new
+finding here means either real drift (fix the code) or a deliberate
+decision (add a justified entry to ``analysis_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, load_baseline
+from repro.analysis.baseline import Baseline
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "analysis_baseline.json"
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_live_tree_has_zero_non_baselined_findings(repo_cwd):
+    findings = analyze_paths(["src/repro"])
+    baseline = load_baseline(str(BASELINE)) if BASELINE.exists() else Baseline()
+    new, _ = baseline.split(findings)
+    assert new == [], "new invariant findings:\n" + "\n".join(str(f) for f in new)
+
+
+def test_committed_baseline_is_valid_and_not_stale(repo_cwd):
+    baseline = load_baseline(str(BASELINE))
+    live = {f.fingerprint for f in analyze_paths(["src/repro"])}
+    stale = sorted(set(baseline.entries) - live)
+    assert stale == [], f"baseline entries no longer reported by any rule: {stale}"
+
+
+def test_cli_lint_exits_zero_on_the_repo(repo_cwd):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli.main", "lint"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert result.stdout.strip().endswith("finding(s)")
+
+
+def test_cli_lint_json_and_rule_selection(repo_cwd):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli.main",
+            "lint",
+            "--rule",
+            "RPA003",
+            "--format",
+            "json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    payload = json.loads(result.stdout)
+    assert payload["version"] == 1
+    assert payload["findings"] == []
+
+
+def test_cli_lint_fails_on_a_seeded_violation(repo_cwd, tmp_path):
+    bad = tmp_path / "src" / "repro" / "core" / "seeded.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\n\ndef kernel():\n    return time.time()\n")
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli.main", "lint", str(bad)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "RPA003" in result.stdout

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import pickle
 from functools import partial
 
 import pytest
@@ -284,7 +285,9 @@ class TestActorGroups:
     def test_unpicklable_ask_message_does_not_leak_pending_slots(self):
         group = ProcessBackend(1).start_actors([partial(_make_accumulator, 0)])
         try:
-            with pytest.raises(Exception):  # pickling TypeError/PicklingError
+            # Local functions fail to pickle with AttributeError; other
+            # unpicklables raise PicklingError or TypeError.
+            with pytest.raises((pickle.PicklingError, TypeError, AttributeError)):
                 group.ask(0, ("echo", lambda: None))
             assert group._pending == {}
             assert group.ask(0, ("get",)) == 0  # the group keeps working
