@@ -1,9 +1,10 @@
 """RPA003 — determinism on the byte-identical paths.
 
-``repro/core``, ``repro/geometry``, ``repro/streaming`` and
-``repro/trajectory`` carry the contracts the test suite locks in bit for
-bit: identical segments across kernel backends, byte-identical checkpoints
-across execution backends and block splits.  Any ambient input — wall
+``repro/core``, ``repro/geometry``, ``repro/store``, ``repro/streaming``
+and ``repro/trajectory`` carry the contracts the test suite locks in bit
+for bit: identical segments across kernel backends, byte-identical
+checkpoints across execution backends and block splits, byte-identical
+segment-store files for the same appends.  Any ambient input — wall
 clocks, random draws, environment variables, salted set ordering — breaks
 those guarantees in ways no fixture reliably catches.  This rule bans the
 usual suspects inside the scoped packages:
@@ -30,7 +31,7 @@ from ..registry import Rule, register_rule
 __all__ = ["DeterminismRule"]
 
 #: Packages under ``repro/`` whose outputs must be reproducible bit for bit.
-DETERMINISTIC_PACKAGES = ("core", "geometry", "streaming", "trajectory")
+DETERMINISTIC_PACKAGES = ("core", "geometry", "store", "streaming", "trajectory")
 
 _CLOCK_CALLS = frozenset(
     {
@@ -158,8 +159,8 @@ class DeterminismRule(Rule):
     name = "determinism"
     description = (
         "no clock reads, random draws, environment reads or unordered set "
-        "iteration inside repro/core, repro/geometry, repro/streaming, "
-        "repro/trajectory"
+        "iteration inside repro/core, repro/geometry, repro/store, "
+        "repro/streaming, repro/trajectory"
     )
 
     def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:

@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..exceptions import FleetExecutionError, InvalidParameterError, UnknownAlgorithmError
 from ..exec import ExecutionBackend, SerialBackend, resolve_backend
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
+from ..streaming.sinks import SegmentSink, close_sink, flush_sink
 from .descriptors import AlgorithmDescriptor, get_descriptor
 
 __all__ = ["FleetError", "FleetResult", "run_many"]
@@ -163,6 +164,7 @@ def run_many(
     backend: str | ExecutionBackend = "auto",
     on_error: str = "raise",
     chunksize: int | None = None,
+    sink_factory: Callable[[str], SegmentSink] | None = None,
 ) -> FleetResult:
     """Compress a fleet of trajectories through one algorithm.
 
@@ -183,6 +185,15 @@ def run_many(
     chunksize:
         Tasks handed to each process worker at a time; defaults to a value
         that gives each worker a handful of batches.
+    sink_factory:
+        Optional ``trajectory_id -> sink`` callable (the same
+        :class:`~repro.streaming.sinks.SegmentSink` seam the hub uses, e.g.
+        ``Store.sink_factory(...)``).  After the fleet completes, every
+        successful representation's segments are routed — in input order —
+        into a sink created for its trajectory (falling back to
+        ``"trajectory-<index>"`` for unnamed trajectories), then the sink is
+        flushed and closed.  Runs in the caller's process, outside the
+        timed compression phase; a raising sink propagates to the caller.
 
     Notes
     -----
@@ -250,6 +261,40 @@ def run_many(
         errors=errors,
         backend=executor.name,
     )
+    if sink_factory is not None:
+        _route_to_sinks(sink_factory, trajectories, representations)
     if on_error == "raise":
         result.raise_if_failed()
     return result
+
+
+def _route_to_sinks(
+    sink_factory: Callable[[str], SegmentSink],
+    trajectories: list[Trajectory],
+    representations: list[PiecewiseRepresentation | None],
+) -> None:
+    """Persist each successful representation through its own sink.
+
+    Mirrors the hub's sink seam for batch fleets: one sink per trajectory,
+    segments delivered in order, flush + close when that trajectory is
+    done.  Failed trajectories have no representation and get no sink.
+    """
+    for index, representation in enumerate(representations):
+        if representation is None:
+            continue
+        trajectory_id = (
+            getattr(trajectories[index], "trajectory_id", "") or f"trajectory-{index}"
+        )
+        sink = sink_factory(trajectory_id)
+        if not isinstance(sink, SegmentSink):
+            raise InvalidParameterError(
+                f"sink_factory returned a {type(sink).__name__} for trajectory "
+                f"{trajectory_id!r}, which does not satisfy the SegmentSink "
+                f"protocol (an accept(segment) method)"
+            )
+        try:
+            for segment in representation.segments:
+                sink.accept(segment)
+            flush_sink(sink)
+        finally:
+            close_sink(sink)

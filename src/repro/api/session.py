@@ -384,16 +384,21 @@ class Simplifier:
         backend: str = "auto",
         on_error: str = "raise",
         chunksize: int | None = None,
+        sink_factory=None,
     ):
         """Compress a fleet of trajectories, optionally in parallel.
 
         ``backend`` selects the :mod:`repro.exec` execution backend
         (``"serial"``, ``"thread"``, ``"process"``, or ``"auto"`` — serial
-        for one worker, a process pool otherwise).  See
-        :func:`repro.api.executor.run_many` for the full contract; the
-        returned :class:`~repro.api.FleetResult` keeps per-trajectory error
-        isolation so one malformed trajectory cannot sink a fleet job, and
-        records the backend and worker count actually used.
+        for one worker, a process pool otherwise).  ``sink_factory`` routes
+        each successful trajectory's segments through a
+        :class:`~repro.streaming.sinks.SegmentSink` (e.g.
+        ``Store.sink_factory(...)`` to persist the fleet into a segment
+        store).  See :func:`repro.api.executor.run_many` for the full
+        contract; the returned :class:`~repro.api.FleetResult` keeps
+        per-trajectory error isolation so one malformed trajectory cannot
+        sink a fleet job, and records the backend and worker count actually
+        used.
         """
         from .executor import run_many
 
@@ -406,6 +411,7 @@ class Simplifier:
             backend=backend,
             on_error=on_error,
             chunksize=chunksize,
+            sink_factory=sink_factory,
         )
 
     def __repr__(self) -> str:

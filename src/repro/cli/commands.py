@@ -31,6 +31,7 @@ __all__ = [
     "cmd_generate",
     "cmd_experiment",
     "cmd_perf",
+    "cmd_query",
     "cmd_serve_replay",
     "cmd_lint",
     "load_trajectory",
@@ -38,6 +39,36 @@ __all__ = [
 
 DEFAULT_LINT_PATHS = ("src/repro",)
 DEFAULT_BASELINE = "analysis_baseline.json"
+
+
+class _TeeSink:
+    """Fan one device's segments out to several sinks.
+
+    Used by ``serve-replay --store`` to feed the per-device store sink and
+    the shared CSV/statistics sink from one hub attachment.  Optional
+    lifecycle calls are forwarded to every child that defines them; a
+    shared child may be closed once per tee, which every provided sink
+    tolerates.
+    """
+
+    def __init__(self, sinks) -> None:
+        self._sinks = tuple(sinks)
+
+    def accept(self, segment) -> None:
+        for sink in self._sinks:
+            sink.accept(segment)
+
+    def flush(self) -> None:
+        from ..streaming.sinks import flush_sink
+
+        for sink in self._sinks:
+            flush_sink(sink)
+
+    def close(self) -> None:
+        from ..streaming.sinks import close_sink
+
+        for sink in self._sinks:
+            close_sink(sink)
 
 
 def cmd_lint(args) -> int:
@@ -216,7 +247,9 @@ def cmd_serve_replay(args) -> int:
     :class:`repro.streaming.StreamHub`, optionally checkpointing every N
     points, with ``--resume`` picking an interrupted replay back up from a
     checkpoint — the downstream segment stream is byte-identical to an
-    uninterrupted run.
+    uninterrupted run.  ``--store DIR`` persists every finalised segment
+    into the segment store at ``DIR`` (one :class:`repro.store.StoreSink`
+    per device), ready for ``repro-traj query``.
     """
     from ..perf.workloads import build_device_log
     from ..streaming.checkpoint import read_point_log, restore_hub, save_checkpoint
@@ -250,6 +283,23 @@ def cmd_serve_replay(args) -> int:
         sink = CsvSegmentSink(args.output)
     else:
         sink = StatisticsSink()
+    store = None
+    if args.store:
+        from ..store import open_store
+
+        store = open_store(args.store, time_bucket=args.time_bucket)
+
+    # With --store each device gets its own StoreSink teed with the shared
+    # CSV/statistics sink; without it the shared sink serves every device.
+    if store is not None:
+        store_factory = store.sink_factory(epsilon=args.epsilon)
+
+        def sink_factory(device_id: str) -> _TeeSink:
+            return _TeeSink((store_factory(device_id), sink))
+
+        sinks: dict = {"sink_factory": sink_factory}
+    else:
+        sinks = {"shared_sink": sink}
     hub = None
     replay_ok = False
     try:
@@ -259,11 +309,11 @@ def cmd_serve_replay(args) -> int:
             # checkpoint's own layout is kept.
             hub = restore_hub(
                 args.resume,
-                shared_sink=sink,
                 shards=args.shards,
                 backend=args.backend,
                 workers=args.workers,
                 block_size=args.block_size,
+                **sinks,
             )
             skip = hub.points_pushed + hub.stats().dropped_points
             print(
@@ -275,10 +325,10 @@ def cmd_serve_replay(args) -> int:
                 algorithm=args.algorithm,
                 epsilon=args.epsilon,
                 shards=args.shards if args.shards is not None else 4,
-                shared_sink=sink,
                 backend=args.backend,
                 workers=args.workers,
                 block_size=args.block_size,
+                **sinks,
             )
         if skip:
             # Drain the already-ingested prefix outside the timed window so
@@ -339,13 +389,153 @@ def cmd_serve_replay(args) -> int:
     )
     print(
         f"segments emitted: {stats.segments_emitted}  max open-segment lag: "
-        f"{stats.max_lag}  failed devices: {stats.failed}"
+        f"{stats.max_lag}  failed devices: {stats.failed}  "
+        f"sink failures: {stats.sink_failures}"
     )
     for error in hub.errors:
         print(f"  {error}", file=sys.stderr)
     if args.output:
         print(f"wrote segments to {args.output}")
+    if store is not None:
+        print(
+            f"persisted {store.n_segments} segment(s) to store {args.store} "
+            f"({len(store.devices())} device(s), {store.n_partitions} partition(s))"
+        )
     return 0 if not hub.errors else 1
+
+
+def _parse_window(text: str) -> tuple[float, float]:
+    """Parse the CLI's ``T0:T1`` time-window syntax."""
+    from ..exceptions import InvalidParameterError
+
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise InvalidParameterError(
+            f"--window expects T0:T1 (two floats separated by ':'), got {text!r}"
+        )
+    try:
+        return float(parts[0]), float(parts[1])
+    except ValueError as error:
+        raise InvalidParameterError(
+            f"--window expects T0:T1 (two floats separated by ':'), got {text!r}"
+        ) from error
+
+
+def _parse_bbox(text: str) -> tuple[float, float, float, float]:
+    """Parse the CLI's ``XMIN,YMIN,XMAX,YMAX`` bounding-box syntax."""
+    from ..exceptions import InvalidParameterError
+
+    parts = text.split(",")
+    if len(parts) != 4:
+        raise InvalidParameterError(
+            f"--bbox expects XMIN,YMIN,XMAX,YMAX (four floats), got {text!r}"
+        )
+    try:
+        x_min, y_min, x_max, y_max = (float(part) for part in parts)
+    except ValueError as error:
+        raise InvalidParameterError(
+            f"--bbox expects XMIN,YMIN,XMAX,YMAX (four floats), got {text!r}"
+        ) from error
+    return x_min, y_min, x_max, y_max
+
+
+def _parse_aggregate(text: str) -> tuple[float, float | None]:
+    """Parse the CLI's ``WIDTH[:STEP]`` sliding-window syntax."""
+    from ..exceptions import InvalidParameterError
+
+    parts = text.split(":")
+    if len(parts) not in (1, 2):
+        raise InvalidParameterError(
+            f"--aggregate expects WIDTH or WIDTH:STEP, got {text!r}"
+        )
+    try:
+        width = float(parts[0])
+        step = float(parts[1]) if len(parts) == 2 else None
+    except ValueError as error:
+        raise InvalidParameterError(
+            f"--aggregate expects WIDTH or WIDTH:STEP, got {text!r}"
+        ) from error
+    return width, step
+
+
+def cmd_query(args) -> int:
+    """``repro-traj query`` — query a segment store with data skipping.
+
+    Builds one :class:`repro.store.QuerySpec` from the flags and runs it
+    through :meth:`repro.store.Store.query` (or
+    :meth:`~repro.store.Store.window_aggregates` with ``--aggregate``).
+    Text output leads with the pruning accounting — how many partitions the
+    zone maps let the query skip — because that number, not the match list,
+    is what the store exists for; ``--json`` emits the full typed result.
+    """
+    from ..store import QuerySpec, open_store
+
+    store = open_store(args.store, create=False)
+    spec = QuerySpec(
+        device=args.device,
+        window=_parse_window(args.window) if args.window else None,
+        bbox=_parse_bbox(args.bbox) if args.bbox else None,
+        epsilon=args.epsilon,
+    )
+
+    if args.aggregate:
+        width, step = _parse_aggregate(args.aggregate)
+        aggregates = store.window_aggregates(spec, width=width, step=step)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "spec": spec.as_dict(),
+                        "width": width,
+                        "step": step if step is not None else width,
+                        "windows": [aggregate.as_dict() for aggregate in aggregates],
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        print(
+            f"{len(aggregates)} window(s) of width {width:g} over store "
+            f"{args.store} ({store.n_partitions} partition(s))"
+        )
+        for aggregate in aggregates:
+            print(
+                f"  [{aggregate.t_start:g}, {aggregate.t_end:g}): "
+                f"{aggregate.segments} segment(s) from {aggregate.devices} "
+                f"device(s), {aggregate.points} point(s), "
+                f"length {aggregate.total_length:.3f}"
+            )
+        return 0
+
+    result = store.query(spec, full_scan=args.full_scan)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    scan_note = "full scan (pruning bypassed)" if result.full_scan else (
+        f"skipped {result.partitions_skipped} via zone maps"
+    )
+    print(
+        f"store {args.store}: {store.n_partitions} partition(s), "
+        f"{store.n_segments} segment(s), {len(store.devices())} device(s)"
+    )
+    print(
+        f"matched {len(result)} segment(s) from {len(result.devices())} "
+        f"device(s); read {result.partitions_scanned}/{result.partitions_total} "
+        f"partition(s) ({result.scan_fraction:.1%}), {scan_note}"
+    )
+    shown = result.segments if args.limit == 0 else result.segments[: args.limit]
+    for stored in shown:
+        record = stored.record
+        print(
+            f"  {stored.device_id}  eps={stored.epsilon:g}  "
+            f"t=[{record.start.t:g}, {record.end.t:g}]  "
+            f"({record.start.x:.3f}, {record.start.y:.3f}) -> "
+            f"({record.end.x:.3f}, {record.end.y:.3f})  "
+            f"points={record.point_count}"
+        )
+    if len(result) > len(shown):
+        print(f"  ... {len(result) - len(shown)} more (use --limit 0 or --json)")
+    return 0
 
 
 def cmd_perf(args) -> int:

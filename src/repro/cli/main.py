@@ -18,7 +18,12 @@ Sub-commands
     throughput regressions.
 ``serve-replay``
     Replay a multi-device point log through the streaming hub with periodic
-    checkpoints; ``--resume`` continues an interrupted replay byte-identically.
+    checkpoints; ``--resume`` continues an interrupted replay byte-identically,
+    ``--store`` persists the emitted segments into a queryable segment store.
+``query``
+    Query a segment store (``--device``, ``--window``, ``--bbox``,
+    ``--epsilon``) with zone-map data skipping, or compute sliding-window
+    aggregates over the matches.
 ``lint``
     Run the AST-based invariant linter (:mod:`repro.analysis`) over the
     source tree, gated on the committed ``analysis_baseline.json``.
@@ -162,7 +167,68 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--output", help="stream finalised segments to this CSV file"
     )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        help="persist finalised segments into the segment store at this "
+        "directory (created when missing; query it with 'repro-traj query')",
+    )
+    serve.add_argument(
+        "--time-bucket",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="partition width on the time axis when --store creates a new "
+        "store (default 3600; an existing store keeps its own)",
+    )
     serve.set_defaults(handler=commands.cmd_serve_replay)
+
+    query = subparsers.add_parser(
+        "query",
+        help="query a segment store with zone-map data skipping",
+    )
+    query.add_argument("store", help="segment store directory (see serve-replay --store)")
+    query.add_argument("--device", help="exact device id to match")
+    query.add_argument(
+        "--window",
+        metavar="T0:T1",
+        help="time window; matches segments whose time span intersects [T0, T1]",
+    )
+    query.add_argument(
+        "--bbox",
+        metavar="XMIN,YMIN,XMAX,YMAX",
+        help="spatial bounding box; matches segments whose endpoint box "
+        "intersects it",
+    )
+    query.add_argument(
+        "--epsilon",
+        type=float,
+        default=None,
+        help="match only segments simplified under exactly this error bound",
+    )
+    query.add_argument(
+        "--aggregate",
+        metavar="WIDTH[:STEP]",
+        help="instead of listing segments, compute sliding-window aggregates "
+        "of the matches (window WIDTH, advancing by STEP; default tumbling)",
+    )
+    query.add_argument(
+        "--full-scan",
+        action="store_true",
+        help="bypass zone-map pruning and read every partition (results are "
+        "identical; use to audit or measure data skipping)",
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        metavar="N",
+        help="segments to print in text output (default 10; 0 prints all)",
+    )
+    query.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    query.set_defaults(handler=commands.cmd_query)
 
     lint = subparsers.add_parser(
         "lint", help="run the invariant linter over the source tree"

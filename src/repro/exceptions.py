@@ -18,6 +18,7 @@ __all__ = [
     "UnknownAlgorithmError",
     "CheckpointError",
     "ExecutionError",
+    "StoreError",
 ]
 
 
@@ -90,4 +91,13 @@ class ExecutionError(ReproError, RuntimeError):
     per-task/per-device isolation contract (for example a handler bug, a
     dead worker process, or an unpicklable reply) — as opposed to
     :class:`FleetExecutionError`, which reports isolated task failures.
+    """
+
+
+class StoreError(ReproError):
+    """The segment store could not be opened, written or read.
+
+    Raised by :mod:`repro.store` for malformed manifests, corrupt or
+    truncated partition files, and layout-version mismatches — any case
+    where the on-disk state cannot be interpreted faithfully.
     """

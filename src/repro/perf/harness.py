@@ -82,6 +82,10 @@ class Measurement:
     block_size: int = 512
     """Hub ingest block size the cell ran with (``hub`` mode; defaulted so
     pre-block reports keep loading)."""
+    scan_fraction: float = 1.0
+    """Fraction of store partitions the query phase actually read
+    (``store`` mode; zone-map pruning effectiveness).  1.0 — read
+    everything — for the other modes and for pre-store reports."""
 
     @property
     def key(self) -> str:
@@ -312,6 +316,73 @@ def _time_fleet_executor(
     return best, representations, backend, workers
 
 
+_STORE_QUERY_SPAN = 0.25
+"""Width of the per-device query window, as a fraction of the fleet's time
+range (centred), in the store-mode measurements."""
+
+_STORE_BUCKETS = 8
+"""Time buckets the fleet's time range is partitioned into per device."""
+
+
+def _time_store(
+    algorithm: str,
+    case: PerfCase,
+    fleet: Sequence[Trajectory],
+    repeats: int,
+) -> tuple[float, int, float, float]:
+    """Best wall time over ``repeats`` store ingest+query rounds.
+
+    The fleet is simplified once, untimed — store cases measure the store,
+    not the simplifier.  Each timed round then builds a fresh store in a
+    temporary directory, appends every device's segments (zone maps
+    maintained at write time) and runs one device/time-window query per
+    device over the centre of the fleet's time range.  Returns ``(wall,
+    stored segments, compression ratio, scan fraction)`` where the scan
+    fraction is partitions-read over partitions-considered across the
+    query phase — the pruning-effectiveness number the suite gates on.
+    """
+    import tempfile
+
+    from ..store import open_store
+
+    session = Simplifier(algorithm, case.epsilon)
+    representations = [session.run(trajectory) for trajectory in fleet]
+    device_ids = [f"dev-{i:04d}" for i in range(len(representations))]
+    spans = [
+        (record.start.t, record.end.t)
+        for representation in representations
+        for record in representation.segments
+    ]
+    t_min = min(min(span) for span in spans)
+    t_max = max(max(span) for span in spans)
+    span = t_max - t_min
+    time_bucket = span / _STORE_BUCKETS if span > 0.0 else 1.0
+    q_low = t_min + span * (0.5 - _STORE_QUERY_SPAN / 2.0)
+    q_high = t_min + span * (0.5 + _STORE_QUERY_SPAN / 2.0)
+    best = math.inf
+    stored = 0
+    scan_fraction = 1.0
+    for _ in range(max(1, repeats)):
+        with tempfile.TemporaryDirectory() as tmp:
+            started = time.perf_counter()
+            store = open_store(Path(tmp) / "segments", time_bucket=time_bucket)
+            for device_id, representation in zip(device_ids, representations):
+                store.append(
+                    device_id, representation.segments, epsilon=case.epsilon
+                )
+            stored = store.n_segments
+            scanned = considered = 0
+            for device_id in device_ids:
+                result = store.query(device=device_id, window=(q_low, q_high))
+                scanned += result.partitions_scanned
+                considered += result.partitions_total
+            elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        scan_fraction = scanned / considered if considered else 1.0
+    ratio = fleet_compression_ratio(representations)
+    return best, stored, ratio, scan_fraction
+
+
 def run_suite(
     suite: PerfSuite | str,
     *,
@@ -359,11 +430,17 @@ def run_suite(
             # ``backend``/``workers`` record what actually ran — a serial
             # cell requested with workers=4 reports serial/1, a hub case
             # with more workers than shards reports the clamped count.
+            scan_fraction = 1.0
             if case.mode == "hub":
                 wall, segments, ran_backend, ran_workers = _time_hub(
                     algorithm, case, records, effective_repeats
                 )
                 ratio = segments / total_points if total_points else 0.0
+            elif case.mode == "store":
+                wall, segments, ratio, scan_fraction = _time_store(
+                    algorithm, case, fleet, effective_repeats
+                )
+                ran_backend, ran_workers = "serial", 1
             elif case.mode == "fleet":
                 wall, representations, ran_backend, ran_workers = _time_fleet_executor(
                     algorithm, case, fleet, effective_repeats
@@ -391,6 +468,7 @@ def run_suite(
                 backend=ran_backend,
                 workers=ran_workers,
                 block_size=case.block_size,
+                scan_fraction=scan_fraction,
             )
             report.results.append(measurement)
             if progress is not None:

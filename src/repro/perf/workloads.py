@@ -8,7 +8,7 @@ today, next month, on another machine — measure exactly the same work and
 their ``BENCH_results.json`` files can be diffed by
 :mod:`repro.perf.compare`.
 
-Five suites ship by default:
+These suites ship by default:
 
 ``smoke``
     A few hundred points; used by the unit tests and the CLI smoke test.
@@ -30,14 +30,22 @@ Five suites ship by default:
     hub with a large ``block_size`` on the serial, thread and process
     backends — the suite that demonstrates the thread backend beating
     serial on hub ingest once shard workers do vectorized block work.
+``store``
+    Segment-store workloads: the fleet is simplified (untimed), then the
+    timed phase ingests every device's segments into a fresh
+    :mod:`repro.store` segment store and runs one device/time-window query
+    per device — measuring ingest throughput and zone-map pruning
+    effectiveness together.
 ``full``
     All four dataset profiles at a larger scale for local investigations.
 
 A case's ``mode`` selects what the harness drives: ``"batch"`` runs the
 fleet through ``Simplifier.run``; ``"hub"`` routes the same points, in
 round-robin arrival order, through a stream hub; ``"fleet"`` fans the fleet
-out over ``Simplifier.run_many``.  ``backend``/``workers`` pick the
-:mod:`repro.exec` execution backend for the ``hub`` and ``fleet`` modes.
+out over ``Simplifier.run_many``; ``"store"`` ingests the simplified
+segments into a segment store and queries it back.
+``backend``/``workers`` pick the :mod:`repro.exec` execution backend for
+the ``hub`` and ``fleet`` modes.
 The interleaved log of a hub case comes from :func:`build_device_log`,
 which is also the generator the hub tests share (via the
 ``device_point_log`` fixture) so tests and benchmarks measure the same
@@ -77,7 +85,7 @@ GATING_ALGORITHMS = ("dp", "opw", "operb", "operb-a")
 window baseline (OPW) and the paper's two contributions."""
 
 
-CASE_MODES = ("batch", "hub", "fleet")
+CASE_MODES = ("batch", "hub", "fleet", "store")
 """Valid values of :attr:`PerfCase.mode`."""
 
 CASE_BACKENDS = ("serial", "thread", "process")
@@ -106,9 +114,11 @@ class PerfCase:
     device per trajectory, points interleaved round-robin, driven through a
     :class:`repro.streaming.StreamHub` instead of per-trajectory batch runs.
     ``mode="fleet"`` drives the fleet through the batch executor
-    (``Simplifier.run_many``).  ``backend`` and ``workers`` select the
-    :mod:`repro.exec` execution backend for those two modes (batch cases
-    always run inline).
+    (``Simplifier.run_many``).  ``mode="store"`` ingests the simplified
+    fleet into a fresh segment store and queries it back (always inline).
+    ``backend`` and ``workers`` select the :mod:`repro.exec` execution
+    backend for the hub and fleet modes (batch and store cases always run
+    inline).
     """
 
     name: str
@@ -190,6 +200,9 @@ _QUICK = PerfSuite(
             backend="thread",
             workers=4,
             block_size=4_096,
+        ),
+        PerfCase(
+            "store-32x500", "taxi", n_trajectories=32, points_per_trajectory=500, mode="store"
         ),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs",),
@@ -320,8 +333,29 @@ _BLOCKS = PerfSuite(
     repeats=3,
 )
 
+_STORE = PerfSuite(
+    name="store",
+    cases=(
+        PerfCase(
+            "store-64x500", "taxi", n_trajectories=64, points_per_trajectory=500, mode="store"
+        ),
+        PerfCase(
+            "store-128x200",
+            "sercar",
+            n_trajectories=128,
+            points_per_trajectory=200,
+            mode="store",
+        ),
+        PerfCase(
+            "store-16x2k", "truck", n_trajectories=16, points_per_trajectory=2_000, mode="store"
+        ),
+    ),
+    algorithms=("operb", "operb-a"),
+    repeats=3,
+)
+
 SUITES: dict[str, PerfSuite] = {
-    suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL, _BLOCKS)
+    suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL, _BLOCKS, _STORE)
 }
 """The declared suites, by name."""
 

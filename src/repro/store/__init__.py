@@ -1,0 +1,34 @@
+"""Persistent, queryable segment store with zone-map data skipping.
+
+The store is the read-heavy half of the pipeline: simplified segments
+flow in live through :class:`StoreSink` (one per device, via
+``StreamHub`` / ``run_many`` sink factories) or in bulk through
+:meth:`Store.append`, land in an append-only columnar log partitioned by
+``(device, time-bucket)``, and come back out through one typed query
+surface — :class:`QuerySpec` in, :class:`QueryResult` out — that prunes
+partitions with per-partition zone maps before reading a single byte of
+data.
+
+See :mod:`repro.store.layout` for the on-disk format (versioned,
+deterministic bytes) and :mod:`repro.store.store` for the pruning
+soundness argument.
+"""
+
+from .layout import STORE_FORMAT, PartitionKey, ZoneMap
+from .query import QueryResult, QuerySpec, StoredSegment, WindowAggregate
+from .sink import StoreSink
+from .store import DEFAULT_TIME_BUCKET, Store, open_store
+
+__all__ = [
+    "DEFAULT_TIME_BUCKET",
+    "STORE_FORMAT",
+    "PartitionKey",
+    "QueryResult",
+    "QuerySpec",
+    "Store",
+    "StoreSink",
+    "StoredSegment",
+    "WindowAggregate",
+    "ZoneMap",
+    "open_store",
+]

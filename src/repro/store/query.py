@@ -1,0 +1,226 @@
+"""The typed query surface of the segment store.
+
+One pair of dataclasses — :class:`QuerySpec` in, :class:`QueryResult` out —
+is shared by every read path: :meth:`repro.store.Store.query`, the
+sliding-window aggregate helpers and the ``repro-traj query`` CLI, so
+"trajectory of device D over [t0, t1]" means exactly the same thing at
+every call site.
+
+Matching semantics (all predicates optional, conjunctive):
+
+- ``device`` — exact device id;
+- ``window=(t0, t1)`` — the segment's closed time span
+  ``[min(start.t, end.t), max(start.t, end.t)]`` intersects ``[t0, t1]``;
+- ``bbox=(x_min, y_min, x_max, y_max)`` — the segment's endpoint bounding
+  box intersects the query box;
+- ``epsilon`` — the error bound the segment was produced under equals
+  ``epsilon`` exactly.
+
+A :class:`QueryResult` carries, besides the matched segments in canonical
+order (device id, then time bucket, then append order), the data-skipping
+accounting: how many partitions exist, how many were actually read, and
+how many stored segments were materialised — ``partitions_scanned /
+partitions_total`` is the headline pruning-effectiveness number.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..exceptions import InvalidParameterError
+from ..trajectory.piecewise import SegmentRecord
+
+__all__ = ["QuerySpec", "QueryResult", "StoredSegment", "WindowAggregate"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One declarative store query (all predicates optional, ANDed)."""
+
+    device: str | None = None
+    window: tuple[float, float] | None = None
+    bbox: tuple[float, float, float, float] | None = None
+    epsilon: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.window is not None:
+            try:
+                window = tuple(float(value) for value in self.window)
+            except (TypeError, ValueError) as error:
+                raise InvalidParameterError(
+                    f"window must be two finite floats, got {self.window!r}"
+                ) from error
+            if len(window) != 2 or not all(map(math.isfinite, window)):
+                raise InvalidParameterError(
+                    f"window must be two finite floats, got {self.window!r}"
+                )
+            if window[0] > window[1]:
+                raise InvalidParameterError(
+                    f"window start {window[0]!r} exceeds window end {window[1]!r}"
+                )
+            object.__setattr__(self, "window", window)
+        if self.bbox is not None:
+            try:
+                bbox = tuple(float(value) for value in self.bbox)
+            except (TypeError, ValueError) as error:
+                raise InvalidParameterError(
+                    f"bbox must be four finite floats (x_min, y_min, x_max, y_max), "
+                    f"got {self.bbox!r}"
+                ) from error
+            if len(bbox) != 4 or not all(map(math.isfinite, bbox)):
+                raise InvalidParameterError(
+                    f"bbox must be four finite floats (x_min, y_min, x_max, y_max), "
+                    f"got {self.bbox!r}"
+                )
+            if bbox[0] > bbox[2] or bbox[1] > bbox[3]:
+                raise InvalidParameterError(f"bbox has inverted bounds: {bbox!r}")
+            object.__setattr__(self, "bbox", bbox)
+        if self.epsilon is not None:
+            try:
+                epsilon = float(self.epsilon)
+            except (TypeError, ValueError) as error:
+                raise InvalidParameterError(
+                    f"epsilon must be a positive float, got {self.epsilon!r}"
+                ) from error
+            if not math.isfinite(epsilon) or epsilon <= 0.0:
+                raise InvalidParameterError(
+                    f"epsilon must be a positive float, got {self.epsilon!r}"
+                )
+            object.__setattr__(self, "epsilon", epsilon)
+
+    @property
+    def unconstrained(self) -> bool:
+        """True when the spec matches every stored segment."""
+        return (
+            self.device is None
+            and self.window is None
+            and self.bbox is None
+            and self.epsilon is None
+        )
+
+    def matches(self, device_id: str, epsilon: float, record: SegmentRecord) -> bool:
+        """Whether one stored segment satisfies every predicate."""
+        if self.device is not None and device_id != self.device:
+            return False
+        if self.epsilon is not None and epsilon != self.epsilon:
+            return False
+        if self.window is not None:
+            t_low = min(record.start.t, record.end.t)
+            t_high = max(record.start.t, record.end.t)
+            if t_low > self.window[1] or t_high < self.window[0]:
+                return False
+        if self.bbox is not None:
+            x_low = min(record.start.x, record.end.x)
+            x_high = max(record.start.x, record.end.x)
+            y_low = min(record.start.y, record.end.y)
+            y_high = max(record.start.y, record.end.y)
+            if (
+                x_low > self.bbox[2]
+                or x_high < self.bbox[0]
+                or y_low > self.bbox[3]
+                or y_high < self.bbox[1]
+            ):
+                return False
+        return True
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (for the CLI's JSON output)."""
+        return {
+            "device": self.device,
+            "window": list(self.window) if self.window is not None else None,
+            "bbox": list(self.bbox) if self.bbox is not None else None,
+            "epsilon": self.epsilon,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class StoredSegment:
+    """One segment as the store returns it: record plus provenance."""
+
+    device_id: str
+    epsilon: float
+    record: SegmentRecord
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable view (used by the CLI and in tests for
+        byte-identity comparisons between pruned and full scans)."""
+        return {
+            "device": self.device_id,
+            "epsilon": self.epsilon,
+            "segment": self.record.to_dict(),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """Matched segments plus the data-skipping accounting of one query."""
+
+    spec: QuerySpec
+    segments: tuple[StoredSegment, ...]
+    partitions_total: int
+    partitions_scanned: int
+    segments_scanned: int
+    full_scan: bool = False
+    """Whether zone-map pruning was bypassed (``Store.query(full_scan=True))``."""
+
+    @property
+    def partitions_skipped(self) -> int:
+        """Partitions the zone maps let the query avoid reading."""
+        return self.partitions_total - self.partitions_scanned
+
+    @property
+    def scan_fraction(self) -> float:
+        """``partitions_scanned / partitions_total`` (0.0 for an empty store)."""
+        if self.partitions_total == 0:
+            return 0.0
+        return self.partitions_scanned / self.partitions_total
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def devices(self) -> list[str]:
+        """Sorted distinct device ids present in the matched segments."""
+        return sorted({stored.device_id for stored in self.segments})
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (for the CLI's JSON output)."""
+        return {
+            "spec": self.spec.as_dict(),
+            "matched": len(self.segments),
+            "partitions_total": self.partitions_total,
+            "partitions_scanned": self.partitions_scanned,
+            "partitions_skipped": self.partitions_skipped,
+            "scan_fraction": self.scan_fraction,
+            "segments_scanned": self.segments_scanned,
+            "full_scan": self.full_scan,
+            "segments": [stored.to_dict() for stored in self.segments],
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class WindowAggregate:
+    """Aggregates of one sliding window over stored segments.
+
+    A segment contributes to every window its time span intersects, so
+    adjacent windows overlap exactly as a sliding computation should.
+    """
+
+    t_start: float
+    t_end: float
+    segments: int = 0
+    devices: int = 0
+    points: int = 0
+    total_length: float = 0.0
+    device_ids: tuple[str, ...] = field(default=(), repr=False)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (for the CLI's JSON output)."""
+        return {
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "segments": self.segments,
+            "devices": self.devices,
+            "points": self.points,
+            "total_length": self.total_length,
+        }

@@ -1,0 +1,475 @@
+"""The queryable segment store: persistent, partitioned, zone-mapped.
+
+:func:`open_store` opens (or initialises) a store directory;
+:class:`Store` appends finalised :class:`~repro.trajectory.piecewise.
+SegmentRecord` batches into per-``(device, time-bucket)`` partitions and
+serves the typed query surface of :mod:`repro.store.query` over them.
+
+Write path
+----------
+``append`` groups a batch by time bucket and, per partition, first
+rewrites the zone map sidecar to *cover* the new batch (atomic temp file +
+rename), then appends one columnar chunk to the partition's ``.seg`` file.
+Because the covering bound lands on disk before the data, a crash between
+the two writes can only leave zone maps that over-approximate — a query
+may read a partition needlessly but can never skip one that holds matches,
+so data skipping stays sound across crashes.
+
+Read path
+---------
+``query`` walks the partitions in canonical order (device id, then
+bucket), consults each zone map against the spec's window/bbox/epsilon
+predicates, and reads only the partitions that may contain matches; the
+returned :class:`~repro.store.query.QueryResult` reports exactly how many
+partitions the zone maps let it skip.  ``full_scan=True`` bypasses the
+pruning (every partition is read) and — by construction, same scan order,
+same row predicate — returns byte-identical results; the property tests
+lock that equivalence in.
+
+Concurrency: one writer at a time per store directory.  Readers see every
+fully appended chunk; the store object caches zone maps, so a process that
+wants to observe another writer's appends should re-open the store.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..exceptions import InvalidParameterError, StoreError
+from ..trajectory.piecewise import SegmentRecord
+from .layout import (
+    DEVICES_DIR,
+    MANIFEST_NAME,
+    PartitionKey,
+    ZoneMap,
+    bucket_of,
+    bucket_of_data_name,
+    decode_chunks,
+    decode_device_dir,
+    encode_chunk,
+    encode_device_dir,
+    load_manifest,
+    partition_data_name,
+    partition_zonemap_name,
+    read_zonemap,
+    write_manifest,
+    write_zonemap,
+)
+from .query import QueryResult, QuerySpec, StoredSegment, WindowAggregate
+from .sink import StoreSink
+
+__all__ = ["DEFAULT_TIME_BUCKET", "Store", "open_store"]
+
+DEFAULT_TIME_BUCKET = 3600.0
+"""Default partition width on the time axis, in timestamp units (seconds)."""
+
+
+def open_store(
+    path: str | Path,
+    *,
+    time_bucket: float | None = None,
+    create: bool = True,
+) -> "Store":
+    """Open a segment store directory, initialising it when absent.
+
+    Parameters
+    ----------
+    path:
+        The store's root directory.
+    time_bucket:
+        Partition width on the time axis, used only when initialising a new
+        store (default :data:`DEFAULT_TIME_BUCKET`).  Opening an existing
+        store with an explicit ``time_bucket`` that contradicts its
+        manifest raises :class:`~repro.exceptions.StoreError` — the layout
+        on disk is authoritative.
+    create:
+        When False, refuse to initialise a missing store.
+
+    Raises
+    ------
+    StoreError
+        On a malformed or version-incompatible manifest, a non-store
+        directory, or (with ``create=False``) a missing store.
+    InvalidParameterError
+        On a non-positive or non-finite ``time_bucket``.
+    """
+    root = Path(path)
+    if time_bucket is not None:
+        time_bucket = float(time_bucket)
+        if not (math.isfinite(time_bucket) and time_bucket > 0.0):
+            raise InvalidParameterError(
+                f"time_bucket must be a positive float, got {time_bucket!r}"
+            )
+    if (root / MANIFEST_NAME).exists():
+        payload = load_manifest(root)
+        stored = float(payload["time_bucket"])  # type: ignore[arg-type]
+        if time_bucket is not None and time_bucket != stored:
+            raise StoreError(
+                f"store {str(root)!r} was created with time_bucket {stored!r}; "
+                f"cannot reopen with {time_bucket!r}"
+            )
+        return Store(root, time_bucket=stored)
+    if not create:
+        raise StoreError(f"no segment store at {str(root)!r}")
+    if root.exists() and any(root.iterdir()):
+        raise StoreError(
+            f"directory {str(root)!r} exists, is not empty and has no store "
+            f"manifest; refusing to initialise a store inside it"
+        )
+    effective = DEFAULT_TIME_BUCKET if time_bucket is None else time_bucket
+    (root / DEVICES_DIR).mkdir(parents=True, exist_ok=True)
+    write_manifest(root, time_bucket=effective)
+    return Store(root, time_bucket=effective)
+
+
+class Store:
+    """A persistent, columnar, append-only segment log with data skipping.
+
+    Not constructed directly — use :func:`open_store`.
+    """
+
+    def __init__(self, root: Path, *, time_bucket: float) -> None:
+        self._root = root
+        self._time_bucket = time_bucket
+        self._zonemaps: dict[PartitionKey, ZoneMap] = {}
+        self._load_zonemaps()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    @property
+    def time_bucket(self) -> float:
+        """Partition width on the time axis (from the manifest)."""
+        return self._time_bucket
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of ``(device, bucket)`` partitions on disk."""
+        return len(self._zonemaps)
+
+    @property
+    def n_segments(self) -> int:
+        """Total stored segments, as recorded by the zone maps."""
+        return sum(zonemap.segments for zonemap in self._zonemaps.values())
+
+    def devices(self) -> list[str]:
+        """Sorted device ids with at least one partition."""
+        return sorted({key.device_id for key in self._zonemaps})
+
+    def partitions(self) -> list[tuple[PartitionKey, ZoneMap]]:
+        """Every partition and its zone map, in canonical scan order."""
+        return [(key, self._zonemaps[key]) for key in sorted(self._zonemaps)]
+
+    def time_range(self) -> tuple[float, float] | None:
+        """Covering ``(t_min, t_max)`` over every partition (None if empty)."""
+        if not self._zonemaps:
+            return None
+        return (
+            min(zonemap.t_min for zonemap in self._zonemaps.values()),
+            max(zonemap.t_max for zonemap in self._zonemaps.values()),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Write path
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        device_id: str,
+        segments: SegmentRecord | Iterable[SegmentRecord],
+        *,
+        epsilon: float,
+    ) -> int:
+        """Append finalised segments for one device; returns the count.
+
+        The batch is grouped by time bucket (``floor(start.t /
+        time_bucket)``); each group becomes one columnar chunk in its
+        partition, with the partition's zone map extended to cover it
+        first.  Within a partition, append order is preserved — it is the
+        canonical scan order queries return.
+
+        Raises
+        ------
+        InvalidParameterError
+            On a non-positive/non-finite ``epsilon``.
+        StoreError
+            When a segment carries non-finite coordinates (the zone map
+            must stay strict-JSON serialisable), or on an I/O failure.
+        """
+        epsilon = float(epsilon)
+        if not (math.isfinite(epsilon) and epsilon > 0.0):
+            raise InvalidParameterError(
+                f"epsilon must be a positive float, got {epsilon!r}"
+            )
+        batch = (
+            [segments] if isinstance(segments, SegmentRecord) else list(segments)
+        )
+        if not batch:
+            return 0
+        for record in batch:
+            if not (record.start.is_finite() and record.end.is_finite()):
+                raise StoreError(
+                    f"segment [{record.first_index}, {record.last_index}] of "
+                    f"device {device_id!r} has non-finite coordinates"
+                )
+        grouped: dict[int, list[SegmentRecord]] = {}
+        for record in batch:
+            grouped.setdefault(
+                bucket_of(record.start.t, self._time_bucket), []
+            ).append(record)
+        device_dir = self._root / DEVICES_DIR / encode_device_dir(device_id)
+        device_dir.mkdir(parents=True, exist_ok=True)
+        for bucket in sorted(grouped):
+            chunk = grouped[bucket]
+            key = PartitionKey(device_id, bucket)
+            addition = ZoneMap.of_batch(chunk, epsilon)
+            existing = self._zonemaps.get(key)
+            merged = addition if existing is None else existing.merge(addition)
+            # Covering-first write order: the widened zone map lands before
+            # the data it describes, so a crash in between can only leave
+            # an over-approximating bound — pruning stays sound.
+            write_zonemap(device_dir / partition_zonemap_name(bucket), merged)
+            try:
+                with open(device_dir / partition_data_name(bucket), "ab") as handle:
+                    handle.write(encode_chunk(chunk, epsilon))
+            except OSError as error:
+                raise StoreError(
+                    f"cannot append to partition {key}: {error}"
+                ) from error
+            self._zonemaps[key] = merged
+        return len(batch)
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        spec: QuerySpec | None = None,
+        *,
+        device: str | None = None,
+        window: tuple[float, float] | None = None,
+        bbox: tuple[float, float, float, float] | None = None,
+        epsilon: float | None = None,
+        full_scan: bool = False,
+    ) -> QueryResult:
+        """Run one typed query; returns matches plus skipping accounting.
+
+        Pass either a prepared :class:`~repro.store.query.QuerySpec` or the
+        individual predicates (not both).  ``full_scan=True`` bypasses
+        zone-map pruning — every partition is read, the row predicate still
+        applies — and returns byte-identical results; use it to audit
+        pruning soundness or measure its benefit.
+        """
+        spec = self._resolve_spec(spec, device, window, bbox, epsilon)
+        matched: list[StoredSegment] = []
+        partitions_scanned = 0
+        segments_scanned = 0
+        for key in sorted(self._zonemaps):
+            if not full_scan and not self._may_match(spec, key, self._zonemaps[key]):
+                continue
+            rows = self._read_partition(key)
+            partitions_scanned += 1
+            segments_scanned += len(rows)
+            for record, record_epsilon in rows:
+                if spec.matches(key.device_id, record_epsilon, record):
+                    matched.append(
+                        StoredSegment(key.device_id, record_epsilon, record)
+                    )
+        return QueryResult(
+            spec=spec,
+            segments=tuple(matched),
+            partitions_total=len(self._zonemaps),
+            partitions_scanned=partitions_scanned,
+            segments_scanned=segments_scanned,
+            full_scan=full_scan,
+        )
+
+    def window_aggregates(
+        self,
+        spec: QuerySpec | None = None,
+        *,
+        width: float,
+        step: float | None = None,
+        device: str | None = None,
+        window: tuple[float, float] | None = None,
+        bbox: tuple[float, float, float, float] | None = None,
+        epsilon: float | None = None,
+    ) -> list[WindowAggregate]:
+        """Sliding-window aggregates over the spec's matching segments.
+
+        Windows of ``width`` advance by ``step`` (default: ``width``, i.e.
+        tumbling) across the spec's time window — or, when the spec has
+        none, across the matched segments' covering time range.  A segment
+        contributes to every window its time span intersects, so the
+        aggregates are served entirely from simplified segments at a
+        fraction of raw-point cost.
+        """
+        width = float(width)
+        if not (math.isfinite(width) and width > 0.0):
+            raise InvalidParameterError(
+                f"width must be a positive float, got {width!r}"
+            )
+        step = width if step is None else float(step)
+        if not (math.isfinite(step) and step > 0.0):
+            raise InvalidParameterError(f"step must be a positive float, got {step!r}")
+        result = self.query(spec, device=device, window=window, bbox=bbox, epsilon=epsilon)
+        if result.spec.window is not None:
+            t_low, t_high = result.spec.window
+        elif result.segments:
+            spans = [
+                (
+                    min(s.record.start.t, s.record.end.t),
+                    max(s.record.start.t, s.record.end.t),
+                )
+                for s in result.segments
+            ]
+            t_low = min(span[0] for span in spans)
+            t_high = max(span[1] for span in spans)
+        else:
+            return []
+        aggregates: list[WindowAggregate] = []
+        index = 0
+        while True:
+            w_start = t_low + index * step
+            if w_start > t_high:
+                break
+            w_end = w_start + width
+            contributors = [
+                stored
+                for stored in result.segments
+                if min(stored.record.start.t, stored.record.end.t) < w_end
+                and max(stored.record.start.t, stored.record.end.t) >= w_start
+            ]
+            device_ids = tuple(sorted({stored.device_id for stored in contributors}))
+            aggregates.append(
+                WindowAggregate(
+                    t_start=w_start,
+                    t_end=w_end,
+                    segments=len(contributors),
+                    devices=len(device_ids),
+                    points=sum(stored.record.point_count for stored in contributors),
+                    total_length=sum(stored.record.length for stored in contributors),
+                    device_ids=device_ids,
+                )
+            )
+            index += 1
+        return aggregates
+
+    # ------------------------------------------------------------------ #
+    # Live ingest (the sink protocol)
+    # ------------------------------------------------------------------ #
+    def sink(
+        self, device_id: str, *, epsilon: float, buffer_size: int = 256
+    ) -> StoreSink:
+        """A :class:`~repro.store.sink.StoreSink` persisting one device."""
+        return StoreSink(self, device_id, epsilon=epsilon, buffer_size=buffer_size)
+
+    def sink_factory(
+        self, *, epsilon: float, buffer_size: int = 256
+    ) -> Callable[[str], StoreSink]:
+        """A ``device_id -> StoreSink`` factory for :class:`StreamHub` /
+        ``run_many`` — every device persists into this store."""
+
+        def factory(device_id: str) -> StoreSink:
+            return self.sink(device_id, epsilon=epsilon, buffer_size=buffer_size)
+
+        return factory
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _resolve_spec(
+        spec: QuerySpec | None,
+        device: str | None,
+        window: tuple[float, float] | None,
+        bbox: tuple[float, float, float, float] | None,
+        epsilon: float | None,
+    ) -> QuerySpec:
+        if spec is None:
+            return QuerySpec(device=device, window=window, bbox=bbox, epsilon=epsilon)
+        if device is not None or window is not None or bbox is not None or epsilon is not None:
+            raise InvalidParameterError(
+                "pass either a QuerySpec or individual predicates, not both"
+            )
+        return spec
+
+    @staticmethod
+    def _may_match(spec: QuerySpec, key: PartitionKey, zonemap: ZoneMap) -> bool:
+        """Zone-map admission: False only when no contained segment can match."""
+        if spec.device is not None and key.device_id != spec.device:
+            return False
+        if spec.window is not None and not zonemap.may_intersect_window(spec.window):
+            return False
+        if spec.bbox is not None and not zonemap.may_intersect_bbox(spec.bbox):
+            return False
+        if spec.epsilon is not None and not zonemap.may_contain_epsilon(spec.epsilon):
+            return False
+        return True
+
+    def _read_partition(self, key: PartitionKey) -> list[tuple[SegmentRecord, float]]:
+        path = (
+            self._root
+            / DEVICES_DIR
+            / encode_device_dir(key.device_id)
+            / partition_data_name(key.bucket)
+        )
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            # Crash window: the covering zone map landed but the data
+            # append never happened.  The partition is legitimately empty.
+            return []
+        except OSError as error:
+            raise StoreError(f"cannot read partition {key}: {error}") from error
+        rows: list[tuple[SegmentRecord, float]] = []
+        for chunk in decode_chunks(data, source=str(path)):
+            rows.extend(chunk)
+        return rows
+
+    def _load_zonemaps(self) -> None:
+        devices_root = self._root / DEVICES_DIR
+        if not devices_root.is_dir():
+            raise StoreError(
+                f"store {str(self._root)!r} is missing its {DEVICES_DIR}/ directory"
+            )
+        for device_dir in sorted(devices_root.iterdir()):
+            if not device_dir.is_dir():
+                continue
+            device_id = decode_device_dir(device_dir.name)
+            sidecars: set[int] = set()
+            data_files: set[int] = set()
+            for entry in sorted(device_dir.iterdir()):
+                name = entry.name
+                if name.endswith(".zm.json") and name.startswith("b"):
+                    try:
+                        sidecars.add(int(name[1 : -len(".zm.json")]))
+                    except ValueError:
+                        continue
+                else:
+                    bucket = bucket_of_data_name(name)
+                    if bucket is not None:
+                        data_files.add(bucket)
+            orphans = sorted(data_files - sidecars)
+            if orphans:
+                raise StoreError(
+                    f"partition data without a zone map sidecar for device "
+                    f"{device_id!r}, bucket(s) {orphans} — the store cannot "
+                    f"guarantee sound pruning over unindexed data"
+                )
+            for bucket in sorted(sidecars):
+                self._zonemaps[PartitionKey(device_id, bucket)] = read_zonemap(
+                    device_dir / partition_zonemap_name(bucket)
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"Store(root={str(self._root)!r}, time_bucket={self._time_bucket!r}, "
+            f"partitions={self.n_partitions}, segments={self.n_segments})"
+        )

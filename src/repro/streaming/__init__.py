@@ -20,7 +20,14 @@ from .hub import (
 )
 from .interface import STREAMING_ALGORITHMS, BufferedBatchAdapter, make_streaming_simplifier
 from .pipeline import PipelineResult, StreamingPipeline, run_pipeline
-from .sinks import CollectingSink, CsvSegmentSink, StatisticsSink
+from .sinks import (
+    CollectingSink,
+    CsvSegmentSink,
+    SegmentSink,
+    StatisticsSink,
+    close_sink,
+    flush_sink,
+)
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
@@ -35,9 +42,12 @@ __all__ = [
     "HubShard",
     "HubStats",
     "PipelineResult",
+    "SegmentSink",
     "StatisticsSink",
     "StreamHub",
     "StreamingPipeline",
+    "close_sink",
+    "flush_sink",
     "load_checkpoint",
     "make_streaming_simplifier",
     "read_point_log",

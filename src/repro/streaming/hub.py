@@ -36,7 +36,13 @@ Capabilities:
   epsilon and options (defaults come from the hub);
 - **segment routing** — finalised segments are handed to a per-device sink
   (``sink_factory``) or a shared sink the moment they are emitted; sinks
-  always live in the hub's process, whatever the backend;
+  are :class:`repro.streaming.sinks.SegmentSink` protocol instances
+  (``accept(segment)`` required, ``flush()``/``close()`` optional) and
+  always live in the hub's process, whatever the backend.  The hub owns
+  the sink lifecycle: attached sinks are flushed and closed exactly once
+  on :meth:`StreamHub.close` / ``__exit__``, and a raising sink is
+  detached and counted in :attr:`HubStats.sink_failures` instead of
+  crashing the ingest;
 - **backpressure accounting** — per-device and hub-wide lag statistics (how
   many points are pending in the open segment) expose the latency cost of
   buffering algorithms next to the one-pass ones;
@@ -83,6 +89,7 @@ from ..exec import ExecutionBackend, resolve_backend
 from ..geometry.point import Point
 from ..trajectory.piecewise import SegmentRecord
 from ..trajectory.soa import PointBlock
+from .sinks import SegmentSink, close_sink, flush_sink
 
 __all__ = [
     "DeviceError",
@@ -162,6 +169,8 @@ class HubStats:
     max_segments_per_push: int
     shard_devices: list[int]
     shard_points: list[int]
+    sink_failures: int = 0
+    """Sinks detached after raising (segments stopped reaching them)."""
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dict view (for the CLI and reports)."""
@@ -177,6 +186,7 @@ class HubStats:
             "max_segments_per_push": self.max_segments_per_push,
             "shard_devices": list(self.shard_devices),
             "shard_points": list(self.shard_points),
+            "sink_failures": self.sink_failures,
         }
 
 
@@ -678,10 +688,14 @@ class StreamHub:
         Number of partitions devices are hash-sharded across.
     sink_factory:
         Optional ``device_id -> sink`` callable; each registered device gets
-        its own sink (any object with ``accept(segment)``).
+        its own :class:`~repro.streaming.sinks.SegmentSink` (the protocol is
+        checked on every sink the factory returns).  The hub owns the
+        returned sinks: they are flushed and closed on :meth:`close` /
+        ``__exit__``.
     shared_sink:
-        Optional single sink receiving every device's segments.  Mutually
-        exclusive with ``sink_factory``.
+        Optional single :class:`~repro.streaming.sinks.SegmentSink`
+        receiving every device's segments.  Mutually exclusive with
+        ``sink_factory``; closed exactly once by the hub.
     on_error:
         ``"collect"`` (default) quarantines a failing device stream and keeps
         the hub running; ``"raise"`` re-raises — immediately on the serial
@@ -713,8 +727,8 @@ class StreamHub:
         epsilon: float | None = None,
         options: dict | None = None,
         shards: int = 4,
-        sink_factory: Callable[[str], object] | None = None,
-        shared_sink: object | None = None,
+        sink_factory: Callable[[str], SegmentSink] | None = None,
+        shared_sink: SegmentSink | None = None,
         on_error: str = "collect",
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
@@ -734,6 +748,11 @@ class StreamHub:
             raise InvalidParameterError(
                 "pass either sink_factory or shared_sink, not both"
             )
+        if shared_sink is not None and not isinstance(shared_sink, SegmentSink):
+            raise InvalidParameterError(
+                f"shared_sink must satisfy the SegmentSink protocol "
+                f"(an accept(segment) method); got {type(shared_sink).__name__}"
+            )
         # Validates the default configuration eagerly (epsilon, options).
         self._default = Simplifier(algorithm, epsilon, **dict(options or {}))
         self.on_error = on_error
@@ -747,9 +766,11 @@ class StreamHub:
         self.errors: list[DeviceError] = []
         self.points_pushed = 0
         self.segments_emitted = 0
+        self.sink_failures = 0
         self._known: set[str] = set()
         self._failed: set[str] = set()
-        self._sinks: dict[str, object] = {}
+        self._sinks: dict[str, SegmentSink | None] = {}
+        self._sinks_closed = False
         self._raise_cursor = 0
         config = _HubConfig(
             algorithm=self._default.algorithm,
@@ -789,28 +810,18 @@ class StreamHub:
                 except Exception as error:  # noqa: BLE001 — sink isolation
                     # A raising sink (full disk, closed socket) must not
                     # crash the ingest on any backend: record one
-                    # DeviceError, stop routing to the sink, keep the hub
-                    # running.  The device stream itself keeps compressing
-                    # and is NOT quarantined — sinks are process-local
-                    # resources, not stream state (so the device stays out
-                    # of ``_failed`` and checkpoints as healthy).  In
-                    # ``"raise"`` mode the recorded error still surfaces
-                    # once, with the original exception, at the next hub
-                    # call — loud, but the hub stays usable.  Nulling the
-                    # sink also dedupes: this branch runs once per device.
-                    self._sinks[device_id] = None
-                    self.errors.append(
-                        DeviceError(
-                            device_id=device_id,
-                            error_type=type(error).__name__,
-                            message=f"sink rejected segments: {error}",
-                            exception=error,
-                            traceback="".join(
-                                _traceback.format_exception(
-                                    type(error), error, error.__traceback__
-                                )
-                            ),
-                        )
+                    # DeviceError, count it in ``sink_failures``, stop
+                    # routing to the sink, keep the hub running.  The
+                    # device stream itself keeps compressing and is NOT
+                    # quarantined — sinks are process-local resources, not
+                    # stream state (so the device stays out of ``_failed``
+                    # and checkpoints as healthy).  In ``"raise"`` mode the
+                    # recorded error still surfaces once, with the original
+                    # exception, at the next hub call — loud, but the hub
+                    # stays usable.  Nulling the sink also dedupes: this
+                    # branch runs once per device.
+                    self._record_sink_failure(
+                        device_id, error, f"sink rejected segments: {error}"
                     )
         elif kind == "device_error":
             _, device_id, error_type, message, exception, formatted = event
@@ -849,6 +860,24 @@ class StreamHub:
             error for error in reversed(self.errors) if error.device_id == device_id
         )
 
+    def _record_sink_failure(
+        self, device_id: str, error: Exception, message: str
+    ) -> None:
+        """Detach a raising sink and record the failure (once per device)."""
+        self.sink_failures += 1
+        self._sinks[device_id] = None
+        self.errors.append(
+            DeviceError(
+                device_id=device_id,
+                error_type=type(error).__name__,
+                message=message,
+                exception=error,
+                traceback="".join(
+                    _traceback.format_exception(type(error), error, error.__traceback__)
+                ),
+            )
+        )
+
     def _register_parent(self, device_id: str) -> None:
         self._known.add(device_id)
         self._attach_sink(device_id)
@@ -856,9 +885,43 @@ class StreamHub:
     def _attach_sink(self, device_id: str) -> None:
         """Create/route the device's sink (runs caller-supplied code)."""
         if self._sink_factory is not None:
-            self._sinks[device_id] = self._sink_factory(device_id)
+            sink = self._sink_factory(device_id)
+            if not isinstance(sink, SegmentSink):
+                raise InvalidParameterError(
+                    f"sink_factory returned a {type(sink).__name__} for device "
+                    f"{device_id!r}, which does not satisfy the SegmentSink "
+                    f"protocol (an accept(segment) method)"
+                )
+            self._sinks[device_id] = sink
         elif self._shared_sink is not None:
             self._sinks[device_id] = self._shared_sink
+
+    def _close_sinks(self) -> None:
+        """Flush and close every attached sink exactly once (idempotent).
+
+        A shared sink is attached under every device id; closing dedupes by
+        identity so its ``close()`` runs once.  Sinks already detached by
+        the failure path are skipped.  A sink that raises while flushing or
+        closing is recorded as a sink failure — surfacing like any other
+        (``stats().sink_failures``, and in ``"raise"`` mode at the next
+        surface point) — without stopping the teardown of the others.
+        """
+        if self._sinks_closed:
+            return
+        self._sinks_closed = True
+        seen: set[int] = set()
+        for device_id in sorted(self._sinks):
+            sink = self._sinks[device_id]
+            if sink is None or id(sink) in seen:
+                continue
+            seen.add(id(sink))
+            try:
+                flush_sink(sink)
+                close_sink(sink)
+            except Exception as error:  # noqa: BLE001 — sink isolation
+                self._record_sink_failure(
+                    device_id, error, f"sink close failed: {error}"
+                )
 
     def _ask_all(self, message: tuple) -> list:
         """Ask every shard worker, overlapping the round-trips.
@@ -906,15 +969,18 @@ class StreamHub:
         ]
 
     def close(self) -> None:
-        """Shut down the shard workers (idempotent).
+        """Shut down the shard workers and close the sinks (idempotent).
 
         Serial hubs have nothing to release; thread/process hubs stop their
-        workers — pending asynchronous pushes are processed first.  In
-        ``"raise"`` mode, a device failure that has not surfaced yet raises
-        here, after the workers have stopped: ``close()`` is a hub call too,
-        and must not swallow the failure when it is the last one.
+        workers — pending asynchronous pushes are processed first, so every
+        in-flight segment reaches its sink before the sinks are flushed and
+        closed.  In ``"raise"`` mode, a device failure that has not
+        surfaced yet raises here, after the workers have stopped:
+        ``close()`` is a hub call too, and must not swallow the failure
+        when it is the last one.
         """
         self._group.close()
+        self._close_sinks()
         self._surface_new_failures()
 
     def __enter__(self) -> "StreamHub":
@@ -930,6 +996,9 @@ class StreamHub:
             # Library errors from the teardown (a dead worker, an
             # unpicklable reply) must never mask the in-flight exception.
             pass
+        # Sinks still release their resources on the error path; failures
+        # are recorded (never raised) so the in-flight exception stays.
+        self._close_sinks()
 
     # ------------------------------------------------------------------ #
     # Device management
@@ -1223,6 +1292,7 @@ class StreamHub:
             max_segments_per_push=max(reply["max_burst"] for reply in replies),
             shard_devices=shard_devices,
             shard_points=shard_points,
+            sink_failures=self.sink_failures,
         )
 
     # ------------------------------------------------------------------ #
@@ -1289,8 +1359,8 @@ class StreamHub:
         cls,
         payload: dict,
         *,
-        sink_factory: Callable[[str], object] | None = None,
-        shared_sink: object | None = None,
+        sink_factory: Callable[[str], SegmentSink] | None = None,
+        shared_sink: SegmentSink | None = None,
         shards: int | None = None,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,

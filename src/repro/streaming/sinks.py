@@ -2,19 +2,68 @@
 
 A sink receives finalised :class:`~repro.trajectory.piecewise.SegmentRecord`
 objects one at a time (exactly as a radio uplink or an on-device store
-would).  Three sinks are provided: an in-memory collector, a CSV writer for
-the retained vertices and a simple statistics accumulator.
+would).  The contract is the runtime-checkable :class:`SegmentSink`
+protocol: ``accept(segment)`` is required; ``flush()`` and ``close()`` are
+optional lifecycle hooks that owners (the hub, the fleet executor) invoke
+through :func:`flush_sink` / :func:`close_sink` when present.
+
+Three in-package sinks are provided — an in-memory collector, a CSV writer
+for the retained vertices and a simple statistics accumulator — and
+:class:`repro.store.StoreSink` persists segments into the queryable
+segment store.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import TextIO
+from typing import Protocol, TextIO, runtime_checkable
 
 from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
 
-__all__ = ["CollectingSink", "CsvSegmentSink", "StatisticsSink"]
+__all__ = [
+    "SegmentSink",
+    "CollectingSink",
+    "CsvSegmentSink",
+    "StatisticsSink",
+    "close_sink",
+    "flush_sink",
+]
+
+
+@runtime_checkable
+class SegmentSink(Protocol):
+    """Structural contract for consumers of finalised segments.
+
+    Any object with an ``accept(segment)`` method satisfies the protocol
+    (``isinstance(obj, SegmentSink)`` checks it at runtime).  Two optional
+    lifecycle methods are recognised when present:
+
+    - ``flush()`` — push buffered state downstream without ending the sink;
+    - ``close()`` — release resources; the sink may reject further accepts.
+
+    Owners call the optional hooks through :func:`flush_sink` and
+    :func:`close_sink`, which no-op when a sink does not define them —
+    plain collectors stay exactly as simple as before.
+    """
+
+    def accept(self, segment: SegmentRecord) -> None:
+        """Receive one finalised segment."""
+        ...
+
+
+def flush_sink(sink: object) -> None:
+    """Invoke ``sink.flush()`` when the sink defines it (else no-op)."""
+    flush = getattr(sink, "flush", None)
+    if callable(flush):
+        flush()
+
+
+def close_sink(sink: object) -> None:
+    """Invoke ``sink.close()`` when the sink defines it (else no-op)."""
+    close = getattr(sink, "close", None)
+    if callable(close):
+        close()
 
 
 class CollectingSink:

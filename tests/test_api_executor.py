@@ -214,3 +214,56 @@ class TestEvaluateFleetRouting:
             evaluate_fleet(fleet, representations, EPSILON, tolerence=1e-6)  # typo
         with pytest.raises(InvalidParameterError):
             evaluate_fleet(fleet, representations, EPSILON, workers=8)
+
+
+class TestRunManySinkRouting:
+    def test_segments_route_to_per_trajectory_sinks(self, fleet):
+        from repro.streaming import CollectingSink
+
+        sinks: dict[str, CollectingSink] = {}
+
+        def factory(trajectory_id: str) -> CollectingSink:
+            sinks[trajectory_id] = CollectingSink()
+            return sinks[trajectory_id]
+
+        result = Simplifier("operb", EPSILON).run_many(fleet, sink_factory=factory)
+        assert set(sinks) == {t.trajectory_id for t in fleet}
+        for trajectory, representation in zip(fleet, result):
+            routed = sinks[trajectory.trajectory_id].segments
+            assert routed == list(representation.segments)
+
+    def test_factory_result_must_satisfy_the_protocol(self, fleet):
+        with pytest.raises(InvalidParameterError, match="SegmentSink"):
+            Simplifier("operb", EPSILON).run_many(
+                fleet, sink_factory=lambda trajectory_id: object()
+            )
+
+    def test_failed_trajectories_get_no_sink(self, two_points, noisy_walk):
+        from repro.streaming import CollectingSink
+
+        @register_algorithm(
+            "unit-test-sink-flaky", error_metric="none", summary="fails on big inputs"
+        )
+        def flaky(trajectory, epsilon=0.0):
+            raise ValueError("too big")
+
+        created: list[str] = []
+
+        def factory(trajectory_id: str) -> CollectingSink:
+            created.append(trajectory_id)
+            return CollectingSink()
+
+        try:
+            ok = Simplifier("operb", EPSILON).run_many(
+                [two_points], sink_factory=factory
+            )
+            assert ok.n_failed == 0 and len(created) == 1
+            created.clear()
+            result = Simplifier("unit-test-sink-flaky", EPSILON).run_many(
+                [two_points, noisy_walk], on_error="collect", sink_factory=factory
+            )
+        finally:
+            unregister_algorithm("unit-test-sink-flaky")
+        assert result.n_failed == 2
+        # Failed trajectories never get a sink attached.
+        assert created == []

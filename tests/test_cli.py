@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
@@ -381,3 +382,129 @@ class TestExperimentCommand:
         code = main(["experiment", "--id", "fig99"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def point_log(self, tmp_path, device_point_log):
+        from repro.streaming import write_point_log
+
+        path = tmp_path / "log.jsonl"
+        write_point_log(device_point_log[:3_000], path)
+        return path
+
+    @pytest.fixture
+    def store_dir(self, point_log, tmp_path, capsys):
+        path = tmp_path / "segments"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--epsilon",
+                "40",
+                "--store",
+                str(path),
+                "--time-bucket",
+                "20",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_serve_replay_persists_into_the_store(self, point_log, tmp_path, capsys):
+        store_path = tmp_path / "segments"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--epsilon",
+                "40",
+                "--store",
+                str(store_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sink failures: 0" in out
+        assert f"to store {store_path}" in out
+
+        from repro.store import open_store
+
+        store = open_store(store_path, create=False)
+        assert store.n_segments > 0
+        assert len(store.devices()) == 100
+
+    def test_store_composes_with_csv_output(self, point_log, tmp_path, capsys):
+        output = tmp_path / "segments.csv"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--epsilon",
+                "40",
+                "--store",
+                str(tmp_path / "segments"),
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        from repro.store import open_store
+
+        store = open_store(tmp_path / "segments", create=False)
+        # Tee routing: the CSV rows and the store rows are the same stream.
+        assert len(output.read_text().splitlines()) - 1 == store.n_segments
+
+    def test_query_device_window_prunes_partitions(self, store_dir, capsys):
+        code = main(
+            ["query", str(store_dir), "--device", "dev-0007", "--window", "0:40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        match = re.search(r"read (\d+)/(\d+) partition\(s\)", out)
+        assert match is not None
+        scanned, total = int(match.group(1)), int(match.group(2))
+        assert scanned < total
+        assert "skipped" in out
+
+    def test_query_json_matches_full_scan_byte_for_byte(self, store_dir, capsys):
+        argv = ["query", str(store_dir), "--device", "dev-0007", "--window", "0:40", "--json"]
+        assert main(argv) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        assert main([*argv, "--full-scan"]) == 0
+        full = json.loads(capsys.readouterr().out)
+        assert pruned["partitions_scanned"] < full["partitions_scanned"]
+        assert full["full_scan"] is True
+        assert json.dumps(pruned["segments"]) == json.dumps(full["segments"])
+
+    def test_query_limit_truncates_text_output(self, store_dir, capsys):
+        assert main(["query", str(store_dir), "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "more (use --limit 0 or --json)" in out
+
+    def test_query_aggregate_windows(self, store_dir, capsys):
+        code = main(
+            ["query", str(store_dir), "--window", "0:100", "--aggregate", "50:25"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "window(s) of width 50" in out
+        assert "segment(s) from" in out
+
+    def test_query_missing_store_is_reported(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nowhere")]) == 1
+        assert "no segment store" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--window", "40"],
+            ["--window", "9:1"],
+            ["--bbox", "1,2,3"],
+            ["--aggregate", "0"],
+        ],
+    )
+    def test_bad_flag_syntax_is_reported(self, store_dir, capsys, flags):
+        assert main(["query", str(store_dir), *flags]) == 1
+        assert "error:" in capsys.readouterr().err

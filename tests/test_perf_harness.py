@@ -447,3 +447,51 @@ class TestMetadata:
         meta = machine_metadata(calibrate=False)
         assert "calibration_pps" not in meta
         assert meta["repro_version"]
+
+
+TINY_STORE_SUITE = PerfSuite(
+    name="tiny-store",
+    cases=(
+        PerfCase(
+            "store-tiny", "taxi", n_trajectories=8, points_per_trajectory=80, mode="store"
+        ),
+    ),
+    algorithms=("operb",),
+    repeats=1,
+)
+
+
+class TestStoreWorkloads:
+    def test_store_mode_measurements_record_scan_fraction(self):
+        report = run_suite(TINY_STORE_SUITE)
+        (measurement,) = report.results
+        assert measurement.mode == "store"
+        assert measurement.backend == "serial" and measurement.workers == 1
+        assert measurement.segments > 0
+        assert measurement.points_per_second > 0.0
+        # The headline store number: zone maps must actually skip data on
+        # the benchmark's device/time-window queries.
+        assert 0.0 < measurement.scan_fraction < 1.0
+
+    def test_store_measurements_serialise_with_scan_fraction(self, tmp_path):
+        report = run_suite(TINY_STORE_SUITE)
+        path = write_report(report, tmp_path / "store.json")
+        loaded = load_report(path)
+        assert loaded.results == report.results
+        entry = json.loads(path.read_text())["results"][0]
+        assert 0.0 < entry["scan_fraction"] < 1.0
+
+    def test_pre_store_reports_load_with_full_scan_default(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        for entry in payload["results"]:
+            del entry["scan_fraction"]  # a report written before store mode
+        path.write_text(json.dumps(payload))
+        loaded = load_report(path)
+        assert all(m.scan_fraction == 1.0 for m in loaded.results)
+
+    def test_quick_suite_gates_the_store_path(self):
+        quick = get_suite("quick")
+        assert any(case.mode == "store" for case in quick.cases)
+        assert "store" in SUITES
+        assert all(case.mode == "store" for case in SUITES["store"].cases)

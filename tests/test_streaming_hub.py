@@ -814,3 +814,105 @@ class TestPointLog:
         # The previous log survives intact; no .tmp residue either.
         assert list(read_point_log(path)) == [("a", Point(0.0, 0.0, 0.0))]
         assert list(tmp_path.iterdir()) == [path]
+
+
+class RecordingSink:
+    """Accepts everything; records flush/close calls for lifecycle tests."""
+
+    def __init__(self):
+        self.segments = []
+        self.flushes = 0
+        self.closes = 0
+
+    def accept(self, segment):
+        self.segments.append(segment)
+
+    def flush(self):
+        self.flushes += 1
+
+    def close(self):
+        self.closes += 1
+
+
+class TestSinkProtocolAndLifecycle:
+    def test_any_accept_object_satisfies_the_protocol(self):
+        from repro.streaming import SegmentSink
+
+        assert isinstance(CollectingSink(), SegmentSink)
+        assert isinstance(RecordingSink(), SegmentSink)
+        assert not isinstance(object(), SegmentSink)
+
+    def test_shared_sink_must_satisfy_the_protocol(self):
+        with pytest.raises(InvalidParameterError, match="SegmentSink"):
+            StreamHub(algorithm="operb", epsilon=40.0, shared_sink=object())
+
+    def test_factory_result_must_satisfy_the_protocol(self):
+        hub = StreamHub(
+            algorithm="operb", epsilon=40.0, sink_factory=lambda device_id: object()
+        )
+        with pytest.raises(InvalidParameterError, match="cab-1"):
+            hub.push("cab-1", Point(0.0, 0.0, 0.0))
+
+    def test_flush_and_close_helpers_tolerate_accept_only_sinks(self):
+        from repro.streaming import close_sink, flush_sink
+
+        bare = CollectingSink()
+        flush_sink(bare)  # no flush() method: a documented no-op
+        close_sink(bare)
+        recorder = RecordingSink()
+        flush_sink(recorder)
+        close_sink(recorder)
+        assert recorder.flushes == 1 and recorder.closes == 1
+
+    def test_close_flushes_and_closes_every_device_sink_once(self, device_point_log):
+        sinks: dict[str, RecordingSink] = {}
+
+        def factory(device_id: str) -> RecordingSink:
+            sinks[device_id] = RecordingSink()
+            return sinks[device_id]
+
+        hub = StreamHub(algorithm="operb", epsilon=40.0, sink_factory=factory)
+        hub.push_many(device_point_log[:500])
+        hub.finish_all()
+        hub.close()
+        hub.close()  # idempotent: nothing closes twice
+        assert sinks and all(s.flushes == 1 and s.closes == 1 for s in sinks.values())
+
+    def test_shared_sink_is_closed_exactly_once(self, device_point_log):
+        sink = RecordingSink()
+        with StreamHub(algorithm="operb", epsilon=40.0, shared_sink=sink) as hub:
+            hub.push_many(device_point_log[:500])
+            hub.finish_all()
+        # Many devices route to the one shared sink; __exit__ still
+        # flushes/closes that single object exactly once.
+        assert len(hub) > 1
+        assert sink.flushes == 1 and sink.closes == 1
+
+    def test_raising_sink_is_counted_in_sink_failures(self):
+        class BrokenSink(RecordingSink):
+            def accept(self, segment):
+                raise OSError("disk full")
+
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shared_sink=BrokenSink())
+        for i in range(200):
+            hub.push("dev", Point(float(i * 37 % 113), float(i * 59 % 97), float(i)))
+        hub.finish_all()
+        stats = hub.stats()
+        assert stats.sink_failures == 1  # detached after the first raise
+        assert stats.failed == 0  # the device stream itself is healthy
+        assert stats.as_dict()["sink_failures"] == 1
+
+    def test_sink_close_failure_is_recorded_not_raised(self):
+        class UncloseableSink(RecordingSink):
+            def close(self):
+                raise OSError("already gone")
+
+        hub = StreamHub(algorithm="operb", epsilon=40.0, shared_sink=UncloseableSink())
+        hub.push("dev", Point(0.0, 0.0, 0.0))
+        hub.finish_all()
+        assert hub.stats().sink_failures == 0
+        hub.close()
+        # stats() needs the live actor group; after close the counter
+        # attribute itself is the authoritative record.
+        assert hub.sink_failures == 1
+        assert any("sink close failed" in error.message for error in hub.errors)
