@@ -381,6 +381,10 @@ def cmd_serve_replay(args) -> int:
         finally:
             if args.output:
                 sink.close()
+            if store is not None:
+                # Closing the hub flushed every StoreSink; release the
+                # store's writer lock so this process can reopen it.
+                store.close()
 
     throughput = replayed / elapsed if elapsed > 0.0 else float("inf")
     print(
@@ -480,27 +484,23 @@ def cmd_query(args) -> int:
 
     if args.aggregate:
         width, step = _parse_aggregate(args.aggregate)
-        aggregates = store.window_aggregates(spec, width=width, step=step)
+        result = store.window_aggregates(spec, width=width, step=step)
         if args.json:
-            print(
-                json.dumps(
-                    {
-                        "spec": spec.as_dict(),
-                        "width": width,
-                        "step": step if step is not None else width,
-                        "windows": [aggregate.as_dict() for aggregate in aggregates],
-                    },
-                    indent=2,
-                )
-            )
+            print(json.dumps(result.as_dict(), indent=2))
             return 0
         print(
-            f"{len(aggregates)} window(s) of width {width:g} over store "
+            f"{len(result)} window(s) of width {width:g} over store "
             f"{args.store} ({store.n_partitions} partition(s))"
         )
-        for aggregate in aggregates:
+        print(
+            f"pushdown: {result.partitions_pushdown} partition(s) answered "
+            f"from zone-map sidecars, {result.partitions_scanned} scanned, "
+            f"{result.partitions_skipped} pruned "
+            f"(scan fraction {result.scan_fraction:.1%})"
+        )
+        for aggregate in result.windows:
             print(
-                f"  [{aggregate.t_start:g}, {aggregate.t_end:g}): "
+                f"  [{aggregate.t_start:g}, {aggregate.t_end:g}]: "
                 f"{aggregate.segments} segment(s) from {aggregate.devices} "
                 f"device(s), {aggregate.points} point(s), "
                 f"length {aggregate.total_length:.3f}"
@@ -535,6 +535,46 @@ def cmd_query(args) -> int:
         )
     if len(result) > len(shown):
         print(f"  ... {len(result) - len(shown)} more (use --limit 0 or --json)")
+    return 0
+
+
+def cmd_compact(args) -> int:
+    """``repro-traj compact`` — compact a segment store's partitions.
+
+    Takes the store's single-writer lock, folds every multi-chunk (or
+    crash-damaged) partition into single-chunk form with byte-identical
+    query results, and prints what it reclaimed.  Doubles as the physical
+    repair path after torn-tail recovery: salvaged partitions get their
+    zone maps rewritten exact, restoring aggregate-pushdown eligibility.
+    """
+    from ..store import open_store
+
+    with open_store(args.store, create=False, writer=True) as store:
+        recovered = store.recovery
+        report = store.compact(device=args.device, min_chunks=args.min_chunks)
+    if args.json:
+        payload = {"recovery": recovered.as_dict(), "compaction": report.as_dict()}
+        print(json.dumps(payload, indent=2))
+        return 0
+    if recovered.damaged:
+        print(
+            f"recovered {recovered.damaged} torn partition(s) on open "
+            f"({recovered.dropped_bytes} byte(s) of torn tail dropped)"
+        )
+    print(
+        f"compacted {report.partitions_compacted}/{report.partitions_considered} "
+        f"partition(s) in store {args.store}: {report.chunks_merged} chunk(s) "
+        f"merged, {report.partitions_removed} empty partition(s) removed"
+    )
+    for item in report.compacted:
+        action = "removed" if item.chunks_after == 0 else (
+            f"{item.chunks_before} -> {item.chunks_after} chunk(s)"
+        )
+        note = ", repaired" if item.repaired else ""
+        print(
+            f"  {item.key.device_id} bucket {item.key.bucket}: {action}, "
+            f"{item.segments} segment(s){note}"
+        )
     return 0
 
 

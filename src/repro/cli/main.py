@@ -23,7 +23,12 @@ Sub-commands
 ``query``
     Query a segment store (``--device``, ``--window``, ``--bbox``,
     ``--epsilon``) with zone-map data skipping, or compute sliding-window
-    aggregates over the matches.
+    aggregates over the matches (served from zone-map sidecars alone when
+    the windows fully cover the partitions).
+``compact``
+    Rewrite a store's multi-chunk partitions into single-chunk form —
+    byte-identical query results, fewer chunk headers to decode — and
+    repair any crash-salvaged partitions.
 ``lint``
     Run the AST-based invariant linter (:mod:`repro.analysis`) over the
     source tree, gated on the committed ``analysis_baseline.json``.
@@ -229,6 +234,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the full result as JSON"
     )
     query.set_defaults(handler=commands.cmd_query)
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="compact a segment store's partitions (many chunks -> one)",
+    )
+    compact.add_argument(
+        "store", help="segment store directory (see serve-replay --store)"
+    )
+    compact.add_argument("--device", help="compact only this device's partitions")
+    compact.add_argument(
+        "--min-chunks",
+        type=int,
+        default=2,
+        metavar="N",
+        help="leave healthy partitions with fewer than N chunks untouched "
+        "(default 2; crash-damaged partitions are always repaired)",
+    )
+    compact.add_argument(
+        "--json", action="store_true", help="emit the compaction report as JSON"
+    )
+    compact.set_defaults(handler=commands.cmd_compact)
 
     lint = subparsers.add_parser(
         "lint", help="run the invariant linter over the source tree"

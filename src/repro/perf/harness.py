@@ -323,6 +323,11 @@ range (centred), in the store-mode measurements."""
 _STORE_BUCKETS = 8
 """Time buckets the fleet's time range is partitioned into per device."""
 
+_STORE_COMPACT_BATCH = 16
+"""Segments per append batch in ``store_op="compact"`` cases — small on
+purpose, so every partition accumulates many chunks for compaction to
+merge."""
+
 
 def _time_store(
     algorithm: str,
@@ -330,16 +335,30 @@ def _time_store(
     fleet: Sequence[Trajectory],
     repeats: int,
 ) -> tuple[float, int, float, float]:
-    """Best wall time over ``repeats`` store ingest+query rounds.
+    """Best wall time over ``repeats`` store rounds for one store case.
 
     The fleet is simplified once, untimed — store cases measure the store,
-    not the simplifier.  Each timed round then builds a fresh store in a
-    temporary directory, appends every device's segments (zone maps
-    maintained at write time) and runs one device/time-window query per
-    device over the centre of the fleet's time range.  Returns ``(wall,
-    stored segments, compression ratio, scan fraction)`` where the scan
-    fraction is partitions-read over partitions-considered across the
-    query phase — the pruning-effectiveness number the suite gates on.
+    not the simplifier.  What each timed round does depends on the case's
+    ``store_op``:
+
+    ``query``
+        Build a fresh store, append every device's segments (zone maps
+        maintained at write time) and run one device/time-window query per
+        device over the centre of the fleet's time range.
+    ``compact``
+        Build the store from many small append batches (so every partition
+        holds many chunks), compact it to single-chunk form, then run the
+        same per-device queries against the compacted store.
+    ``aggregate``
+        Build the store untimed, then time window aggregates whose windows
+        fully cover every partition's time range — the rounds the store
+        answers from the zone-map sidecars alone, so the reported scan
+        fraction must be 0.
+
+    Returns ``(wall, stored segments, compression ratio, scan fraction)``
+    where the scan fraction is partitions-read over partitions-considered
+    across the read phase — the pruning/pushdown-effectiveness number the
+    suite gates on.
     """
     import tempfile
 
@@ -359,24 +378,71 @@ def _time_store(
     time_bucket = span / _STORE_BUCKETS if span > 0.0 else 1.0
     q_low = t_min + span * (0.5 - _STORE_QUERY_SPAN / 2.0)
     q_high = t_min + span * (0.5 + _STORE_QUERY_SPAN / 2.0)
+    # The covering aggregate window extends one unit past both ends so the
+    # grid's trailing window (starting exactly at the range's upper edge)
+    # intersects no partition and nothing gets demoted to a scan.
+    a_low = t_min - 1.0
+    a_high = t_max + 1.0
+    a_width = a_high - a_low
     best = math.inf
     stored = 0
     scan_fraction = 1.0
     for _ in range(max(1, repeats)):
         with tempfile.TemporaryDirectory() as tmp:
-            started = time.perf_counter()
-            store = open_store(Path(tmp) / "segments", time_bucket=time_bucket)
-            for device_id, representation in zip(device_ids, representations):
-                store.append(
-                    device_id, representation.segments, epsilon=case.epsilon
-                )
-            stored = store.n_segments
+            root = Path(tmp) / "segments"
             scanned = considered = 0
-            for device_id in device_ids:
-                result = store.query(device=device_id, window=(q_low, q_high))
-                scanned += result.partitions_scanned
-                considered += result.partitions_total
-            elapsed = time.perf_counter() - started
+            if case.store_op == "aggregate":
+                store = open_store(root, time_bucket=time_bucket)
+                for device_id, representation in zip(device_ids, representations):
+                    store.append(
+                        device_id, representation.segments, epsilon=case.epsilon
+                    )
+                stored = store.n_segments
+                started = time.perf_counter()
+                outcome = store.window_aggregates(
+                    width=a_width, window=(a_low, a_high)
+                )
+                scanned += outcome.partitions_scanned
+                considered += outcome.partitions_total
+                for device_id in device_ids:
+                    outcome = store.window_aggregates(
+                        width=a_width, device=device_id, window=(a_low, a_high)
+                    )
+                    scanned += outcome.partitions_scanned
+                    considered += outcome.partitions_total
+                elapsed = time.perf_counter() - started
+            elif case.store_op == "compact":
+                started = time.perf_counter()
+                store = open_store(root, time_bucket=time_bucket)
+                for device_id, representation in zip(device_ids, representations):
+                    segments = representation.segments
+                    for low in range(0, len(segments), _STORE_COMPACT_BATCH):
+                        store.append(
+                            device_id,
+                            segments[low : low + _STORE_COMPACT_BATCH],
+                            epsilon=case.epsilon,
+                        )
+                store.compact()
+                stored = store.n_segments
+                for device_id in device_ids:
+                    result = store.query(device=device_id, window=(q_low, q_high))
+                    scanned += result.partitions_scanned
+                    considered += result.partitions_total
+                elapsed = time.perf_counter() - started
+            else:
+                started = time.perf_counter()
+                store = open_store(root, time_bucket=time_bucket)
+                for device_id, representation in zip(device_ids, representations):
+                    store.append(
+                        device_id, representation.segments, epsilon=case.epsilon
+                    )
+                stored = store.n_segments
+                for device_id in device_ids:
+                    result = store.query(device=device_id, window=(q_low, q_high))
+                    scanned += result.partitions_scanned
+                    considered += result.partitions_total
+                elapsed = time.perf_counter() - started
+            store.close()
         best = min(best, elapsed)
         scan_fraction = scanned / considered if considered else 1.0
     ratio = fleet_compression_ratio(representations)

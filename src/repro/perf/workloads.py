@@ -32,10 +32,13 @@ These suites ship by default:
     serial on hub ingest once shard workers do vectorized block work.
 ``store``
     Segment-store workloads: the fleet is simplified (untimed), then the
-    timed phase ingests every device's segments into a fresh
-    :mod:`repro.store` segment store and runs one device/time-window query
-    per device — measuring ingest throughput and zone-map pruning
-    effectiveness together.
+    timed phase drives a fresh :mod:`repro.store` segment store.  A case's
+    ``store_op`` picks the shape: ``query`` ingests and runs one
+    device/time-window query per device (ingest throughput plus zone-map
+    pruning), ``compact`` ingests in many small batches, compacts and
+    queries (the maintenance path), and ``aggregate`` times fully-covered
+    window aggregates answered from the zone-map sidecars alone (scan
+    fraction 0).
 ``full``
     All four dataset profiles at a larger scale for local investigations.
 
@@ -72,6 +75,7 @@ __all__ = [
     "GATING_ALGORITHMS",
     "CASE_BACKENDS",
     "CASE_MODES",
+    "STORE_OPS",
     "IDLE_FLEET_PROFILE",
     "get_suite",
     "build_fleet",
@@ -91,6 +95,13 @@ CASE_MODES = ("batch", "hub", "fleet", "store")
 CASE_BACKENDS = ("serial", "thread", "process")
 """Valid values of :attr:`PerfCase.backend` (declared cases are explicit —
 no ``auto`` — so a suite measures the same runtime everywhere)."""
+
+STORE_OPS = ("query", "compact", "aggregate")
+"""Valid values of :attr:`PerfCase.store_op` (``store`` mode only):
+``query`` times ingest plus per-device window queries, ``compact`` times a
+many-small-chunk ingest followed by compaction and the same queries, and
+``aggregate`` times fully-covered window aggregates answered from the
+zone-map sidecars alone (scan fraction 0)."""
 
 IDLE_FLEET_PROFILE = "idle-fleet"
 """Pseudo-profile name selecting :func:`build_idle_fleet` in a case.
@@ -133,11 +144,18 @@ class PerfCase:
     block_size: int = 512
     """Hub ``block_size`` (records per shipped worker batch; ``hub`` mode
     only).  Execution knob: any value measures the same semantic work."""
+    store_op: str = "query"
+    """What the timed phase of a ``store`` case does (see :data:`STORE_OPS`);
+    ignored by the other modes."""
 
     def __post_init__(self) -> None:
         if self.mode not in CASE_MODES:
             raise InvalidParameterError(
                 f"case mode must be one of {CASE_MODES}, got {self.mode!r}"
+            )
+        if self.store_op not in STORE_OPS:
+            raise InvalidParameterError(
+                f"case store_op must be one of {STORE_OPS}, got {self.store_op!r}"
             )
         if self.backend not in CASE_BACKENDS:
             raise InvalidParameterError(
@@ -203,6 +221,22 @@ _QUICK = PerfSuite(
         ),
         PerfCase(
             "store-32x500", "taxi", n_trajectories=32, points_per_trajectory=500, mode="store"
+        ),
+        PerfCase(
+            "store-compact-32x500",
+            "taxi",
+            n_trajectories=32,
+            points_per_trajectory=500,
+            mode="store",
+            store_op="compact",
+        ),
+        PerfCase(
+            "store-agg-32x500",
+            "taxi",
+            n_trajectories=32,
+            points_per_trajectory=500,
+            mode="store",
+            store_op="aggregate",
         ),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs",),
@@ -348,6 +382,22 @@ _STORE = PerfSuite(
         ),
         PerfCase(
             "store-16x2k", "truck", n_trajectories=16, points_per_trajectory=2_000, mode="store"
+        ),
+        PerfCase(
+            "store-compact-64x500",
+            "taxi",
+            n_trajectories=64,
+            points_per_trajectory=500,
+            mode="store",
+            store_op="compact",
+        ),
+        PerfCase(
+            "store-agg-64x500",
+            "taxi",
+            n_trajectories=64,
+            points_per_trajectory=500,
+            mode="store",
+            store_op="aggregate",
         ),
     ),
     algorithms=("operb", "operb-a"),

@@ -22,11 +22,22 @@ store sits inside the RPA003 determinism scope).
 
 The zone map sidecar carries the partition's pruning metadata: the exact
 time range and bounding box of every segment in the file, the segment and
-chunk counts, and the sorted set of epsilons present.  Sidecars are
-rewritten atomically (temp file + rename) *before* the data append, so a
-crash between the two writes leaves zone-map bounds that over-approximate
-the data — queries may scan a partition needlessly, but can never skip one
-wrongly.  Zone maps are therefore always *sound* for data skipping.
+chunk counts, the sorted set of epsilons present, and (format ≥ this
+build) the partition-level aggregates — total point count and total
+segment length — that let fully-covered window aggregates be answered
+from the sidecar alone.  Sidecars are rewritten atomically (temp file +
+rename) *before* the data append, so a crash between the two writes
+leaves zone-map bounds that over-approximate the data — queries may scan
+a partition needlessly, but can never skip one wrongly.  Zone maps are
+therefore always *sound* for data skipping.
+
+A crash mid-append can also leave a *torn tail*: a final chunk whose
+header or column payload never fully reached the disk.
+:func:`decode_chunks` raises :class:`TornChunkError` there — a
+:class:`~repro.exceptions.StoreError` carrying the byte offset where the
+committed prefix ends — and :func:`salvage_chunks` /
+:func:`scan_partition_file` use that offset to recover the valid prefix
+instead of poisoning the whole partition.
 
 Device directory names are percent-encoded (prefixed ``d-`` so no device
 id can collide with a path component like ``..``); bucket indices may be
@@ -51,21 +62,27 @@ from ..trajectory.piecewise import SegmentRecord
 
 __all__ = [
     "CHUNK_VERSION",
+    "LOCK_NAME",
     "MANIFEST_NAME",
     "STORE_FORMAT",
     "STORE_KIND",
     "PartitionKey",
+    "PartitionScan",
+    "TornChunkError",
     "ZoneMap",
     "bucket_of",
     "bucket_of_data_name",
     "decode_chunks",
     "decode_device_dir",
     "encode_chunk",
+    "encode_chunk_rows",
     "encode_device_dir",
     "load_manifest",
     "partition_data_name",
     "partition_zonemap_name",
     "read_zonemap",
+    "salvage_chunks",
+    "scan_partition_file",
     "write_manifest",
     "write_zonemap",
 ]
@@ -78,6 +95,10 @@ STORE_KIND = "segment-store"
 
 MANIFEST_NAME = "MANIFEST.json"
 DEVICES_DIR = "devices"
+
+LOCK_NAME = "LOCK"
+"""File name of the store's single-writer lock (see
+:mod:`repro.store.locking`)."""
 
 CHUNK_VERSION = 1
 """Version stamp of the columnar chunk encoding."""
@@ -159,8 +180,15 @@ class PartitionKey:
 
 
 def bucket_of(t: float, time_bucket: float) -> int:
-    """Time bucket index a segment starting at ``t`` belongs to."""
-    return int(math.floor(t / time_bucket))
+    """Time bucket index a segment starting at ``t`` belongs to.
+
+    Computed with float floor division rather than ``floor(t /
+    time_bucket)``: the plain quotient can underflow to ``-0.0`` for tiny
+    negative ``t`` (e.g. ``-5e-324 / 100.0``), which would round a
+    below-zero timestamp *up* into bucket 0 and break the canonical
+    (device, bucket, append) scan order.
+    """
+    return int(t // time_bucket)
 
 
 def encode_device_dir(device_id: str) -> str:
@@ -212,6 +240,12 @@ class ZoneMap:
     lies inside ``[t_min, t_max]`` × ``[x_min, x_max]`` × ``[y_min, y_max]``
     and carries one of the listed epsilons.  A query may skip the partition
     whenever its predicate cannot intersect these bounds.
+
+    ``points`` and ``total_length`` are partition-level aggregates (total
+    stored point count and summed segment length) that let a window
+    aggregate fully covering the partition be answered from the sidecar
+    alone.  They are ``None`` when the sidecar predates them (legacy
+    stores), in which case aggregate pushdown falls back to scanning.
     """
 
     t_min: float
@@ -223,6 +257,8 @@ class ZoneMap:
     segments: int
     chunks: int
     epsilons: tuple[float, ...]
+    points: int | None = None
+    total_length: float | None = None
 
     @classmethod
     def of_batch(cls, segments: list[SegmentRecord], epsilon: float) -> "ZoneMap":
@@ -246,6 +282,8 @@ class ZoneMap:
             segments=len(segments),
             chunks=1,
             epsilons=(epsilon,),
+            points=sum(record.point_count for record in segments),
+            total_length=sum(record.length for record in segments),
         )
 
     def merge(self, other: "ZoneMap") -> "ZoneMap":
@@ -260,6 +298,16 @@ class ZoneMap:
             segments=self.segments + other.segments,
             chunks=self.chunks + other.chunks,
             epsilons=tuple(sorted(set(self.epsilons) | set(other.epsilons))),
+            points=(
+                self.points + other.points
+                if self.points is not None and other.points is not None
+                else None
+            ),
+            total_length=(
+                self.total_length + other.total_length
+                if self.total_length is not None and other.total_length is not None
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -297,11 +345,20 @@ class ZoneMap:
             "segments": self.segments,
             "chunks": self.chunks,
             "epsilons": list(self.epsilons),
+            "points": self.points,
+            "total_length": self.total_length,
         }
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "ZoneMap":
-        """Rebuild a zone map from :meth:`to_dict` output."""
+        """Rebuild a zone map from :meth:`to_dict` output.
+
+        ``points``/``total_length`` default to ``None`` so sidecars written
+        before the aggregate fields existed keep loading (and simply opt
+        their partition out of aggregate pushdown).
+        """
+        points = payload.get("points")
+        total_length = payload.get("total_length")
         try:
             return cls(
                 t_min=float(payload["t_min"]),  # type: ignore[arg-type]
@@ -314,6 +371,10 @@ class ZoneMap:
                 chunks=int(payload["chunks"]),  # type: ignore[arg-type]
                 epsilons=tuple(
                     float(value) for value in payload["epsilons"]  # type: ignore[union-attr]
+                ),
+                points=int(points) if points is not None else None,  # type: ignore[arg-type]
+                total_length=(
+                    float(total_length) if total_length is not None else None  # type: ignore[arg-type]
                 ),
             )
         except (KeyError, TypeError, ValueError) as error:
@@ -353,35 +414,57 @@ def read_zonemap(path: Path) -> ZoneMap:
 # --------------------------------------------------------------------- #
 # Columnar chunk codec
 # --------------------------------------------------------------------- #
-def encode_chunk(segments: list[SegmentRecord], epsilon: float) -> bytes:
-    """Encode one append batch as a self-describing columnar chunk.
+class TornChunkError(StoreError):
+    """A chunk whose bytes never fully reached the disk (crash mid-append).
+
+    ``offset`` is the byte offset where the last fully-committed chunk
+    ends — everything before it decodes cleanly, everything from it on is
+    the torn (or corrupt) tail.  Recovery truncates the file to ``offset``.
+
+    The keyword parameters carry defaults so ``cls(message)`` revival
+    across process boundaries works (RPA005); a revived instance keeps
+    its message but not the structured offset.
+    """
+
+    def __init__(
+        self, message: str, *, offset: int = 0, reason: str = "torn chunk"
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.reason = reason
+
+
+def encode_chunk_rows(rows: list[tuple[SegmentRecord, float]]) -> bytes:
+    """Encode ``(record, epsilon)`` rows as one self-describing chunk.
 
     Layout (all little-endian): the header (magic, version, count), six
     float64 columns (start x/y/t, end x/y/t), four int64 columns (first,
     last, point count, covered last index), one uint8 flag column (bit 0 =
-    patched start, bit 1 = patched end) and a float64 epsilon column.
+    patched start, bit 1 = patched end) and a float64 epsilon column.  The
+    epsilon column is per-row, so compaction can rewrite chunks appended
+    under different bounds into one chunk without losing provenance.
     """
-    n = len(segments)
-    start_x = np.fromiter((s.start.x for s in segments), dtype="<f8", count=n)
-    start_y = np.fromiter((s.start.y for s in segments), dtype="<f8", count=n)
-    start_t = np.fromiter((s.start.t for s in segments), dtype="<f8", count=n)
-    end_x = np.fromiter((s.end.x for s in segments), dtype="<f8", count=n)
-    end_y = np.fromiter((s.end.y for s in segments), dtype="<f8", count=n)
-    end_t = np.fromiter((s.end.t for s in segments), dtype="<f8", count=n)
-    first = np.fromiter((s.first_index for s in segments), dtype="<i8", count=n)
-    last = np.fromiter((s.last_index for s in segments), dtype="<i8", count=n)
-    count = np.fromiter((s.point_count for s in segments), dtype="<i8", count=n)
-    covered = np.fromiter((s.covered_last_index for s in segments), dtype="<i8", count=n)
+    n = len(rows)
+    start_x = np.fromiter((s.start.x for s, _ in rows), dtype="<f8", count=n)
+    start_y = np.fromiter((s.start.y for s, _ in rows), dtype="<f8", count=n)
+    start_t = np.fromiter((s.start.t for s, _ in rows), dtype="<f8", count=n)
+    end_x = np.fromiter((s.end.x for s, _ in rows), dtype="<f8", count=n)
+    end_y = np.fromiter((s.end.y for s, _ in rows), dtype="<f8", count=n)
+    end_t = np.fromiter((s.end.t for s, _ in rows), dtype="<f8", count=n)
+    first = np.fromiter((s.first_index for s, _ in rows), dtype="<i8", count=n)
+    last = np.fromiter((s.last_index for s, _ in rows), dtype="<i8", count=n)
+    count = np.fromiter((s.point_count for s, _ in rows), dtype="<i8", count=n)
+    covered = np.fromiter((s.covered_last_index for s, _ in rows), dtype="<i8", count=n)
     flags = np.fromiter(
         (
             (_FLAG_PATCHED_START if s.patched_start else 0)
             | (_FLAG_PATCHED_END if s.patched_end else 0)
-            for s in segments
+            for s, _ in rows
         ),
         dtype="u1",
         count=n,
     )
-    eps = np.full(n, epsilon, dtype="<f8")
+    eps = np.fromiter((epsilon for _, epsilon in rows), dtype="<f8", count=n)
     parts = [
         _HEADER.pack(_MAGIC, CHUNK_VERSION, n),
         start_x.tobytes(), start_y.tobytes(), start_t.tobytes(),
@@ -393,9 +476,53 @@ def encode_chunk(segments: list[SegmentRecord], epsilon: float) -> bytes:
     return b"".join(parts)
 
 
+def encode_chunk(segments: list[SegmentRecord], epsilon: float) -> bytes:
+    """Encode one append batch (uniform epsilon) as a columnar chunk."""
+    return encode_chunk_rows([(segment, epsilon) for segment in segments])
+
+
 def _chunk_payload_size(n: int) -> int:
     """Byte length of a chunk's column payload (header excluded)."""
     return n * (6 * 8 + 4 * 8 + 1 + 8)
+
+
+def _chunk_extent(
+    data: bytes, offset: int, total: int, source: str
+) -> tuple[int, int]:
+    """Validate one chunk header at ``offset``; return ``(row count, end)``.
+
+    Raises :class:`TornChunkError` (offset = the chunk's start, i.e. the
+    end of the committed prefix) on a truncated header/payload or a bad
+    magic, and a plain :class:`StoreError` on an unsupported chunk version
+    — a version from the future is valid data this build must not salvage
+    away.
+    """
+    if offset + _HEADER.size > total:
+        raise TornChunkError(
+            f"truncated chunk header in {source} at byte {offset}",
+            offset=offset,
+            reason="truncated chunk header",
+        )
+    magic, version, n = _HEADER.unpack_from(data, offset)
+    if magic != _MAGIC:
+        raise TornChunkError(
+            f"bad chunk magic in {source} at byte {offset}",
+            offset=offset,
+            reason="bad chunk magic",
+        )
+    if version != CHUNK_VERSION:
+        raise StoreError(
+            f"unsupported chunk version {version} in {source}; "
+            f"this build reads version {CHUNK_VERSION}"
+        )
+    end = offset + _HEADER.size + _chunk_payload_size(n)
+    if end > total:
+        raise TornChunkError(
+            f"truncated chunk payload in {source} at byte {offset + _HEADER.size}",
+            offset=offset,
+            reason="truncated chunk payload",
+        )
+    return n, end
 
 
 def decode_chunks(data: bytes, *, source: str = "<bytes>") -> Iterator[
@@ -408,29 +535,116 @@ def decode_chunks(data: bytes, *, source: str = "<bytes>") -> Iterator[
 
     Raises
     ------
+    TornChunkError
+        On a bad magic or a truncated chunk (e.g. a crash mid-append); the
+        error carries the byte offset of the committed prefix and
+        ``source`` names the file.
     StoreError
-        On a bad magic, an unsupported chunk version, or a truncated file
-        (e.g. a crash mid-append); ``source`` names the file in the error.
+        On an unsupported chunk version.
     """
     offset = 0
     total = len(data)
     while offset < total:
-        if offset + _HEADER.size > total:
-            raise StoreError(f"truncated chunk header in {source} at byte {offset}")
-        magic, version, n = _HEADER.unpack_from(data, offset)
-        if magic != _MAGIC:
-            raise StoreError(f"bad chunk magic in {source} at byte {offset}")
-        if version != CHUNK_VERSION:
-            raise StoreError(
-                f"unsupported chunk version {version} in {source}; "
-                f"this build reads version {CHUNK_VERSION}"
-            )
-        offset += _HEADER.size
-        payload = _chunk_payload_size(n)
-        if offset + payload > total:
-            raise StoreError(f"truncated chunk payload in {source} at byte {offset}")
-        rows, offset = _decode_one_chunk(data, offset, n)
+        n, end = _chunk_extent(data, offset, total, source)
+        rows, _ = _decode_one_chunk(data, offset + _HEADER.size, n)
+        offset = end
         yield rows
+
+
+def salvage_chunks(
+    data: bytes, *, source: str = "<bytes>"
+) -> tuple[list[list[tuple[SegmentRecord, float]]], TornChunkError | None]:
+    """Decode the valid chunk prefix of a (possibly torn) partition file.
+
+    Returns the fully-committed chunks in file order plus the
+    :class:`TornChunkError` describing the torn tail (``None`` when the
+    file decodes cleanly).  Unlike :func:`decode_chunks` this never lets a
+    crash-torn tail poison the readable prefix; an unsupported chunk
+    *version* still raises, because future-format data must not be
+    silently dropped.
+    """
+    chunks: list[list[tuple[SegmentRecord, float]]] = []
+    try:
+        for rows in decode_chunks(data, source=source):
+            chunks.append(rows)
+    except TornChunkError as error:
+        return chunks, error
+    return chunks, None
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionScan:
+    """Result of a header-only integrity walk over one partition file.
+
+    ``valid_bytes`` is the length of the committed chunk prefix; it equals
+    ``total_bytes`` when the file is intact.  ``chunks``/``segments``
+    count only the committed prefix.  ``torn`` carries the
+    :class:`TornChunkError` describing the tail when the file is damaged.
+    """
+
+    path: Path
+    total_bytes: int
+    valid_bytes: int
+    chunks: int
+    segments: int
+    torn: TornChunkError | None
+
+    @property
+    def damaged(self) -> bool:
+        """Whether the file carries a torn tail needing repair."""
+        return self.torn is not None
+
+
+def scan_partition_file(path: Path) -> PartitionScan:
+    """Walk a partition file's chunk headers without decoding payloads.
+
+    This is the recovery scan :class:`repro.store.Store` runs on open: it
+    validates every chunk header, sums committed chunk/segment counts and
+    locates the torn tail (if any) — all without materialising a single
+    row, so opening a large intact store stays cheap.
+
+    Raises
+    ------
+    StoreError
+        When the file cannot be read, or a committed-prefix chunk carries
+        an unsupported version (future data must not be repaired away).
+    """
+    source = str(path)
+    chunks = 0
+    segments = 0
+    torn: TornChunkError | None = None
+    try:
+        with open(path, "rb") as handle:
+            total = handle.seek(0, 2)
+            offset = 0
+            handle.seek(0)
+            while offset < total:
+                header = handle.read(_HEADER.size)
+                try:
+                    n, end = _chunk_extent(header, 0, total - offset, source)
+                except TornChunkError as error:
+                    torn = TornChunkError(
+                        f"{error.reason} in {source} at byte {offset + error.offset}",
+                        offset=offset + error.offset,
+                        reason=error.reason,
+                    )
+                    break
+                chunks += 1
+                segments += n
+                offset += end
+                handle.seek(offset)
+    except OSError as error:
+        raise StoreError(
+            f"cannot read partition file {str(path)!r}: {error}"
+        ) from error
+    return PartitionScan(
+        path=path,
+        total_bytes=total,
+        valid_bytes=torn.offset if torn is not None else total,
+        chunks=chunks,
+        segments=segments,
+        torn=torn,
+    )
 
 
 def _decode_one_chunk(

@@ -1,0 +1,183 @@
+"""Single-writer lock protocol of the segment store.
+
+The store's documented rule — *one writer per directory* — is enforced by
+an ``O_CREAT | O_EXCL`` lock file (:data:`repro.store.layout.LOCK_NAME`)
+at the store root.  The file holds a small JSON payload::
+
+    {"pid": 4711, "created": 1754650000.0, "host": "worker-3"}
+
+Acquisition either creates the file atomically or fails; on failure the
+holder's liveness is probed (``os.kill(pid, 0)``) and a lock left behind
+by a dead process — or one too malformed to name a holder — is taken
+over: unlinked and re-created with one more exclusive attempt, so two
+racers contending for a stale lock still serialise.  A lock held by a
+live process in *this* interpreter (two :class:`repro.store.Store`
+handles on one directory) is detected via a module-level registry rather
+than the pid, which would otherwise look like our own stale file.
+
+Release is idempotent and crash-tolerant: a process that dies without
+releasing leaves a stale file the next writer silently reclaims.  The
+payload's ``created`` timestamp is diagnostic only — staleness is decided
+by process liveness, never by age, so a long-lived writer is never
+usurped.  The clock is injectable (attribute default, called through the
+instance) to keep the module inside the RPA003 determinism scope.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+from ..exceptions import StoreError
+from .layout import LOCK_NAME
+
+__all__ = ["StoreLock"]
+
+# Re-entrant because release() can run *inside* acquire()'s critical
+# section on the same thread: an abandoned Store's GC finalizer calls
+# release, and GC can trigger at any allocation, including while this
+# guard is held.  A plain Lock deadlocks the interpreter there.
+_registry_guard = threading.RLock()
+_held_paths: set[str] = set()
+"""Resolved lock-file paths held by this interpreter.
+
+``os.kill(pid, 0)`` cannot distinguish "another Store in this process"
+from "our own stale file", so in-process holders are tracked explicitly.
+"""
+
+
+class StoreLock:
+    """Exclusive single-writer lock on one store directory.
+
+    Parameters
+    ----------
+    root:
+        The store root directory (must exist).
+    clock:
+        Timestamp source stamped into the lock payload; injectable for
+        deterministic tests.
+    """
+
+    __slots__ = ("_clock", "_held", "_path")
+
+    def __init__(
+        self, root: Path, *, clock: Callable[[], float] = time.time
+    ) -> None:
+        self._path = root / LOCK_NAME
+        self._clock = clock
+        self._held = False
+
+    @property
+    def path(self) -> Path:
+        """Location of the lock file."""
+        return self._path
+
+    @property
+    def held(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._held
+
+    def acquire(self) -> None:
+        """Take the single-writer lock, reclaiming a stale one if needed.
+
+        Raises
+        ------
+        StoreError
+            When another live writer (any process, including this one)
+            already holds the lock, or the lock file cannot be created.
+        """
+        if self._held:
+            return
+        key = str(self._path.resolve())
+        with _registry_guard:
+            if key in _held_paths:
+                raise StoreError(
+                    f"store {str(self._path.parent)!r} is already locked by "
+                    "another writer in this process"
+                )
+            if not self._try_create():
+                holder_pid = self._read_holder_pid()
+                # A file naming *our* pid while absent from the registry is
+                # necessarily stale: the registry is authoritative for this
+                # interpreter, so the file was left by a previous process
+                # that happened to share our pid.
+                if (
+                    holder_pid is not None
+                    and holder_pid != os.getpid()
+                    and _pid_alive(holder_pid)
+                ):
+                    raise StoreError(
+                        f"store {str(self._path.parent)!r} is locked by live "
+                        f"writer pid {holder_pid} ({str(self._path)!r}); "
+                        "remove the lock file only if that process is gone"
+                    )
+                # Stale (dead pid or unreadable payload): reclaim with one
+                # more exclusive attempt so concurrent reclaimers serialise.
+                self._path.unlink(missing_ok=True)
+                if not self._try_create():
+                    raise StoreError(
+                        f"store {str(self._path.parent)!r} was locked by "
+                        "another writer while reclaiming a stale lock"
+                    )
+            _held_paths.add(key)
+        self._held = True
+
+    def release(self) -> None:
+        """Drop the lock (idempotent; safe to call without holding it)."""
+        if not self._held:
+            return
+        self._held = False
+        key = str(self._path.resolve())
+        with _registry_guard:
+            _held_paths.discard(key)
+        self._path.unlink(missing_ok=True)
+
+    def _try_create(self) -> bool:
+        """One exclusive-create attempt; False when the file already exists."""
+        try:
+            descriptor = os.open(
+                self._path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        except OSError as error:
+            raise StoreError(
+                f"cannot create store lock {str(self._path)!r}: {error}"
+            ) from error
+        payload = {
+            "pid": os.getpid(),
+            "created": self._clock(),
+            "host": socket.gethostname(),
+        }
+        with os.fdopen(descriptor, "w") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+        return True
+
+    def _read_holder_pid(self) -> int | None:
+        """Pid recorded in the current lock file (None = unreadable/gone)."""
+        try:
+            payload = json.loads(self._path.read_text())
+            return int(payload["pid"])
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (permission-denied counts)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True

@@ -31,7 +31,13 @@ from dataclasses import dataclass, field
 from ..exceptions import InvalidParameterError
 from ..trajectory.piecewise import SegmentRecord
 
-__all__ = ["QuerySpec", "QueryResult", "StoredSegment", "WindowAggregate"]
+__all__ = [
+    "AggregateResult",
+    "QuerySpec",
+    "QueryResult",
+    "StoredSegment",
+    "WindowAggregate",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -223,4 +229,59 @@ class WindowAggregate:
             "devices": self.devices,
             "points": self.points,
             "total_length": self.total_length,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateResult:
+    """Sliding-window aggregates plus the pushdown/scan accounting.
+
+    ``partitions_pushdown`` counts partitions answered from their zone-map
+    sidecar alone — no data file read; ``partitions_scanned`` counts those
+    whose rows were actually decoded.  When every admitted partition is
+    served by pushdown, ``scan_fraction`` is exactly 0.0: the aggregate
+    cost metadata I/O only.
+    """
+
+    spec: QuerySpec
+    width: float
+    step: float
+    windows: tuple[WindowAggregate, ...]
+    partitions_total: int
+    partitions_scanned: int
+    partitions_pushdown: int
+    segments_scanned: int
+    pushdown: bool = True
+    """Whether sidecar pushdown was enabled (``pushdown=False`` forces the
+    row-scan path; the property tests pin both paths to equal answers)."""
+
+    @property
+    def partitions_skipped(self) -> int:
+        """Partitions neither scanned nor pushed down (pruned outright)."""
+        return self.partitions_total - self.partitions_scanned - self.partitions_pushdown
+
+    @property
+    def scan_fraction(self) -> float:
+        """``partitions_scanned / partitions_total`` (0.0 for an empty store)."""
+        if self.partitions_total == 0:
+            return 0.0
+        return self.partitions_scanned / self.partitions_total
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict view (for the CLI's JSON output)."""
+        return {
+            "spec": self.spec.as_dict(),
+            "width": self.width,
+            "step": self.step,
+            "windows": [window.as_dict() for window in self.windows],
+            "partitions_total": self.partitions_total,
+            "partitions_scanned": self.partitions_scanned,
+            "partitions_pushdown": self.partitions_pushdown,
+            "partitions_skipped": self.partitions_skipped,
+            "scan_fraction": self.scan_fraction,
+            "segments_scanned": self.segments_scanned,
+            "pushdown": self.pushdown,
         }

@@ -1,0 +1,125 @@
+"""Torn-tail recovery: scan, account, repair.
+
+A crash mid-``append`` leaves a *torn tail* — a final chunk whose header
+or column payload never fully reached the disk.  Because the zone map
+sidecar is always written first, the partition's pruning bound still
+*covers* the lost rows (over-approximation is sound), but a naive decode
+of the data file would fail and poison the whole partition.
+
+:class:`repro.store.Store` therefore opens with a recovery scan: every
+partition file gets a header-only integrity walk
+(:func:`repro.store.layout.scan_partition_file`) and damaged files are
+repaired by truncating to the committed chunk prefix.  Physical
+truncation requires the single-writer lock; when the store opens without
+it (a pure reader racing a live writer), the repair is *logical* — reads
+clamp to the committed prefix — and the physical truncation is deferred
+until the lock is acquired.  Either way, every query observes exactly the
+fully-committed chunks, never a torn byte.
+
+This module holds the repair step and the accounting types the store
+surfaces (:attr:`repro.store.Store.recovery`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..exceptions import StoreError
+from .layout import PartitionKey, PartitionScan
+
+__all__ = ["PartitionRepair", "RecoveryReport", "repair_partition"]
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionRepair:
+    """Accounting for one torn partition handled by the recovery scan."""
+
+    key: PartitionKey
+    reason: str
+    """Why the tail was rejected (``truncated chunk header``/``payload``,
+    ``bad chunk magic``)."""
+    valid_bytes: int
+    """Length of the committed chunk prefix the partition was clamped to."""
+    dropped_bytes: int
+    """Torn tail length discarded (logically or physically)."""
+    segments_kept: int
+    """Committed segments surviving in the prefix."""
+    truncated: bool
+    """True when the file was physically truncated; False when the repair
+    is logical (reads clamp to ``valid_bytes`` until the writer lock
+    allows truncation)."""
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable view (used by the CLI)."""
+        return {
+            "device": self.key.device_id,
+            "bucket": self.key.bucket,
+            "reason": self.reason,
+            "valid_bytes": self.valid_bytes,
+            "dropped_bytes": self.dropped_bytes,
+            "segments_kept": self.segments_kept,
+            "truncated": self.truncated,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What the open-time recovery scan found and did."""
+
+    partitions_scanned: int
+    repairs: tuple[PartitionRepair, ...]
+
+    @property
+    def damaged(self) -> int:
+        """Number of partitions that carried a torn tail."""
+        return len(self.repairs)
+
+    @property
+    def dropped_bytes(self) -> int:
+        """Total torn bytes discarded across all repairs."""
+        return sum(repair.dropped_bytes for repair in self.repairs)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable view (used by the CLI)."""
+        return {
+            "partitions_scanned": self.partitions_scanned,
+            "damaged": self.damaged,
+            "dropped_bytes": self.dropped_bytes,
+            "repairs": [repair.as_dict() for repair in self.repairs],
+        }
+
+
+def repair_partition(
+    key: PartitionKey, scan: PartitionScan, *, truncate: bool
+) -> PartitionRepair:
+    """Repair one damaged partition; returns the accounting record.
+
+    With ``truncate=True`` the file is physically cut back to the
+    committed prefix (the caller must hold the store's writer lock);
+    otherwise the repair is logical and the caller must clamp reads to
+    ``scan.valid_bytes``.
+
+    Raises
+    ------
+    StoreError
+        When ``scan`` reports no damage, or the truncation fails.
+    """
+    if scan.torn is None:
+        raise StoreError(f"partition {key} is not damaged; nothing to repair")
+    if truncate:
+        try:
+            os.truncate(scan.path, scan.valid_bytes)
+        except OSError as error:
+            raise StoreError(
+                f"cannot truncate torn partition {key} to byte "
+                f"{scan.valid_bytes}: {error}"
+            ) from error
+    return PartitionRepair(
+        key=key,
+        reason=scan.torn.reason,
+        valid_bytes=scan.valid_bytes,
+        dropped_bytes=scan.total_bytes - scan.valid_bytes,
+        segments_kept=scan.segments,
+        truncated=truncate,
+    )

@@ -91,13 +91,19 @@ class StoreSink:
             self.flush()
 
     def flush(self) -> None:
-        """Append every buffered segment to the store."""
+        """Append every buffered segment to the store.
+
+        The buffer is only dropped once the append succeeds: a raising
+        :meth:`Store.append` leaves every segment buffered, so ``close()``
+        or a retrying caller can still persist the batch.
+        """
         if not self._buffer:
             return
-        batch, self._buffer = self._buffer, []
-        self._written += self._store.append(
-            self._device_id, batch, epsilon=self._epsilon
+        written = self._store.append(
+            self._device_id, self._buffer, epsilon=self._epsilon
         )
+        self._buffer.clear()
+        self._written += written
 
     def close(self) -> None:
         """Flush the buffer and reject further :meth:`accept` calls."""

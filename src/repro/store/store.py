@@ -15,6 +15,17 @@ the two writes can only leave zone maps that over-approximate — a query
 may read a partition needlessly but can never skip one that holds matches,
 so data skipping stays sound across crashes.
 
+Crash recovery
+--------------
+A crash *during* the data append leaves a torn tail chunk.  Opening a
+store runs a recovery scan (:mod:`repro.store.recovery`): every partition
+file gets a header-only integrity walk, torn tails are truncated back to
+the committed chunk prefix (physically under the writer lock, logically —
+reads clamp — without it), and the per-partition accounting is surfaced
+as :attr:`Store.recovery`.  No partition is ever rendered unreadable by a
+crash; at worst the half-written batch is lost, which is exactly the
+pre-crash commit point.
+
 Read path
 ---------
 ``query`` walks the partitions in canonical order (device id, then
@@ -26,23 +37,39 @@ pruning (every partition is read) and — by construction, same scan order,
 same row predicate — returns byte-identical results; the property tests
 lock that equivalence in.
 
-Concurrency: one writer at a time per store directory.  Readers see every
-fully appended chunk; the store object caches zone maps, so a process that
-wants to observe another writer's appends should re-open the store.
+``window_aggregates`` additionally *pushes down* to the sidecars: a
+partition whose zone map is exact (counts match the committed chunks) and
+whose rows all provably match the spec contributes its precomputed
+segment/point/length aggregates without its data file ever being read,
+whenever each intersecting window fully covers the partition's time
+range.  Fully-covered aggregates therefore run at ``scan_fraction`` 0.
+
+Concurrency: one writer at a time per store directory, enforced by an
+``O_EXCL`` lock file (:mod:`repro.store.locking`) acquired eagerly with
+``open_store(..., writer=True)`` or lazily on the first append.  In-process
+appends are additionally serialised by a mutex so hub shard threads can
+share one store.  Readers see every fully appended chunk; the store
+object caches zone maps, so a process that wants to observe another
+writer's appends should re-open the store.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import threading
+import weakref
 from pathlib import Path
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..exceptions import InvalidParameterError, StoreError
 from ..trajectory.piecewise import SegmentRecord
 from .layout import (
     DEVICES_DIR,
+    LOCK_NAME,
     MANIFEST_NAME,
     PartitionKey,
+    PartitionScan,
     ZoneMap,
     bucket_of,
     bucket_of_data_name,
@@ -54,11 +81,23 @@ from .layout import (
     partition_data_name,
     partition_zonemap_name,
     read_zonemap,
+    scan_partition_file,
     write_manifest,
     write_zonemap,
 )
-from .query import QueryResult, QuerySpec, StoredSegment, WindowAggregate
+from .locking import StoreLock
+from .query import (
+    AggregateResult,
+    QueryResult,
+    QuerySpec,
+    StoredSegment,
+    WindowAggregate,
+)
+from .recovery import PartitionRepair, RecoveryReport, repair_partition
 from .sink import StoreSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .compact import CompactionReport
 
 __all__ = ["DEFAULT_TIME_BUCKET", "Store", "open_store"]
 
@@ -71,6 +110,7 @@ def open_store(
     *,
     time_bucket: float | None = None,
     create: bool = True,
+    writer: bool = False,
 ) -> "Store":
     """Open a segment store directory, initialising it when absent.
 
@@ -86,12 +126,18 @@ def open_store(
         on disk is authoritative.
     create:
         When False, refuse to initialise a missing store.
+    writer:
+        When True, acquire the single-writer lock eagerly — a second
+        writer on the same directory fails right here instead of on its
+        first append.  The default acquires lazily on the first mutating
+        call, so pure readers never contend for the lock.
 
     Raises
     ------
     StoreError
         On a malformed or version-incompatible manifest, a non-store
-        directory, or (with ``create=False``) a missing store.
+        path, a live writer already holding the lock (``writer=True``),
+        or (with ``create=False``) a missing store.
     InvalidParameterError
         On a non-positive or non-finite ``time_bucket``.
     """
@@ -102,6 +148,13 @@ def open_store(
             raise InvalidParameterError(
                 f"time_bucket must be a positive float, got {time_bucket!r}"
             )
+    if root.exists() and not root.is_dir():
+        raise StoreError(
+            f"{str(root)!r} exists and is not a directory; cannot open a "
+            f"segment store there"
+        )
+    if root.is_dir():
+        _sweep_stale_tmp(root)
     if (root / MANIFEST_NAME).exists():
         payload = load_manifest(root)
         stored = float(payload["time_bucket"])  # type: ignore[arg-type]
@@ -110,10 +163,10 @@ def open_store(
                 f"store {str(root)!r} was created with time_bucket {stored!r}; "
                 f"cannot reopen with {time_bucket!r}"
             )
-        return Store(root, time_bucket=stored)
+        return Store(root, time_bucket=stored, writer=writer)
     if not create:
         raise StoreError(f"no segment store at {str(root)!r}")
-    if root.exists() and any(root.iterdir()):
+    if root.exists() and not _is_reinitialisable(root):
         raise StoreError(
             f"directory {str(root)!r} exists, is not empty and has no store "
             f"manifest; refusing to initialise a store inside it"
@@ -121,7 +174,64 @@ def open_store(
     effective = DEFAULT_TIME_BUCKET if time_bucket is None else time_bucket
     (root / DEVICES_DIR).mkdir(parents=True, exist_ok=True)
     write_manifest(root, time_bucket=effective)
-    return Store(root, time_bucket=effective)
+    return Store(root, time_bucket=effective, writer=writer)
+
+
+def _sweep_stale_tmp(root: Path) -> None:
+    """Remove temp files left by crashed atomic writes.
+
+    Only the store's own temp names are touched — the manifest temp at the
+    root and ``*.tmp`` inside device directories (zone map and compaction
+    temps) — so opening never deletes foreign files from a directory that
+    turns out not to be a store.
+    """
+    candidates = [root / (MANIFEST_NAME + ".tmp")]
+    devices_root = root / DEVICES_DIR
+    if devices_root.is_dir():
+        for device_dir in sorted(devices_root.iterdir()):
+            if device_dir.is_dir():
+                candidates.extend(sorted(device_dir.glob("*.tmp")))
+    for candidate in candidates:
+        if candidate.is_file():
+            candidate.unlink(missing_ok=True)
+
+
+def _is_reinitialisable(root: Path) -> bool:
+    """Whether a manifest-less directory may be (re)initialised as a store.
+
+    True for an empty directory and for the debris of a crash mid-init:
+    an empty ``devices/`` tree and/or a leftover lock file.  Anything else
+    (foreign files, actual partition data without a manifest) refuses.
+    """
+    for entry in root.iterdir():
+        if entry.name == LOCK_NAME and entry.is_file():
+            continue
+        if entry.name == DEVICES_DIR and entry.is_dir():
+            if any(entry.iterdir()):
+                return False
+            continue
+        return False
+    return True
+
+
+class _PartitionState:
+    """Committed-on-disk truth of one partition (vs the covering zone map).
+
+    ``chunks``/``segments``/``valid_bytes`` describe the fully-committed
+    chunk prefix; ``pending_repair`` marks a torn tail that could not be
+    physically truncated at open (no writer lock) — reads clamp to
+    ``valid_bytes`` until the lock is acquired and the truncation flushed.
+    """
+
+    __slots__ = ("chunks", "segments", "valid_bytes", "pending_repair")
+
+    def __init__(
+        self, chunks: int, segments: int, valid_bytes: int, pending_repair: bool
+    ) -> None:
+        self.chunks = chunks
+        self.segments = segments
+        self.valid_bytes = valid_bytes
+        self.pending_repair = pending_repair
 
 
 class Store:
@@ -130,11 +240,23 @@ class Store:
     Not constructed directly — use :func:`open_store`.
     """
 
-    def __init__(self, root: Path, *, time_bucket: float) -> None:
+    def __init__(
+        self, root: Path, *, time_bucket: float, writer: bool = False
+    ) -> None:
         self._root = root
         self._time_bucket = time_bucket
         self._zonemaps: dict[PartitionKey, ZoneMap] = {}
+        self._states: dict[PartitionKey, _PartitionState] = {}
+        self._mutex = threading.Lock()
+        self._lock = StoreLock(root)
+        if writer:
+            self._lock.acquire()
+        # GC of an un-closed store must not leave a live-looking lock file
+        # behind; release is idempotent, so an explicit close() comes first
+        # harmlessly.
+        self._finalizer = weakref.finalize(self, StoreLock.release, self._lock)
         self._load_zonemaps()
+        self._recovery = self._recover()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -156,8 +278,23 @@ class Store:
 
     @property
     def n_segments(self) -> int:
-        """Total stored segments, as recorded by the zone maps."""
-        return sum(zonemap.segments for zonemap in self._zonemaps.values())
+        """Total committed segments on disk.
+
+        Counted from the recovery scan's committed chunk prefixes, not the
+        zone maps — after a crash the sidecars may over-approximate (that
+        is what keeps pruning sound), but this number never does.
+        """
+        return sum(state.segments for state in self._states.values())
+
+    @property
+    def recovery(self) -> RecoveryReport:
+        """What the open-time recovery scan found and repaired."""
+        return self._recovery
+
+    @property
+    def is_writer(self) -> bool:
+        """Whether this handle currently holds the single-writer lock."""
+        return self._lock.held
 
     def devices(self) -> list[str]:
         """Sorted device ids with at least one partition."""
@@ -177,6 +314,23 @@ class Store:
         )
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the single-writer lock (idempotent).
+
+        The handle stays usable as a reader; the next mutating call
+        re-acquires the lock.
+        """
+        self._lock.release()
+
+    def __enter__(self) -> "Store":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Write path
     # ------------------------------------------------------------------ #
     def append(
@@ -194,13 +348,19 @@ class Store:
         first.  Within a partition, append order is preserved — it is the
         canonical scan order queries return.
 
+        The first (non-empty) append acquires the store's single-writer
+        lock and flushes any torn-tail repairs the open-time recovery had
+        to defer; appends are serialised in-process, so hub shard threads
+        may share one store.
+
         Raises
         ------
         InvalidParameterError
             On a non-positive/non-finite ``epsilon``.
         StoreError
             When a segment carries non-finite coordinates (the zone map
-            must stay strict-JSON serialisable), or on an I/O failure.
+            must stay strict-JSON serialisable), when another live writer
+            holds the lock, or on an I/O failure.
         """
         epsilon = float(epsilon)
         if not (math.isfinite(epsilon) and epsilon > 0.0):
@@ -223,27 +383,49 @@ class Store:
             grouped.setdefault(
                 bucket_of(record.start.t, self._time_bucket), []
             ).append(record)
-        device_dir = self._root / DEVICES_DIR / encode_device_dir(device_id)
-        device_dir.mkdir(parents=True, exist_ok=True)
-        for bucket in sorted(grouped):
-            chunk = grouped[bucket]
-            key = PartitionKey(device_id, bucket)
-            addition = ZoneMap.of_batch(chunk, epsilon)
-            existing = self._zonemaps.get(key)
-            merged = addition if existing is None else existing.merge(addition)
-            # Covering-first write order: the widened zone map lands before
-            # the data it describes, so a crash in between can only leave
-            # an over-approximating bound — pruning stays sound.
-            write_zonemap(device_dir / partition_zonemap_name(bucket), merged)
-            try:
-                with open(device_dir / partition_data_name(bucket), "ab") as handle:
-                    handle.write(encode_chunk(chunk, epsilon))
-            except OSError as error:
-                raise StoreError(
-                    f"cannot append to partition {key}: {error}"
-                ) from error
-            self._zonemaps[key] = merged
+        with self._mutex:
+            self._ensure_writer()
+            device_dir = self._root / DEVICES_DIR / encode_device_dir(device_id)
+            device_dir.mkdir(parents=True, exist_ok=True)
+            for bucket in sorted(grouped):
+                chunk = grouped[bucket]
+                key = PartitionKey(device_id, bucket)
+                addition = ZoneMap.of_batch(chunk, epsilon)
+                existing = self._zonemaps.get(key)
+                merged = addition if existing is None else existing.merge(addition)
+                # Covering-first write order: the widened zone map lands before
+                # the data it describes, so a crash in between can only leave
+                # an over-approximating bound — pruning stays sound.
+                write_zonemap(device_dir / partition_zonemap_name(bucket), merged)
+                encoded = encode_chunk(chunk, epsilon)
+                try:
+                    with open(device_dir / partition_data_name(bucket), "ab") as handle:
+                        handle.write(encoded)
+                except OSError as error:
+                    raise StoreError(
+                        f"cannot append to partition {key}: {error}"
+                    ) from error
+                self._zonemaps[key] = merged
+                state = self._states.get(key)
+                if state is None:
+                    state = self._states[key] = _PartitionState(0, 0, 0, False)
+                state.chunks += 1
+                state.segments += len(chunk)
+                state.valid_bytes += len(encoded)
         return len(batch)
+
+    def compact(
+        self, device: str | None = None, *, min_chunks: int = 2
+    ) -> "CompactionReport":
+        """Rewrite multi-chunk partitions into single-chunk form.
+
+        See :func:`repro.store.compact.compact_partitions` — query results
+        are byte-identical before/after, and compaction doubles as the
+        physical repair path for salvaged partitions.
+        """
+        from .compact import compact_partitions
+
+        return compact_partitions(self, device=device, min_chunks=min_chunks)
 
     # ------------------------------------------------------------------ #
     # Read path
@@ -300,15 +482,23 @@ class Store:
         window: tuple[float, float] | None = None,
         bbox: tuple[float, float, float, float] | None = None,
         epsilon: float | None = None,
-    ) -> list[WindowAggregate]:
+        pushdown: bool = True,
+    ) -> AggregateResult:
         """Sliding-window aggregates over the spec's matching segments.
 
         Windows of ``width`` advance by ``step`` (default: ``width``, i.e.
         tumbling) across the spec's time window — or, when the spec has
         none, across the matched segments' covering time range.  A segment
-        contributes to every window its time span intersects, so the
-        aggregates are served entirely from simplified segments at a
-        fraction of raw-point cost.
+        contributes to every window its **closed** time span intersects
+        (both edges inclusive, matching :meth:`QuerySpec.matches`).
+
+        With ``pushdown=True`` (the default), partitions whose zone map is
+        exact and whose rows all provably satisfy the spec are answered
+        from the sidecar's precomputed aggregates — no data file read —
+        whenever every intersecting window fully covers the partition's
+        time range.  ``pushdown=False`` forces the row-scan path; both
+        paths return equal aggregates (``total_length`` up to float
+        summation order), which the property tests pin.
         """
         width = float(width)
         if not (math.isfinite(width) and width > 0.0):
@@ -318,48 +508,134 @@ class Store:
         step = width if step is None else float(step)
         if not (math.isfinite(step) and step > 0.0):
             raise InvalidParameterError(f"step must be a positive float, got {step!r}")
-        result = self.query(spec, device=device, window=window, bbox=bbox, epsilon=epsilon)
-        if result.spec.window is not None:
-            t_low, t_high = result.spec.window
-        elif result.segments:
-            spans = [
+        spec = self._resolve_spec(spec, device, window, bbox, epsilon)
+
+        scan_keys: list[PartitionKey] = []
+        push_keys: list[PartitionKey] = []
+        for key in sorted(self._zonemaps):
+            zonemap = self._zonemaps[key]
+            if not self._may_match(spec, key, zonemap):
+                continue
+            if pushdown and self._pushdown_eligible(spec, key, zonemap):
+                push_keys.append(key)
+            else:
+                scan_keys.append(key)
+
+        matched: list[StoredSegment] = []
+        partitions_scanned = 0
+        segments_scanned = 0
+
+        def scan(key: PartitionKey) -> None:
+            nonlocal partitions_scanned, segments_scanned
+            rows = self._read_partition(key)
+            partitions_scanned += 1
+            segments_scanned += len(rows)
+            for record, record_epsilon in rows:
+                if spec.matches(key.device_id, record_epsilon, record):
+                    matched.append(
+                        StoredSegment(key.device_id, record_epsilon, record)
+                    )
+
+        for key in scan_keys:
+            scan(key)
+
+        def result(windows: tuple[WindowAggregate, ...]) -> AggregateResult:
+            return AggregateResult(
+                spec=spec,
+                width=width,
+                step=step,
+                windows=windows,
+                partitions_total=len(self._zonemaps),
+                partitions_scanned=partitions_scanned,
+                partitions_pushdown=len(push_keys),
+                segments_scanned=segments_scanned,
+                pushdown=pushdown,
+            )
+
+        # The window grid: the spec's window, else the covering time range
+        # of everything that matched.  A pushdown partition's zone map
+        # range *is* the exact min/max span of its rows (all of which
+        # match), so the grid is identical on both paths.
+        if spec.window is not None:
+            t_low, t_high = spec.window
+        else:
+            bounds = [
                 (
                     min(s.record.start.t, s.record.end.t),
                     max(s.record.start.t, s.record.end.t),
                 )
-                for s in result.segments
+                for s in matched
             ]
-            t_low = min(span[0] for span in spans)
-            t_high = max(span[1] for span in spans)
-        else:
-            return []
-        aggregates: list[WindowAggregate] = []
+            bounds.extend(
+                (self._zonemaps[key].t_min, self._zonemaps[key].t_max)
+                for key in push_keys
+            )
+            if not bounds:
+                return result(())
+            t_low = min(low for low, _ in bounds)
+            t_high = max(high for _, high in bounds)
+
+        grid: list[tuple[float, float]] = []
         index = 0
         while True:
             w_start = t_low + index * step
             if w_start > t_high:
                 break
-            w_end = w_start + width
-            contributors = [
-                stored
-                for stored in result.segments
-                if min(stored.record.start.t, stored.record.end.t) < w_end
-                and max(stored.record.start.t, stored.record.end.t) >= w_start
-            ]
-            device_ids = tuple(sorted({stored.device_id for stored in contributors}))
+            grid.append((w_start, w_start + width))
+            index += 1
+
+        # Per-partition pushdown needs every intersecting window to fully
+        # cover the partition's time range (then *all* rows contribute and
+        # the sidecar aggregates are exact).  Demote the rest to a scan —
+        # their rows still all match, so the grid stays unchanged.
+        final_push: list[PartitionKey] = []
+        for key in push_keys:
+            zonemap = self._zonemaps[key]
+            covered = all(
+                w_start <= zonemap.t_min and zonemap.t_max <= w_end
+                for w_start, w_end in grid
+                if zonemap.t_min <= w_end and zonemap.t_max >= w_start
+            )
+            if covered:
+                final_push.append(key)
+            else:
+                scan(key)
+        push_keys = final_push
+
+        aggregates: list[WindowAggregate] = []
+        for w_start, w_end in grid:
+            segments = 0
+            points = 0
+            total_length = 0.0
+            device_ids: set[str] = set()
+            for stored in matched:
+                span_low = min(stored.record.start.t, stored.record.end.t)
+                span_high = max(stored.record.start.t, stored.record.end.t)
+                if span_low <= w_end and span_high >= w_start:
+                    segments += 1
+                    points += stored.record.point_count
+                    total_length += stored.record.length
+                    device_ids.add(stored.device_id)
+            for key in push_keys:
+                zonemap = self._zonemaps[key]
+                if zonemap.t_min <= w_end and zonemap.t_max >= w_start:
+                    segments += zonemap.segments
+                    points += zonemap.points or 0
+                    total_length += zonemap.total_length or 0.0
+                    device_ids.add(key.device_id)
+            ordered = tuple(sorted(device_ids))
             aggregates.append(
                 WindowAggregate(
                     t_start=w_start,
                     t_end=w_end,
-                    segments=len(contributors),
-                    devices=len(device_ids),
-                    points=sum(stored.record.point_count for stored in contributors),
-                    total_length=sum(stored.record.length for stored in contributors),
-                    device_ids=device_ids,
+                    segments=segments,
+                    devices=len(ordered),
+                    points=points,
+                    total_length=total_length,
+                    device_ids=ordered,
                 )
             )
-            index += 1
-        return aggregates
+        return result(tuple(aggregates))
 
     # ------------------------------------------------------------------ #
     # Live ingest (the sink protocol)
@@ -413,13 +689,120 @@ class Store:
             return False
         return True
 
-    def _read_partition(self, key: PartitionKey) -> list[tuple[SegmentRecord, float]]:
-        path = (
+    def _pushdown_eligible(
+        self, spec: QuerySpec, key: PartitionKey, zonemap: ZoneMap
+    ) -> bool:
+        """Whether every row of the partition provably satisfies ``spec``.
+
+        Requires an *exact* zone map — counts equal to the committed
+        chunks (a crash-widened sidecar over-approximates and must scan) —
+        with the aggregate fields present, and spec predicates that cover
+        the zone map's bounds outright: the window contains the time
+        range, the bbox contains the bounding box, the epsilon set is
+        exactly the queried one.  Device equality is already guaranteed by
+        :meth:`_may_match` admission.
+        """
+        state = self._states.get(key)
+        if state is None or state.pending_repair:
+            return False
+        if zonemap.points is None or zonemap.total_length is None:
+            return False
+        if zonemap.segments != state.segments or zonemap.chunks != state.chunks:
+            return False
+        if zonemap.segments == 0:
+            return False
+        if spec.window is not None and not (
+            spec.window[0] <= zonemap.t_min and zonemap.t_max <= spec.window[1]
+        ):
+            return False
+        if spec.bbox is not None and not (
+            spec.bbox[0] <= zonemap.x_min
+            and zonemap.x_max <= spec.bbox[2]
+            and spec.bbox[1] <= zonemap.y_min
+            and zonemap.y_max <= spec.bbox[3]
+        ):
+            return False
+        if spec.epsilon is not None and zonemap.epsilons != (spec.epsilon,):
+            return False
+        return True
+
+    def _partition_path(self, key: PartitionKey) -> Path:
+        return (
             self._root
             / DEVICES_DIR
             / encode_device_dir(key.device_id)
             / partition_data_name(key.bucket)
         )
+
+    def _ensure_writer(self) -> None:
+        """Acquire the writer lock (caller holds the mutex) and flush any
+        torn-tail truncations the open-time recovery had to defer."""
+        if self._lock.held:
+            return
+        self._lock.acquire()
+        for key, state in self._states.items():
+            if not state.pending_repair:
+                continue
+            try:
+                os.truncate(self._partition_path(key), state.valid_bytes)
+            except FileNotFoundError:
+                pass
+            except OSError as error:
+                raise StoreError(
+                    f"cannot truncate torn partition {key}: {error}"
+                ) from error
+            state.pending_repair = False
+
+    def _recover(self) -> RecoveryReport:
+        """Open-time recovery scan: find torn tails, repair, account.
+
+        Physical truncation needs the single-writer lock; when this handle
+        does not hold one, a transient acquisition is attempted — if a
+        live writer genuinely holds the lock, the repair stays logical
+        (reads clamp to the committed prefix) and the truncation is
+        deferred to :meth:`_ensure_writer`.
+        """
+        scans: dict[PartitionKey, PartitionScan] = {}
+        for key in sorted(self._zonemaps):
+            path = self._partition_path(key)
+            if path.exists():
+                scans[key] = scan_partition_file(path)
+        damaged = [key for key, scan in scans.items() if scan.damaged]
+        transient = False
+        if damaged and not self._lock.held:
+            try:
+                self._lock.acquire()
+                transient = True
+            except StoreError:
+                pass
+        repairs: list[PartitionRepair] = []
+        try:
+            for key in damaged:
+                repairs.append(
+                    repair_partition(key, scans[key], truncate=self._lock.held)
+                )
+        finally:
+            if transient:
+                self._lock.release()
+        for key in sorted(self._zonemaps):
+            scan = scans.get(key)
+            if scan is None:
+                self._states[key] = _PartitionState(0, 0, 0, False)
+            else:
+                self._states[key] = _PartitionState(
+                    scan.chunks,
+                    scan.segments,
+                    scan.valid_bytes,
+                    scan.damaged and not any(
+                        repair.key == key and repair.truncated for repair in repairs
+                    ),
+                )
+        return RecoveryReport(
+            partitions_scanned=len(scans), repairs=tuple(repairs)
+        )
+
+    def _read_partition(self, key: PartitionKey) -> list[tuple[SegmentRecord, float]]:
+        path = self._partition_path(key)
         try:
             data = path.read_bytes()
         except FileNotFoundError:
@@ -428,6 +811,12 @@ class Store:
             return []
         except OSError as error:
             raise StoreError(f"cannot read partition {key}: {error}") from error
+        state = self._states.get(key)
+        if state is not None and state.pending_repair:
+            # Torn tail that could not be physically truncated at open
+            # (another writer holds the lock): clamp to the committed
+            # prefix so the read observes exactly the recovered rows.
+            data = data[: state.valid_bytes]
         rows: list[tuple[SegmentRecord, float]] = []
         for chunk in decode_chunks(data, source=str(path)):
             rows.extend(chunk)

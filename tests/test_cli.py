@@ -492,6 +492,36 @@ class TestStoreCommands:
         assert "window(s) of width 50" in out
         assert "segment(s) from" in out
 
+    def test_compact_preserves_query_results_byte_for_byte(
+        self, point_log, store_dir, capsys
+    ):
+        # Replay the same log a second time: every partition gains a second
+        # chunk, giving compaction real work to do.
+        code = main(
+            ["serve-replay", str(point_log), "--epsilon", "40", "--store", str(store_dir)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        argv = ["query", str(store_dir), "--device", "dev-0007", "--json"]
+        assert main(argv) == 0
+        before = capsys.readouterr().out
+        assert main(["compact", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"compacted (\d+)/(\d+) partition\(s\)", out)
+        assert match is not None
+        assert int(match.group(1)) > 0
+        assert main(argv) == 0
+        assert capsys.readouterr().out == before
+        # A second pass finds nothing left to merge.
+        assert main(["compact", str(store_dir)]) == 0
+        assert "compacted 0/" in capsys.readouterr().out
+
+    def test_compact_json_reports_recovery_and_compaction(self, store_dir, capsys):
+        assert main(["compact", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recovery"]["damaged"] == 0
+        assert payload["compaction"]["partitions_considered"] > 0
+
     def test_query_missing_store_is_reported(self, tmp_path, capsys):
         assert main(["query", str(tmp_path / "nowhere")]) == 1
         assert "no segment store" in capsys.readouterr().err

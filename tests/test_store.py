@@ -146,10 +146,13 @@ class TestPersistence:
             store = open_store(root, time_bucket=100.0)
             store.append("cab-1", [seg(0.0, 50.0), seg(150.0, 190.0)], epsilon=10.0)
             store.append("cab-1", seg(60.0, 90.0), epsilon=10.0)
+            # The LOCK file is excluded: it records pid + wall-clock
+            # acquisition time, which is exactly the nondeterminism the
+            # data/sidecar bytes must not contain.
             return {
                 path.relative_to(root).as_posix(): path.read_bytes()
                 for path in sorted(root.rglob("*"))
-                if path.is_file()
+                if path.is_file() and path.name != "LOCK"
             }
 
         assert build(tmp_path / "a") == build(tmp_path / "b")
@@ -186,21 +189,40 @@ class TestPersistence:
         result = reopened.query(full_scan=True)
         assert len(result) == 0
 
-    def test_corrupt_chunk_is_reported(self, tmp_path):
+    def test_corrupt_chunk_is_recovered_on_open(self, tmp_path):
+        # A clobbered magic means no committed prefix at all: recovery
+        # truncates the file to zero bytes and the partition reads empty
+        # instead of the whole store becoming unreadable.
         store = open_store(tmp_path / "s", time_bucket=100.0)
         store.append("cab-1", seg(0.0, 10.0), epsilon=1.0)
+        store.close()
         (data_file,) = (tmp_path / "s").rglob("*.seg")
         data_file.write_bytes(b"XXXX" + data_file.read_bytes()[4:])
-        with pytest.raises(StoreError, match="bad chunk magic"):
-            open_store(tmp_path / "s").query(full_scan=True)
+        reopened = open_store(tmp_path / "s")
+        assert reopened.recovery.damaged == 1
+        (repair,) = reopened.recovery.repairs
+        assert repair.reason == "bad chunk magic"
+        assert repair.valid_bytes == 0 and repair.truncated
+        assert len(reopened.query(full_scan=True)) == 0
+        assert data_file.read_bytes() == b""
 
-    def test_truncated_chunk_is_reported(self, tmp_path):
+    def test_truncated_chunk_is_recovered_on_open(self, tmp_path):
+        # Torn tail: the second append's chunk lost its last 8 bytes.
+        # Recovery keeps the committed first chunk and drops the tail.
         store = open_store(tmp_path / "s", time_bucket=100.0)
-        store.append("cab-1", seg(0.0, 10.0), epsilon=1.0)
+        store.append("cab-1", seg(0.0, 10.0, x0=1.0), epsilon=1.0)
+        store.append("cab-1", seg(20.0, 30.0, x0=2.0), epsilon=1.0)
+        store.close()
         (data_file,) = (tmp_path / "s").rglob("*.seg")
         data_file.write_bytes(data_file.read_bytes()[:-8])
-        with pytest.raises(StoreError, match="truncated"):
-            open_store(tmp_path / "s").query(full_scan=True)
+        reopened = open_store(tmp_path / "s")
+        assert reopened.recovery.damaged == 1
+        (repair,) = reopened.recovery.repairs
+        assert repair.reason == "truncated chunk payload"
+        assert repair.segments_kept == 1 and repair.truncated
+        result = reopened.query(full_scan=True)
+        assert [s.record.start.x for s in result.segments] == [1.0]
+        assert reopened.n_segments == 1
 
 
 class TestChunkCodec:
@@ -369,29 +391,38 @@ class TestWindowAggregates:
         )
         store.append("cab-2", seg(100.0, 140.0), epsilon=5.0)
         aggregates = store.window_aggregates(window=(0.0, 300.0), width=100.0)
-        assert [a.t_start for a in aggregates] == [0.0, 100.0, 200.0, 300.0]
-        assert [a.segments for a in aggregates] == [2, 2, 2, 0]
-        assert aggregates[1].devices == 2
-        assert aggregates[1].device_ids == ("cab-1", "cab-2")
-        assert aggregates[0].points == 4
-        assert aggregates[0].total_length == pytest.approx(200.0)
+        assert [a.t_start for a in aggregates.windows] == [0.0, 100.0, 200.0, 300.0]
+        # Closed-span intersection on both edges: cab-2's [100, 140] and
+        # cab-1's [90, 210] both touch window [0, 100] at its right edge.
+        assert [a.segments for a in aggregates.windows] == [3, 2, 2, 0]
+        assert aggregates.windows[1].devices == 2
+        assert aggregates.windows[1].device_ids == ("cab-1", "cab-2")
+        assert aggregates.windows[0].points == 6
+        assert aggregates.windows[0].total_length == pytest.approx(300.0)
+
+    def test_window_edges_are_closed_on_both_sides(self, store):
+        # A segment ending exactly at a window's start and one starting
+        # exactly at its end both contribute — matching QuerySpec.matches.
+        store.append("cab-1", [seg(0.0, 100.0), seg(200.0, 260.0)], epsilon=5.0)
+        aggregates = store.window_aggregates(window=(100.0, 200.0), width=100.0)
+        assert aggregates.windows[0].segments == 2
 
     def test_sliding_step_overlaps(self, store):
         store.append("cab-1", seg(0.0, 100.0), epsilon=5.0)
         aggregates = store.window_aggregates(
             device="cab-1", window=(0.0, 100.0), width=60.0, step=30.0
         )
-        assert [a.t_start for a in aggregates] == [0.0, 30.0, 60.0, 90.0]
-        assert all(a.segments == 1 for a in aggregates)
+        assert [a.t_start for a in aggregates.windows] == [0.0, 30.0, 60.0, 90.0]
+        assert all(a.segments == 1 for a in aggregates.windows)
 
     def test_range_defaults_to_matched_segments(self, store):
         store.append("cab-1", [seg(50.0, 100.0), seg(110.0, 150.0)], epsilon=5.0)
         aggregates = store.window_aggregates(width=50.0)
-        assert aggregates[0].t_start == 50.0
-        assert aggregates[-1].t_end >= 150.0
+        assert aggregates.windows[0].t_start == 50.0
+        assert aggregates.windows[-1].t_end >= 150.0
 
     def test_empty_store_has_no_windows(self, store):
-        assert store.window_aggregates(width=10.0) == []
+        assert store.window_aggregates(width=10.0).windows == ()
 
     @pytest.mark.parametrize("kwargs", [{"width": 0.0}, {"width": 10.0, "step": -1.0}])
     def test_width_and_step_validated(self, store, kwargs):
@@ -412,6 +443,27 @@ class TestStoreSink:
         assert sink.pending == 2 and sink.segments_written == 0
         assert store.n_segments == 0
         sink.accept(seg(20.0, 25.0))  # hits buffer_size: auto-flush
+        assert sink.pending == 0 and sink.segments_written == 3
+        assert store.n_segments == 3
+
+    def test_failed_flush_keeps_the_buffer_for_retry(self, store, monkeypatch):
+        sink = store.sink("cab-1", epsilon=5.0, buffer_size=100)
+        for t in (0.0, 10.0, 20.0):
+            sink.accept(seg(t, t + 5.0))
+        real_append = store.append
+
+        def failing_append(*args, **kwargs):
+            raise StoreError("disk on fire")
+
+        monkeypatch.setattr(store, "append", failing_append)
+        with pytest.raises(StoreError, match="disk on fire"):
+            sink.flush()
+        # The batch must survive the failed append: nothing written, nothing
+        # dropped, and a retry persists every buffered segment exactly once.
+        assert sink.pending == 3 and sink.segments_written == 0
+        assert store.n_segments == 0
+        monkeypatch.setattr(store, "append", real_append)
+        sink.flush()
         assert sink.pending == 0 and sink.segments_written == 3
         assert store.n_segments == 3
 
