@@ -9,8 +9,11 @@ at the store root.  The file holds a small JSON payload::
 Acquisition either creates the file atomically or fails; on failure the
 holder's liveness is probed (``os.kill(pid, 0)``) and a lock left behind
 by a dead process — or one too malformed to name a holder — is taken
-over: unlinked and re-created with one more exclusive attempt, so two
-racers contending for a stale lock still serialise.  A lock held by a
+over *atomically*: the stale file is renamed to a per-pid claim name, so
+of several racing reclaimers exactly one wins the rename, and every
+loser falls through to a plain exclusive attempt against the winner's
+fresh lock (a bare unlink+recreate would let two racers alternately
+unlink each other's fresh lock and both "hold" it).  A lock held by a
 live process in *this* interpreter (two :class:`repro.store.Store`
 handles on one directory) is detected via a module-level registry rather
 than the pid, which would otherwise look like our own stale file.
@@ -116,9 +119,26 @@ class StoreLock:
                         f"writer pid {holder_pid} ({str(self._path)!r}); "
                         "remove the lock file only if that process is gone"
                     )
-                # Stale (dead pid or unreadable payload): reclaim with one
-                # more exclusive attempt so concurrent reclaimers serialise.
-                self._path.unlink(missing_ok=True)
+                # Stale (dead pid or unreadable payload): take the file
+                # over atomically.  Renaming it to a per-pid claim name
+                # lets at most one of several racing reclaimers win; an
+                # unlink+recreate here would race — reclaimer B could
+                # unlink the fresh lock reclaimer A just created and both
+                # would end up "holding" it.
+                claim = self._path.with_name(
+                    f"{self._path.name}.reclaim.{os.getpid()}"
+                )
+                try:
+                    os.rename(self._path, claim)
+                except FileNotFoundError:
+                    pass  # another reclaimer already claimed the stale file
+                except OSError as error:
+                    raise StoreError(
+                        f"cannot reclaim stale store lock "
+                        f"{str(self._path)!r}: {error}"
+                    ) from error
+                else:
+                    claim.unlink(missing_ok=True)
                 if not self._try_create():
                     raise StoreError(
                         f"store {str(self._path.parent)!r} was locked by "

@@ -13,7 +13,10 @@ repaired by truncating to the committed chunk prefix.  Physical
 truncation requires the single-writer lock; when the store opens without
 it (a pure reader racing a live writer), the repair is *logical* — reads
 clamp to the committed prefix — and the physical truncation is deferred
-until the lock is acquired.  Either way, every query observes exactly the
+until the lock is acquired.  Truncation always follows a scan taken
+*under* the lock: a tail that looked torn before the acquire may be the
+then-live writer's in-flight chunk, committed in the meantime, so stale
+offsets are never trusted.  Either way, every query observes exactly the
 fully-committed chunks, never a torn byte.
 
 This module holds the repair step and the accounting types the store

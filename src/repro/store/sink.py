@@ -94,8 +94,10 @@ class StoreSink:
         """Append every buffered segment to the store.
 
         The buffer is only dropped once the append succeeds: a raising
-        :meth:`Store.append` leaves every segment buffered, so ``close()``
-        or a retrying caller can still persist the batch.
+        :meth:`Store.append` rolls back any buckets it had already
+        written (the append is all-or-nothing) and leaves every segment
+        buffered here, so ``close()`` or a retrying caller re-sends the
+        whole batch without losing or duplicating segments.
         """
         if not self._buffer:
             return

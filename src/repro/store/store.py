@@ -13,7 +13,10 @@ rename), then appends one columnar chunk to the partition's ``.seg`` file.
 Because the covering bound lands on disk before the data, a crash between
 the two writes can only leave zone maps that over-approximate — a query
 may read a partition needlessly but can never skip one that holds matches,
-so data skipping stays sound across crashes.
+so data skipping stays sound across crashes.  A *failing* append is
+additionally all-or-nothing across buckets: chunks the same call already
+wrote are rolled back, so a retry (``StoreSink.flush`` keeps its buffer)
+re-sends the batch without duplicating segments.
 
 Crash recovery
 --------------
@@ -73,7 +76,6 @@ from .layout import (
     ZoneMap,
     bucket_of,
     bucket_of_data_name,
-    decode_chunks,
     decode_device_dir,
     encode_chunk,
     encode_device_dir,
@@ -81,6 +83,7 @@ from .layout import (
     partition_data_name,
     partition_zonemap_name,
     read_zonemap,
+    salvage_chunks,
     scan_partition_file,
     write_manifest,
     write_zonemap,
@@ -180,12 +183,14 @@ def open_store(
 def _sweep_stale_tmp(root: Path) -> None:
     """Remove temp files left by crashed atomic writes.
 
-    Only the store's own temp names are touched — the manifest temp at the
-    root and ``*.tmp`` inside device directories (zone map and compaction
-    temps) — so opening never deletes foreign files from a directory that
-    turns out not to be a store.
+    Only the store's own temp names are touched — the manifest temp and
+    lock-reclaim claim files at the root, plus ``*.tmp`` inside device
+    directories (zone map and compaction temps) — so opening never
+    deletes foreign files from a directory that turns out not to be a
+    store.
     """
     candidates = [root / (MANIFEST_NAME + ".tmp")]
+    candidates.extend(sorted(root.glob(LOCK_NAME + ".reclaim.*")))
     devices_root = root / DEVICES_DIR
     if devices_root.is_dir():
         for device_dir in sorted(devices_root.iterdir()):
@@ -353,6 +358,12 @@ class Store:
         to defer; appends are serialised in-process, so hub shard threads
         may share one store.
 
+        A failing append is all-or-nothing across buckets: the chunks
+        already written by the same call are rolled back (the widened
+        zone maps stay behind as sound over-approximation), so a retrying
+        caller — :meth:`StoreSink.flush` keeps its buffer on failure —
+        can re-send the whole batch without duplicating segments.
+
         Raises
         ------
         InvalidParameterError
@@ -387,32 +398,71 @@ class Store:
             self._ensure_writer()
             device_dir = self._root / DEVICES_DIR / encode_device_dir(device_id)
             device_dir.mkdir(parents=True, exist_ok=True)
-            for bucket in sorted(grouped):
-                chunk = grouped[bucket]
-                key = PartitionKey(device_id, bucket)
-                addition = ZoneMap.of_batch(chunk, epsilon)
-                existing = self._zonemaps.get(key)
-                merged = addition if existing is None else existing.merge(addition)
-                # Covering-first write order: the widened zone map lands before
-                # the data it describes, so a crash in between can only leave
-                # an over-approximating bound — pruning stays sound.
-                write_zonemap(device_dir / partition_zonemap_name(bucket), merged)
-                encoded = encode_chunk(chunk, epsilon)
-                try:
-                    with open(device_dir / partition_data_name(bucket), "ab") as handle:
-                        handle.write(encoded)
-                except OSError as error:
-                    raise StoreError(
-                        f"cannot append to partition {key}: {error}"
-                    ) from error
+            # All-or-nothing across buckets: every touched file's pre-append
+            # length is recorded so a failure can cut the already-written
+            # chunks back, and the in-memory caches are only updated once
+            # every bucket's bytes are durably appended.
+            written: list[tuple[Path, int]] = []
+            applied: list[tuple[PartitionKey, ZoneMap, int, int]] = []
+            try:
+                for bucket in sorted(grouped):
+                    chunk = grouped[bucket]
+                    key = PartitionKey(device_id, bucket)
+                    addition = ZoneMap.of_batch(chunk, epsilon)
+                    existing = self._zonemaps.get(key)
+                    merged = addition if existing is None else existing.merge(addition)
+                    encoded = encode_chunk(chunk, epsilon)
+                    # Covering-first write order: the widened zone map lands
+                    # before the data it describes, so a crash in between can
+                    # only leave an over-approximating bound — pruning stays
+                    # sound.
+                    write_zonemap(device_dir / partition_zonemap_name(bucket), merged)
+                    path = device_dir / partition_data_name(bucket)
+                    try:
+                        pre_size = path.stat().st_size
+                    except FileNotFoundError:
+                        pre_size = 0
+                    written.append((path, pre_size))
+                    try:
+                        with open(path, "ab") as handle:
+                            handle.write(encoded)
+                    except OSError as error:
+                        raise StoreError(
+                            f"cannot append to partition {key}: {error}"
+                        ) from error
+                    applied.append((key, merged, len(chunk), len(encoded)))
+            except BaseException:
+                self._rollback_append(written)
+                raise
+            for key, merged, chunk_rows, chunk_bytes in applied:
                 self._zonemaps[key] = merged
                 state = self._states.get(key)
                 if state is None:
                     state = self._states[key] = _PartitionState(0, 0, 0, False)
                 state.chunks += 1
-                state.segments += len(chunk)
-                state.valid_bytes += len(encoded)
+                state.segments += chunk_rows
+                state.valid_bytes += chunk_bytes
         return len(batch)
+
+    @staticmethod
+    def _rollback_append(written: list[tuple[Path, int]]) -> None:
+        """Best-effort undo of a failed multi-bucket append.
+
+        Every touched partition file is cut back to its recorded
+        pre-append length (a file the call created is removed outright),
+        including the partially-written one the failure interrupted, so a
+        retry re-sends the whole batch without duplicating the buckets
+        that had already landed.  The widened zone maps stay behind —
+        over-approximation is sound.
+        """
+        for path, pre_size in written:
+            try:
+                if pre_size == 0:
+                    path.unlink(missing_ok=True)
+                else:
+                    os.truncate(path, pre_size)
+            except OSError:  # pragma: no cover - rollback is best effort
+                pass
 
     def compact(
         self, device: str | None = None, *, min_chunks: int = 2
@@ -734,24 +784,46 @@ class Store:
             / partition_data_name(key.bucket)
         )
 
+    def _zonemap_path(self, key: PartitionKey) -> Path:
+        return (
+            self._root
+            / DEVICES_DIR
+            / encode_device_dir(key.device_id)
+            / partition_zonemap_name(key.bucket)
+        )
+
     def _ensure_writer(self) -> None:
         """Acquire the writer lock (caller holds the mutex) and flush any
-        torn-tail truncations the open-time recovery had to defer."""
+        torn-tail truncations the open-time recovery had to defer.
+
+        Each deferred partition is re-scanned under the lock before it is
+        cut: the writer that blocked the open-time repair may since have
+        committed the tail this handle saw torn — its then-in-flight
+        chunk — and appended more, so truncating at the remembered offset
+        would destroy durably committed data.  Only a file that is
+        *still* torn is truncated, at the fresh scan's offset, and the
+        state and zone-map caches are refreshed from disk either way.
+        """
         if self._lock.held:
             return
         self._lock.acquire()
         for key, state in self._states.items():
             if not state.pending_repair:
                 continue
-            try:
-                os.truncate(self._partition_path(key), state.valid_bytes)
-            except FileNotFoundError:
-                pass
-            except OSError as error:
-                raise StoreError(
-                    f"cannot truncate torn partition {key}: {error}"
-                ) from error
+            path = self._partition_path(key)
+            if not path.exists():
+                state.chunks = state.segments = state.valid_bytes = 0
+            else:
+                scan = scan_partition_file(path)
+                if scan.damaged:
+                    repair_partition(key, scan, truncate=True)
+                state.chunks = scan.chunks
+                state.segments = scan.segments
+                state.valid_bytes = scan.valid_bytes
             state.pending_repair = False
+            zonemap_file = self._zonemap_path(key)
+            if zonemap_file.exists():
+                self._zonemaps[key] = read_zonemap(zonemap_file)
 
     def _recover(self) -> RecoveryReport:
         """Open-time recovery scan: find torn tails, repair, account.
@@ -777,6 +849,20 @@ class Store:
                 pass
         repairs: list[PartitionRepair] = []
         try:
+            if damaged and self._lock.held:
+                # The integrity scan ran before the lock was acquired; in
+                # between, a then-live writer may have committed the "torn"
+                # tail (its in-flight chunk) and appended more.  Re-scan
+                # under the lock and truncate only what is still torn, at
+                # the fresh scan's offset.
+                for key in damaged:
+                    path = self._partition_path(key)
+                    scans[key] = (
+                        scan_partition_file(path)
+                        if path.exists()
+                        else PartitionScan(path, 0, 0, 0, 0, None)
+                    )
+                damaged = [key for key in damaged if scans[key].damaged]
             for key in damaged:
                 repairs.append(
                     repair_partition(key, scans[key], truncate=self._lock.held)
@@ -818,7 +904,14 @@ class Store:
             # prefix so the read observes exactly the recovered rows.
             data = data[: state.valid_bytes]
         rows: list[tuple[SegmentRecord, float]] = []
-        for chunk in decode_chunks(data, source=str(path)):
+        # Salvage rather than decode: the file is re-read on every query,
+        # so even after a clean open a concurrent writer's half-flushed
+        # chunk can become visible mid-read.  Clamping to the committed
+        # chunk prefix keeps the documented contract — readers see every
+        # fully appended chunk, never a torn byte — instead of turning
+        # the race into a query-failing StoreError.
+        chunks, _ = salvage_chunks(data, source=str(path))
+        for chunk in chunks:
             rows.extend(chunk)
         return rows
 

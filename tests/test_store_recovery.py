@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import subprocess
 import sys
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -24,9 +26,13 @@ from repro.store.layout import (
     DEVICES_DIR,
     LOCK_NAME,
     MANIFEST_NAME,
+    ZoneMap,
+    encode_chunk,
     encode_device_dir,
     partition_data_name,
     partition_zonemap_name,
+    read_zonemap,
+    write_zonemap,
 )
 
 
@@ -129,6 +135,47 @@ class TestSingleWriterLock:
         with pytest.raises(StoreError, match="live writer pid 1"):
             open_store(tmp_path / "s", writer=True)
 
+    def test_stale_reclaim_leaves_no_claim_debris(self, tmp_path):
+        open_store(tmp_path / "s").close()
+        (tmp_path / "s" / LOCK_NAME).write_text(
+            json.dumps({"pid": dead_pid(), "created": 0.0, "host": "gone"})
+        )
+        with open_store(tmp_path / "s", writer=True) as store:
+            assert store.is_writer
+            assert list((tmp_path / "s").glob(LOCK_NAME + ".reclaim.*")) == []
+
+    def test_reclaim_loser_yields_to_the_winner(self, tmp_path, monkeypatch):
+        # Two processes read the same dead pid and race to reclaim.  The
+        # loser's rename finds the stale file already claimed — and by the
+        # time it retries, the winner's fresh lock (a live holder) is in
+        # place.  The loser must fail, not usurp it.
+        import repro.store.locking as locking
+
+        root = tmp_path / "s"
+        open_store(root).close()
+        lock_path = root / LOCK_NAME
+        lock_path.write_text(
+            json.dumps({"pid": dead_pid(), "created": 0.0, "host": "gone"})
+        )
+
+        def racing_rename(src, dst, **kwargs):
+            if Path(src) == lock_path:
+                # The competing reclaimer renamed the stale file away and
+                # already re-created the lock as a live writer (pid 1).
+                lock_path.write_text(
+                    json.dumps({"pid": 1, "created": 0.0, "host": "other"})
+                )
+                raise FileNotFoundError(src)
+            return os.rename(src, dst, **kwargs)  # pragma: no cover
+
+        monkeypatch.setattr(locking.os, "rename", racing_rename)
+        lock = StoreLock(root)
+        with pytest.raises(StoreError, match="reclaiming a stale lock"):
+            lock.acquire()
+        assert not lock.held
+        # The winner's lock file survived the loser's attempt untouched.
+        assert json.loads(lock_path.read_text())["pid"] == 1
+
     def test_release_is_idempotent(self, tmp_path):
         (tmp_path / "s").mkdir()
         lock = StoreLock(tmp_path / "s")
@@ -193,6 +240,94 @@ class TestRecoveryUnderContention:
         assert len(reopened.query(device="cab-1").segments) == 3
         reader.close()
 
+    def test_deferred_repair_does_not_truncate_a_committed_tail(self, tmp_path):
+        # A reader that opens while a live writer is mid-append records the
+        # writer's half-flushed chunk as a torn tail.  If the writer then
+        # commits it (and appends more) before the reader's deferred repair
+        # runs, truncating at the remembered offset would destroy durably
+        # committed data — the repair must re-scan under the lock instead.
+        writer = open_store(tmp_path / "s", time_bucket=100.0, writer=True)
+        writer.append("cab-1", seg(0.0, 40.0), epsilon=5.0)
+        path = partition_path(writer.root, "cab-1", 0)
+        zm_path = zonemap_path(writer.root, "cab-1", 0)
+
+        # The live writer is mid-append: the covering zone map has landed,
+        # the chunk is half-flushed.
+        tail = [seg(50.0, 90.0, first=2, last=3)]
+        encoded = encode_chunk(tail, 5.0)
+        write_zonemap(zm_path, read_zonemap(zm_path).merge(ZoneMap.of_batch(tail, 5.0)))
+        with open(path, "ab") as handle:
+            handle.write(encoded[: len(encoded) // 2])
+
+        reader = open_store(tmp_path / "s")
+        assert reader.recovery.damaged == 1
+        assert not reader.recovery.repairs[0].truncated
+
+        # The writer commits its in-flight chunk, appends one more batch,
+        # and releases the lock.
+        with open(path, "ab") as handle:
+            handle.write(encoded[len(encoded) // 2 :])
+        writer.append("cab-1", seg(95.0, 99.0, first=4, last=5), epsilon=5.0)
+        writer.close()
+
+        # The reader's first append flushes the deferred repair; nothing
+        # the writer committed may be lost to the stale torn offset.
+        reader.append("cab-1", seg(10.0, 20.0, first=6, last=7), epsilon=5.0)
+        assert len(reader.query(device="cab-1").segments) == 4
+        reader.close()
+        reopened = open_store(tmp_path / "s")
+        assert reopened.recovery.damaged == 0
+        assert len(reopened.query(device="cab-1").segments) == 4
+
+    def test_open_time_repair_rescans_under_the_lock(self, tmp_path, monkeypatch):
+        # Between the open-time integrity scan and the transient lock
+        # acquisition, the writer that produced the "torn" tail can commit
+        # it.  The repair must trust only a scan taken under the lock.
+        store = open_store(tmp_path / "s", time_bucket=100.0, writer=True)
+        store.append("cab-1", seg(0.0, 40.0), epsilon=5.0)
+        path = partition_path(store.root, "cab-1", 0)
+        zm_path = zonemap_path(store.root, "cab-1", 0)
+        store.close()
+
+        tail = [seg(50.0, 90.0, first=2, last=3)]
+        encoded = encode_chunk(tail, 5.0)
+        write_zonemap(zm_path, read_zonemap(zm_path).merge(ZoneMap.of_batch(tail, 5.0)))
+        with open(path, "ab") as handle:
+            handle.write(encoded[: len(encoded) // 2])
+
+        real_acquire = StoreLock.acquire
+        committed = []
+
+        def acquire_after_commit(self):
+            if not committed:
+                # The racing writer commits its in-flight chunk and exits
+                # between the integrity scan and this acquisition.
+                with open(path, "ab") as handle:
+                    handle.write(encoded[len(encoded) // 2 :])
+                committed.append(True)
+            real_acquire(self)
+
+        full_size = path.stat().st_size + len(encoded) - len(encoded) // 2
+        monkeypatch.setattr(StoreLock, "acquire", acquire_after_commit)
+        reopened = open_store(tmp_path / "s")
+        assert reopened.recovery.damaged == 0
+        assert path.stat().st_size == full_size  # nothing truncated
+        assert len(reopened.query(device="cab-1").segments) == 2
+
+    def test_query_clamps_a_concurrent_half_flushed_chunk(self, tmp_path):
+        # The partition file is re-read on every query, so a writer's
+        # half-flushed chunk can become visible after a clean open; the
+        # read must clamp to the committed prefix, not fail the query.
+        writer = open_store(tmp_path / "s", time_bucket=100.0, writer=True)
+        writer.append("cab-1", [seg(0.0, 40.0), seg(50.0, 90.0)], epsilon=5.0)
+        reader = open_store(tmp_path / "s")
+        assert reader.recovery.damaged == 0
+        path = partition_path(tmp_path / "s", "cab-1", 0)
+        with open(path, "ab") as handle:
+            handle.write(b"\x99" * 7)  # a concurrent writer's torn bytes
+        assert len(reader.query(device="cab-1").segments) == 2
+        writer.close()
+
     def test_recovery_report_serialises(self, tmp_path):
         store = open_store(tmp_path / "s", time_bucket=100.0)
         store.append("cab-1", seg(0.0, 40.0), epsilon=5.0)
@@ -229,6 +364,16 @@ class TestOpenStoreHygiene:
         assert not manifest_tmp.exists()
         assert not device_tmp.exists()
         assert reopened.n_segments == 1
+
+    def test_lock_reclaim_debris_is_swept_on_open(self, tmp_path):
+        # A reclaimer that crashed between renaming the stale lock and
+        # unlinking its claim file leaves LOCK.reclaim.<pid> debris behind.
+        store = open_store(tmp_path / "s", time_bucket=100.0)
+        store.close()
+        debris = tmp_path / "s" / (LOCK_NAME + ".reclaim.99999")
+        debris.write_text(json.dumps({"pid": 99999, "created": 0.0, "host": "gone"}))
+        open_store(tmp_path / "s").close()
+        assert not debris.exists()
 
     def test_foreign_root_files_survive_the_sweep(self, tmp_path):
         store = open_store(tmp_path / "s", time_bucket=100.0)
@@ -345,6 +490,65 @@ class TestCompaction:
         assert aggregates.partitions_pushdown == 1
         assert aggregates.partitions_scanned == 0
         assert aggregates.windows[0].segments == 2
+        store.close()
+
+
+class TestAppendAtomicity:
+    @staticmethod
+    def _fail_second_zonemap_write(monkeypatch):
+        """Patch the store's zone-map write to fail once, on its 2nd call."""
+        import repro.store.store as store_module
+
+        real = store_module.write_zonemap
+        calls = []
+
+        def failing_write_zonemap(path, zonemap):
+            calls.append(path)
+            if len(calls) == 2:
+                raise StoreError("injected zone-map failure")
+            real(path, zonemap)
+
+        monkeypatch.setattr(store_module, "write_zonemap", failing_write_zonemap)
+
+    def test_failed_multi_bucket_append_rolls_back(self, tmp_path, monkeypatch):
+        # append writes one chunk per time bucket in sequence; a failure on
+        # the second bucket must roll the first bucket's chunk back, so a
+        # retry can re-send the whole batch without duplicating segments.
+        store = open_store(tmp_path / "s", time_bucket=100.0)
+        store.append("cab-1", seg(0.0, 10.0), epsilon=5.0)
+        self._fail_second_zonemap_write(monkeypatch)
+        batch = [
+            seg(120.0, 130.0, first=2, last=3),
+            seg(250.0, 260.0, first=4, last=5),
+        ]
+        with pytest.raises(StoreError, match="injected"):
+            store.append("cab-1", batch, epsilon=5.0)
+        # Nothing from the failed call is visible — not even its first bucket.
+        assert store.n_segments == 1
+        assert len(store.query(device="cab-1").segments) == 1
+        assert store.append("cab-1", batch, epsilon=5.0) == 2
+        assert len(store.query(device="cab-1").segments) == 3
+        store.close()
+        reopened = open_store(tmp_path / "s")
+        assert reopened.recovery.damaged == 0
+        assert len(reopened.query(device="cab-1").segments) == 3
+
+    def test_sink_retry_after_failed_append_does_not_duplicate(
+        self, tmp_path, monkeypatch
+    ):
+        store = open_store(tmp_path / "s", time_bucket=100.0)
+        sink = store.sink("cab-1", epsilon=5.0, buffer_size=100)
+        sink.accept(seg(10.0, 20.0))
+        sink.accept(seg(150.0, 160.0, first=2, last=3))
+        self._fail_second_zonemap_write(monkeypatch)
+        with pytest.raises(StoreError, match="injected"):
+            sink.flush()
+        # The batch survives the failure in the buffer, unwritten.
+        assert sink.pending == 2 and sink.segments_written == 0
+        assert store.n_segments == 0
+        sink.close()  # retries the flush
+        assert sink.segments_written == 2
+        assert len(store.query(device="cab-1").segments) == 2
         store.close()
 
 
