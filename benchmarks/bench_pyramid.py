@@ -1,0 +1,212 @@
+"""Epsilon-pyramid cost guard (PR 9 acceptance criterion).
+
+Asserts the pyramid's economic claim: serving k=4 resolution levels in one
+pass costs at most 2x a single-level run — not 4x, because the coarse
+levels re-ingest the finer level's *segment endpoints* (O(segments)), not
+the raw stream (O(points)).  Two regimes are gated:
+
+* the paper's taxi traffic for OPERB-A (segment-rich, the cascade pays
+  real simplification cost and must still stay under 2x);
+* the idle-heavy block workload for OPERB and OPERB-A (high compression,
+  where the cascade is nearly free and the overhead bound is tight).
+
+OPERB and Raw-OPERB-A on taxi are gated at the looser "well under 4x"
+tentpole bound: a power-of-two ladder gives level 1 a cascade bound equal
+to the finest epsilon, so on knee-heavy traffic level 1 retains nearly
+every vertex and the cascade re-simplifies close to the full segment
+stream (and the raw patching variant additionally pays certify-or-fallback
+splices).
+
+A correctness companion pins what makes the ratio meaningful: the k=4
+hub's finest level is segment-identical to a single-epsilon hub, and
+per-level segment counts shrink with epsilon — strictly monotone for
+OPERB; the patching variants may locally exceed a finer coarse level by
+the certify-or-fallback splices (a chord straddling two patched ranges is
+spliced through verbatim to keep the bound sound), so they are held to a
+10% inflation allowance instead.
+
+Skipped on constrained hosts: single-core machines, or when
+``REPRO_SKIP_SPEEDUP_ASSERT=1`` is set (for emulated/overloaded
+environments where wall-clock ratios are meaningless).
+``REPRO_FORCE_SPEEDUP_ASSERT=1`` overrides the skip either way.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.perf.workloads import (
+    IDLE_FLEET_PROFILE,
+    PerfCase,
+    build_fleet,
+    interleave_fleet,
+)
+from repro.streaming import CollectingSink, StreamHub
+
+MAX_PYRAMID_OVERHEAD = 2.0
+MAX_OPERB_TAXI_OVERHEAD = 3.5
+LEVELS = 4
+REPEATS = 3
+SHARDS = 8
+
+_forced = os.environ.get("REPRO_FORCE_SPEEDUP_ASSERT") == "1"
+constrained_host = pytest.mark.skipif(
+    not _forced
+    and (os.environ.get("REPRO_SKIP_SPEEDUP_ASSERT") == "1" or (os.cpu_count() or 1) < 2),
+    reason="constrained host: wall-clock cost ratios are not meaningful",
+)
+
+
+def _case(profile: str) -> PerfCase:
+    if profile == IDLE_FLEET_PROFILE:
+        return PerfCase(
+            "bench-pyramid-idle",
+            IDLE_FLEET_PROFILE,
+            n_trajectories=8,
+            points_per_trajectory=1_000,
+            epsilon=10.0,
+            mode="pyramid",
+            block_size=4_096,
+        )
+    return PerfCase(
+        "bench-pyramid-taxi",
+        "taxi",
+        n_trajectories=16,
+        points_per_trajectory=500,
+        epsilon=40.0,
+        mode="pyramid",
+    )
+
+
+@pytest.fixture(scope="module")
+def taxi_records():
+    return interleave_fleet(build_fleet(_case("taxi")))
+
+
+@pytest.fixture(scope="module")
+def idle_records():
+    return interleave_fleet(build_fleet(_case(IDLE_FLEET_PROFILE)))
+
+
+def _replay(algorithm: str, case: PerfCase, records, levels: int) -> tuple[float, list[int]]:
+    """One timed hub replay over the full log at ``levels`` resolutions."""
+    ladder = tuple(case.epsilon * (2.0**level) for level in range(levels))
+    device_ids = sorted({device_id for device_id, _ in records})
+    hub = StreamHub(
+        algorithm=algorithm,
+        epsilons=ladder,
+        shards=SHARDS,
+        on_error="raise",
+        block_size=case.block_size,
+    )
+    try:
+        for device_id in device_ids:
+            hub.register_device(device_id)
+        started = time.perf_counter()
+        hub.push_many(records)
+        hub.finish_all()
+        elapsed = time.perf_counter() - started
+        stats = hub.stats()
+        by_level = stats.segments_by_level or [stats.segments_emitted]
+    finally:
+        hub.close()
+    return elapsed, by_level
+
+
+def _overhead(algorithm: str, case: PerfCase, records) -> tuple[float, list[int]]:
+    """Best-of-``REPEATS`` wall ratio of a k-level pyramid over k=1."""
+    single = min(_replay(algorithm, case, records, 1)[0] for _ in range(REPEATS))
+    pyramid = float("inf")
+    by_level: list[int] = []
+    for _ in range(REPEATS):
+        wall, counts = _replay(algorithm, case, records, LEVELS)
+        if wall < pyramid:
+            pyramid, by_level = wall, counts
+    return pyramid / single, by_level
+
+
+@constrained_host
+@pytest.mark.parametrize("algorithm", ["operb-a"])
+def test_taxi_pyramid_costs_under_double(taxi_records, algorithm):
+    overhead, by_level = _overhead(algorithm, _case("taxi"), taxi_records)
+    assert overhead <= MAX_PYRAMID_OVERHEAD, (
+        f"{algorithm}: {LEVELS}-level pyramid cost {overhead:.2f}x a single "
+        f"level on taxi traffic (allowed {MAX_PYRAMID_OVERHEAD}x; per-level "
+        f"segments {by_level})"
+    )
+
+
+@constrained_host
+@pytest.mark.parametrize("algorithm", ["operb", "operb-a"])
+def test_idle_pyramid_costs_under_double(idle_records, algorithm):
+    overhead, by_level = _overhead(algorithm, _case(IDLE_FLEET_PROFILE), idle_records)
+    assert overhead <= MAX_PYRAMID_OVERHEAD, (
+        f"{algorithm}: {LEVELS}-level pyramid cost {overhead:.2f}x a single "
+        f"level on the idle-fleet workload (allowed {MAX_PYRAMID_OVERHEAD}x; "
+        f"per-level segments {by_level})"
+    )
+
+
+@constrained_host
+@pytest.mark.parametrize("algorithm", ["operb", "raw-operb-a"])
+def test_taxi_pyramid_stays_well_under_linear(taxi_records, algorithm):
+    overhead, by_level = _overhead(algorithm, _case("taxi"), taxi_records)
+    assert overhead <= MAX_OPERB_TAXI_OVERHEAD, (
+        f"{algorithm}: {LEVELS}-level pyramid cost {overhead:.2f}x a single "
+        f"level on taxi traffic (allowed {MAX_OPERB_TAXI_OVERHEAD}x — must "
+        f"stay well under the naive {LEVELS}x; per-level segments {by_level})"
+    )
+
+
+def test_pyramid_finest_level_matches_single_run(taxi_records):
+    """The cost comparison above only counts if level 0 is the same work."""
+    case = _case("taxi")
+    for algorithm in ("operb", "operb-a", "raw-operb-a"):
+        outputs = []
+        for levels in (1, LEVELS):
+            ladder = tuple(case.epsilon * (2.0**level) for level in range(levels))
+            sinks: dict[str, CollectingSink] = {}
+
+            def sink_factory(device_id: str, sinks=sinks) -> CollectingSink:
+                return sinks.setdefault(device_id, CollectingSink())
+
+            hub = StreamHub(
+                algorithm=algorithm,
+                epsilons=ladder,
+                shards=SHARDS,
+                on_error="raise",
+                sink_factory=sink_factory,
+            )
+            try:
+                hub.push_many(taxi_records)
+                hub.finish_all()
+                by_level = hub.stats().segments_by_level
+            finally:
+                hub.close()
+            outputs.append(
+                ({device: sink.segments for device, sink in sinks.items()}, by_level)
+            )
+        assert outputs[0][0] == outputs[1][0], (
+            f"{algorithm}: finest pyramid level diverged from the single-epsilon run"
+        )
+        counts = outputs[1][1]
+        assert counts is not None and len(counts) == LEVELS
+        if algorithm == "operb":
+            # No patching, so no certify-or-fallback splices: counts are
+            # strictly non-increasing with epsilon.
+            assert all(a >= b for a, b in zip(counts, counts[1:])), (
+                f"{algorithm}: per-level segment counts not monotone: {counts}"
+            )
+        else:
+            # The patching variants splice straddling chords through
+            # verbatim to keep the coarse bound sound, which can locally
+            # inflate a coarse level past a finer one — but never by more
+            # than the fallback allowance.
+            for level in range(1, LEVELS):
+                assert counts[level] <= 1.10 * min(counts[:level]), (
+                    f"{algorithm}: level {level} exceeds the fallback "
+                    f"allowance: {counts}"
+                )

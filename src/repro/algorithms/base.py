@@ -39,12 +39,17 @@ from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 from ..exceptions import InvalidParameterError
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
-from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..trajectory.piecewise import (
+    PiecewiseRepresentation,
+    SegmentCascadeMixin,
+    SegmentRecord,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..trajectory.soa import PointBlock
 
 __all__ = [
+    "SegmentCascadeMixin",
     "SimplificationFunction",
     "StreamingSimplifier",
     "validate_epsilon",

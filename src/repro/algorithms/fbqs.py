@@ -20,7 +20,11 @@ from ..exceptions import SimplificationError
 from ..geometry import kernels
 from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.model import Trajectory
-from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..trajectory.piecewise import (
+    PiecewiseRepresentation,
+    SegmentCascadeMixin,
+    SegmentRecord,
+)
 from ..trajectory.blocks import drive_block_steps
 from .base import trivial_representation, validate_epsilon
 from .bqs import BoundedQuadrantWindow
@@ -31,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["FBQSSimplifier", "fbqs"]
 
 
-class FBQSSimplifier:
+class FBQSSimplifier(SegmentCascadeMixin):
     """Streaming FBQS simplifier (push/finish interface)."""
 
     name = "fbqs"

@@ -3,8 +3,9 @@
 The capability flags on :class:`repro.api.AlgorithmDescriptor` are routing
 decisions: ``checkpointable`` sends live hub streams through
 ``snapshot()``/``restore()``, ``batched`` sends SoA blocks through
-``push_block``, and a ``streaming_factory`` at all promises ``push`` and
-``finish``.  A flag whose methods do not exist fails deep inside a fleet
+``push_block``, ``pyramid`` sends a finer level's segments through the
+``push_segment`` re-ingest hook, and a ``streaming_factory`` at all
+promises ``push`` and ``finish``.  A flag whose methods do not exist fails deep inside a fleet
 run or a checkpoint, not at registration.  This rule statically follows
 ``streaming_factory=`` from each ``register_algorithm``/
 ``AlgorithmDescriptor`` call to the class it instantiates (directly, or via
@@ -29,6 +30,7 @@ _REGISTRATION_CALLS = ("register_algorithm", "AlgorithmDescriptor")
 FLAG_REQUIREMENTS: dict[str, tuple[str, ...]] = {
     "checkpointable": ("snapshot", "restore"),
     "batched": ("push_block",),
+    "pyramid": ("push_segment",),
 }
 
 #: Any streaming factory at all promises the push/finish protocol.
@@ -67,7 +69,8 @@ class CapabilityConsistencyRule(Rule):
     description = (
         "descriptor capability flags must match the methods the streaming "
         "factory's class actually defines (checkpointable => snapshot/"
-        "restore, batched => push_block, streaming => push/finish)"
+        "restore, batched => push_block, pyramid => push_segment, "
+        "streaming => push/finish)"
     )
 
     def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:

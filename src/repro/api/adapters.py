@@ -83,6 +83,21 @@ class BufferedBatchAdapter:
             return iter(())
         return iter(((len(block), []),))
 
+    def push_segment(
+        self, segment: SegmentRecord, *, include_start: bool = False
+    ) -> list[SegmentRecord]:
+        """Re-ingest a finer pyramid level's segment endpoints (buffered).
+
+        Batch algorithms cannot emit anything early, so the endpoints are
+        simply buffered like any other points; :meth:`finish` simplifies
+        the accumulated coarse polyline in one batch run.
+        """
+        emitted: list[SegmentRecord] = []
+        if include_start:
+            emitted.extend(self.push(segment.start))
+        emitted.extend(self.push(segment.end))
+        return emitted
+
     def _buffered_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Concatenate the buffered chunks into ``(xs, ys, ts)`` arrays."""
         xs_parts: list[np.ndarray] = []

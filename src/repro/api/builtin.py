@@ -79,6 +79,11 @@ register_algorithm(
     summary="Bounded quadrant system with exact window maxima",
 )(bqs)
 
+# FBQS is deliberately NOT flagged `pyramid`: it certifies deviation against
+# each segment's infinite line, so accepted points may project beyond the
+# emitted endpoints and an endpoint-only cascade can exceed the coarse bound.
+# The same overhang rules out `opw` and `bqs`; the SED batch algorithms
+# (`dp-sed`, `opw-tr`) qualify through the derived `pyramid_capable` instead.
 register_algorithm(
     "fbqs",
     streaming_factory=FBQSSimplifier,
@@ -111,6 +116,7 @@ register_algorithm(
     streaming_factory=_make_operb,
     one_pass=True,
     checkpointable=True,
+    pyramid=True,
     batched=True,
     accepted_kwargs=("config",),
     streaming_kwargs=OPERB_TUNING_KWARGS,
@@ -122,6 +128,7 @@ register_algorithm(
     streaming_factory=_make_raw_operb,
     one_pass=True,
     checkpointable=True,
+    pyramid=True,
     batched=True,
     accepted_kwargs=(),
     streaming_kwargs=OPERB_TUNING_KWARGS,
@@ -133,6 +140,7 @@ register_algorithm(
     streaming_factory=_make_operb_a,
     one_pass=True,
     checkpointable=True,
+    pyramid=True,
     batched=True,
     accepted_kwargs=("gamma_max", "config"),
     streaming_kwargs=("gamma_max",),
@@ -144,6 +152,7 @@ register_algorithm(
     streaming_factory=_make_raw_operb_a,
     one_pass=True,
     checkpointable=True,
+    pyramid=True,
     batched=True,
     accepted_kwargs=("gamma_max",),
     streaming_kwargs=("gamma_max",),

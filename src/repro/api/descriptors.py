@@ -100,6 +100,17 @@ class AlgorithmDescriptor:
         ingest (``push_block``/``push_block_steps``; requires a streaming
         factory).  Batch-only algorithms always ingest blocks natively
         behind the buffered adapter, which appends each block in O(1).
+    pyramid:
+        True when the streaming factory's instances support the segment
+        re-ingest hook (``push_segment``) the epsilon-pyramid cascade uses
+        *and* the algorithm's emissions are extent-faithful: every point a
+        segment covers projects onto the segment's own span, so re-ingesting
+        just the endpoints preserves the nesting error bound (requires a
+        streaming factory).  The OPERB family qualifies (segments are fitted
+        to the farthest absorbed projection); FBQS does not — its convex
+        window accepts points whose witness feet land beyond the emitted
+        endpoints, so a cascade built on endpoints alone can exceed the
+        coarse bound.
     error_metric:
         One of :data:`ERROR_METRICS`.
     accepted_kwargs:
@@ -119,6 +130,7 @@ class AlgorithmDescriptor:
     one_pass: bool = False
     checkpointable: bool = False
     batched: bool = False
+    pyramid: bool = False
     error_metric: str = "perpendicular"
     accepted_kwargs: frozenset[str] = field(default_factory=frozenset)
     streaming_kwargs: frozenset[str] | None = None
@@ -151,6 +163,16 @@ class AlgorithmDescriptor:
             raise InvalidParameterError(
                 f"algorithm {self.name!r} is flagged batched but has no "
                 f"streaming factory"
+            )
+        if self.pyramid and self.streaming_factory is None:
+            raise InvalidParameterError(
+                f"algorithm {self.name!r} is flagged pyramid but has no "
+                f"streaming factory"
+            )
+        if self.pyramid and self.error_metric == "none":
+            raise InvalidParameterError(
+                f"algorithm {self.name!r} is flagged pyramid but is not "
+                f"error bounded (error_metric='none')"
             )
 
     # ------------------------------------------------------------------ #
@@ -188,6 +210,32 @@ class AlgorithmDescriptor:
         """
         return self.batched or not self.streaming
 
+    @property
+    def pyramid_capable(self) -> bool:
+        """Whether the algorithm can serve as an epsilon-pyramid level.
+
+        The cascade re-simplifies only the finer level's segment *endpoints*,
+        so the nesting bound survives only when every covered point's witness
+        stays within the span of the segment that covers it.  Two classes
+        qualify:
+
+        - native streamers that declare :attr:`pyramid` (the OPERB family —
+          segments are fitted to the farthest absorbed projection, so nothing
+          covered overhangs the emitted endpoints);
+        - batch-only algorithms under the synchronised Euclidean distance
+          (``dp-sed``, ``opw-tr`` behind the
+          :class:`repro.api.BufferedBatchAdapter`) — a time-synchronised
+          witness always interpolates *inside* its chord's time span, so the
+          endpoint cascade composes exactly.
+
+        Line-distance window algorithms (``fbqs``, ``opw``, ``bqs``) are
+        excluded even though they are error bounded: they certify deviation
+        against a segment's infinite line, so covered points may project
+        beyond the endpoints and the cascaded coarse level can break its
+        advertised bound (observed empirically on random walks).
+        """
+        return self.pyramid or (not self.streaming and self.error_metric == "sed")
+
     def capabilities(self) -> dict[str, object]:
         """Plain-dict capability summary (for reports and the CLI table)."""
         return {
@@ -196,6 +244,7 @@ class AlgorithmDescriptor:
             "one_pass": self.one_pass,
             "checkpointable": self.checkpointable,
             "batched": self.batched,
+            "pyramid": self.pyramid,
             "error_metric": self.error_metric,
             "accepted_kwargs": sorted(self.accepted_kwargs),
             "streaming_kwargs": sorted(self.streaming_kwargs or ()),
@@ -278,6 +327,7 @@ def register_algorithm(
     one_pass: bool = False,
     checkpointable: bool = False,
     batched: bool = False,
+    pyramid: bool = False,
     error_metric: str = "perpendicular",
     accepted_kwargs: Iterable[str] = (),
     streaming_kwargs: Iterable[str] | None = None,
@@ -301,6 +351,7 @@ def register_algorithm(
                 one_pass=one_pass,
                 checkpointable=checkpointable,
                 batched=batched,
+                pyramid=pyramid,
                 error_metric=error_metric,
                 accepted_kwargs=frozenset(accepted_kwargs),
                 streaming_kwargs=None if streaming_kwargs is None else frozenset(streaming_kwargs),

@@ -163,6 +163,32 @@ class StreamSession:
             self._segments.extend(emitted)
         return emitted
 
+    def push_segment(
+        self, segment: SegmentRecord, *, include_start: bool = False
+    ) -> list[SegmentRecord]:
+        """Re-ingest a finer pyramid level's segment into this session.
+
+        Pushes ``segment.start`` first when ``include_start`` is true, then
+        ``segment.end`` — the epsilon-pyramid cascade's O(segments) ingest
+        path.  Requires the ``pyramid`` capability (native simplifiers
+        inheriting the re-ingest hook, or any buffered batch algorithm).
+        """
+        if self._finished:
+            raise SimplificationError(
+                f"cannot push to a finished {self.algorithm!r} stream session"
+            )
+        native = getattr(self._raw, "push_segment", None)
+        if native is None:
+            raise SimplificationError(
+                f"algorithm {self.algorithm!r} does not implement the "
+                f"push_segment re-ingest hook (pyramid capability)"
+            )
+        self._pushes += 2 if include_start else 1
+        emitted = list(native(segment, include_start=include_start))
+        if self._keep_segments:
+            self._segments.extend(emitted)
+        return emitted
+
     def iter_block(self, block: PointBlock) -> Iterator[tuple[int, list[SegmentRecord]]]:
         """Traced block ingest: yields ``(count, segments)`` steps.
 

@@ -249,11 +249,21 @@ def cmd_serve_replay(args) -> int:
     checkpoint — the downstream segment stream is byte-identical to an
     uninterrupted run.  ``--store DIR`` persists every finalised segment
     into the segment store at ``DIR`` (one :class:`repro.store.StoreSink`
-    per device), ready for ``repro-traj query``.
+    per device), ready for ``repro-traj query``.  ``--epsilons`` replaces
+    the single error bound with a strictly ascending ladder served in the
+    same single pass (a :class:`repro.streaming.PyramidSession` per
+    device); with ``--store`` every coarse level is persisted level-tagged
+    alongside the finest one.
     """
     from ..perf.workloads import build_device_log
-    from ..streaming.checkpoint import read_point_log, restore_hub, save_checkpoint
+    from ..streaming.checkpoint import (
+        load_checkpoint,
+        read_point_log,
+        restore_hub,
+        save_checkpoint,
+    )
     from ..streaming.hub import StreamHub
+    from ..streaming.pyramid import validate_epsilon_ladder
     from ..streaming.sinks import CsvSegmentSink, StatisticsSink
 
     if bool(args.input) == bool(args.synthetic):
@@ -269,6 +279,29 @@ def cmd_serve_replay(args) -> int:
     if args.checkpoint_every and not args.checkpoint:
         print("error: --checkpoint-every requires --checkpoint PATH", file=sys.stderr)
         return 2
+    if args.epsilons and args.resume:
+        # A resumed hub takes its ladder from the checkpoint; a divergent
+        # flag here could only lie about what is being served.
+        print(
+            "error: --epsilons conflicts with --resume (the checkpoint "
+            "carries the pyramid ladder)",
+            file=sys.stderr,
+        )
+        return 2
+
+    ladder: tuple[float, ...] | None = None
+    if args.epsilons:
+        ladder = validate_epsilon_ladder(args.epsilons)
+    resume_payload: dict | None = None
+    if args.resume:
+        # Load the checkpoint up front: a pyramid checkpoint decides which
+        # epsilon the store's finest-level sinks tag and whether coarse
+        # level sinks must be attached.
+        resume_payload = load_checkpoint(args.resume)
+        hub_section = resume_payload.get("hub")
+        stored_epsilons = hub_section.get("epsilons") if isinstance(hub_section, dict) else None
+        if stored_epsilons is not None:
+            ladder = validate_epsilon_ladder(stored_epsilons)
 
     if args.synthetic:
         records = iter(
@@ -291,13 +324,16 @@ def cmd_serve_replay(args) -> int:
 
     # With --store each device gets its own StoreSink teed with the shared
     # CSV/statistics sink; without it the shared sink serves every device.
+    finest_epsilon = ladder[0] if ladder is not None else args.epsilon
     if store is not None:
-        store_factory = store.sink_factory(epsilon=args.epsilon)
+        store_factory = store.sink_factory(epsilon=finest_epsilon)
 
         def sink_factory(device_id: str) -> _TeeSink:
             return _TeeSink((store_factory(device_id), sink))
 
         sinks: dict = {"sink_factory": sink_factory}
+        if ladder is not None and len(ladder) > 1:
+            sinks["level_sink_factory"] = store.pyramid_sink_factory(ladder)
     else:
         sinks = {"shared_sink": sink}
     hub = None
@@ -308,7 +344,7 @@ def cmd_serve_replay(args) -> int:
             # --shards re-shards the restored devices; omitted, the
             # checkpoint's own layout is kept.
             hub = restore_hub(
-                args.resume,
+                resume_payload,
                 shards=args.shards,
                 backend=args.backend,
                 workers=args.workers,
@@ -323,7 +359,8 @@ def cmd_serve_replay(args) -> int:
         else:
             hub = StreamHub(
                 algorithm=args.algorithm,
-                epsilon=args.epsilon,
+                epsilon=None if ladder is not None else args.epsilon,
+                epsilons=ladder,
                 shards=args.shards if args.shards is not None else 4,
                 backend=args.backend,
                 workers=args.workers,
@@ -396,6 +433,14 @@ def cmd_serve_replay(args) -> int:
         f"{stats.max_lag}  failed devices: {stats.failed}  "
         f"sink failures: {stats.sink_failures}"
     )
+    if stats.epsilons is not None and stats.segments_by_level is not None:
+        per_level = "  ".join(
+            f"L{index}(eps={epsilon:g}): {count}"
+            for index, (epsilon, count) in enumerate(
+                zip(stats.epsilons, stats.segments_by_level)
+            )
+        )
+        print(f"pyramid levels: {per_level}")
     for error in hub.errors:
         print(f"  {error}", file=sys.stderr)
     if args.output:
@@ -468,6 +513,9 @@ def cmd_query(args) -> int:
     Builds one :class:`repro.store.QuerySpec` from the flags and runs it
     through :meth:`repro.store.Store.query` (or
     :meth:`~repro.store.Store.window_aggregates` with ``--aggregate``).
+    ``--level``/``--max-deviation`` select a resolution from the store's
+    epsilon ladder (a pyramid store holds one level per served epsilon);
+    the store resolves them to a concrete epsilon before scanning.
     Text output leads with the pruning accounting — how many partitions the
     zone maps let the query skip — because that number, not the match list,
     is what the store exists for; ``--json`` emits the full typed result.
@@ -480,7 +528,30 @@ def cmd_query(args) -> int:
         window=_parse_window(args.window) if args.window else None,
         bbox=_parse_bbox(args.bbox) if args.bbox else None,
         epsilon=args.epsilon,
+        level=args.level,
+        max_deviation=args.max_deviation,
     )
+
+    def print_resolution(resolved_spec) -> None:
+        # Show what the level/SLA selector resolved to: the result's spec
+        # carries the concrete epsilon the store substituted (or none when
+        # no stored level honours the SLA).
+        if args.level is None and args.max_deviation is None:
+            return
+        ladder = store.levels()
+        if resolved_spec.epsilon is not None:
+            index = ladder.index(resolved_spec.epsilon)
+            print(
+                f"resolution: level {index} of ladder "
+                f"{[f'{eps:g}' for eps in ladder]} -> epsilon "
+                f"{resolved_spec.epsilon:g}"
+            )
+        else:
+            print(
+                f"resolution: no stored level within SLA "
+                f"{args.max_deviation:g} (ladder "
+                f"{[f'{eps:g}' for eps in ladder]}); nothing matches"
+            )
 
     if args.aggregate:
         width, step = _parse_aggregate(args.aggregate)
@@ -488,6 +559,7 @@ def cmd_query(args) -> int:
         if args.json:
             print(json.dumps(result.as_dict(), indent=2))
             return 0
+        print_resolution(result.spec)
         print(
             f"{len(result)} window(s) of width {width:g} over store "
             f"{args.store} ({store.n_partitions} partition(s))"
@@ -511,6 +583,7 @@ def cmd_query(args) -> int:
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))
         return 0
+    print_resolution(result.spec)
     scan_note = "full scan (pruning bypassed)" if result.full_scan else (
         f"skipped {result.partitions_skipped} via zone maps"
     )
@@ -583,13 +656,29 @@ def cmd_perf(args) -> int:
 
     Modes:
 
+    * ``--list`` prints the registered suites and their cases, exit 0;
     * run a suite (optionally ``--output report.json``), exit 0;
     * run a suite and gate it against ``--compare BASELINE.json``, exit 1
       past the slowdown threshold;
     * pure diff: ``--compare BASELINE.json --against CURRENT.json`` skips
       running and compares the two files.
     """
-    from ..perf import compare_reports, get_suite, load_report, run_suite, write_report
+    from ..perf import SUITES, compare_reports, get_suite, load_report, run_suite, write_report
+
+    if args.list:
+        for suite_name in sorted(SUITES):
+            suite = SUITES[suite_name]
+            print(
+                f"{suite.name}: {len(suite.cases)} case(s) x "
+                f"{len(suite.algorithms)} algorithm(s) "
+                f"({', '.join(suite.algorithms)}), repeats {suite.repeats}"
+            )
+            for case in suite.cases:
+                print(
+                    f"  {case.name:<24} mode={case.mode:<6} "
+                    f"backend={case.backend:<7} block_size={case.block_size}"
+                )
+        return 0
 
     def load_report_or_none(path: str):
         try:

@@ -19,12 +19,15 @@ Sub-commands
 ``serve-replay``
     Replay a multi-device point log through the streaming hub with periodic
     checkpoints; ``--resume`` continues an interrupted replay byte-identically,
-    ``--store`` persists the emitted segments into a queryable segment store.
+    ``--store`` persists the emitted segments into a queryable segment store,
+    ``--epsilons`` serves a whole epsilon pyramid (multiple resolutions) in
+    the same single pass.
 ``query``
     Query a segment store (``--device``, ``--window``, ``--bbox``,
-    ``--epsilon``) with zone-map data skipping, or compute sliding-window
-    aggregates over the matches (served from zone-map sidecars alone when
-    the windows fully cover the partitions).
+    ``--epsilon``, or pyramid selectors ``--level``/``--max-deviation``)
+    with zone-map data skipping, or compute sliding-window aggregates over
+    the matches (served from zone-map sidecars alone when the windows fully
+    cover the partitions).
 ``compact``
     Rewrite a store's multi-chunk partitions into single-chunk form —
     byte-identical query results, fewer chunk headers to decode — and
@@ -122,6 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=2017, help="synthetic log seed")
     serve.add_argument("--epsilon", type=float, default=40.0, help="error bound in metres")
     serve.add_argument(
+        "--epsilons",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="EPS",
+        help="strictly ascending epsilon ladder for single-pass multi-"
+        "resolution serving (first value is the finest level and overrides "
+        "--epsilon; with --store every level is persisted level-tagged)",
+    )
+    serve.add_argument(
         "--algorithm", default="operb", help="default algorithm for every device"
     )
     serve.add_argument(
@@ -212,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="match only segments simplified under exactly this error bound",
     )
     query.add_argument(
+        "--level",
+        type=int,
+        default=None,
+        metavar="K",
+        help="match the K-th level of the store's epsilon ladder (0 = finest; "
+        "mutually exclusive with --epsilon/--max-deviation)",
+    )
+    query.add_argument(
+        "--max-deviation",
+        type=float,
+        default=None,
+        metavar="SLA",
+        help="deviation SLA: match the coarsest stored level whose epsilon "
+        "does not exceed SLA (mutually exclusive with --epsilon/--level)",
+    )
+    query.add_argument(
         "--aggregate",
         metavar="WIDTH[:STEP]",
         help="instead of listing segments, compute sliding-window aggregates "
@@ -290,7 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--suite",
         default="quick",
-        help="workload suite: smoke, quick, hub, fleet, blocks or full",
+        help="workload suite: smoke, quick, hub, fleet, blocks, pyramid or full",
+    )
+    perf.add_argument(
+        "--list",
+        action="store_true",
+        help="print the registered suites and their cases instead of running",
     )
     perf.add_argument(
         "--output", help="write the report (BENCH_results.json format) to this path"

@@ -22,7 +22,11 @@ from ..geometry.kernels import ped_point_to_chord
 from ..geometry.point import Point, decode_point, encode_point
 from ..trajectory.blocks import drive_block_steps
 from ..trajectory.model import Trajectory
-from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..trajectory.piecewise import (
+    PiecewiseRepresentation,
+    SegmentCascadeMixin,
+    SegmentRecord,
+)
 from .config import OperbConfig
 from .fitting import FittingState, PointOutcome
 
@@ -68,7 +72,7 @@ class _AbsorptionState:
     absorbed: int = 0
 
 
-class OPERBSimplifier:
+class OPERBSimplifier(SegmentCascadeMixin):
     """Streaming OPERB simplifier.
 
     Parameters

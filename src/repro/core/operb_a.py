@@ -17,7 +17,11 @@ from typing import TYPE_CHECKING, Iterator
 from ..exceptions import SimplificationError
 from ..geometry.point import Point
 from ..trajectory.model import Trajectory
-from ..trajectory.piecewise import PiecewiseRepresentation, SegmentRecord
+from ..trajectory.piecewise import (
+    PiecewiseRepresentation,
+    SegmentCascadeMixin,
+    SegmentRecord,
+)
 from .config import OperbAConfig, OperbConfig
 from .operb import OPERBSimplifier, OperbStatistics
 from .patching import compute_patch_point
@@ -49,7 +53,7 @@ class OperbAStatistics:
         return self.patches_applied / self.anomalous_segments
 
 
-class OPERBASimplifier:
+class OPERBASimplifier(SegmentCascadeMixin):
     """Streaming OPERB-A simplifier.
 
     Parameters

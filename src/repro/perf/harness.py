@@ -38,6 +38,7 @@ from ..geometry.point import Point
 from ..metrics.compression import fleet_compression_ratio
 from ..trajectory.model import Trajectory
 from ..trajectory.piecewise import PiecewiseRepresentation
+from ..api.descriptors import get_descriptor
 from .workloads import PerfCase, PerfSuite, build_fleet, get_suite, interleave_fleet
 
 __all__ = [
@@ -86,6 +87,13 @@ class Measurement:
     """Fraction of store partitions the query phase actually read
     (``store`` mode; zone-map pruning effectiveness).  1.0 — read
     everything — for the other modes and for pre-store reports."""
+    levels: int = 1
+    """Depth of the served epsilon ladder (``pyramid`` mode; 1 for the
+    other modes and for pre-pyramid reports)."""
+    level_compression: list[float] | None = None
+    """Per-level compression ratio (segments at that level over input
+    points), finest first (``pyramid`` mode; None — defaulted so
+    pre-pyramid reports keep loading — for the other modes)."""
 
     @property
     def key(self) -> str:
@@ -288,6 +296,59 @@ def _time_hub(
     return best, segments, backend, workers
 
 
+def _time_pyramid(
+    algorithm: str,
+    case: PerfCase,
+    records: Sequence[tuple[str, Point]],
+    repeats: int,
+) -> tuple[float, int, list[int], str, int]:
+    """Best wall time over ``repeats`` pyramid replays.
+
+    Identical to :func:`_time_hub` except the hub serves the case's whole
+    epsilon ladder (``epsilon * 2**i`` per level) in the same pass; the
+    returned per-level segment counts (finest first) feed the report's
+    ``level_compression`` column.  ``levels=1`` measures the degenerate
+    single-resolution pyramid — the reference cell the k>1 cells are
+    compared against.
+    """
+    from ..streaming.hub import StreamHub
+
+    ladder = tuple(case.epsilon * (2.0**level) for level in range(case.levels))
+    device_ids = sorted({device_id for device_id, _ in records})
+    best = math.inf
+    by_level: list[int] = []
+    backend = case.backend
+    workers = case.workers
+    for _ in range(max(1, repeats)):
+        hub = StreamHub(
+            algorithm=algorithm,
+            epsilons=ladder,
+            shards=_HUB_SHARDS,
+            on_error="raise",
+            backend=case.backend,
+            workers=case.workers,
+            block_size=case.block_size,
+        )
+        try:
+            backend, workers = hub.backend, hub.n_workers
+            for device_id in device_ids:
+                hub.register_device(device_id)
+            started = time.perf_counter()
+            hub.push_many(records)
+            hub.finish_all()
+            elapsed = time.perf_counter() - started
+            best = min(best, elapsed)
+            stats = hub.stats()
+            by_level = (
+                stats.segments_by_level
+                if stats.segments_by_level is not None
+                else [stats.segments_emitted]
+            )
+        finally:
+            hub.close()
+    return best, by_level[0], by_level, backend, workers
+
+
 def _time_fleet_executor(
     algorithm: str,
     case: PerfCase,
@@ -464,40 +525,62 @@ def run_suite(
     ----------
     suite:
         A :class:`~repro.perf.workloads.PerfSuite` or the name of a declared
-        one (``smoke``, ``quick``, ``hub``, ``fleet``, ``blocks``, ``full``).
+        one (``smoke``, ``quick``, ``hub``, ``fleet``, ``blocks``,
+        ``pyramid``, ``full``).
     repeats:
         Override the suite's timing repeats (best-of semantics).
     progress:
         Optional sink for one-line progress messages (e.g. ``print``).
     backend, workers:
-        Override the execution backend / worker count of every ``hub`` and
-        ``fleet`` case (``batch`` cases always run inline).  Handy for ad-hoc
-        scaling experiments; declared suites stay the reproducible record.
+        Override the execution backend / worker count of every ``hub``,
+        ``fleet`` and ``pyramid`` case (``batch`` cases always run inline).
+        Handy for ad-hoc scaling experiments; declared suites stay the
+        reproducible record.
     block_size:
-        Override the hub ingest block size of every ``hub`` case.
+        Override the hub ingest block size of every ``hub``/``pyramid``
+        case.
     """
     if isinstance(suite, str):
         suite = get_suite(suite)
     effective_repeats = suite.repeats if repeats is None else max(1, repeats)
     report = PerfReport(suite=suite.name, meta=machine_metadata())
     for case in suite.cases:
-        if case.mode in ("hub", "fleet") and (backend is not None or workers is not None):
+        if case.mode in ("hub", "fleet", "pyramid") and (
+            backend is not None or workers is not None
+        ):
             case = replace(
                 case,
                 backend=backend if backend is not None else case.backend,
                 workers=workers if workers is not None else case.workers,
             )
-        if case.mode == "hub" and block_size is not None:
+        if case.mode in ("hub", "pyramid") and block_size is not None:
             case = replace(case, block_size=block_size)
         fleet = build_fleet(case)
         total_points = sum(len(trajectory) for trajectory in fleet)
-        records = interleave_fleet(fleet) if case.mode == "hub" else None
+        records = interleave_fleet(fleet) if case.mode in ("hub", "pyramid") else None
         for algorithm in suite.algorithms:
             # ``backend``/``workers`` record what actually ran — a serial
             # cell requested with workers=4 reports serial/1, a hub case
             # with more workers than shards reports the clamped count.
             scan_fraction = 1.0
-            if case.mode == "hub":
+            level_compression: list[float] | None = None
+            if case.mode == "pyramid" and not get_descriptor(algorithm).pyramid_capable:
+                # A mixed suite (e.g. ``quick``) may carry algorithms that
+                # cannot serve a pyramid; skipping beats crashing, and the
+                # absent cell shows up in ``compare`` as missing, not as a
+                # regression.
+                if progress is not None:
+                    progress(f"{case.name}:{algorithm} skipped (not pyramid-capable)")
+                continue
+            if case.mode == "pyramid":
+                wall, segments, by_level, ran_backend, ran_workers = _time_pyramid(
+                    algorithm, case, records, effective_repeats
+                )
+                ratio = segments / total_points if total_points else 0.0
+                level_compression = [
+                    count / total_points if total_points else 0.0 for count in by_level
+                ]
+            elif case.mode == "hub":
                 wall, segments, ran_backend, ran_workers = _time_hub(
                     algorithm, case, records, effective_repeats
                 )
@@ -535,6 +618,8 @@ def run_suite(
                 workers=ran_workers,
                 block_size=case.block_size,
                 scan_fraction=scan_fraction,
+                levels=case.levels,
+                level_compression=level_compression,
             )
             report.results.append(measurement)
             if progress is not None:

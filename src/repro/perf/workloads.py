@@ -39,6 +39,12 @@ These suites ship by default:
     queries (the maintenance path), and ``aggregate`` times fully-covered
     window aggregates answered from the zone-map sidecars alone (scan
     fraction 0).
+``pyramid``
+    Multi-resolution ingest: the same interleaved log as a ``hub`` case,
+    but served through an epsilon pyramid of ``levels`` resolutions
+    (ladder ``epsilon * 2**i``) in one pass.  The ``levels=1`` cases are
+    the single-resolution reference the k>1 cells are judged against —
+    the pyramid's pitch is k resolutions for well under k times the cost.
 ``full``
     All four dataset profiles at a larger scale for local investigations.
 
@@ -46,7 +52,8 @@ A case's ``mode`` selects what the harness drives: ``"batch"`` runs the
 fleet through ``Simplifier.run``; ``"hub"`` routes the same points, in
 round-robin arrival order, through a stream hub; ``"fleet"`` fans the fleet
 out over ``Simplifier.run_many``; ``"store"`` ingests the simplified
-segments into a segment store and queries it back.
+segments into a segment store and queries it back; ``"pyramid"`` routes
+the hub traffic through a multi-resolution epsilon ladder.
 ``backend``/``workers`` pick the :mod:`repro.exec` execution backend for
 the ``hub`` and ``fleet`` modes.
 The interleaved log of a hub case comes from :func:`build_device_log`,
@@ -89,7 +96,7 @@ GATING_ALGORITHMS = ("dp", "opw", "operb", "operb-a")
 window baseline (OPW) and the paper's two contributions."""
 
 
-CASE_MODES = ("batch", "hub", "fleet", "store")
+CASE_MODES = ("batch", "hub", "fleet", "store", "pyramid")
 """Valid values of :attr:`PerfCase.mode`."""
 
 CASE_BACKENDS = ("serial", "thread", "process")
@@ -147,6 +154,10 @@ class PerfCase:
     store_op: str = "query"
     """What the timed phase of a ``store`` case does (see :data:`STORE_OPS`);
     ignored by the other modes."""
+    levels: int = 1
+    """Depth of the epsilon ladder of a ``pyramid`` case (the harness
+    serves ``epsilon * 2**i`` for ``i`` in ``range(levels)``); ignored by
+    the other modes.  ``levels=1`` is the single-resolution reference."""
 
     def __post_init__(self) -> None:
         if self.mode not in CASE_MODES:
@@ -168,6 +179,10 @@ class PerfCase:
         if self.block_size < 1:
             raise InvalidParameterError(
                 f"case block_size must be at least 1, got {self.block_size}"
+            )
+        if self.levels < 1:
+            raise InvalidParameterError(
+                f"case levels must be at least 1, got {self.levels}"
             )
 
     @property
@@ -237,6 +252,14 @@ _QUICK = PerfSuite(
             points_per_trajectory=500,
             mode="store",
             store_op="aggregate",
+        ),
+        PerfCase(
+            "pyramid-16x500-k4",
+            "taxi",
+            n_trajectories=16,
+            points_per_trajectory=500,
+            mode="pyramid",
+            levels=4,
         ),
     ),
     algorithms=GATING_ALGORITHMS + ("fbqs",),
@@ -404,8 +427,47 @@ _STORE = PerfSuite(
     repeats=3,
 )
 
+_PYRAMID = PerfSuite(
+    name="pyramid",
+    cases=(
+        # The k=1 cells are the single-resolution reference: the claim the
+        # suite exists to check is k=4 resolutions for well under 4x (and
+        # in practice under 2x) the k=1 cost, because coarse levels re-ingest
+        # O(segments) endpoints, not O(points).
+        PerfCase(
+            "pyramid-32x500-k1",
+            "taxi",
+            n_trajectories=32,
+            points_per_trajectory=500,
+            mode="pyramid",
+            levels=1,
+        ),
+        PerfCase(
+            "pyramid-32x500-k4",
+            "taxi",
+            n_trajectories=32,
+            points_per_trajectory=500,
+            mode="pyramid",
+            levels=4,
+        ),
+        PerfCase(
+            "pyramid-32x500-k4-t4",
+            "taxi",
+            n_trajectories=32,
+            points_per_trajectory=500,
+            mode="pyramid",
+            levels=4,
+            backend="thread",
+            workers=4,
+        ),
+    ),
+    algorithms=("operb", "operb-a", "dp-sed"),
+    repeats=3,
+)
+
 SUITES: dict[str, PerfSuite] = {
-    suite.name: suite for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL, _BLOCKS, _STORE)
+    suite.name: suite
+    for suite in (_SMOKE, _QUICK, _HUB, _FLEET, _FULL, _BLOCKS, _STORE, _PYRAMID)
 }
 """The declared suites, by name."""
 

@@ -14,7 +14,18 @@ Matching semantics (all predicates optional, conjunctive):
 - ``bbox=(x_min, y_min, x_max, y_max)`` — the segment's endpoint bounding
   box intersects the query box;
 - ``epsilon`` — the error bound the segment was produced under equals
-  ``epsilon`` exactly.
+  ``epsilon`` exactly;
+- ``level`` — index into the store's stored epsilon ladder (0 = finest);
+  resolved by the store to the concrete epsilon at that level;
+- ``max_deviation`` — a deviation SLA: the store resolves it to the
+  *coarsest* stored epsilon not exceeding the bound (fewest segments that
+  still honour the SLA); when no stored level qualifies the query matches
+  nothing.
+
+``level`` and ``max_deviation`` are store-resolved predicates — mutually
+exclusive with each other and with ``epsilon`` — that
+:meth:`repro.store.Store.query` rewrites into a concrete ``epsilon``
+against its stored ladder before any partition is consulted.
 
 A :class:`QueryResult` carries, besides the matched segments in canonical
 order (device id, then time bucket, then append order), the data-skipping
@@ -48,6 +59,8 @@ class QuerySpec:
     window: tuple[float, float] | None = None
     bbox: tuple[float, float, float, float] | None = None
     epsilon: float | None = None
+    level: int | None = None
+    max_deviation: float | None = None
 
     def __post_init__(self) -> None:
         if self.window is not None:
@@ -94,6 +107,43 @@ class QuerySpec:
                     f"epsilon must be a positive float, got {self.epsilon!r}"
                 )
             object.__setattr__(self, "epsilon", epsilon)
+        if self.level is not None:
+            if isinstance(self.level, bool) or not isinstance(self.level, int):
+                raise InvalidParameterError(
+                    f"level must be a non-negative integer, got {self.level!r}"
+                )
+            if self.level < 0:
+                raise InvalidParameterError(
+                    f"level must be a non-negative integer, got {self.level!r}"
+                )
+        if self.max_deviation is not None:
+            try:
+                max_deviation = float(self.max_deviation)
+            except (TypeError, ValueError) as error:
+                raise InvalidParameterError(
+                    f"max_deviation must be a positive float, "
+                    f"got {self.max_deviation!r}"
+                ) from error
+            if not math.isfinite(max_deviation) or max_deviation <= 0.0:
+                raise InvalidParameterError(
+                    f"max_deviation must be a positive float, "
+                    f"got {self.max_deviation!r}"
+                )
+            object.__setattr__(self, "max_deviation", max_deviation)
+        selectors = [
+            name
+            for name, value in (
+                ("epsilon", self.epsilon),
+                ("level", self.level),
+                ("max_deviation", self.max_deviation),
+            )
+            if value is not None
+        ]
+        if len(selectors) > 1:
+            raise InvalidParameterError(
+                f"epsilon, level and max_deviation are mutually exclusive "
+                f"resolution selectors; got {', '.join(selectors)}"
+            )
 
     @property
     def unconstrained(self) -> bool:
@@ -103,10 +153,17 @@ class QuerySpec:
             and self.window is None
             and self.bbox is None
             and self.epsilon is None
+            and self.level is None
+            and self.max_deviation is None
         )
 
     def matches(self, device_id: str, epsilon: float, record: SegmentRecord) -> bool:
         """Whether one stored segment satisfies every predicate."""
+        if self.level is not None or self.max_deviation is not None:
+            raise InvalidParameterError(
+                "level/max_deviation are store-resolved selectors; resolve "
+                "the spec against the store's epsilon ladder before matching"
+            )
         if self.device is not None and device_id != self.device:
             return False
         if self.epsilon is not None and epsilon != self.epsilon:
@@ -137,6 +194,8 @@ class QuerySpec:
             "window": list(self.window) if self.window is not None else None,
             "bbox": list(self.bbox) if self.bbox is not None else None,
             "epsilon": self.epsilon,
+            "level": self.level,
+            "max_deviation": self.max_deviation,
         }
 
 

@@ -62,8 +62,9 @@ import math
 import os
 import threading
 import weakref
+from dataclasses import replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..exceptions import InvalidParameterError, StoreError
 from ..trajectory.piecewise import SegmentRecord
@@ -305,6 +306,18 @@ class Store:
         """Sorted device ids with at least one partition."""
         return sorted({key.device_id for key in self._zonemaps})
 
+    def levels(self) -> list[float]:
+        """Distinct stored epsilons, ascending — the resolution ladder.
+
+        Level 0 is the finest stored bound.  A pyramid ingest
+        (:meth:`pyramid_sink_factory`) stores one level per rung, so this
+        mirrors the hub's ``epsilons=[...]`` ladder; single-epsilon ingest
+        yields a one-level ladder.  Computed from the zone-map sidecars.
+        """
+        return sorted(
+            {eps for zonemap in self._zonemaps.values() for eps in zonemap.epsilons}
+        )
+
     def partitions(self) -> list[tuple[PartitionKey, ZoneMap]]:
         """Every partition and its zone map, in canonical scan order."""
         return [(key, self._zonemaps[key]) for key in sorted(self._zonemaps)]
@@ -488,35 +501,54 @@ class Store:
         window: tuple[float, float] | None = None,
         bbox: tuple[float, float, float, float] | None = None,
         epsilon: float | None = None,
+        level: int | None = None,
+        max_deviation: float | None = None,
         full_scan: bool = False,
     ) -> QueryResult:
         """Run one typed query; returns matches plus skipping accounting.
 
         Pass either a prepared :class:`~repro.store.query.QuerySpec` or the
-        individual predicates (not both).  ``full_scan=True`` bypasses
-        zone-map pruning — every partition is read, the row predicate still
-        applies — and returns byte-identical results; use it to audit
-        pruning soundness or measure its benefit.
+        individual predicates (not both).  ``level``/``max_deviation``
+        resolve against the stored epsilon ladder (:meth:`levels`) before
+        any partition is consulted: ``level`` picks that rung's epsilon,
+        ``max_deviation`` picks the *coarsest* stored epsilon within the
+        SLA (and matches nothing when no stored level qualifies) — the
+        returned spec carries the concrete epsilon that ran.
+        ``full_scan=True`` bypasses zone-map pruning — every partition the
+        device predicate admits is read, the row predicate still applies —
+        and returns byte-identical results; use it to audit pruning
+        soundness or measure its benefit.
         """
-        spec = self._resolve_spec(spec, device, window, bbox, epsilon)
+        spec = self._resolve_spec(
+            spec, device, window, bbox, epsilon, level, max_deviation
+        )
+        spec, matchable = self._resolve_levels(spec)
         matched: list[StoredSegment] = []
         partitions_scanned = 0
         segments_scanned = 0
-        for key in sorted(self._zonemaps):
-            if not full_scan and not self._may_match(spec, key, self._zonemaps[key]):
-                continue
-            rows = self._read_partition(key)
-            partitions_scanned += 1
-            segments_scanned += len(rows)
-            for record, record_epsilon in rows:
-                if spec.matches(key.device_id, record_epsilon, record):
-                    matched.append(
-                        StoredSegment(key.device_id, record_epsilon, record)
-                    )
+        if matchable:
+            for key in sorted(self._zonemaps):
+                if not full_scan and not self._may_match(
+                    spec, key, self._zonemaps[key]
+                ):
+                    continue
+                if full_scan and spec.device is not None and key.device_id != spec.device:
+                    # Even a full scan stays within the device predicate's
+                    # partitions: partitions_total counts those, and
+                    # full_scan audits pruning, not device routing.
+                    continue
+                rows = self._read_partition(key)
+                partitions_scanned += 1
+                segments_scanned += len(rows)
+                for record, record_epsilon in rows:
+                    if spec.matches(key.device_id, record_epsilon, record):
+                        matched.append(
+                            StoredSegment(key.device_id, record_epsilon, record)
+                        )
         return QueryResult(
             spec=spec,
             segments=tuple(matched),
-            partitions_total=len(self._zonemaps),
+            partitions_total=self._partitions_total(spec),
             partitions_scanned=partitions_scanned,
             segments_scanned=segments_scanned,
             full_scan=full_scan,
@@ -532,6 +564,8 @@ class Store:
         window: tuple[float, float] | None = None,
         bbox: tuple[float, float, float, float] | None = None,
         epsilon: float | None = None,
+        level: int | None = None,
+        max_deviation: float | None = None,
         pushdown: bool = True,
     ) -> AggregateResult:
         """Sliding-window aggregates over the spec's matching segments.
@@ -558,18 +592,22 @@ class Store:
         step = width if step is None else float(step)
         if not (math.isfinite(step) and step > 0.0):
             raise InvalidParameterError(f"step must be a positive float, got {step!r}")
-        spec = self._resolve_spec(spec, device, window, bbox, epsilon)
+        spec = self._resolve_spec(
+            spec, device, window, bbox, epsilon, level, max_deviation
+        )
+        spec, matchable = self._resolve_levels(spec)
 
         scan_keys: list[PartitionKey] = []
         push_keys: list[PartitionKey] = []
-        for key in sorted(self._zonemaps):
-            zonemap = self._zonemaps[key]
-            if not self._may_match(spec, key, zonemap):
-                continue
-            if pushdown and self._pushdown_eligible(spec, key, zonemap):
-                push_keys.append(key)
-            else:
-                scan_keys.append(key)
+        if matchable:
+            for key in sorted(self._zonemaps):
+                zonemap = self._zonemaps[key]
+                if not self._may_match(spec, key, zonemap):
+                    continue
+                if pushdown and self._pushdown_eligible(spec, key, zonemap):
+                    push_keys.append(key)
+                else:
+                    scan_keys.append(key)
 
         matched: list[StoredSegment] = []
         partitions_scanned = 0
@@ -595,7 +633,7 @@ class Store:
                 width=width,
                 step=step,
                 windows=windows,
-                partitions_total=len(self._zonemaps),
+                partitions_total=self._partitions_total(spec),
                 partitions_scanned=partitions_scanned,
                 partitions_pushdown=len(push_keys),
                 segments_scanned=segments_scanned,
@@ -707,6 +745,44 @@ class Store:
 
         return factory
 
+    def pyramid_sink_factory(
+        self, epsilons: Sequence[float], *, buffer_size: int = 256
+    ) -> Callable[[str, int], StoreSink]:
+        """A ``(device_id, level) -> StoreSink`` factory for pyramid hubs.
+
+        Level ``i`` persists under ``epsilons[i]``, so the stored ladder
+        (:meth:`levels`) mirrors the hub's.  Pass the same list as
+        ``StreamHub(epsilons=...)``, wiring the finest level through
+        :meth:`sink_factory` (``epsilon=epsilons[0]``) and the coarse
+        levels through this factory (``level_sink_factory=...``).
+        """
+        ladder: list[float] = []
+        for value in epsilons:
+            eps = float(value)
+            if not (math.isfinite(eps) and eps > 0.0):
+                raise InvalidParameterError(
+                    f"epsilons must be positive finite floats, got {value!r}"
+                )
+            if ladder and eps <= ladder[-1]:
+                raise InvalidParameterError(
+                    f"epsilons must be strictly ascending, "
+                    f"got {eps!r} after {ladder[-1]!r}"
+                )
+            ladder.append(eps)
+        if not ladder:
+            raise InvalidParameterError("epsilons must not be empty")
+
+        def factory(device_id: str, level: int) -> StoreSink:
+            if not 0 <= level < len(ladder):
+                raise InvalidParameterError(
+                    f"level {level} is outside the {len(ladder)}-level ladder"
+                )
+            return self.sink(
+                device_id, epsilon=ladder[level], buffer_size=buffer_size
+            )
+
+        return factory
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
@@ -717,14 +793,68 @@ class Store:
         window: tuple[float, float] | None,
         bbox: tuple[float, float, float, float] | None,
         epsilon: float | None,
+        level: int | None = None,
+        max_deviation: float | None = None,
     ) -> QuerySpec:
         if spec is None:
-            return QuerySpec(device=device, window=window, bbox=bbox, epsilon=epsilon)
-        if device is not None or window is not None or bbox is not None or epsilon is not None:
+            return QuerySpec(
+                device=device,
+                window=window,
+                bbox=bbox,
+                epsilon=epsilon,
+                level=level,
+                max_deviation=max_deviation,
+            )
+        if (
+            device is not None
+            or window is not None
+            or bbox is not None
+            or epsilon is not None
+            or level is not None
+            or max_deviation is not None
+        ):
             raise InvalidParameterError(
                 "pass either a QuerySpec or individual predicates, not both"
             )
         return spec
+
+    def _resolve_levels(self, spec: QuerySpec) -> tuple[QuerySpec, bool]:
+        """Rewrite ``level``/``max_deviation`` into a concrete epsilon.
+
+        Returns ``(resolved_spec, matchable)``.  ``matchable`` is False
+        when ``max_deviation`` admits no stored level — the query matches
+        nothing, but its accounting is still reported.  An out-of-range
+        ``level`` raises: the caller named a rung that does not exist.
+        """
+        if spec.level is None and spec.max_deviation is None:
+            return spec, True
+        ladder = self.levels()
+        if spec.level is not None:
+            if spec.level >= len(ladder):
+                raise InvalidParameterError(
+                    f"level {spec.level} is not stored; this store holds "
+                    f"{len(ladder)} level(s): {ladder!r}"
+                )
+            return replace(spec, epsilon=ladder[spec.level], level=None), True
+        qualifying = [eps for eps in ladder if eps <= spec.max_deviation]
+        if not qualifying:
+            return replace(spec, max_deviation=None), False
+        # The coarsest stored bound within the SLA: fewest segments that
+        # still honour the requested deviation.
+        return replace(spec, epsilon=qualifying[-1], max_deviation=None), True
+
+    def _partitions_total(self, spec: QuerySpec) -> int:
+        """Partitions the device predicate admits (the skipping baseline).
+
+        Counting only the queried device's partitions keeps
+        ``scan_fraction`` meaningful: an unknown device (or an empty
+        store) reports ``partitions_total == 0`` and scan fraction 0.0
+        instead of crediting the query with skipping partitions it could
+        never have read.
+        """
+        if spec.device is None:
+            return len(self._zonemaps)
+        return sum(1 for key in self._zonemaps if key.device_id == spec.device)
 
     @staticmethod
     def _may_match(spec: QuerySpec, key: PartitionKey, zonemap: ZoneMap) -> bool:

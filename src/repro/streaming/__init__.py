@@ -20,6 +20,7 @@ from .hub import (
 )
 from .interface import STREAMING_ALGORITHMS, BufferedBatchAdapter, make_streaming_simplifier
 from .pipeline import PipelineResult, StreamingPipeline, run_pipeline
+from .pyramid import PyramidSession, validate_epsilon_ladder
 from .sinks import (
     CollectingSink,
     CsvSegmentSink,
@@ -42,6 +43,7 @@ __all__ = [
     "HubShard",
     "HubStats",
     "PipelineResult",
+    "PyramidSession",
     "SegmentSink",
     "StatisticsSink",
     "StreamHub",
@@ -55,5 +57,6 @@ __all__ = [
     "run_pipeline",
     "save_checkpoint",
     "shard_index",
+    "validate_epsilon_ladder",
     "write_point_log",
 ]

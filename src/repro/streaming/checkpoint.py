@@ -88,6 +88,7 @@ def restore_hub(
     *,
     sink_factory: Callable[[str], object] | None = None,
     shared_sink: object | None = None,
+    level_sink_factory: Callable[[str, int], object] | None = None,
     shards: int | None = None,
     backend: str | ExecutionBackend = "serial",
     workers: int | None = None,
@@ -96,16 +97,19 @@ def restore_hub(
     """One-call resume: load a checkpoint (path or payload) into a live hub.
 
     Sinks are process-local resources and are not checkpointed; pass fresh
-    ones here.  ``shards`` re-shards the devices onto a different partition
-    count, and ``backend``/``workers``/``block_size`` pick the execution
-    shape of the restored hub — all independent of the checkpointing hub's
-    layout (see :meth:`StreamHub.from_checkpoint`).
+    ones here — including ``level_sink_factory`` when resuming a pyramid
+    checkpoint whose coarse levels should keep flowing somewhere.
+    ``shards`` re-shards the devices onto a different partition count, and
+    ``backend``/``workers``/``block_size`` pick the execution shape of the
+    restored hub — all independent of the checkpointing hub's layout (see
+    :meth:`StreamHub.from_checkpoint`).
     """
     payload = source if isinstance(source, dict) else load_checkpoint(source)
     return StreamHub.from_checkpoint(
         payload,
         sink_factory=sink_factory,
         shared_sink=shared_sink,
+        level_sink_factory=level_sink_factory,
         shards=shards,
         backend=backend,
         workers=workers,

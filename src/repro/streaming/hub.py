@@ -75,7 +75,7 @@ import traceback as _traceback
 import zlib
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..api.session import Simplifier, StreamSession
 from ..exceptions import (
@@ -89,6 +89,7 @@ from ..exec import ExecutionBackend, resolve_backend
 from ..geometry.point import Point
 from ..trajectory.piecewise import SegmentRecord
 from ..trajectory.soa import PointBlock
+from .pyramid import PyramidSession, validate_epsilon_ladder
 from .sinks import SegmentSink, close_sink, flush_sink
 
 __all__ = [
@@ -107,6 +108,13 @@ CHECKPOINT_KIND = "stream-hub"
 
 CHECKPOINT_FORMAT = 1
 """Version stamp of the checkpoint layout, bumped on incompatible changes."""
+
+PYRAMID_CHECKPOINT_FORMAT = 2
+"""Checkpoint layout of pyramid hubs (``epsilons=[...]``): format 1 plus an
+``"epsilons"`` ladder in the hub section, per-device ``"segments_by_level"``
+stats and a pyramid snapshot as each live device's ``"session"``.
+Single-epsilon hubs keep stamping format 1 byte-identically, and
+:meth:`StreamHub.from_checkpoint` reads both."""
 
 DEFAULT_BLOCK_SIZE = 512
 """Default records buffered per actor before ``push_many`` flushes a batch.
@@ -171,10 +179,14 @@ class HubStats:
     shard_points: list[int]
     sink_failures: int = 0
     """Sinks detached after raising (segments stopped reaching them)."""
+    epsilons: list[float] | None = None
+    """The hub's pyramid ladder, finest first (``None`` on single-epsilon hubs)."""
+    segments_by_level: list[int] | None = None
+    """Segments emitted per pyramid level, finest first (``None`` when single)."""
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dict view (for the CLI and reports)."""
-        return {
+        out: dict[str, object] = {
             "devices": self.devices,
             "active": self.active,
             "finished": self.finished,
@@ -188,6 +200,11 @@ class HubStats:
             "shard_points": list(self.shard_points),
             "sink_failures": self.sink_failures,
         }
+        if self.epsilons is not None:
+            out["epsilons"] = list(self.epsilons)
+        if self.segments_by_level is not None:
+            out["segments_by_level"] = list(self.segments_by_level)
+        return out
 
 
 class DeviceStream:
@@ -201,10 +218,23 @@ class DeviceStream:
     :meth:`StreamHub.register_device` / :meth:`StreamHub.push`.
     """
 
-    def __init__(self, device_id: str, simplifier: Simplifier) -> None:
+    def __init__(
+        self,
+        device_id: str,
+        simplifier: Simplifier,
+        epsilons: tuple[float, ...] | None = None,
+    ) -> None:
         self.device_id = device_id
         self.simplifier = simplifier
-        self.session: StreamSession = simplifier.open_stream(keep_segments=False)
+        self.session: StreamSession | PyramidSession
+        if epsilons is None:
+            self.session = simplifier.open_stream(keep_segments=False)
+            self.pyramid = False
+            self.level_segments: list[int] = []
+        else:
+            self.session = PyramidSession(simplifier, epsilons)
+            self.pyramid = True
+            self.level_segments = [0] * (len(epsilons) - 1)
         self.points_pushed = 0
         self.segments_emitted = 0
         self.max_segments_per_push = 0
@@ -279,9 +309,25 @@ class DeviceStream:
         self.lag = 0
         return emitted
 
-    def stats_dict(self) -> dict[str, int]:
-        """The per-device counters as a plain dict (checkpointed verbatim)."""
-        return {
+    def drain_levels(self) -> list[tuple[int, list[SegmentRecord]]]:
+        """Pop coarse-level segments cascaded since the last drain.
+
+        Only meaningful on pyramid streams; folds the drained counts into
+        :attr:`level_segments` so per-level statistics stay authoritative.
+        """
+        drained = self.session.drain_levels()  # type: ignore[union-attr]
+        for level, segments in drained:
+            self.level_segments[level - 1] += len(segments)
+        return drained
+
+    def stats_dict(self) -> dict[str, object]:
+        """The per-device counters as a plain dict (checkpointed verbatim).
+
+        ``segments_by_level`` (finest first; index 0 repeats
+        ``segments_emitted``) appears only on pyramid streams, so
+        single-epsilon checkpoints stay byte-identical to format 1.
+        """
+        stats: dict[str, object] = {
             "points_pushed": self.points_pushed,
             "segments_emitted": self.segments_emitted,
             "max_segments_per_push": self.max_segments_per_push,
@@ -289,6 +335,9 @@ class DeviceStream:
             "max_lag": self.max_lag,
             "dropped_points": self.dropped_points,
         }
+        if self.pyramid:
+            stats["segments_by_level"] = [self.segments_emitted, *self.level_segments]
+        return stats
 
     def _load_stats(self, stats: dict) -> None:
         self.points_pushed = int(stats["points_pushed"])
@@ -297,6 +346,9 @@ class DeviceStream:
         self.lag = int(stats["lag"])
         self.max_lag = int(stats["max_lag"])
         self.dropped_points = int(stats["dropped_points"])
+        by_level = stats.get("segments_by_level")
+        if by_level is not None and self.pyramid:
+            self.level_segments = [int(count) for count in by_level[1:]]
 
 
 class HubShard:
@@ -328,6 +380,8 @@ class _HubConfig:
     carry_exceptions: bool
     """Whether device-error events may carry the original exception object
     (true for in-process backends; exceptions do not reliably pickle)."""
+    epsilons: tuple[float, ...] | None = None
+    """Pyramid ladder (finest first); ``None`` runs single-epsilon streams."""
 
 
 class _ShardCore:
@@ -411,8 +465,15 @@ class _ShardCore:
                 epsilon if epsilon is not None else self._default.epsilon,
                 **effective_opts,
             )
-        shard.devices[device_id] = DeviceStream(device_id, simplifier)
+        shard.devices[device_id] = DeviceStream(
+            device_id, simplifier, epsilons=self._config.epsilons
+        )
         return None
+
+    def _emit_levels(self, device: DeviceStream) -> None:
+        """Ship coarse pyramid segments cascaded by the last device call."""
+        for level, segments in device.drain_levels():
+            self._emit(("level_segments", device.device_id, level, segments))
 
     def _record_failure(self, device: DeviceStream, error: Exception) -> None:
         formatted = "".join(
@@ -470,6 +531,8 @@ class _ShardCore:
         shard.points_pushed += 1
         if emitted:
             self._emit(("segments", device_id, emitted))
+            if device.pyramid:
+                self._emit_levels(device)
         return emitted, True
 
     def push_batch(self, records: list[tuple[int, str, Point]]) -> None:
@@ -529,6 +592,8 @@ class _ShardCore:
             shard.points_pushed += consumed
             if emitted:
                 self._emit(("segments", device_id, emitted))
+                if device.pyramid:
+                    self._emit_levels(device)
             self._record_failure(device, error)
             remaining = len(block) - consumed
             if self._config.on_error == "collect":
@@ -543,6 +608,8 @@ class _ShardCore:
         shard.points_pushed += consumed
         if emitted:
             self._emit(("segments", device_id, emitted))
+            if device.pyramid:
+                self._emit_levels(device)
         return emitted
 
     def finish_device(self, shard_i: int, device_id: str) -> list[SegmentRecord]:
@@ -561,6 +628,10 @@ class _ShardCore:
             return []
         if emitted:
             self._emit(("segments", device_id, emitted))
+        if device.pyramid:
+            # The cascade flush can finalise coarse tails even when the
+            # finest level emitted nothing, so drain unconditionally.
+            self._emit_levels(device)
         return emitted
 
     def finish_all(self) -> list[tuple[int, list[tuple[str, list[SegmentRecord]]]]]:
@@ -611,6 +682,9 @@ class _ShardCore:
         devices = dropped = segments = points = 0
         max_lag = max_burst = 0
         shard_rows = []
+        level_counts: list[int] | None = None
+        if self._config.epsilons is not None:
+            level_counts = [0] * (len(self._config.epsilons) - 1)
         for shard_i in sorted(self.shards):
             shard = self.shards[shard_i]
             shard_rows.append((shard_i, len(shard.devices), shard.points_pushed))
@@ -629,6 +703,9 @@ class _ShardCore:
                     max_lag = device.max_lag
                 if device.max_segments_per_push > max_burst:
                     max_burst = device.max_segments_per_push
+                if level_counts is not None and device.pyramid:
+                    for i, count in enumerate(device.level_segments):
+                        level_counts[i] += count
         return {
             "shards": shard_rows,
             "devices": devices,
@@ -640,6 +717,7 @@ class _ShardCore:
             "max_burst": max_burst,
             "points_pushed": points,
             "segments_emitted": segments,
+            "level_segments": level_counts,
         }
 
     def restore(self, shard_i: int, entry: dict) -> None:
@@ -654,7 +732,12 @@ class _ShardCore:
         device._load_stats(entry["stats"])
         session_state = entry.get("session")
         if session_state is not None:
-            device.session = device.simplifier.restore_stream(session_state)
+            if device.pyramid:
+                # The fresh PyramidSession restores in place (base session
+                # plus every cascade level and its priming state).
+                device.session.restore(session_state)  # type: ignore[union-attr]
+            else:
+                device.session = device.simplifier.restore_stream(session_state)
         elif entry.get("finished"):
             # Consume the fresh session so the device reads finished.
             device.session.finish()
@@ -682,6 +765,19 @@ class StreamHub:
         Default algorithm and error bound for devices registered without an
         explicit override (``epsilon`` is required when the default algorithm
         is error bounded, exactly as for :class:`~repro.api.Simplifier`).
+    epsilons:
+        Optional strictly ascending error-bound ladder (finest first).  With
+        two or more levels the hub runs an *epsilon pyramid*: every device
+        wraps a :class:`~repro.streaming.PyramidSession` that simplifies the
+        raw stream once at ``epsilons[0]`` and cascades the emitted segments
+        into ``len(epsilons) - 1`` coarser simplifiers in the same pass.
+        The finest level is byte-identical to a single-epsilon hub run at
+        ``epsilons[0]`` (segments, statistics, snapshots); coarse levels add
+        only O(segments) work.  Mutually exclusive with a conflicting
+        ``epsilon`` (``epsilons[0]`` *is* the hub epsilon); a one-element
+        ladder is exactly ``epsilon=epsilons[0]``.  Pyramid hubs checkpoint
+        as format :data:`PYRAMID_CHECKPOINT_FORMAT` and refuse per-device
+        overrides (the ladder is hub-wide).
     options:
         Default algorithm options for implicitly registered devices.
     shards:
@@ -696,6 +792,12 @@ class StreamHub:
         Optional single :class:`~repro.streaming.sinks.SegmentSink`
         receiving every device's segments.  Mutually exclusive with
         ``sink_factory``; closed exactly once by the hub.
+    level_sink_factory:
+        Optional ``(device_id, level) -> sink`` callable for pyramid hubs:
+        coarse levels ``1..len(epsilons)-1`` route their segments to these
+        sinks (the finest level keeps using ``sink_factory`` /
+        ``shared_sink``).  Owned by the hub like every other sink; requires
+        a multi-level ``epsilons`` ladder.
     on_error:
         ``"collect"`` (default) quarantines a failing device stream and keeps
         the hub running; ``"raise"`` re-raises — immediately on the serial
@@ -725,10 +827,12 @@ class StreamHub:
         *,
         algorithm: str = "operb",
         epsilon: float | None = None,
+        epsilons: Sequence[float] | None = None,
         options: dict | None = None,
         shards: int = 4,
         sink_factory: Callable[[str], SegmentSink] | None = None,
         shared_sink: SegmentSink | None = None,
+        level_sink_factory: Callable[[str, int], SegmentSink] | None = None,
         on_error: str = "collect",
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
@@ -753,8 +857,42 @@ class StreamHub:
                 f"shared_sink must satisfy the SegmentSink protocol "
                 f"(an accept(segment) method); got {type(shared_sink).__name__}"
             )
+        pyramid_epsilons: tuple[float, ...] | None = None
+        if epsilons is not None:
+            ladder = validate_epsilon_ladder(epsilons)
+            if epsilon is not None and float(epsilon) != ladder[0]:
+                raise InvalidParameterError(
+                    f"epsilon={epsilon!r} conflicts with epsilons[0]={ladder[0]!r}; "
+                    f"the ladder's finest level is the hub epsilon"
+                )
+            epsilon = ladder[0]
+            # A one-rung ladder is exactly a single-epsilon hub; collapsing
+            # it keeps the checkpoint format (and every downstream byte)
+            # identical to passing epsilon= directly.
+            if len(ladder) > 1:
+                pyramid_epsilons = ladder
+        if level_sink_factory is not None and pyramid_epsilons is None:
+            raise InvalidParameterError(
+                "level_sink_factory requires a multi-level pyramid "
+                "(epsilons=[...] with at least two levels)"
+            )
         # Validates the default configuration eagerly (epsilon, options).
         self._default = Simplifier(algorithm, epsilon, **dict(options or {}))
+        if (
+            pyramid_epsilons is not None
+            and not self._default.descriptor.pyramid_capable
+        ):
+            raise InvalidParameterError(
+                f"algorithm {self._default.algorithm!r} cannot serve an epsilon "
+                f"pyramid: cascading its segment endpoints does not preserve "
+                f"the coarse error bound (descriptor.pyramid_capable is false)"
+            )
+        self._epsilons = pyramid_epsilons
+        self._level_sink_factory = level_sink_factory
+        self._level_sinks: dict[tuple[str, int], SegmentSink | None] = {}
+        self._level_counts: list[int] | None = (
+            [0] * (len(pyramid_epsilons) - 1) if pyramid_epsilons else None
+        )
         self.on_error = on_error
         self._block_size = block_size
         self._sink_factory = sink_factory
@@ -778,6 +916,7 @@ class StreamHub:
             options=dict(self._default.opts),
             on_error=on_error,
             carry_exceptions=self._backend.name != "process",
+            epsilons=pyramid_epsilons,
         )
         factories = [
             partial(_ShardCore, config, tuple(range(actor, shards, self._n_actors)))
@@ -799,7 +938,26 @@ class StreamHub:
     def _on_actor_event(self, actor: int, event: tuple) -> None:
         """Route one shard-worker event (serialised by the actor group)."""
         kind = event[0]
-        if kind == "segments":
+        if kind == "level_segments":
+            _, device_id, level, segments = event
+            if self._level_counts is not None:
+                self._level_counts[level - 1] += len(segments)
+            sink = self._level_sinks.get((device_id, level))
+            if sink is not None:
+                try:
+                    for segment in segments:
+                        sink.accept(segment)
+                except Exception as error:  # noqa: BLE001 — sink isolation
+                    # Same contract as the finest-level branch below: detach
+                    # only the raising level's sink, keep the stream (and
+                    # the other levels' sinks) running.
+                    self._record_sink_failure(
+                        device_id,
+                        error,
+                        f"level-{level} sink rejected segments: {error}",
+                        level=level,
+                    )
+        elif kind == "segments":
             _, device_id, segments = event
             self.segments_emitted += len(segments)
             sink = self._sinks.get(device_id)
@@ -861,11 +1019,18 @@ class StreamHub:
         )
 
     def _record_sink_failure(
-        self, device_id: str, error: Exception, message: str
+        self, device_id: str, error: Exception, message: str, *, level: int | None = None
     ) -> None:
-        """Detach a raising sink and record the failure (once per device)."""
+        """Detach a raising sink and record the failure (once per device).
+
+        ``level`` selects a pyramid level's sink; ``None`` detaches the
+        device's finest-level sink.
+        """
         self.sink_failures += 1
-        self._sinks[device_id] = None
+        if level is None:
+            self._sinks[device_id] = None
+        else:
+            self._level_sinks[(device_id, level)] = None
         self.errors.append(
             DeviceError(
                 device_id=device_id,
@@ -895,6 +1060,17 @@ class StreamHub:
             self._sinks[device_id] = sink
         elif self._shared_sink is not None:
             self._sinks[device_id] = self._shared_sink
+        if self._level_sink_factory is not None and self._epsilons is not None:
+            for level in range(1, len(self._epsilons)):
+                level_sink = self._level_sink_factory(device_id, level)
+                if not isinstance(level_sink, SegmentSink):
+                    raise InvalidParameterError(
+                        f"level_sink_factory returned a "
+                        f"{type(level_sink).__name__} for device {device_id!r} "
+                        f"level {level}, which does not satisfy the SegmentSink "
+                        f"protocol (an accept(segment) method)"
+                    )
+                self._level_sinks[(device_id, level)] = level_sink
 
     def _close_sinks(self) -> None:
         """Flush and close every attached sink exactly once (idempotent).
@@ -910,8 +1086,15 @@ class StreamHub:
             return
         self._sinks_closed = True
         seen: set[int] = set()
-        for device_id in sorted(self._sinks):
-            sink = self._sinks[device_id]
+        entries: list[tuple[str, int | None, SegmentSink | None]] = [
+            (device_id, None, self._sinks[device_id])
+            for device_id in sorted(self._sinks)
+        ]
+        entries.extend(
+            (device_id, level, self._level_sinks[(device_id, level)])
+            for device_id, level in sorted(self._level_sinks)
+        )
+        for device_id, level, sink in entries:
             if sink is None or id(sink) in seen:
                 continue
             seen.add(id(sink))
@@ -920,7 +1103,7 @@ class StreamHub:
                 close_sink(sink)
             except Exception as error:  # noqa: BLE001 — sink isolation
                 self._record_sink_failure(
-                    device_id, error, f"sink close failed: {error}"
+                    device_id, error, f"sink close failed: {error}", level=level
                 )
 
     def _ask_all(self, message: tuple) -> list:
@@ -950,6 +1133,14 @@ class StreamHub:
         replies = self._ask_all(("stats",))
         self.points_pushed = sum(reply["points_pushed"] for reply in replies)
         self.segments_emitted = sum(reply["segments_emitted"] for reply in replies)
+        if self._level_counts is not None:
+            totals = [0] * len(self._level_counts)
+            for reply in replies:
+                counts = reply.get("level_segments")
+                if counts:
+                    for i, count in enumerate(counts):
+                        totals[i] += count
+            self._level_counts = totals
         return replies
 
     def _local_shards(self) -> list[HubShard]:
@@ -1010,8 +1201,20 @@ class StreamHub:
 
     @property
     def epsilon(self) -> float:
-        """Default error bound for implicitly registered devices."""
+        """Default error bound for implicitly registered devices.
+
+        On a pyramid hub this is the finest level (``epsilons[0]``)."""
         return self._default.epsilon
+
+    @property
+    def epsilons(self) -> tuple[float, ...] | None:
+        """The pyramid ladder, finest first (``None`` on single-epsilon hubs)."""
+        return self._epsilons
+
+    @property
+    def pyramid(self) -> bool:
+        """Whether this hub cascades every stream into coarser levels."""
+        return self._epsilons is not None
 
     @property
     def backend(self) -> str:
@@ -1103,6 +1306,13 @@ class StreamHub:
         if device_id in self._known:
             raise InvalidParameterError(
                 f"device {device_id!r} is already registered with this hub"
+            )
+        if self._epsilons is not None and (
+            algorithm is not None or epsilon is not None or opts
+        ):
+            raise InvalidParameterError(
+                "per-device overrides are not supported on a pyramid hub; "
+                "every device shares the hub-wide epsilons=[...] ladder"
             )
         shard_i = shard_index(device_id, self._n_shards)
         actor = self._actor_of(shard_i)
@@ -1293,6 +1503,12 @@ class StreamHub:
             shard_devices=shard_devices,
             shard_points=shard_points,
             sink_failures=self.sink_failures,
+            epsilons=None if self._epsilons is None else list(self._epsilons),
+            segments_by_level=(
+                None
+                if self._level_counts is None
+                else [self.segments_emitted, *self._level_counts]
+            ),
         )
 
     # ------------------------------------------------------------------ #
@@ -1338,19 +1554,26 @@ class StreamHub:
         self.segments_emitted = sum(
             int(entry["stats"]["segments_emitted"]) for entry in devices
         )
+        hub_section: dict[str, object] = {
+            "algorithm": self._default.algorithm,
+            "epsilon": self._default.epsilon,
+            "options": dict(self._default.opts),
+            "shards": self._n_shards,
+            "on_error": self.on_error,
+            "points_pushed": self.points_pushed,
+            "segments_emitted": self.segments_emitted,
+            "shard_points": shard_points,
+        }
+        if self._epsilons is not None:
+            hub_section["epsilons"] = list(self._epsilons)
         return {
-            "format": CHECKPOINT_FORMAT,
+            "format": (
+                CHECKPOINT_FORMAT
+                if self._epsilons is None
+                else PYRAMID_CHECKPOINT_FORMAT
+            ),
             "kind": CHECKPOINT_KIND,
-            "hub": {
-                "algorithm": self._default.algorithm,
-                "epsilon": self._default.epsilon,
-                "options": dict(self._default.opts),
-                "shards": self._n_shards,
-                "on_error": self.on_error,
-                "points_pushed": self.points_pushed,
-                "segments_emitted": self.segments_emitted,
-                "shard_points": shard_points,
-            },
+            "hub": hub_section,
             "devices": devices,
         }
 
@@ -1361,6 +1584,7 @@ class StreamHub:
         *,
         sink_factory: Callable[[str], SegmentSink] | None = None,
         shared_sink: SegmentSink | None = None,
+        level_sink_factory: Callable[[str, int], SegmentSink] | None = None,
         shards: int | None = None,
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
@@ -1388,10 +1612,12 @@ class StreamHub:
                 f"{payload.get('kind')!r})" if isinstance(payload, dict)
                 else "checkpoint payload must be a dict"
             )
-        if payload.get("format") != CHECKPOINT_FORMAT:
+        payload_format = payload.get("format")
+        if payload_format not in (CHECKPOINT_FORMAT, PYRAMID_CHECKPOINT_FORMAT):
             raise CheckpointError(
-                f"unsupported checkpoint format {payload.get('format')!r}; "
-                f"this build reads format {CHECKPOINT_FORMAT}"
+                f"unsupported checkpoint format {payload_format!r}; this build "
+                f"reads formats {CHECKPOINT_FORMAT} (single-epsilon) and "
+                f"{PYRAMID_CHECKPOINT_FORMAT} (pyramid)"
             )
         # Caller-supplied arguments are validated before the payload-shape
         # try block: a bad backend/workers/shards argument is the caller's
@@ -1401,14 +1627,26 @@ class StreamHub:
             raise InvalidParameterError(f"shards must be at least 1, got {shards}")
         try:
             hub_config = payload["hub"]
+            stored_epsilons = hub_config.get("epsilons")
+            if (payload_format == PYRAMID_CHECKPOINT_FORMAT) != (
+                stored_epsilons is not None
+            ):
+                raise CheckpointError(
+                    f"checkpoint format {payload_format!r} is inconsistent with "
+                    f"its hub section (epsilons={stored_epsilons!r}); pyramid "
+                    f"checkpoints are format {PYRAMID_CHECKPOINT_FORMAT} and "
+                    f"carry the ladder"
+                )
             n_shards = int(shards) if shards is not None else int(hub_config["shards"])
             hub = cls(
                 algorithm=hub_config["algorithm"],
-                epsilon=hub_config["epsilon"],
+                epsilon=None if stored_epsilons else hub_config["epsilon"],
+                epsilons=stored_epsilons,
                 options=dict(hub_config.get("options", {})),
                 shards=n_shards,
                 sink_factory=sink_factory,
                 shared_sink=shared_sink,
+                level_sink_factory=level_sink_factory,
                 on_error=hub_config["on_error"],
                 backend=executor,
                 workers=workers,

@@ -16,7 +16,7 @@ from ..exceptions import InvalidTrajectoryError
 from ..geometry.point import Point, encode_point
 from ..geometry.segment import DirectedSegment
 
-__all__ = ["SegmentRecord", "PiecewiseRepresentation"]
+__all__ = ["SegmentRecord", "SegmentCascadeMixin", "PiecewiseRepresentation"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -134,6 +134,44 @@ class SegmentRecord:
     def with_covered_last_index(self, covered_last_index: int) -> "SegmentRecord":
         """Copy acknowledging absorbed points up to ``covered_last_index``."""
         return replace(self, covered_last_index=covered_last_index)
+
+
+class SegmentCascadeMixin:
+    """Segment re-ingest hook for epsilon-pyramid cascades.
+
+    A coarser pyramid level consumes the finer level's *segment endpoints*
+    instead of the raw point stream — O(segments), not O(points).  Any
+    push/finish simplifier that inherits this mixin gains ``push_segment``
+    and thereby satisfies the ``pyramid`` capability flag (RPA002 checks
+    that the hook is actually defined).
+
+    Defined here rather than in :mod:`repro.algorithms.base` (which
+    re-exports it) because ``repro.core`` simplifiers inherit it, and
+    importing the ``algorithms`` package from ``core`` would close an
+    import cycle through ``api.builtin``.
+
+    The mixin is stateless: whether a segment's start must be re-ingested
+    (stream start, or a discontinuity after the finer level patched its
+    endpoints) is the *caller's* knowledge —
+    :class:`repro.streaming.PyramidSession` tracks the last endpoint it
+    forwarded per level and passes ``include_start`` accordingly.
+    """
+
+    def push_segment(
+        self, segment: SegmentRecord, *, include_start: bool = False
+    ) -> list[SegmentRecord]:
+        """Re-ingest one finer-level segment into this simplifier.
+
+        Pushes ``segment.start`` first when ``include_start`` is true (the
+        very first segment of a stream, or after a gap), then
+        ``segment.end``.  Returns the segments emitted, in push order.
+        """
+        push = self.push  # type: ignore[attr-defined]
+        emitted: list[SegmentRecord] = []
+        if include_start:
+            emitted.extend(push(segment.start))
+        emitted.extend(push(segment.end))
+        return emitted
 
 
 @dataclass

@@ -191,6 +191,55 @@ class TestCapabilityConsistencyRPA002:
         )
         assert findings == []
 
+    def test_pyramid_without_push_segment_is_reported(self):
+        # Seeded mutation: the class lost its segment re-ingest hook but the
+        # registration still declares pyramid=True.
+        findings = lint(
+            """\
+            class Simp:
+                def push(self, point):
+                    pass
+
+                def finish(self):
+                    return []
+
+
+            @register_algorithm(
+                "operb-y",
+                streaming_factory=Simp,
+                pyramid=True,
+            )
+            def operb_y(trajectory, epsilon):
+                return None
+            """,
+            path=API_PATH,
+            rules=["RPA002"],
+        )
+        assert triples(findings) == [("RPA002", 9, "operb-y.pyramid")]
+
+    def test_pyramid_with_push_segment_passes(self):
+        findings = lint(
+            """\
+            class Simp:
+                def push(self, point):
+                    pass
+
+                def push_segment(self, segment, include_start=False):
+                    pass
+
+                def finish(self):
+                    return []
+
+
+            @register_algorithm("operb-z", streaming_factory=Simp, pyramid=True)
+            def operb_z(trajectory, epsilon):
+                return None
+            """,
+            path=API_PATH,
+            rules=["RPA002"],
+        )
+        assert findings == []
+
     def test_satisfied_flags_pass(self):
         findings = lint(
             """\

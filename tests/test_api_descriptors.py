@@ -109,6 +109,49 @@ class TestCapabilityFlags:
         assert caps["streaming"] and caps["one_pass"]
         assert "gamma_max" in caps["accepted_kwargs"]
 
+    def test_pyramid_flag_on_builtin_streamers(self):
+        for name in ("operb", "raw-operb", "operb-a", "raw-operb-a"):
+            assert get_descriptor(name).pyramid
+        # fbqs streams and is error bounded, but its convex window accepts
+        # points that project beyond the emitted endpoints, so the endpoint
+        # cascade cannot honour the coarse bound.
+        assert not get_descriptor("fbqs").pyramid
+        assert not get_descriptor("dead-reckoning").pyramid
+
+    def test_pyramid_capable_derivation(self):
+        # Native streamers qualify through the pyramid flag; batch-only SED
+        # algorithms qualify through the buffered adapter because their
+        # time-synchronised witnesses stay inside each chord's span.
+        assert get_descriptor("operb").pyramid_capable
+        for name in ("dp-sed", "opw-tr"):
+            descriptor = get_descriptor(name)
+            assert descriptor.pyramid_capable and not descriptor.pyramid
+        # Line-distance window/batch algorithms are excluded (witness
+        # overhang); dead-reckoning has no segment re-ingest hook, and
+        # uniform is not error-bounded at all.
+        for name in ("fbqs", "opw", "bqs", "dp"):
+            assert not get_descriptor(name).pyramid_capable, name
+        assert not get_descriptor("dead-reckoning").pyramid_capable
+        assert not get_descriptor("uniform").pyramid_capable
+
+    def test_pyramid_in_capabilities_dict(self):
+        caps = get_descriptor("operb").capabilities()
+        assert caps["pyramid"] is True
+
+    def test_pyramid_requires_streaming_factory(self):
+        with pytest.raises(InvalidParameterError):
+            AlgorithmDescriptor(name="broken", batch=lambda t, e: None, pyramid=True)
+
+    def test_pyramid_requires_error_bound(self):
+        with pytest.raises(InvalidParameterError):
+            AlgorithmDescriptor(
+                name="broken",
+                batch=lambda t, e: None,
+                streaming_factory=lambda epsilon, **kw: None,
+                error_metric="none",
+                pyramid=True,
+            )
+
     def test_validate_kwargs_rejects_unknown(self):
         with pytest.raises(InvalidParameterError):
             get_descriptor("dp").validate_kwargs({"bogus": 1})

@@ -538,3 +538,152 @@ class TestStoreCommands:
     def test_bad_flag_syntax_is_reported(self, store_dir, capsys, flags):
         assert main(["query", str(store_dir), *flags]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestPyramidCli:
+    @pytest.fixture
+    def point_log(self, tmp_path, device_point_log):
+        from repro.streaming import write_point_log
+
+        path = tmp_path / "log.jsonl"
+        write_point_log(device_point_log[:1_000], path)
+        return path
+
+    def test_perf_list_prints_suites_and_cases(self, capsys):
+        assert main(["perf", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"^pyramid: \d+ case\(s\)", out, re.MULTILINE)
+        assert re.search(r"^quick: \d+ case\(s\)", out, re.MULTILINE)
+        assert "mode=pyramid" in out
+        assert "block_size=" in out
+
+    def test_serve_replay_epsilons_reports_per_level_counts(self, capsys):
+        code = main(
+            [
+                "serve-replay",
+                "--synthetic",
+                "taxi",
+                "--devices",
+                "4",
+                "--points",
+                "80",
+                "--epsilons",
+                "10",
+                "20",
+                "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pyramid levels:" in out
+        assert "L0(eps=10)" in out and "L2(eps=40)" in out
+
+    def test_epsilons_conflict_with_resume(self, point_log, tmp_path, capsys):
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--epsilons",
+                "10",
+                "40",
+                "--resume",
+                str(tmp_path / "hub.json"),
+                "--checkpoint",
+                str(tmp_path / "hub.json"),
+            ]
+        )
+        assert code == 2
+        assert "--epsilons conflicts with --resume" in capsys.readouterr().err
+
+    def test_non_ascending_epsilons_are_reported(self, capsys):
+        code = main(
+            ["serve-replay", "--synthetic", "taxi", "--epsilons", "40", "10"]
+        )
+        assert code == 1
+        assert "strictly ascending" in capsys.readouterr().err
+
+    def test_resume_takes_the_ladder_from_the_checkpoint(
+        self, point_log, tmp_path, capsys
+    ):
+        from repro.streaming import StreamHub, read_point_log, save_checkpoint
+
+        records = list(read_point_log(point_log))
+        checkpoint = tmp_path / "hub.json"
+        hub = StreamHub(algorithm="operb", epsilons=(40.0, 80.0), shards=4)
+        hub.push_many(records[:600])
+        save_checkpoint(hub, checkpoint)
+        hub.close()
+
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--resume",
+                str(checkpoint),
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "skipping 600 points" in out
+        assert "L1(eps=80)" in out
+
+    @pytest.fixture
+    def pyramid_store(self, point_log, tmp_path, capsys):
+        path = tmp_path / "segments"
+        code = main(
+            [
+                "serve-replay",
+                str(point_log),
+                "--epsilons",
+                "10",
+                "20",
+                "40",
+                "--store",
+                str(path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_query_level_resolves_against_the_ladder(self, pyramid_store, capsys):
+        assert main(["query", str(pyramid_store), "--level", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution: level 1 of ladder" in out
+        assert "epsilon 20" in out
+
+    def test_query_sla_picks_the_coarsest_qualifying_level(
+        self, pyramid_store, capsys
+    ):
+        assert main(["query", str(pyramid_store), "--max-deviation", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution: level 1 of ladder" in out  # 20 is coarsest <= 25
+
+    def test_query_unsatisfiable_sla_matches_nothing(self, pyramid_store, capsys):
+        assert main(["query", str(pyramid_store), "--max-deviation", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "no stored level within SLA 5" in out
+        assert "matched 0 segment(s)" in out
+        assert "read 0/" in out
+
+    def test_query_level_out_of_range_is_reported(self, pyramid_store, capsys):
+        assert main(["query", str(pyramid_store), "--level", "9"]) == 1
+        assert "level 9 is not stored" in capsys.readouterr().err
+
+    def test_query_level_and_epsilon_are_exclusive(self, pyramid_store, capsys):
+        code = main(
+            ["query", str(pyramid_store), "--level", "1", "--epsilon", "20"]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_query_level_json_carries_the_resolved_epsilon(
+        self, pyramid_store, capsys
+    ):
+        assert main(["query", str(pyramid_store), "--level", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["epsilon"] == 40.0
+        assert payload["spec"]["level"] is None
+        assert all(s["epsilon"] == 40.0 for s in payload["segments"])

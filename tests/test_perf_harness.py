@@ -495,3 +495,105 @@ class TestStoreWorkloads:
         assert any(case.mode == "store" for case in quick.cases)
         assert "store" in SUITES
         assert all(case.mode == "store" for case in SUITES["store"].cases)
+
+
+TINY_PYRAMID_SUITE = PerfSuite(
+    name="tiny-pyramid",
+    cases=(
+        PerfCase(
+            "pyr-tiny-k3",
+            "taxi",
+            n_trajectories=6,
+            points_per_trajectory=80,
+            mode="pyramid",
+            levels=3,
+        ),
+        PerfCase(
+            "pyr-tiny-k1",
+            "taxi",
+            n_trajectories=6,
+            points_per_trajectory=80,
+            mode="pyramid",
+            levels=1,
+        ),
+    ),
+    algorithms=("operb",),
+    repeats=1,
+)
+
+
+class TestPyramidMeasurements:
+    def test_pyramid_suite_is_declared_and_gated(self):
+        assert "pyramid" in SUITES
+        assert any(case.mode == "pyramid" for case in SUITES["quick"].cases)
+        assert all(case.mode == "pyramid" for case in SUITES["pyramid"].cases)
+        # The suite carries single-level reference cells for the cost ratio.
+        assert any(case.levels == 1 for case in SUITES["pyramid"].cases)
+        assert any(case.levels > 1 for case in SUITES["pyramid"].cases)
+
+    def test_levels_validated(self):
+        with pytest.raises(InvalidParameterError, match="levels"):
+            PerfCase(
+                "bad", "taxi", n_trajectories=1, points_per_trajectory=10, levels=0
+            )
+
+    def test_pyramid_mode_measurements(self):
+        report = run_suite(TINY_PYRAMID_SUITE)
+        by_key = {m.key: m for m in report.results}
+        multi = by_key["pyr-tiny-k3:operb"]
+        assert multi.mode == "pyramid"
+        assert multi.levels == 3
+        assert multi.level_compression is not None
+        assert len(multi.level_compression) == 3
+        # Coarser levels never retain more than finer ones, and the finest
+        # level's ratio is the headline compression_ratio.
+        assert multi.level_compression[0] == pytest.approx(multi.compression_ratio)
+        assert all(
+            finer >= coarser
+            for finer, coarser in zip(
+                multi.level_compression, multi.level_compression[1:]
+            )
+        )
+        single = by_key["pyr-tiny-k1:operb"]
+        assert single.levels == 1
+        assert single.segments > 0
+
+    def test_non_pyramid_capable_algorithms_are_skipped_not_crashed(self):
+        # fbqs is error bounded but not pyramid capable (its accepted points
+        # may project beyond the emitted endpoints); a mixed suite must drop
+        # the cell, announce it, and keep the capable cells.
+        mixed = PerfSuite(
+            name="tiny-pyramid-mixed",
+            cases=(TINY_PYRAMID_SUITE.cases[0],),
+            algorithms=("operb", "fbqs"),
+            repeats=1,
+        )
+        lines: list[str] = []
+        report = run_suite(mixed, progress=lines.append)
+        keys = {m.key for m in report.results}
+        assert keys == {"pyr-tiny-k3:operb"}
+        assert any("skipped (not pyramid-capable)" in line for line in lines)
+
+    def test_pyramid_measurements_serialise_and_reload(self, tmp_path):
+        report = run_suite(TINY_PYRAMID_SUITE)
+        path = write_report(report, tmp_path / "pyramid.json")
+        loaded = load_report(path)
+        assert loaded.results == report.results
+        entry = json.loads(path.read_text())["results"][0]
+        assert entry["mode"] == "pyramid"
+        assert "levels" in entry and "level_compression" in entry
+
+    def test_pre_pyramid_reports_load_with_single_level_default(
+        self, tiny_report, tmp_path
+    ):
+        path = write_report(tiny_report, tmp_path / "old.json")
+        payload = json.loads(path.read_text())
+        for entry in payload["results"]:
+            entry.pop("levels", None)
+            entry.pop("level_compression", None)
+        path.write_text(json.dumps(payload))
+        loaded = load_report(path)
+        assert all(measurement.levels == 1 for measurement in loaded.results)
+        assert all(
+            measurement.level_compression is None for measurement in loaded.results
+        )

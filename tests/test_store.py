@@ -342,9 +342,13 @@ class TestQuery:
     def test_device_and_window_pruning(self, populated):
         result = populated.query(device="cab-2", window=(140.0, 200.0))
         assert [s.record.start.t for s in result.segments] == [150.0]
+        # partitions_total counts only the queried device's partitions
+        # (cab-2 owns 4) — the skipping baseline is what the query could
+        # ever have read, not the whole store.
+        assert result.partitions_total == 4
         assert result.partitions_scanned == 1
-        assert result.partitions_skipped == 12
-        assert result.scan_fraction == pytest.approx(1 / 13)
+        assert result.partitions_skipped == 3
+        assert result.scan_fraction == pytest.approx(1 / 4)
 
     def test_zone_map_admits_partition_but_rows_still_filtered(self, store):
         # Two segments in one bucket with a temporal gap: the zone map's
@@ -379,8 +383,8 @@ class TestQuery:
     def test_result_as_dict_shape(self, populated):
         payload = populated.query(device="cab-1").as_dict()
         assert payload["matched"] == len(payload["segments"])
-        assert payload["partitions_total"] == 13
-        assert payload["partitions_scanned"] + payload["partitions_skipped"] == 13
+        assert payload["partitions_total"] == 5  # cab-1's partitions only
+        assert payload["partitions_scanned"] + payload["partitions_skipped"] == 5
         json.dumps(payload, allow_nan=False)  # strictly JSON-serialisable
 
 
@@ -537,3 +541,178 @@ class TestAcceptancePruning:
         assert json.dumps(pruned.as_dict()["segments"]) == json.dumps(
             full.as_dict()["segments"]
         )
+
+
+class TestDegenerateAccounting:
+    """Empty stores and unknown devices must report an honest baseline:
+    ``partitions_total == 0`` and ``scan_fraction == 0.0``, never a pruning
+    credit for partitions the query could not have read."""
+
+    @pytest.mark.parametrize("full_scan", [False, True])
+    def test_empty_store_query(self, store, full_scan):
+        result = store.query(full_scan=full_scan)
+        assert len(result) == 0
+        assert result.partitions_total == 0
+        assert result.partitions_scanned == 0
+        assert result.partitions_skipped == 0
+        assert result.scan_fraction == 0.0
+        assert result.as_dict()["scan_fraction"] == 0.0
+
+    @pytest.mark.parametrize("full_scan", [False, True])
+    def test_unknown_device_query(self, store, full_scan):
+        store.append("cab-1", seg(0.0, 40.0), epsilon=10.0)
+        result = store.query(device="ghost", full_scan=full_scan)
+        assert len(result) == 0
+        assert result.partitions_total == 0
+        assert result.partitions_scanned == 0
+        assert result.scan_fraction == 0.0
+
+    @pytest.mark.parametrize("pushdown", [False, True])
+    def test_empty_store_window_aggregates(self, store, pushdown):
+        aggregates = store.window_aggregates(width=100.0, pushdown=pushdown)
+        assert len(aggregates) == 0
+        assert aggregates.partitions_total == 0
+        assert aggregates.partitions_scanned == 0
+        assert aggregates.partitions_pushdown == 0
+        assert aggregates.scan_fraction == 0.0
+
+    @pytest.mark.parametrize("pushdown", [False, True])
+    def test_unknown_device_window_aggregates(self, store, pushdown):
+        store.append("cab-1", seg(0.0, 40.0), epsilon=10.0)
+        aggregates = store.window_aggregates(
+            device="ghost", width=100.0, pushdown=pushdown
+        )
+        assert len(aggregates) == 0
+        assert aggregates.partitions_total == 0
+        assert aggregates.partitions_scanned == 0
+        assert aggregates.scan_fraction == 0.0
+
+
+class TestLevelResolution:
+    """``level``/``max_deviation`` resolve against the stored ladder before
+    any partition is consulted (the multi-resolution serving surface)."""
+
+    @pytest.fixture
+    def layered(self, store) -> Store:
+        # Three stored resolutions: the pyramid ladder 10 < 40 < 160.
+        for epsilon, count in ((10.0, 6), (40.0, 3), (160.0, 1)):
+            store.append(
+                "cab-1",
+                [seg(float(i * 10), float(i * 10) + 5.0) for i in range(count)],
+                epsilon=epsilon,
+            )
+        store.append("cab-2", seg(0.0, 5.0), epsilon=10.0)
+        return store
+
+    def test_levels_lists_distinct_epsilons_ascending(self, layered):
+        assert layered.levels() == [10.0, 40.0, 160.0]
+
+    def test_empty_store_has_no_levels(self, store):
+        assert store.levels() == []
+
+    def test_level_selects_that_rungs_epsilon(self, layered):
+        result = layered.query(device="cab-1", level=1)
+        assert result.spec.epsilon == 40.0
+        assert result.spec.level is None  # resolved away
+        assert {s.epsilon for s in result.segments} == {40.0}
+        assert len(result) == 3
+
+    def test_level_out_of_range_raises(self, layered):
+        with pytest.raises(InvalidParameterError, match="3 level"):
+            layered.query(level=3)
+
+    def test_max_deviation_picks_the_coarsest_qualifying_level(self, layered):
+        result = layered.query(device="cab-1", max_deviation=100.0)
+        assert result.spec.epsilon == 40.0  # coarsest stored bound <= 100
+        assert {s.epsilon for s in result.segments} == {40.0}
+
+    def test_max_deviation_exactly_on_a_rung_selects_it(self, layered):
+        assert layered.query(max_deviation=160.0).spec.epsilon == 160.0
+
+    def test_unsatisfiable_sla_matches_nothing_with_honest_accounting(
+        self, layered
+    ):
+        result = layered.query(device="cab-1", max_deviation=5.0)
+        assert len(result) == 0
+        assert result.partitions_scanned == 0
+        # The device predicate's baseline is still reported: the query
+        # *could* have read cab-1's partition, it just matched no level.
+        assert result.partitions_total == 1
+        assert result.scan_fraction == 0.0
+
+    def test_window_aggregates_resolve_levels_too(self, layered):
+        aggregates = layered.window_aggregates(
+            device="cab-1", level=0, width=100.0
+        )
+        assert aggregates.spec.epsilon == 10.0
+        scanned = layered.window_aggregates(
+            device="cab-1", max_deviation=5.0, width=100.0
+        )
+        assert len(scanned) == 0
+        assert scanned.partitions_scanned == 0
+
+    def test_unresolved_selectors_refuse_to_match(self):
+        record = seg(0.0, 10.0)
+        with pytest.raises(InvalidParameterError, match="store-resolved"):
+            QuerySpec(level=0).matches("cab-1", 10.0, record)
+        with pytest.raises(InvalidParameterError, match="store-resolved"):
+            QuerySpec(max_deviation=10.0).matches("cab-1", 10.0, record)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epsilon=10.0, level=0),
+            dict(epsilon=10.0, max_deviation=20.0),
+            dict(level=0, max_deviation=20.0),
+        ],
+    )
+    def test_resolution_selectors_are_mutually_exclusive(self, kwargs):
+        with pytest.raises(InvalidParameterError, match="mutually exclusive"):
+            QuerySpec(**kwargs)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True])
+    def test_level_must_be_a_non_negative_integer(self, bad):
+        with pytest.raises(InvalidParameterError, match="level"):
+            QuerySpec(level=bad)
+
+
+class TestPyramidSinkFactory:
+    def test_levels_persist_under_their_ladder_epsilons(self, store):
+        ladder = [10.0, 40.0, 160.0]
+        factory = store.pyramid_sink_factory(ladder)
+        for level, epsilon in enumerate(ladder):
+            with factory("cab-1", level) as sink:
+                sink.accept(seg(float(level * 100), float(level * 100) + 5.0))
+        assert store.levels() == ladder
+        for level, epsilon in enumerate(ladder):
+            result = store.query(level=level)
+            assert {s.epsilon for s in result.segments} == {epsilon}
+
+    def test_out_of_range_level_raises(self, store):
+        factory = store.pyramid_sink_factory([10.0, 40.0])
+        with pytest.raises(InvalidParameterError, match="outside"):
+            factory("cab-1", 2)
+
+    @pytest.mark.parametrize(
+        "ladder", [[], [10.0, 10.0], [40.0, 10.0], [10.0, float("inf")], [-1.0]]
+    )
+    def test_invalid_ladders_are_rejected(self, store, ladder):
+        with pytest.raises(InvalidParameterError):
+            store.pyramid_sink_factory(ladder)
+
+    def test_pyramid_hub_end_to_end_stores_every_level(self, store):
+        ladder = [20.0, 40.0, 80.0]
+        trajectory = generate_trajectory("taxi", 300, seed=4)
+        with StreamHub(
+            algorithm="operb",
+            epsilons=ladder,
+            sink_factory=store.sink_factory(epsilon=ladder[0]),
+            level_sink_factory=store.pyramid_sink_factory(ladder),
+        ) as hub:
+            for point in trajectory:
+                hub.push("cab-9", point)
+            hub.finish_all()
+            stats = hub.stats()
+        assert store.levels() == ladder
+        for level, count in enumerate(stats.segments_by_level):
+            assert len(store.query(device="cab-9", level=level)) == count
