@@ -7,6 +7,7 @@ from .checkpoint import CheckpointDriftRule
 from .determinism import DeterminismRule
 from .ownership import ActorOwnershipRule
 from .process_safety import ProcessSafetyRule
+from .wire import WireCodecRule
 
 __all__ = [
     "CheckpointDriftRule",
@@ -14,4 +15,5 @@ __all__ = [
     "DeterminismRule",
     "ActorOwnershipRule",
     "ProcessSafetyRule",
+    "WireCodecRule",
 ]

@@ -433,6 +433,11 @@ def cmd_serve_replay(args) -> int:
         f"{stats.max_lag}  failed devices: {stats.failed}  "
         f"sink failures: {stats.sink_failures}"
     )
+    print(
+        f"transport: batches shipped: {stats.batches_shipped}  "
+        f"bytes shipped: {stats.bytes_shipped}  "
+        f"frames decoded: {stats.frames_decoded}"
+    )
     if stats.epsilons is not None and stats.segments_by_level is not None:
         per_level = "  ".join(
             f"L{index}(eps={epsilon:g}): {count}"

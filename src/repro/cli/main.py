@@ -147,15 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--backend",
         default="serial",
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "node"],
         help="execution backend driving the hub shards (default serial)",
     )
     serve.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker count for the thread/process backends (default: CPU count, "
-        "clamped to the shard count)",
+        help="worker count for the thread/process/node backends (default: CPU "
+        "count, clamped to the shard count)",
     )
     serve.add_argument(
         "--block-size",
@@ -352,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--backend",
         default=None,
-        choices=["serial", "thread", "process"],
+        choices=["serial", "thread", "process", "node"],
         help="override the execution backend of every hub/fleet case",
     )
     perf.add_argument(

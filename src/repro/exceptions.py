@@ -19,6 +19,7 @@ __all__ = [
     "CheckpointError",
     "ExecutionError",
     "StoreError",
+    "WireFormatError",
 ]
 
 
@@ -100,4 +101,13 @@ class StoreError(ReproError):
     Raised by :mod:`repro.store` for malformed manifests, corrupt or
     truncated partition files, and layout-version mismatches — any case
     where the on-disk state cannot be interpreted faithfully.
+    """
+
+
+class WireFormatError(ReproError, ValueError):
+    """A wire frame could not be encoded or decoded.
+
+    Raised by :mod:`repro.streaming.wire` for truncated frames, bad magic
+    bytes, unknown frame kinds and protocol-version mismatches — any case
+    where bytes on the wire cannot be interpreted faithfully.
     """

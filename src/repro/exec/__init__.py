@@ -15,9 +15,14 @@ Two execution shapes are offered:
   :mod:`repro.exec.actors`) for long-lived stateful workers such as the
   hub's shards.
 
-All three backends (``serial``, ``thread``, ``process``) are contractually
-equivalent: for deterministic work they produce byte-identical results, a
-property the test suite locks in across both consumers.
+All four backends (``serial``, ``thread``, ``process``, ``node``) are
+contractually equivalent: for deterministic work they produce byte-identical
+results, a property the test suite locks in across both consumers.
+
+``NodeBackend`` / ``NodeActorGroup`` (:mod:`repro.exec.node`) are exported
+lazily: the node backend depends on the streaming wire codec, and importing
+it eagerly here would cycle through ``repro.streaming`` → ``repro.exec``
+during package init.
 """
 
 from .actors import (
@@ -43,6 +48,8 @@ __all__ = [
     "ActorGroup",
     "BACKEND_NAMES",
     "ExecutionBackend",
+    "NodeActorGroup",
+    "NodeBackend",
     "ProcessActorGroup",
     "ProcessBackend",
     "SerialActorGroup",
@@ -53,3 +60,17 @@ __all__ = [
     "ThreadBackend",
     "resolve_backend",
 ]
+
+_LAZY_EXPORTS = {"NodeActorGroup", "NodeBackend"}
+
+
+def __getattr__(name: str):  # noqa: ANN202 — PEP 562 lazy exports
+    if name in _LAZY_EXPORTS:
+        from . import node
+
+        return getattr(node, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _LAZY_EXPORTS)

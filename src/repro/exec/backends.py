@@ -33,6 +33,11 @@ Three backends implement both shapes:
     runtime in the parent are only visible to workers when registration
     happens at import time; on Linux (``fork``) runtime registrations carry
     over.
+``NodeBackend`` (:mod:`repro.exec.node`)
+    A worker process per slot reached over a length-prefixed socket RPC
+    with handshake, heartbeats and columnar wire frames — the distributed
+    shard-fabric shape.  Same pickling contract as the process backend for
+    generic messages; the hub's point batches cross as columnar frames.
 
 :func:`resolve_backend` is the single factory every layer goes through, so
 ``"serial" | "thread" | "process" | "auto"`` mean the same thing in
@@ -63,7 +68,7 @@ __all__ = [
     "resolve_backend",
 ]
 
-BACKEND_NAMES = ("serial", "thread", "process", "auto")
+BACKEND_NAMES = ("serial", "thread", "process", "node", "auto")
 """Accepted backend specifiers (``auto`` resolves by worker count)."""
 
 
@@ -273,8 +278,8 @@ def resolve_backend(
     Parameters
     ----------
     spec:
-        ``"serial"``, ``"thread"``, ``"process"``, ``"auto"``, or an
-        already-constructed backend (returned unchanged, ``workers``
+        ``"serial"``, ``"thread"``, ``"process"``, ``"node"``, ``"auto"``,
+        or an already-constructed backend (returned unchanged, ``workers``
         ignored).  ``"auto"`` picks serial for ``workers in (None, 1)`` and
         process otherwise — the historical ``run_many`` behaviour.
     workers:
@@ -304,4 +309,11 @@ def resolve_backend(
     default_workers = workers if workers is not None else (os.cpu_count() or 2)
     if name == "thread":
         return ThreadBackend(default_workers)
+    if name == "node":
+        # Imported lazily: the node backend pulls in the streaming wire
+        # codec, and importing it eagerly here would cycle through
+        # ``repro.streaming`` → ``repro.exec`` during package init.
+        from .node import NodeBackend
+
+        return NodeBackend(default_workers)
     return ProcessBackend(default_workers)

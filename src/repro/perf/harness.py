@@ -94,6 +94,14 @@ class Measurement:
     """Per-level compression ratio (segments at that level over input
     points), finest first (``pyramid`` mode; None — defaulted so
     pre-pyramid reports keep loading — for the other modes)."""
+    bytes_shipped: int = 0
+    """Wire-frame bytes the hub shipped to its shard workers during the
+    best repeat (``hub`` mode on the process/node backends; 0 elsewhere and
+    for pre-wire reports)."""
+    frames_per_second: float = 0.0
+    """Wire frames the shard workers decoded per wall-clock second during
+    the best repeat (``hub`` mode on the process/node backends; 0.0
+    elsewhere and for pre-wire reports)."""
 
     @property
     def key(self) -> str:
@@ -254,9 +262,10 @@ def _time_hub(
     case: PerfCase,
     records: Sequence[tuple[str, Point]],
     repeats: int,
-) -> tuple[float, int, str, int]:
-    """Best wall time over ``repeats`` hub replays, the segment count, and
-    the backend/worker-count the hub *actually* ran with.
+) -> tuple[float, int, str, int, int, float]:
+    """Best wall time over ``repeats`` hub replays, the segment count, the
+    backend/worker-count the hub *actually* ran with, and the transport
+    counters of the best repeat (bytes shipped, frames decoded per second).
 
     Each repeat drives a fresh :class:`repro.streaming.StreamHub` on the
     case's execution backend (devices pre-registered, so registration cost
@@ -271,6 +280,8 @@ def _time_hub(
     segments = 0
     backend = case.backend
     workers = case.workers
+    bytes_shipped = 0
+    frames_per_second = 0.0
     for _ in range(max(1, repeats)):
         hub = StreamHub(
             algorithm=algorithm,
@@ -289,11 +300,17 @@ def _time_hub(
             hub.push_many(records)
             hub.finish_all()
             elapsed = time.perf_counter() - started
-            best = min(best, elapsed)
-            segments = hub.stats().segments_emitted
+            stats = hub.stats()
+            segments = stats.segments_emitted
+            if elapsed < best:
+                best = elapsed
+                bytes_shipped = stats.bytes_shipped
+                frames_per_second = (
+                    stats.frames_decoded / elapsed if elapsed > 0.0 else 0.0
+                )
         finally:
             hub.close()
-    return best, segments, backend, workers
+    return best, segments, backend, workers, bytes_shipped, frames_per_second
 
 
 def _time_pyramid(
@@ -564,6 +581,8 @@ def run_suite(
             # with more workers than shards reports the clamped count.
             scan_fraction = 1.0
             level_compression: list[float] | None = None
+            bytes_shipped = 0
+            frames_per_second = 0.0
             if case.mode == "pyramid" and not get_descriptor(algorithm).pyramid_capable:
                 # A mixed suite (e.g. ``quick``) may carry algorithms that
                 # cannot serve a pyramid; skipping beats crashing, and the
@@ -581,9 +600,14 @@ def run_suite(
                     count / total_points if total_points else 0.0 for count in by_level
                 ]
             elif case.mode == "hub":
-                wall, segments, ran_backend, ran_workers = _time_hub(
-                    algorithm, case, records, effective_repeats
-                )
+                (
+                    wall,
+                    segments,
+                    ran_backend,
+                    ran_workers,
+                    bytes_shipped,
+                    frames_per_second,
+                ) = _time_hub(algorithm, case, records, effective_repeats)
                 ratio = segments / total_points if total_points else 0.0
             elif case.mode == "store":
                 wall, segments, ratio, scan_fraction = _time_store(
@@ -620,6 +644,8 @@ def run_suite(
                 scan_fraction=scan_fraction,
                 levels=case.levels,
                 level_compression=level_compression,
+                bytes_shipped=bytes_shipped,
+                frames_per_second=frames_per_second,
             )
             report.results.append(measurement)
             if progress is not None:

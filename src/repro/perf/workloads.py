@@ -99,7 +99,7 @@ window baseline (OPW) and the paper's two contributions."""
 CASE_MODES = ("batch", "hub", "fleet", "store", "pyramid")
 """Valid values of :attr:`PerfCase.mode`."""
 
-CASE_BACKENDS = ("serial", "thread", "process")
+CASE_BACKENDS = ("serial", "thread", "process", "node")
 """Valid values of :attr:`PerfCase.backend` (declared cases are explicit —
 no ``auto`` — so a suite measures the same runtime everywhere)."""
 
@@ -235,6 +235,15 @@ _QUICK = PerfSuite(
             block_size=4_096,
         ),
         PerfCase(
+            "hub-64x500-n2",
+            "taxi",
+            n_trajectories=64,
+            points_per_trajectory=500,
+            mode="hub",
+            backend="node",
+            workers=2,
+        ),
+        PerfCase(
             "store-32x500", "taxi", n_trajectories=32, points_per_trajectory=500, mode="store"
         ),
         PerfCase(
@@ -286,6 +295,15 @@ _HUB = PerfSuite(
             points_per_trajectory=400,
             mode="hub",
             backend="process",
+            workers=4,
+        ),
+        PerfCase(
+            "hub-256x400-n4",
+            "taxi",
+            n_trajectories=256,
+            points_per_trajectory=400,
+            mode="hub",
+            backend="node",
             workers=4,
         ),
         PerfCase(
@@ -382,6 +400,16 @@ _BLOCKS = PerfSuite(
             points_per_trajectory=2_000,
             mode="hub",
             backend="process",
+            workers=4,
+            block_size=4_096,
+        ),
+        PerfCase(
+            "blocks-16x2k-n4",
+            IDLE_FLEET_PROFILE,
+            n_trajectories=16,
+            points_per_trajectory=2_000,
+            mode="hub",
+            backend="node",
             workers=4,
             block_size=4_096,
         ),

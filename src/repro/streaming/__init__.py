@@ -29,9 +29,22 @@ from .sinks import (
     close_sink,
     flush_sink,
 )
+from .wire import (
+    FRAME_TYPES,
+    POINT_BATCH_FORMATS,
+    FrameType,
+    decode_frame,
+    encode_frame,
+    group_records,
+    pack_frame,
+    read_frame,
+    register_frame,
+)
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "FRAME_TYPES",
+    "POINT_BATCH_FORMATS",
     "STREAMING_ALGORITHMS",
     "BufferedBatchAdapter",
     "CollectingSink",
@@ -40,6 +53,7 @@ __all__ = [
     "CsvSegmentSink",
     "DeviceError",
     "DeviceStream",
+    "FrameType",
     "HubShard",
     "HubStats",
     "PipelineResult",
@@ -49,10 +63,16 @@ __all__ = [
     "StreamHub",
     "StreamingPipeline",
     "close_sink",
+    "decode_frame",
+    "encode_frame",
     "flush_sink",
+    "group_records",
     "load_checkpoint",
     "make_streaming_simplifier",
+    "pack_frame",
+    "read_frame",
     "read_point_log",
+    "register_frame",
     "restore_hub",
     "run_pipeline",
     "save_checkpoint",

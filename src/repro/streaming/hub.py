@@ -12,12 +12,16 @@ memory stays O(devices), not O(points).
 
 Shards execute on a pluggable :mod:`repro.exec` backend (``backend=``):
 ``"serial"`` keeps every shard inline in the caller (the reference
-semantics), while ``"thread"`` and ``"process"`` drive the shards on real
-worker actors — per-shard FIFO mailboxes, single-owner shard state (no
-locks in the ingest path), segments and failures streamed back to the hub
-as events.  All backends are contractually equivalent: the same device log
-produces byte-identical per-device segments and byte-identical checkpoints,
-a property the test suite locks in.
+semantics), while ``"thread"``, ``"process"`` and ``"node"`` drive the
+shards on real worker actors — per-shard FIFO mailboxes, single-owner shard
+state (no locks in the ingest path), segments and failures streamed back to
+the hub as events.  On the backends whose batches cross a serialization
+boundary (process pipes, node sockets) the shipped unit is a *columnar wire
+frame* (:mod:`repro.streaming.wire`): per-device little-endian ``float64``
+columns instead of pickled point tuples, decoded straight into the SoA
+blocks the vectorized ingest path consumes.  All backends are contractually
+equivalent: the same device log produces byte-identical per-device segments
+and byte-identical checkpoints, a property the test suite locks in.
 
 Concurrent workers ingest in *blocks*: every ``push_many`` batch a worker
 receives (``block_size`` records, default :data:`DEFAULT_BLOCK_SIZE`) is
@@ -57,16 +61,16 @@ Capabilities:
   segments — on any backend, and optionally onto a *different* shard count
   (devices re-shard through the same CRC32 map).
 
-Concurrency caveats (``thread``/``process`` backends only): ``push`` routes
+Concurrency caveats (``thread``/``process``/``node`` backends only): ``push`` routes
 asynchronously and returns ``[]`` (segments still reach the sinks);
 ``on_error="raise"`` surfaces a device failure at the next hub call instead
 of mid-push (``push_many`` drains its own batches so its failures surface
 on return; ``checkpoint()`` alone never raises for device failures, so a
 failed hub can always be checkpointed); counters (``points_pushed``,
 ``segments_emitted``) are authoritative after a synchronising call
-(``stats()``, ``checkpoint()``, ``finish_all()``).  Under the process backend, per-device stream objects
-live in worker processes and are not addressable — use ``stats()`` and
-``checkpoint()``.
+(``stats()``, ``checkpoint()``, ``finish_all()``).  Under the process and
+node backends, per-device stream objects live in worker processes and are
+not addressable — use ``stats()`` and ``checkpoint()``.
 """
 
 from __future__ import annotations
@@ -91,6 +95,7 @@ from ..trajectory.piecewise import SegmentRecord
 from ..trajectory.soa import PointBlock
 from .pyramid import PyramidSession, validate_epsilon_ladder
 from .sinks import SegmentSink, close_sink, flush_sink
+from .wire import POINT_BATCH_FORMATS, decode_frame, encode_frame, group_records
 
 __all__ = [
     "DeviceError",
@@ -179,6 +184,15 @@ class HubStats:
     shard_points: list[int]
     sink_failures: int = 0
     """Sinks detached after raising (segments stopped reaching them)."""
+    batches_shipped: int = 0
+    """``push_many`` batches handed to shard workers (0 on the serial
+    backend, whose reference path routes per point)."""
+    bytes_shipped: int = 0
+    """Encoded wire-frame bytes shipped to shard workers.  Non-zero only on
+    backends that cross a serialization boundary (process, node); the
+    thread backend shares memory and ships object references."""
+    frames_decoded: int = 0
+    """Wire frames decoded by the shard workers (process/node backends)."""
     epsilons: list[float] | None = None
     """The hub's pyramid ladder, finest first (``None`` on single-epsilon hubs)."""
     segments_by_level: list[int] | None = None
@@ -199,6 +213,9 @@ class HubStats:
             "shard_devices": list(self.shard_devices),
             "shard_points": list(self.shard_points),
             "sink_failures": self.sink_failures,
+            "batches_shipped": self.batches_shipped,
+            "bytes_shipped": self.bytes_shipped,
+            "frames_decoded": self.frames_decoded,
         }
         if self.epsilons is not None:
             out["epsilons"] = list(self.epsilons)
@@ -409,6 +426,8 @@ class _ShardCore:
         self.shards: dict[int, HubShard] = {
             index: HubShard(index) for index in shard_indices
         }
+        self.frames_decoded = 0
+        """Columnar wire frames this core decoded (``push_frame`` path)."""
 
     # ------------------------------------------------------------------ #
     # Message dispatch (the actor mailbox entry point)
@@ -419,6 +438,8 @@ class _ShardCore:
             return self.push(*message[1:])
         if kind == "push_batch":
             return self.push_batch(message[1])
+        if kind == "push_frame":
+            return self.push_frame(message[1])
         if kind == "register":
             return self.register(*message[1:])
         if kind == "finish_device":
@@ -559,6 +580,29 @@ class _ShardCore:
                 self.push(shard_of[device_id], device_id, points[0])
             else:
                 self.push_block(shard_of[device_id], device_id, PointBlock.from_points(points))
+        return None
+
+    def push_frame(self, body: bytes) -> None:
+        """Ingest one encoded point-batch wire frame (see :mod:`.wire`).
+
+        The columnar twin of :meth:`push_batch`: the parent already grouped
+        the records (same first-appearance device order, same within-device
+        arrival order) and shipped them as ``float64`` columns, so the
+        decoded blocks route through exactly the paths ``push_batch`` would
+        take — per-device segments, statistics and checkpoints stay
+        byte-identical to every other ingest route.
+        """
+        name, groups = decode_frame(body)
+        if name not in ("point-batch", "point-batch-jsonl"):
+            raise SimplificationError(
+                f"shard worker received a {name!r} frame on the ingest path"
+            )
+        self.frames_decoded += 1
+        for shard_i, device_id, block in groups:
+            if len(block) == 1:
+                self.push(shard_i, device_id, block.point(0))
+            else:
+                self.push_block(shard_i, device_id, block)
         return None
 
     def push_block(
@@ -718,6 +762,7 @@ class _ShardCore:
             "points_pushed": points,
             "segments_emitted": segments,
             "level_segments": level_counts,
+            "frames_decoded": self.frames_decoded,
         }
 
     def restore(self, shard_i: int, entry: dict) -> None:
@@ -805,7 +850,7 @@ class StreamHub:
         failure is recorded in :attr:`errors`.
     backend:
         Execution backend for the shards: ``"serial"`` (default),
-        ``"thread"``, ``"process"``, ``"auto"``, or a
+        ``"thread"``, ``"process"``, ``"node"``, ``"auto"``, or a
         :class:`repro.exec.ExecutionBackend`.  See the module docstring for
         the concurrent-backend caveats.
     workers:
@@ -820,6 +865,14 @@ class StreamHub:
         a batch is the block size its kernels see.  Purely an execution
         knob: any value produces byte-identical per-device segments and
         checkpoints.
+    wire_format:
+        Encoding of the batches shipped to process/node shard workers:
+        ``"columnar"`` (default, little-endian ``float64`` columns per
+        device — the fast path) or ``"jsonl"`` (one JSON object per device
+        line, a human-readable debug fallback).  See
+        :mod:`repro.streaming.wire`.  Ignored by the in-process backends,
+        whose batches never cross a serialization boundary.  Any value
+        produces byte-identical per-device segments and checkpoints.
     """
 
     def __init__(
@@ -837,12 +890,18 @@ class StreamHub:
         backend: str | ExecutionBackend = "serial",
         workers: int | None = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        wire_format: str = "columnar",
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"shards must be at least 1, got {shards}")
         if block_size < 1:
             raise InvalidParameterError(
                 f"block_size must be at least 1, got {block_size}"
+            )
+        if wire_format not in POINT_BATCH_FORMATS:
+            raise InvalidParameterError(
+                f"wire_format must be one of "
+                f"{tuple(POINT_BATCH_FORMATS)}, got {wire_format!r}"
             )
         if on_error not in _ON_ERROR_MODES:
             raise InvalidParameterError(
@@ -901,10 +960,16 @@ class StreamHub:
         self._backend = resolve_backend(backend, workers=workers)
         self._concurrent = self._backend.name != "serial"
         self._n_actors = min(self._backend.workers, shards) if self._concurrent else 1
+        # Backends whose batches cross a serialization boundary ship them as
+        # columnar wire frames; the in-process backends pass references.
+        self._use_wire = self._backend.name in ("process", "node")
+        self._wire_frame = POINT_BATCH_FORMATS[wire_format]
         self.errors: list[DeviceError] = []
         self.points_pushed = 0
         self.segments_emitted = 0
         self.sink_failures = 0
+        self.batches_shipped = 0
+        self.bytes_shipped = 0
         self._known: set[str] = set()
         self._failed: set[str] = set()
         self._sinks: dict[str, SegmentSink | None] = {}
@@ -915,7 +980,7 @@ class StreamHub:
             epsilon=self._default.epsilon,
             options=dict(self._default.opts),
             on_error=on_error,
-            carry_exceptions=self._backend.name != "process",
+            carry_exceptions=self._backend.name not in ("process", "node"),
             epsilons=pyramid_epsilons,
         )
         factories = [
@@ -934,6 +999,24 @@ class StreamHub:
     # ------------------------------------------------------------------ #
     def _actor_of(self, shard_i: int) -> int:
         return shard_i % self._n_actors
+
+    def _ship_batch(self, actor: int, buffer: list[tuple[int, str, Point]]) -> None:
+        """Hand one buffered ``push_many`` batch to its shard worker.
+
+        In-process backends pass the record list by reference; process and
+        node workers receive the batch as one columnar wire frame (grouped
+        into per-device ``float64`` columns by :func:`~.wire.group_records`,
+        replicating exactly the regrouping ``push_batch`` performs), so the
+        only pickled object on the hot path is a single ``bytes`` payload —
+        and the node transport ships even that raw.
+        """
+        self.batches_shipped += 1
+        if self._use_wire:
+            frame = encode_frame(self._wire_frame, group_records(buffer))
+            self.bytes_shipped += len(frame)
+            self._group.tell(actor, ("push_frame", frame))
+        else:
+            self._group.tell(actor, ("push_batch", buffer))
 
     def _on_actor_event(self, actor: int, event: tuple) -> None:
         """Route one shard-worker event (serialised by the actor group)."""
@@ -1151,8 +1234,8 @@ class StreamHub:
         handlers = self._group.local_handlers
         if handlers is None:
             raise SimplificationError(
-                "per-device stream objects are not addressable under the "
-                "process backend; use stats() or checkpoint()"
+                f"per-device stream objects are not addressable under the "
+                f"{self._backend.name} backend; use stats() or checkpoint()"
             )
         return [
             handlers[self._actor_of(index)].shards[index]
@@ -1395,7 +1478,7 @@ class StreamHub:
         def flush_all() -> None:
             for actor, buffer in enumerate(buffers):
                 if buffer:
-                    self._group.tell(actor, ("push_batch", buffer))
+                    self._ship_batch(actor, buffer)
                     buffers[actor] = []
 
         for device_id, point in records:
@@ -1422,7 +1505,7 @@ class StreamHub:
                 )
             buffers[actor].append((shard_i, device_id, point))
             if len(buffers[actor]) >= self._block_size:
-                self._group.tell(actor, ("push_batch", buffers[actor]))
+                self._ship_batch(actor, buffers[actor])
                 buffers[actor] = []
         flush_all()
         if self.on_error == "raise":
@@ -1503,6 +1586,9 @@ class StreamHub:
             shard_devices=shard_devices,
             shard_points=shard_points,
             sink_failures=self.sink_failures,
+            batches_shipped=self.batches_shipped,
+            bytes_shipped=self.bytes_shipped,
+            frames_decoded=sum(reply.get("frames_decoded", 0) for reply in replies),
             epsilons=None if self._epsilons is None else list(self._epsilons),
             segments_by_level=(
                 None

@@ -1,4 +1,4 @@
-"""Fixture-snippet tests for the invariant linter's rules (RPA001-RPA005).
+"""Fixture-snippet tests for the invariant linter's rules (RPA001-RPA006).
 
 Each test feeds a small in-memory module through :func:`analyze_source` and
 asserts the exact rule ids, line numbers and symbols reported — including
@@ -17,6 +17,7 @@ CORE_PATH = "src/repro/core/fixture.py"
 KERNEL_PATH = "src/repro/geometry/fixture.py"
 EXEC_PATH = "src/repro/exec/fixture.py"
 API_PATH = "src/repro/api/fixture.py"
+WIRE_PATH = "src/repro/streaming/wire.py"
 
 
 def lint(source: str, *, path: str = CORE_PATH, rules: list[str] | None = None):
@@ -510,5 +511,135 @@ class TestProcessSafetyRPA005:
                     self.parts = (a, b, c)
             """,
             rules=["RPA005"],
+        )
+        assert findings == []
+
+
+class TestWireCodecRPA006:
+    def test_pickle_import_and_call_are_reported(self):
+        findings = lint(
+            """\
+            import pickle
+
+
+            def encode_blob(value):
+                return pickle.dumps(value)
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        assert triples(findings) == [
+            ("RPA006", 1, "import:pickle"),
+            ("RPA006", 5, "pickle.dumps"),
+        ]
+
+    def test_pickle_from_import_is_reported(self):
+        findings = lint(
+            """\
+            from pickle import dumps
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        assert triples(findings) == [("RPA006", 1, "import:pickle")]
+
+    def test_explicit_codec_pair_passes(self):
+        findings = lint(
+            """\
+            def encode_json(value):
+                return b"{}"
+
+
+            def decode_json(body):
+                return {}
+
+
+            register_frame(0x01, "json", encode_json, decode_json)
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        assert findings == []
+
+    def test_lambda_codec_is_reported(self):
+        # A lambda hides one direction of the round-trip from review and
+        # from the name-keyed round-trip property tests.
+        findings = lint(
+            """\
+            def decode_json(body):
+                return {}
+
+
+            register_frame(0x01, "json", lambda value: b"{}", decode_json)
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        assert triples(findings) == [("RPA006", 5, "register_frame:encode")]
+
+    def test_misnamed_and_missing_codecs_are_reported(self):
+        findings = lint(
+            """\
+            def serialize(value):
+                return b""
+
+
+            register_frame(0x02, "bad", serialize)
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        # The missing decode argument anchors to the call itself (column 0)
+        # and therefore sorts ahead of the misnamed encode name.
+        assert triples(findings) == [
+            ("RPA006", 5, "register_frame:decode"),
+            ("RPA006", 5, "register_frame:encode"),
+        ]
+
+    def test_keyword_codec_arguments_are_resolved(self):
+        findings = lint(
+            """\
+            def encode_seg(value):
+                return b""
+
+
+            def decode_seg(body):
+                return None
+
+
+            register_frame(0x04, "seg", decode=decode_seg, encode=encode_seg)
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        assert findings == []
+
+    def test_non_toplevel_codec_is_reported(self):
+        # encode_inner exists only inside a closure — the pair must be
+        # module-level so the round-trip tests can reach it by name.
+        findings = lint(
+            """\
+            def decode_x(body):
+                return None
+
+
+            def _build():
+                def encode_x(value):
+                    return b""
+
+                register_frame(0x05, "x", encode_x, decode_x)
+            """,
+            path=WIRE_PATH,
+            rules=["RPA006"],
+        )
+        assert triples(findings) == [("RPA006", 9, "register_frame:encode")]
+
+    def test_rule_is_scoped_to_wire_modules(self):
+        findings = lint(
+            """\
+            import pickle
+            """,
+            path=EXEC_PATH,
+            rules=["RPA006"],
         )
         assert findings == []

@@ -10,13 +10,14 @@ import pytest
 from repro.exceptions import ExecutionError, InvalidParameterError
 from repro.exec import (
     BACKEND_NAMES,
+    NodeBackend,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     resolve_backend,
 )
 
-ALL_BACKENDS = [SerialBackend(), ThreadBackend(3), ProcessBackend(3)]
+ALL_BACKENDS = [SerialBackend(), ThreadBackend(3), ProcessBackend(3), NodeBackend(3)]
 BACKEND_IDS = [backend.name for backend in ALL_BACKENDS]
 
 
@@ -62,6 +63,11 @@ class TestResolveBackend:
         assert resolve_backend("serial").name == "serial"
         assert resolve_backend("thread", workers=5).workers == 5
         assert resolve_backend("process", workers=2).name == "process"
+        node = resolve_backend("node", workers=3)
+        assert node.name == "node"
+        assert node.workers == 3
+        assert isinstance(node, NodeBackend)
+        assert "node" in BACKEND_NAMES
 
     def test_auto_picks_serial_for_one_worker_else_process(self):
         assert resolve_backend("auto").name == "serial"
@@ -97,6 +103,24 @@ class TestResolveBackend:
         # Generic backend sweeps pass the same workers= everywhere; the
         # serial backend always runs one worker.
         assert resolve_backend("serial", workers=4).workers == 1
+
+    def test_node_backend_validates_its_timings(self):
+        with pytest.raises(InvalidParameterError, match="heartbeat_interval"):
+            NodeBackend(1, heartbeat_interval=0.0)
+        with pytest.raises(InvalidParameterError, match="heartbeat_timeout"):
+            NodeBackend(1, heartbeat_interval=1.0, heartbeat_timeout=0.5)
+        with pytest.raises(InvalidParameterError, match="connect_timeout"):
+            NodeBackend(1, connect_timeout=-1.0)
+
+    def test_node_exports_resolve_lazily(self):
+        # repro.exec exposes the node classes via PEP 562 without importing
+        # the module (and the wire codec behind it) at package-import time.
+        import repro.exec
+
+        assert "NodeBackend" in dir(repro.exec)
+        assert repro.exec.NodeBackend is NodeBackend
+        with pytest.raises(AttributeError, match="has no attribute"):
+            repro.exec.NoSuchBackend
 
 
 class TestMapIsolated:
@@ -239,7 +263,9 @@ class TestActorGroups:
             group.close()
 
     @pytest.mark.parametrize(
-        "backend", [ThreadBackend(1), ProcessBackend(1)], ids=["thread", "process"]
+        "backend",
+        [ThreadBackend(1), ProcessBackend(1), NodeBackend(1)],
+        ids=["thread", "process", "node"],
     )
     def test_factory_failure_surfaces_without_deadlocking(self, backend):
         group = backend.start_actors([partial(_make_broken_handler, 1)])

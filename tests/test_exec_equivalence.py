@@ -1,4 +1,4 @@
-"""Backend-equivalence properties: serial == thread == process, byte for byte.
+"""Backend equivalence: serial == thread == process == node, byte for byte.
 
 The execution runtime's whole contract is that a backend is a *pure
 performance choice*.  These hypothesis properties lock that in for both
@@ -28,7 +28,7 @@ from repro.datasets import generate_dataset
 from repro.perf.workloads import build_device_log
 from repro.streaming import CollectingSink, StreamHub, restore_hub
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "node")
 
 EQUIVALENCE_SETTINGS = dict(
     deadline=None,
@@ -44,6 +44,7 @@ def _run_hub(
     workers: int | None = None,
     shards: int = 8,
     algorithm: str = "operb",
+    wire_format: str = "columnar",
 ) -> tuple[dict, dict]:
     """Replay ``records``; returns (per-device segments, checkpoint payload)."""
     sinks: dict[str, CollectingSink] = {}
@@ -59,6 +60,7 @@ def _run_hub(
         sink_factory=factory,
         backend=backend,
         workers=workers,
+        wire_format=wire_format,
     ) as hub:
         hub.push_many(records)
         hub.finish_all()
@@ -87,7 +89,7 @@ class TestRunManyEquivalence:
         session = Simplifier(algorithm, 40.0)
         reference = session.run_many(fleet, workers=1)
         assert reference.backend == "serial" and reference.workers == 1
-        for backend in ("thread", "process"):
+        for backend in ("thread", "process", "node"):
             result = session.run_many(fleet, workers=2, backend=backend)
             assert result.backend == backend
             assert result.workers == 2
@@ -112,9 +114,18 @@ class TestHubEquivalence:
             records, backend="serial", algorithm=algorithm
         )
         reference_json = json.dumps(reference_payload, sort_keys=True, allow_nan=False)
-        for backend in ("thread", "process"):
+        for backend, wire_format in (
+            ("thread", "columnar"),
+            ("process", "columnar"),
+            ("node", "columnar"),
+            ("node", "jsonl"),
+        ):
             segments, payload = _run_hub(
-                records, backend=backend, workers=workers, algorithm=algorithm
+                records,
+                backend=backend,
+                workers=workers,
+                algorithm=algorithm,
+                wire_format=wire_format,
             )
             assert segments == reference_segments
             assert json.dumps(payload, sort_keys=True, allow_nan=False) == reference_json

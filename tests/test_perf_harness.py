@@ -70,6 +70,7 @@ class TestSuites:
             "serial",
             "thread",
             "process",
+            "node",
         }
         assert all(case.mode == "fleet" for case in SUITES["fleet"].cases)
         assert {case.backend for case in SUITES["fleet"].cases} == {
@@ -77,6 +78,14 @@ class TestSuites:
             "thread",
             "process",
         }
+
+    def test_gated_quick_suite_covers_the_node_backend(self):
+        # The node hot path (wire frames over sockets) regressing must fail
+        # the build just like the thread backend does.
+        assert any(
+            case.mode == "hub" and case.backend == "node" and case.workers > 1
+            for case in SUITES["quick"].cases
+        )
 
     def test_invalid_case_mode_rejected(self):
         with pytest.raises(InvalidParameterError, match="mode"):
@@ -314,7 +323,12 @@ class TestBackendMeasurements:
         from repro.perf.workloads import SUITES, IDLE_FLEET_PROFILE
 
         suite = SUITES["blocks"]
-        assert {case.backend for case in suite.cases} == {"serial", "thread", "process"}
+        assert {case.backend for case in suite.cases} == {
+            "serial",
+            "thread",
+            "process",
+            "node",
+        }
         assert all(case.mode == "hub" for case in suite.cases)
         assert all(case.profile == IDLE_FLEET_PROFILE for case in suite.cases)
         # The CI-gated quick suite carries one thread-backend blocks case.
